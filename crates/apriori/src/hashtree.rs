@@ -1,0 +1,321 @@
+//! The original Apriori candidate **hash tree** (Agrawal & Srikant,
+//! VLDB '94 §2.1.2) — the structure the paper's APS baseline would have
+//! used in 2002, provided alongside the cache-friendly prefix trie so the
+//! two counting strategies can be compared (ablation A4).
+//!
+//! Interior nodes hash the next transaction item into one of `fanout`
+//! buckets; leaves hold up to `leaf_capacity` candidates and split when
+//! they overflow (until depth reaches the candidate length `k`).  Counting
+//! a transaction walks every distinct item choice per depth, so one leaf
+//! can be reached along several paths; the classic per-candidate
+//! transaction stamp prevents double counting.
+
+use bbs_tdb::{ItemId, Itemset};
+
+enum Node {
+    Interior(Vec<Option<Box<Node>>>),
+    Leaf(Vec<(Itemset, usize)>),
+}
+
+/// A hash tree over fixed-length candidate itemsets.
+pub struct HashTree {
+    root: Node,
+    k: usize,
+    fanout: usize,
+    leaf_capacity: usize,
+    len: usize,
+    /// Per-candidate stamp of the last transaction counted, preventing
+    /// double counts when several descent paths reach the same leaf.
+    stamps: Vec<u64>,
+    /// Monotonically increasing transaction sequence number.
+    txn_seq: u64,
+}
+
+impl HashTree {
+    /// Creates a hash tree for candidates of length `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `fanout < 2` or `leaf_capacity == 0`.
+    pub fn new(k: usize, fanout: usize, leaf_capacity: usize) -> Self {
+        assert!(k > 0, "candidate length must be positive");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(leaf_capacity > 0, "leaf capacity must be positive");
+        HashTree {
+            root: Node::Leaf(Vec::new()),
+            k,
+            fanout,
+            leaf_capacity,
+            len: 0,
+            stamps: Vec::new(),
+            txn_seq: 0,
+        }
+    }
+
+    /// Defaults matching the original paper's spirit: a moderate fanout and
+    /// small leaves.
+    pub fn with_defaults(k: usize) -> Self {
+        HashTree::new(k, 16, 8)
+    }
+
+    /// Number of candidates stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no candidates are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a candidate of length `k` with its external index.
+    ///
+    /// # Panics
+    /// Panics if the candidate length differs from `k`.
+    pub fn insert(&mut self, candidate: &Itemset, index: usize) {
+        assert_eq!(candidate.len(), self.k, "candidate length mismatch");
+        // Multiplicative scrambling spreads consecutive ids across buckets
+        // (shared by insert and count paths via local closures).
+        #[allow(clippy::too_many_arguments)]
+        fn insert_at(
+            tree_fanout: usize,
+            tree_leaf_cap: usize,
+            tree_k: usize,
+            hash: &impl Fn(ItemId) -> usize,
+            node: &mut Node,
+            depth: usize,
+            candidate: &Itemset,
+            index: usize,
+        ) {
+            match node {
+                Node::Interior(children) => {
+                    let b = hash(candidate.items()[depth]);
+                    let child = children[b].get_or_insert_with(|| Box::new(Node::Leaf(Vec::new())));
+                    insert_at(
+                        tree_fanout,
+                        tree_leaf_cap,
+                        tree_k,
+                        hash,
+                        child,
+                        depth + 1,
+                        candidate,
+                        index,
+                    );
+                }
+                Node::Leaf(entries) => {
+                    entries.push((candidate.clone(), index));
+                    // Split when overfull, unless the discriminating depth
+                    // is exhausted (all k items consumed).
+                    if entries.len() > tree_leaf_cap && depth < tree_k {
+                        let moved = std::mem::take(entries);
+                        let mut children: Vec<Option<Box<Node>>> =
+                            (0..tree_fanout).map(|_| None).collect();
+                        for (cand, idx) in moved {
+                            let b = hash(cand.items()[depth]);
+                            let child = children[b]
+                                .get_or_insert_with(|| Box::new(Node::Leaf(Vec::new())));
+                            // Children start as leaves; recurse to allow
+                            // cascading splits of skewed buckets.
+                            insert_at(
+                                tree_fanout,
+                                tree_leaf_cap,
+                                tree_k,
+                                hash,
+                                child,
+                                depth + 1,
+                                &cand,
+                                idx,
+                            );
+                        }
+                        *node = Node::Interior(children);
+                    }
+                }
+            }
+        }
+        let fanout = self.fanout;
+        let hash = move |item: ItemId| (item.0 as usize).wrapping_mul(0x9E37_79B1) % fanout;
+        insert_at(
+            self.fanout,
+            self.leaf_capacity,
+            self.k,
+            &hash,
+            &mut self.root,
+            0,
+            candidate,
+            index,
+        );
+        self.len += 1;
+        if self.stamps.len() <= index {
+            self.stamps.resize(index + 1, 0);
+        }
+    }
+
+    /// For every stored candidate contained in `txn_items` (sorted
+    /// ascending), increments the corresponding entry of `counts`.
+    pub fn count_subsets(&mut self, txn_items: &[ItemId], counts: &mut [u64]) {
+        if txn_items.len() < self.k {
+            return;
+        }
+        self.txn_seq += 1;
+        let seq = self.txn_seq;
+        let fanout = self.fanout;
+        let hash = move |item: ItemId| (item.0 as usize).wrapping_mul(0x9E37_79B1) % fanout;
+
+        fn walk(
+            node: &Node,
+            items: &[ItemId],
+            full_txn: &[ItemId],
+            hash: &impl Fn(ItemId) -> usize,
+            stamps: &mut [u64],
+            seq: u64,
+            counts: &mut [u64],
+        ) {
+            match node {
+                Node::Leaf(entries) => {
+                    for (cand, idx) in entries {
+                        if stamps[*idx] != seq && contains_sorted(full_txn, cand) {
+                            stamps[*idx] = seq;
+                            counts[*idx] += 1;
+                        }
+                    }
+                }
+                Node::Interior(children) => {
+                    for (i, &item) in items.iter().enumerate() {
+                        if let Some(child) = &children[hash(item)] {
+                            walk(child, &items[i + 1..], full_txn, hash, stamps, seq, counts);
+                        }
+                    }
+                }
+            }
+        }
+        walk(
+            &self.root,
+            txn_items,
+            txn_items,
+            &hash,
+            &mut self.stamps,
+            seq,
+            counts,
+        );
+    }
+
+    /// Approximate bytes per candidate for memory budgeting (comparable to
+    /// [`crate::trie::CandidateTrie::candidate_bytes`]).
+    pub fn candidate_bytes(k: usize) -> usize {
+        40 + 8 * k
+    }
+}
+
+/// `candidate ⊆ txn` for two sorted item slices.
+fn contains_sorted(txn: &[ItemId], candidate: &Itemset) -> bool {
+    let mut t = txn.iter();
+    'outer: for c in candidate.items() {
+        for x in t.by_ref() {
+            match x.cmp(c) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(vals: &[u32]) -> Itemset {
+        Itemset::from_values(vals)
+    }
+
+    fn ids(vals: &[u32]) -> Vec<ItemId> {
+        vals.iter().map(|&v| ItemId(v)).collect()
+    }
+
+    #[test]
+    fn counts_contained_candidates() {
+        let mut tree = HashTree::with_defaults(2);
+        tree.insert(&set(&[1, 2]), 0);
+        tree.insert(&set(&[1, 3]), 1);
+        tree.insert(&set(&[2, 4]), 2);
+        let mut counts = vec![0u64; 3];
+        tree.count_subsets(&ids(&[1, 2, 3]), &mut counts);
+        assert_eq!(counts, vec![1, 1, 0]);
+        tree.count_subsets(&ids(&[2, 4]), &mut counts);
+        assert_eq!(counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn no_double_counting_across_paths() {
+        // Small fanout forces collisions; large transactions create many
+        // descent paths to the same leaf.
+        let mut tree = HashTree::new(2, 2, 1);
+        tree.insert(&set(&[1, 2]), 0);
+        tree.insert(&set(&[3, 4]), 1);
+        tree.insert(&set(&[5, 6]), 2);
+        tree.insert(&set(&[1, 6]), 3);
+        let mut counts = vec![0u64; 4];
+        tree.count_subsets(&ids(&[1, 2, 3, 4, 5, 6]), &mut counts);
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn transactions_shorter_than_k_count_nothing() {
+        let mut tree = HashTree::with_defaults(3);
+        tree.insert(&set(&[1, 2, 3]), 0);
+        let mut counts = vec![0u64; 1];
+        tree.count_subsets(&ids(&[1, 2]), &mut counts);
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn splitting_preserves_candidates() {
+        // Overfill leaves to force recursive splits.
+        let mut tree = HashTree::new(2, 4, 2);
+        let candidates: Vec<Itemset> = (0u32..20)
+            .flat_map(|a| ((a + 1)..22).map(move |b| Itemset::from_values(&[a, b])))
+            .take(60)
+            .collect();
+        for (i, c) in candidates.iter().enumerate() {
+            tree.insert(c, i);
+        }
+        assert_eq!(tree.len(), 60);
+        // A transaction containing everything must count every candidate.
+        let all: Vec<ItemId> = (0u32..22).map(ItemId).collect();
+        let mut counts = vec![0u64; 60];
+        tree.count_subsets(&all, &mut counts);
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    proptest! {
+        /// The hash tree and the prefix trie agree on arbitrary inputs.
+        #[test]
+        fn prop_agrees_with_trie(
+            candidate_pool in proptest::collection::btree_set(
+                proptest::collection::btree_set(0u32..30, 3..=3), 1..25),
+            txns in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..30, 0..12), 1..20),
+        ) {
+            let candidates: Vec<Itemset> = candidate_pool
+                .iter()
+                .map(|s| s.iter().copied().collect())
+                .collect();
+            let mut tree = HashTree::new(3, 3, 2);
+            let mut trie = crate::trie::CandidateTrie::new();
+            for (i, c) in candidates.iter().enumerate() {
+                tree.insert(c, i);
+                trie.insert(c, i);
+            }
+            let mut tree_counts = vec![0u64; candidates.len()];
+            let mut trie_counts = vec![0u64; candidates.len()];
+            for t in &txns {
+                let items: Vec<ItemId> = t.iter().copied().map(ItemId).collect();
+                tree.count_subsets(&items, &mut tree_counts);
+                trie.count_subsets(&items, &mut trie_counts);
+            }
+            prop_assert_eq!(tree_counts, trie_counts);
+        }
+    }
+}

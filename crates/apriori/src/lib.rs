@@ -1,0 +1,336 @@
+//! The Apriori baseline (the paper's **APS**).
+//!
+//! Classic level-wise mining (Agrawal & Srikant, VLDB '94): compute the
+//! frequent 1-itemsets in one scan, then repeatedly *join* the frequent
+//! `k`-itemsets into `(k+1)`-candidates, *prune* candidates with an
+//! infrequent `k`-subset (downward closure), and *count* the survivors'
+//! supports in one more database pass using a prefix trie (the in-memory
+//! analogue of the original hash tree).
+//!
+//! A finite [`MemoryBudget`] chunks each level's candidate set, costing
+//! extra database passes — the behaviour the paper's Fig. 11 measures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hashtree;
+pub mod trie;
+
+use bbs_tdb::{
+    FrequentPatternMiner, IoStats, Itemset, MemoryBudget, MineResult, SupportThreshold,
+    TransactionDb,
+};
+use hashtree::HashTree;
+use trie::CandidateTrie;
+
+/// Which candidate-counting structure to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// A prefix trie — the cache-friendly modern choice (default).
+    Trie,
+    /// The original VLDB '94 hash tree (ablation A4).
+    HashTree,
+}
+
+/// The Apriori miner.
+#[derive(Debug, Clone)]
+pub struct AprioriMiner {
+    budget: MemoryBudget,
+    counter: CounterKind,
+}
+
+impl Default for AprioriMiner {
+    fn default() -> Self {
+        AprioriMiner::new()
+    }
+}
+
+impl AprioriMiner {
+    /// A miner with unlimited memory.
+    pub fn new() -> Self {
+        AprioriMiner {
+            budget: MemoryBudget::unlimited(),
+            counter: CounterKind::Trie,
+        }
+    }
+
+    /// Selects the candidate-counting structure.
+    pub fn with_counter(mut self, counter: CounterKind) -> Self {
+        self.counter = counter;
+        self
+    }
+
+    /// Restricts candidate storage to `budget`, forcing multi-pass counting
+    /// per level when a level's candidate set does not fit.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Apriori candidate generation: join + prune.
+///
+/// `level` must contain all frequent `k`-itemsets, sorted ascending.
+/// Returns the `(k+1)`-candidates whose every `k`-subset is frequent.
+pub fn generate_candidates(level: &[Itemset]) -> Vec<Itemset> {
+    if level.is_empty() {
+        return Vec::new();
+    }
+    let k = level[0].len();
+    debug_assert!(level.iter().all(|s| s.len() == k));
+    debug_assert!(level.windows(2).all(|w| w[0] < w[1]), "level must be sorted");
+
+    // Membership structure for the prune step.
+    let members: std::collections::HashSet<&Itemset> = level.iter().collect();
+
+    let mut out = Vec::new();
+    // Join: two k-itemsets sharing their first k-1 items combine into a
+    // (k+1)-itemset.  With the level sorted, joinable partners are adjacent
+    // runs sharing a prefix.
+    let mut run_start = 0usize;
+    while run_start < level.len() {
+        let prefix = &level[run_start].items()[..k - 1];
+        let mut run_end = run_start + 1;
+        while run_end < level.len() && &level[run_end].items()[..k - 1] == prefix {
+            run_end += 1;
+        }
+        for i in run_start..run_end {
+            for j in i + 1..run_end {
+                let a = &level[i];
+                let b = &level[j];
+                let candidate = a.with_item(*b.items().last().expect("non-empty"));
+                // Prune: every k-subset must be frequent.  Subsets obtained
+                // by dropping one of the first k-1 items need checking; the
+                // two "parents" are frequent by construction.
+                let ok = candidate
+                    .items()
+                    .iter()
+                    .take(k.saturating_sub(1))
+                    .all(|&drop| members.contains(&candidate.without_item(drop)));
+                if ok {
+                    out.push(candidate);
+                }
+            }
+        }
+        run_start = run_end;
+    }
+    out.sort_unstable();
+    out
+}
+
+impl FrequentPatternMiner for AprioriMiner {
+    fn name(&self) -> &str {
+        "APS"
+    }
+
+    fn mine(&mut self, db: &TransactionDb, min_support: SupportThreshold) -> MineResult {
+        let tau = min_support.resolve(db.len());
+        let mut result = MineResult::default();
+        let mut io = IoStats::new();
+
+        // Pass 1: frequent 1-itemsets.
+        let singles = db.count_singletons(&mut io);
+        result.stats.candidates += singles.len() as u64;
+        let mut level: Vec<Itemset> = Vec::new();
+        for (item, count) in singles {
+            if count >= tau {
+                let s = Itemset::from_items(vec![item]);
+                result.patterns.insert(s.clone(), count);
+                level.push(s);
+            } else {
+                result.stats.false_drops += 1;
+            }
+        }
+        level.sort_unstable();
+
+        // Levels 2, 3, …
+        let mut k = 1usize;
+        while !level.is_empty() {
+            k += 1;
+            let candidates = generate_candidates(&level);
+            if candidates.is_empty() {
+                break;
+            }
+            result.stats.candidates += candidates.len() as u64;
+
+            let unit_bytes = match self.counter {
+                CounterKind::Trie => CandidateTrie::candidate_bytes(k),
+                CounterKind::HashTree => HashTree::candidate_bytes(k),
+            };
+            let chunk_size = self
+                .budget
+                .capacity_of(unit_bytes)
+                .min(candidates.len());
+            let mut next_level: Vec<Itemset> = Vec::new();
+            for chunk in candidates.chunks(chunk_size.max(1)) {
+                let mut counts = vec![0u64; chunk.len()];
+                match self.counter {
+                    CounterKind::Trie => {
+                        let mut trie = CandidateTrie::new();
+                        for (i, c) in chunk.iter().enumerate() {
+                            trie.insert(c, i);
+                        }
+                        for txn in db.scan(&mut io) {
+                            trie.count_subsets(txn.items.items(), &mut counts);
+                        }
+                    }
+                    CounterKind::HashTree => {
+                        let mut tree = HashTree::with_defaults(k);
+                        for (i, c) in chunk.iter().enumerate() {
+                            tree.insert(c, i);
+                        }
+                        for txn in db.scan(&mut io) {
+                            tree.count_subsets(txn.items.items(), &mut counts);
+                        }
+                    }
+                }
+                for (c, &count) in chunk.iter().zip(&counts) {
+                    if count >= tau {
+                        result.patterns.insert(c.clone(), count);
+                        next_level.push(c.clone());
+                    } else {
+                        result.stats.false_drops += 1;
+                    }
+                }
+            }
+            next_level.sort_unstable();
+            level = next_level;
+        }
+
+        result.stats.io = io;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_datagen::QuestConfig;
+    use bbs_tdb::{NaiveMiner, Transaction};
+
+    fn set(vals: &[u32]) -> Itemset {
+        Itemset::from_values(vals)
+    }
+
+    fn paper_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            Transaction::new(100, set(&[0, 1, 2, 3, 4, 5, 14, 15])),
+            Transaction::new(200, set(&[1, 2, 3, 5, 6, 7])),
+            Transaction::new(300, set(&[1, 5, 14, 15])),
+            Transaction::new(400, set(&[0, 1, 2, 7])),
+            Transaction::new(500, set(&[1, 2, 5, 6, 11, 15])),
+        ])
+    }
+
+    #[test]
+    fn candidate_generation_join_and_prune() {
+        // L2 = {12, 13, 14, 23, 24} → join gives 123, 124, 134, 234;
+        // prune removes 134 (34 ∉ L2) and 234 (34 ∉ L2).
+        let level = vec![
+            set(&[1, 2]),
+            set(&[1, 3]),
+            set(&[1, 4]),
+            set(&[2, 3]),
+            set(&[2, 4]),
+        ];
+        let c = generate_candidates(&level);
+        assert_eq!(c, vec![set(&[1, 2, 3]), set(&[1, 2, 4])]);
+    }
+
+    #[test]
+    fn candidate_generation_from_singletons() {
+        let level = vec![set(&[1]), set(&[2]), set(&[5])];
+        let c = generate_candidates(&level);
+        assert_eq!(c, vec![set(&[1, 2]), set(&[1, 5]), set(&[2, 5])]);
+    }
+
+    #[test]
+    fn candidate_generation_empty() {
+        assert!(generate_candidates(&[]).is_empty());
+        assert!(generate_candidates(&[set(&[3])]).is_empty());
+    }
+
+    #[test]
+    fn matches_oracle_on_paper_db() {
+        let db = paper_db();
+        for tau in [2u64, 3, 4, 5] {
+            let oracle = NaiveMiner::new()
+                .mine(&db, SupportThreshold::Count(tau))
+                .patterns;
+            let got = AprioriMiner::new()
+                .mine(&db, SupportThreshold::Count(tau))
+                .patterns;
+            assert_eq!(got, oracle, "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_generated_data() {
+        let db = bbs_datagen::generate_db(QuestConfig::tiny());
+        let oracle = NaiveMiner::new()
+            .mine(&db, SupportThreshold::Fraction(0.05))
+            .patterns;
+        let got = AprioriMiner::new()
+            .mine(&db, SupportThreshold::Fraction(0.05))
+            .patterns;
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn budgeted_run_same_answer_more_scans() {
+        let db = bbs_datagen::generate_db(QuestConfig::tiny());
+        let tau = SupportThreshold::Fraction(0.04);
+        let free = AprioriMiner::new().mine(&db, tau);
+        let tight = AprioriMiner::new()
+            .with_budget(MemoryBudget::bytes(256))
+            .mine(&db, tau);
+        assert_eq!(free.patterns, tight.patterns);
+        assert!(tight.stats.io.db_scans >= free.stats.io.db_scans);
+    }
+
+    #[test]
+    fn scan_count_is_levels_when_unbudgeted() {
+        let db = paper_db();
+        let r = AprioriMiner::new().mine(&db, SupportThreshold::Count(3));
+        // Longest frequent pattern has 3 items → scans for L1, C2, C3, C4
+        // (C4 may be empty; when empty no scan happens).
+        assert!(r.stats.io.db_scans >= 3 && r.stats.io.db_scans <= 4);
+    }
+
+
+    #[test]
+    fn hash_tree_counter_matches_trie_counter() {
+        let db = bbs_datagen::generate_db(QuestConfig::tiny());
+        for pct in [3.0f64, 6.0] {
+            let t = SupportThreshold::percent(pct);
+            let trie = AprioriMiner::new().mine(&db, t).patterns;
+            let tree = AprioriMiner::new()
+                .with_counter(CounterKind::HashTree)
+                .mine(&db, t)
+                .patterns;
+            assert_eq!(trie, tree, "pct = {pct}");
+        }
+    }
+
+    #[test]
+    fn hash_tree_counter_with_budget() {
+        let db = bbs_datagen::generate_db(QuestConfig::tiny());
+        let t = SupportThreshold::percent(4.0);
+        let free = AprioriMiner::new()
+            .with_counter(CounterKind::HashTree)
+            .mine(&db, t);
+        let tight = AprioriMiner::new()
+            .with_counter(CounterKind::HashTree)
+            .with_budget(MemoryBudget::bytes(512))
+            .mine(&db, t);
+        assert_eq!(free.patterns, tight.patterns);
+        assert!(tight.stats.io.db_scans >= free.stats.io.db_scans);
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        let db = TransactionDb::new();
+        let r = AprioriMiner::new().mine(&db, SupportThreshold::Count(1));
+        assert!(r.patterns.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! A candidate prefix trie — the in-memory equivalent of Apriori's hash
+//! tree, used to count candidate supports in one pass per chunk.
+
+use bbs_tdb::{ItemId, Itemset};
+use std::collections::HashMap;
+
+/// A prefix trie over fixed-length candidate itemsets.
+///
+/// Each candidate is a sorted itemset of the same length `k`; counting walks
+/// every transaction once, descending the trie along the transaction's
+/// (sorted) items, and bumps a counter at each reached leaf.
+#[derive(Debug, Default)]
+pub struct CandidateTrie {
+    root: Node,
+    /// Number of candidates inserted.
+    len: usize,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    children: HashMap<ItemId, Node>,
+    /// Index into the caller's count array, set on leaves only.
+    leaf: Option<usize>,
+}
+
+impl CandidateTrie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        CandidateTrie::default()
+    }
+
+    /// Number of candidates stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no candidates are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a candidate with its external index.
+    ///
+    /// # Panics
+    /// Panics if the same candidate is inserted twice.
+    pub fn insert(&mut self, candidate: &Itemset, index: usize) {
+        let mut node = &mut self.root;
+        for &item in candidate.items() {
+            node = node.children.entry(item).or_default();
+        }
+        assert!(node.leaf.is_none(), "duplicate candidate {candidate:?}");
+        node.leaf = Some(index);
+        self.len += 1;
+    }
+
+    /// For every candidate contained in `txn_items` (sorted ascending),
+    /// increments the corresponding entry of `counts`.
+    pub fn count_subsets(&self, txn_items: &[ItemId], counts: &mut [u64]) {
+        Self::walk(&self.root, txn_items, counts);
+    }
+
+    fn walk(node: &Node, items: &[ItemId], counts: &mut [u64]) {
+        if let Some(idx) = node.leaf {
+            counts[idx] += 1;
+            // Leaves have no children (all candidates share one length), so
+            // stopping here is safe.
+            return;
+        }
+        if node.children.is_empty() {
+            return;
+        }
+        for (i, item) in items.iter().enumerate() {
+            if let Some(child) = node.children.get(item) {
+                Self::walk(child, &items[i + 1..], counts);
+            }
+        }
+    }
+
+    /// Approximate heap footprint of one candidate of length `k`, used for
+    /// memory budgeting: a trie path of `k` nodes plus map overhead.
+    pub fn candidate_bytes(k: usize) -> usize {
+        48 * k.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[u32]) -> Itemset {
+        Itemset::from_values(vals)
+    }
+
+    fn ids(vals: &[u32]) -> Vec<ItemId> {
+        vals.iter().map(|&v| ItemId(v)).collect()
+    }
+
+    #[test]
+    fn counts_contained_candidates() {
+        let mut trie = CandidateTrie::new();
+        trie.insert(&set(&[1, 2]), 0);
+        trie.insert(&set(&[1, 3]), 1);
+        trie.insert(&set(&[2, 4]), 2);
+        assert_eq!(trie.len(), 3);
+
+        let mut counts = vec![0u64; 3];
+        trie.count_subsets(&ids(&[1, 2, 3]), &mut counts);
+        assert_eq!(counts, vec![1, 1, 0]);
+        trie.count_subsets(&ids(&[2, 4]), &mut counts);
+        assert_eq!(counts, vec![1, 1, 1]);
+        trie.count_subsets(&ids(&[5, 6]), &mut counts);
+        assert_eq!(counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn counts_singletons() {
+        let mut trie = CandidateTrie::new();
+        trie.insert(&set(&[7]), 0);
+        let mut counts = vec![0u64];
+        trie.count_subsets(&ids(&[1, 7, 9]), &mut counts);
+        trie.count_subsets(&ids(&[7]), &mut counts);
+        trie.count_subsets(&ids(&[8]), &mut counts);
+        assert_eq!(counts[0], 2);
+    }
+
+    #[test]
+    fn counts_each_candidate_once_per_transaction() {
+        // A candidate must not be double-counted even when the walk could
+        // reach it along overlapping positions.
+        let mut trie = CandidateTrie::new();
+        trie.insert(&set(&[1, 2, 3]), 0);
+        let mut counts = vec![0u64];
+        trie.count_subsets(&ids(&[1, 2, 3]), &mut counts);
+        assert_eq!(counts[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate candidate")]
+    fn duplicate_insert_panics() {
+        let mut trie = CandidateTrie::new();
+        trie.insert(&set(&[1, 2]), 0);
+        trie.insert(&set(&[1, 2]), 1);
+    }
+
+    #[test]
+    fn exhaustive_cross_check_against_subset_test() {
+        // All 3-subsets of {0..6} as candidates; random-ish transactions.
+        let mut trie = CandidateTrie::new();
+        let universe = set(&[0, 1, 2, 3, 4, 5, 6]);
+        let candidates: Vec<Itemset> = universe.subsets_of_len(3).collect();
+        for (i, c) in candidates.iter().enumerate() {
+            trie.insert(c, i);
+        }
+        let txns = [
+            ids(&[0, 1, 2, 3]),
+            ids(&[2, 4, 6]),
+            ids(&[0, 1, 2, 3, 4, 5, 6]),
+            ids(&[5]),
+            ids(&[]),
+        ];
+        let mut counts = vec![0u64; candidates.len()];
+        for t in &txns {
+            trie.count_subsets(t, &mut counts);
+        }
+        for (i, c) in candidates.iter().enumerate() {
+            let expect = txns
+                .iter()
+                .filter(|t| {
+                    let ts = Itemset::from_items((*t).clone());
+                    c.is_subset_of(&ts)
+                })
+                .count() as u64;
+            assert_eq!(counts[i], expect, "{c:?}");
+        }
+    }
+}

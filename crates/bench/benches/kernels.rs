@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks for the hot kernels underneath the BBS index:
+//! multi-way AND+popcount, signature construction, index insertion, and
+//! `CountItemSet` end to end.
+
+use bbs_bitslice::{ops, BitVec, Signature, SliceMatrix};
+use bbs_core::Bbs;
+use bbs_hash::{ItemHasher, Md5BloomHasher};
+use bbs_tdb::{IoStats, Itemset, Transaction, TransactionDb};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn deterministic_words(n: usize, seed: u64) -> Vec<u64> {
+    // Simple xorshift fill: benchmark data only needs to be non-trivial.
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        })
+        .collect()
+}
+
+fn bench_and_all_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("and_all_count");
+    for &rows in &[10_000usize, 100_000] {
+        let words = rows.div_ceil(64);
+        let slices: Vec<Vec<u64>> = (0..4)
+            .map(|i| deterministic_words(words, 0x9E37 + i as u64))
+            .collect();
+        let refs: Vec<&[u64]> = slices.iter().map(|s| s.as_slice()).collect();
+        group.throughput(Throughput::Bytes((words * 8 * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| ops::and_all_count(black_box(&refs), black_box(words)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signature_build(c: &mut Criterion) {
+    let hasher = Md5BloomHasher::new(4);
+    c.bench_function("md5_positions_per_item", |b| {
+        let mut out = Vec::with_capacity(4);
+        let mut item = 0u64;
+        b.iter(|| {
+            out.clear();
+            item = item.wrapping_add(1);
+            hasher.positions(black_box(item), 1600, &mut out);
+            black_box(&out);
+        })
+    });
+
+    c.bench_function("signature_of_10_item_txn", |b| {
+        let db = TransactionDb::new();
+        let mut io = IoStats::new();
+        let bbs = Bbs::build(1600, Arc::new(Md5BloomHasher::new(4)), &db, &mut io);
+        let items: Itemset = (0u32..10).map(|i| i * 97).collect();
+        b.iter(|| black_box(bbs.signature_of(black_box(&items))))
+    });
+}
+
+fn bench_insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bbs_insert");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("m1600_k4_t10", |b| {
+        let mut bbs = Bbs::new(1600, Arc::new(Md5BloomHasher::new(4)));
+        let mut io = IoStats::new();
+        let mut tid = 0u64;
+        b.iter(|| {
+            let items: Itemset = (0u32..10).map(|i| (tid as u32).wrapping_mul(31) + i).collect();
+            let txn = Transaction::new(tid, items);
+            tid += 1;
+            bbs.insert(black_box(&txn), &mut io)
+        })
+    });
+    group.finish();
+}
+
+fn bench_count_itemset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_itemset");
+    for &rows in &[1_000usize, 10_000] {
+        let db = TransactionDb::from_itemsets((0..rows).map(|i| {
+            (0u32..10)
+                .map(|j| ((i as u32).wrapping_mul(17) + j * 13) % 1000)
+                .collect::<Itemset>()
+        }));
+        let mut io = IoStats::new();
+        let bbs = Bbs::build(1600, Arc::new(Md5BloomHasher::new(4)), &db, &mut io);
+        let query = Itemset::from_values(&[13, 26]);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            let mut io = IoStats::new();
+            b.iter(|| black_box(bbs.est_count(black_box(&query), &mut io)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_push_row(c: &mut Criterion) {
+    c.bench_function("slice_matrix_push_row_w40", |b| {
+        let mut m = SliceMatrix::new(1600);
+        let sig = Signature::from_positions(1600, &(0..40).map(|i| i * 37).collect::<Vec<_>>());
+        b.iter(|| m.push_row(black_box(&sig)))
+    });
+}
+
+fn bench_bitvec_ops(c: &mut Criterion) {
+    let a = BitVec::from_words(deterministic_words(1563, 7), 100_000);
+    let bvec = BitVec::from_words(deterministic_words(1563, 11), 100_000);
+    c.bench_function("bitvec_and_count_100k", |b| {
+        b.iter(|| black_box(a.and_count(black_box(&bvec))))
+    });
+    c.bench_function("bitvec_iter_ones_100k", |b| {
+        b.iter(|| black_box(a.iter_ones().count()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_and_all_count,
+    bench_signature_build,
+    bench_insert_throughput,
+    bench_count_itemset,
+    bench_matrix_push_row,
+    bench_bitvec_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the six mining algorithms end to end on a
+//! quick-profile Quest dataset — the microbenchmark companion to the
+//! figure-level experiment binaries.
+
+use bbs_apriori::AprioriMiner;
+use bbs_core::{Bbs, BbsMiner, Scheme};
+use bbs_datagen::generate_db;
+use bbs_fptree::FpGrowthMiner;
+use bbs_hash::Md5BloomHasher;
+use bbs_tdb::{FrequentPatternMiner, IoStats, SupportThreshold, TransactionDb};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn quick_db() -> TransactionDb {
+    let p = bbs_bench::Profile::quick();
+    generate_db(p.quest())
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let p = bbs_bench::Profile::quick();
+    let db = quick_db();
+    let threshold = SupportThreshold::percent(p.tau_pct);
+    let mut io = IoStats::new();
+    let bbs = Bbs::build(p.width, Arc::new(Md5BloomHasher::new(p.hash_k)), &db, &mut io);
+
+    let mut group = c.benchmark_group("mine_quick_profile");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let mut miner = BbsMiner::with_index(scheme, bbs.clone());
+                black_box(miner.mine(black_box(&db), threshold))
+            })
+        });
+    }
+    group.bench_function("APS", |b| {
+        b.iter(|| black_box(AprioriMiner::new().mine(black_box(&db), threshold)))
+    });
+    group.bench_function("FPS", |b| {
+        b.iter(|| black_box(FpGrowthMiner::new().mine(black_box(&db), threshold)))
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let p = bbs_bench::Profile::quick();
+    let db = quick_db();
+    let mut group = c.benchmark_group("index_build_quick_profile");
+    group.sample_size(10);
+    group.bench_function("bbs_build", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            black_box(Bbs::build(
+                p.width,
+                Arc::new(Md5BloomHasher::new(p.hash_k)),
+                black_box(&db),
+                &mut io,
+            ))
+        })
+    });
+    group.bench_function("fptree_build", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            black_box(bbs_fptree::build_tree(
+                black_box(&db),
+                p.tau_for(db.len()),
+                &mut io,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners, bench_index_build);
+criterion_main!(benches);

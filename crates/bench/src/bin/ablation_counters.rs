@@ -1,0 +1,10 @@
+//! Ablation A4: Apriori counting structures (prefix trie vs the original
+//! hash tree).
+
+use bbs_bench::experiments::run_ablation_counters;
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    run_ablation_counters(&p, &[p.tau_pct / 2.0, p.tau_pct, p.tau_pct * 2.0]).print();
+}

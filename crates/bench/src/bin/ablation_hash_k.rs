@@ -1,0 +1,9 @@
+//! Ablation A1: sensitivity to the number of hash functions per item.
+
+use bbs_bench::experiments::{run_ablation_hash_k, sweeps};
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    run_ablation_hash_k(&p, &sweeps::ks(&p)).print();
+}

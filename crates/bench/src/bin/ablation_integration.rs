@@ -1,0 +1,8 @@
+//! Ablation A2: integrated vs two-phase probe refinement.
+
+use bbs_bench::experiments::run_ablation_integration;
+use bbs_bench::Profile;
+
+fn main() {
+    run_ablation_integration(&Profile::from_env_and_args()).print();
+}

@@ -1,0 +1,9 @@
+//! Ablation A3: adaptive folding vs pre-built tiered indexes (footnote 6).
+
+use bbs_bench::experiments::{run_ablation_tiered, sweeps};
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    run_ablation_tiered(&p, &sweeps::budgets_kib(&p)).print();
+}

@@ -1,0 +1,9 @@
+//! Figure 10: effect of the average number of items per transaction.
+
+use bbs_bench::experiments::{run_fig10, sweeps};
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    run_fig10(&p, &sweeps::lengths(&p)).print();
+}

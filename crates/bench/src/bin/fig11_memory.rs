@@ -1,0 +1,9 @@
+//! Figure 11: effect of the memory budget on DFP, APS and FPS.
+
+use bbs_bench::experiments::{run_fig11, sweeps};
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    run_fig11(&p, &sweeps::budgets_kib(&p)).print();
+}

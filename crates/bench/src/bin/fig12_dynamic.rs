@@ -1,0 +1,11 @@
+//! Figure 12: dynamic (growing) database — incremental BBS maintenance vs
+//! from-scratch APS / FPS.
+
+use bbs_bench::experiments::run_fig12;
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    let sessions = (p.transactions / 5).max(200);
+    run_fig12(&p, 5, sessions).print();
+}

@@ -1,0 +1,9 @@
+//! Figure 13: ad-hoc queries (exact non-frequent counts; constrained
+//! counts), DFP vs APS.
+
+use bbs_bench::experiments::run_fig13;
+use bbs_bench::Profile;
+
+fn main() {
+    run_fig13(&Profile::from_env_and_args()).print();
+}

@@ -1,0 +1,12 @@
+//! Figure 5: effect of the signature width `m` on false-drop ratio and
+//! response time.  `--quick` for a scaled-down run.
+
+use bbs_bench::experiments::{run_fig5, sweeps};
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    let (fdr, time) = run_fig5(&p, &sweeps::widths(&p));
+    fdr.print();
+    time.print();
+}

@@ -1,0 +1,8 @@
+//! Figure 6: all six algorithms on the default settings.
+
+use bbs_bench::experiments::run_fig6;
+use bbs_bench::Profile;
+
+fn main() {
+    run_fig6(&Profile::from_env_and_args()).print();
+}

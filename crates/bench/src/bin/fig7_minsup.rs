@@ -1,0 +1,9 @@
+//! Figure 7: response time vs minimum support threshold.
+
+use bbs_bench::experiments::{run_fig7, sweeps};
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    run_fig7(&p, &sweeps::taus(&p)).print();
+}

@@ -1,0 +1,9 @@
+//! Figure 8: scalability with the number of transactions.
+
+use bbs_bench::experiments::{run_fig8, sweeps};
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    run_fig8(&p, &sweeps::sizes(&p)).print();
+}

@@ -1,0 +1,9 @@
+//! Figure 9: effect of the number of distinct items.
+
+use bbs_bench::experiments::{run_fig9, sweeps};
+use bbs_bench::Profile;
+
+fn main() {
+    let p = Profile::from_env_and_args();
+    run_fig9(&p, &sweeps::item_counts(&p)).print();
+}

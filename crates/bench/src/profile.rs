@@ -1,0 +1,138 @@
+//! Experiment profiles: the paper's parameter defaults plus a scaled-down
+//! "quick" profile for CI-sized runs.
+
+use bbs_datagen::QuestConfig;
+
+/// One set of dataset/index parameters for an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// `D` — number of transactions.
+    pub transactions: usize,
+    /// `V` — number of distinct items.
+    pub items: u32,
+    /// `T` — average transaction length.
+    pub avg_txn_len: f64,
+    /// `I` — average potentially-large-pattern length.
+    pub avg_pattern_len: f64,
+    /// Pattern pool size for the Quest generator.
+    pub pattern_pool: usize,
+    /// `m` — signature width in bits.
+    pub width: usize,
+    /// `k` — hash functions per item.
+    pub hash_k: usize,
+    /// Minimum support, percent of `D`.
+    pub tau_pct: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Profile {
+    /// The paper's defaults (§4): `T10.I10.D10K`, 10 000 items, m = 1600,
+    /// τ = 0.3 %.
+    pub fn paper() -> Self {
+        Profile {
+            transactions: 10_000,
+            items: 10_000,
+            avg_txn_len: 10.0,
+            avg_pattern_len: 10.0,
+            pattern_pool: 2_000,
+            width: 1_600,
+            hash_k: 4,
+            tau_pct: 0.3,
+            seed: 2002,
+        }
+    }
+
+    /// A scaled-down profile that keeps every ratio of the paper profile but
+    /// finishes each experiment in seconds (used by `cargo bench` and CI).
+    pub fn quick() -> Self {
+        Profile {
+            transactions: 2_000,
+            items: 2_000,
+            avg_txn_len: 10.0,
+            avg_pattern_len: 8.0,
+            pattern_pool: 400,
+            // 640 bits keeps signature density safe across every sweep the
+            // quick suite runs (including T = 30 in Fig. 10); see
+            // experiments::sweeps::widths for the saturation criterion.
+            width: 640,
+            hash_k: 4,
+            tau_pct: 0.5,
+            seed: 2002,
+        }
+    }
+
+    /// A micro profile for smoke tests: every experiment completes in well
+    /// under a second.  The width respects the saturation criterion for its
+    /// tiny τ (see `experiments::sweeps::safe_width_floor`).
+    pub fn micro() -> Self {
+        Profile {
+            transactions: 250,
+            items: 120,
+            avg_txn_len: 6.0,
+            avg_pattern_len: 4.0,
+            pattern_pool: 30,
+            width: 256,
+            hash_k: 4,
+            tau_pct: 4.0,
+            seed: 42,
+        }
+    }
+
+    /// Selects paper or quick scale from an environment variable /
+    /// command-line convention: any argument or `BBS_PROFILE=quick` selects
+    /// the quick profile.
+    pub fn from_env_and_args() -> Self {
+        let quick_arg = std::env::args().any(|a| a == "--quick");
+        let quick_env = std::env::var("BBS_PROFILE").is_ok_and(|v| v == "quick");
+        if quick_arg || quick_env {
+            Profile::quick()
+        } else {
+            Profile::paper()
+        }
+    }
+
+    /// The Quest generator configuration for this profile.
+    pub fn quest(&self) -> QuestConfig {
+        QuestConfig {
+            transactions: self.transactions,
+            items: self.items,
+            avg_txn_len: self.avg_txn_len,
+            avg_pattern_len: self.avg_pattern_len,
+            pattern_pool: self.pattern_pool,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1,
+            seed: self.seed,
+        }
+    }
+
+    /// The absolute support threshold for a database of `d` transactions.
+    pub fn tau_for(&self, d: usize) -> u64 {
+        ((self.tau_pct / 100.0 * d as f64).ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_matches_section_4() {
+        let p = Profile::paper();
+        assert_eq!(p.transactions, 10_000);
+        assert_eq!(p.items, 10_000);
+        assert_eq!(p.width, 1_600);
+        assert_eq!(p.tau_for(10_000), 30);
+        assert_eq!(p.quest().label(), "T10.I10.D10K");
+    }
+
+    #[test]
+    fn quick_profile_is_smaller() {
+        let q = Profile::quick();
+        let p = Profile::paper();
+        assert!(q.transactions < p.transactions);
+        assert!(q.width < p.width);
+        assert!(q.tau_for(q.transactions) >= 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text result tables for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A simple aligned table: one per reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title, e.g. `"Figure 5(a): FDR vs vector size"`.
+    pub title: String,
+    /// Column headers; the first column is the sweep variable.
+    pub headers: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row/header mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "{:>width$}  ", cell, width = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn fmt_secs(secs: f64) -> String {
+    format!("{secs:.3}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.push_row(vec!["1".into(), "10".into()]);
+        t.push_row(vec!["100".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("  x  value"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row/header mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "# demo\na,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(1.23456), "1.235");
+        assert_eq!(fmt_pct(0.1234), "12.3%");
+    }
+}

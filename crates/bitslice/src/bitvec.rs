@@ -1,0 +1,415 @@
+//! A growable, dense, word-packed bit vector.
+
+use crate::ops::{self, OnesIter};
+use crate::{words_for, WORD_BITS};
+use std::fmt;
+
+/// A dense bit vector backed by `u64` words.
+///
+/// `BitVec` is the workhorse behind both the BBS bit-slices (one very long
+/// column per hash position) and the AND-result vectors that `CountItemSet`
+/// produces.  It keeps an explicit logical length in bits; bits past the
+/// length are guaranteed to be zero (an invariant every mutating method
+/// preserves), so popcounts never need masking.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        BitVec::default()
+    }
+
+    /// Creates a zeroed bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0; words_for(len)],
+            len,
+        }
+    }
+
+    /// Creates an all-ones bit vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            words: vec![u64::MAX; words_for(len)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates an empty bit vector with room for `len` bits pre-allocated.
+    pub fn with_capacity(len: usize) -> Self {
+        BitVec {
+            words: Vec::with_capacity(words_for(len)),
+            len: 0,
+        }
+    }
+
+    /// Builds a bit vector of `len` bits with the given indices set.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= len`.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut v = BitVec::zeros(len);
+        for &i in indices {
+            v.set(i);
+        }
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to one.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / WORD_BITS] |= 1 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear_bit(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / WORD_BITS] &= !(1 << (i % WORD_BITS));
+    }
+
+    /// Appends a bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let i = self.len;
+        self.grow_to(self.len + 1);
+        if bit {
+            self.set(i);
+        }
+    }
+
+    /// Grows the logical length to `new_len` bits (no-op if already larger),
+    /// zero-filling the new bits.
+    pub fn grow_to(&mut self, new_len: usize) {
+        if new_len <= self.len {
+            return;
+        }
+        let need = words_for(new_len);
+        if need > self.words.len() {
+            self.words.resize(need, 0);
+        }
+        self.len = new_len;
+    }
+
+    /// Truncates to `new_len` bits, clearing any dropped bits.
+    pub fn truncate(&mut self, new_len: usize) {
+        if new_len >= self.len {
+            return;
+        }
+        self.len = new_len;
+        self.words.truncate(words_for(new_len));
+        self.mask_tail();
+    }
+
+    /// Sets every bit to zero, keeping the length.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        ops::count_ones(&self.words)
+    }
+
+    /// `self &= other` (zero-extending `other` if shorter).
+    pub fn and_assign(&mut self, other: &BitVec) {
+        ops::and_assign(&mut self.words, &other.words);
+    }
+
+    /// `self |= other`.  `other` must not be longer than `self`.
+    ///
+    /// # Panics
+    /// Panics if `other.len() > self.len()`.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert!(
+            other.len <= self.len,
+            "or_assign: source ({}) longer than destination ({})",
+            other.len,
+            self.len
+        );
+        ops::or_assign(&mut self.words, &other.words);
+    }
+
+    /// `self &= !other` (zero-extending `other`).
+    pub fn and_not_assign(&mut self, other: &BitVec) {
+        ops::and_not_assign(&mut self.words, &other.words);
+    }
+
+    /// Popcount of `self & other` without materialising the intermediate.
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        ops::and_count(&self.words, &other.words)
+    }
+
+    /// True if every set bit of `self` is also set in `other`
+    /// (`self ⊆ other` as sets of positions).
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w & !ops::word_or_zero(&other.words, i) != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterator over set-bit indices, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter::new(&self.words, self.len)
+    }
+
+    /// Raw word storage (little-endian bit order within each word).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw word storage.  Callers must keep bits `>= len` zero.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Constructs a `BitVec` directly from words and a bit length.
+    ///
+    /// Any bits at positions `>= len` are cleared to restore the tail
+    /// invariant.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(words_for(len), 0);
+        let mut v = BitVec { words, len };
+        v.mask_tail();
+        v
+    }
+
+    /// Approximate heap size in bytes (capacity of the word buffer).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(128) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 128 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut v = BitVec::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(70);
+        assert_eq!(z.len(), 70);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        // Tail bits beyond 70 must be masked off.
+        assert_eq!(o.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut v = BitVec::zeros(100);
+        v.set(0);
+        v.set(63);
+        v.set(64);
+        v.set(99);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(99));
+        assert!(!v.get(1) && !v.get(65));
+        assert_eq!(v.count_ones(), 4);
+        v.clear_bit(63);
+        assert!(!v.get(63));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut v = BitVec::new();
+        for i in 0..130 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn grow_to_is_monotonic_and_zero_fills() {
+        let mut v = BitVec::zeros(5);
+        v.set(4);
+        v.grow_to(200);
+        assert_eq!(v.len(), 200);
+        assert_eq!(v.count_ones(), 1);
+        v.grow_to(100); // no-op
+        assert_eq!(v.len(), 200);
+    }
+
+    #[test]
+    fn truncate_clears_dropped_bits() {
+        let mut v = BitVec::ones(130);
+        v.truncate(65);
+        assert_eq!(v.len(), 65);
+        assert_eq!(v.count_ones(), 65);
+        v.grow_to(130);
+        // Regrown bits must be zero, not stale ones.
+        assert_eq!(v.count_ones(), 65);
+    }
+
+    #[test]
+    fn and_or_andnot() {
+        let a = BitVec::from_indices(10, &[1, 3, 5, 7]);
+        let b = BitVec::from_indices(10, &[3, 4, 5]);
+        let mut x = a.clone();
+        x.and_assign(&b);
+        assert_eq!(x.iter_ones().collect::<Vec<_>>(), vec![3, 5]);
+        let mut y = a.clone();
+        y.or_assign(&b);
+        assert_eq!(y.iter_ones().collect::<Vec<_>>(), vec![1, 3, 4, 5, 7]);
+        let mut z = a.clone();
+        z.and_not_assign(&b);
+        assert_eq!(z.iter_ones().collect::<Vec<_>>(), vec![1, 7]);
+    }
+
+    #[test]
+    fn and_with_shorter_zero_extends() {
+        let mut a = BitVec::ones(200);
+        let b = BitVec::from_indices(10, &[2]);
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitVec::from_indices(100, &[1, 64]);
+        let b = BitVec::from_indices(100, &[1, 2, 64, 65]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(BitVec::zeros(10).is_subset_of(&a));
+    }
+
+    #[test]
+    fn subset_against_shorter_vector() {
+        let a = BitVec::from_indices(200, &[150]);
+        let b = BitVec::from_indices(10, &[5]);
+        assert!(!a.is_subset_of(&b));
+        assert!(b.is_subset_of(&BitVec::from_indices(200, &[5, 150])));
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let v = BitVec::from_words(vec![u64::MAX], 4);
+        assert_eq!(v.count_ones(), 4);
+    }
+
+    #[test]
+    fn collect_from_bools() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_bits_roundtrip(idx in proptest::collection::btree_set(0usize..500, 0..60)) {
+            let indices: Vec<usize> = idx.iter().copied().collect();
+            let v = BitVec::from_indices(500, &indices);
+            prop_assert_eq!(v.iter_ones().collect::<Vec<_>>(), indices);
+            prop_assert_eq!(v.count_ones(), idx.len());
+        }
+
+        #[test]
+        fn prop_and_count_agrees_with_materialised(
+            a in proptest::collection::btree_set(0usize..300, 0..40),
+            b in proptest::collection::btree_set(0usize..300, 0..40),
+        ) {
+            let va = BitVec::from_indices(300, &a.iter().copied().collect::<Vec<_>>());
+            let vb = BitVec::from_indices(300, &b.iter().copied().collect::<Vec<_>>());
+            let mut m = va.clone();
+            m.and_assign(&vb);
+            prop_assert_eq!(va.and_count(&vb), m.count_ones());
+            prop_assert_eq!(m.count_ones(), a.intersection(&b).count());
+        }
+
+        #[test]
+        fn prop_subset_iff_intersection_equals_self(
+            a in proptest::collection::btree_set(0usize..200, 0..30),
+            b in proptest::collection::btree_set(0usize..200, 0..30),
+        ) {
+            let va = BitVec::from_indices(200, &a.iter().copied().collect::<Vec<_>>());
+            let vb = BitVec::from_indices(200, &b.iter().copied().collect::<Vec<_>>());
+            let mut m = va.clone();
+            m.and_assign(&vb);
+            prop_assert_eq!(va.is_subset_of(&vb), m == va);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Slice-major storage of fixed-width signatures.
+
+use crate::bitvec::BitVec;
+use crate::ops;
+use crate::signature::Signature;
+use crate::words_for;
+
+/// A collection of `m`-bit signatures stored transposed: slice `j` holds bit
+/// `j` of every row.
+///
+/// This is the physical layout of the paper's BBS file (§2.1): counting the
+/// occurrences of an itemset touches only the slices selected by the query
+/// signature, each of which is a contiguous run of words — exactly the access
+/// pattern bit-sliced signature files were designed for.
+///
+/// Slices grow lazily: appending a row only grows the slices whose bits are
+/// set, and the boolean kernels zero-extend short slices, so a slice that has
+/// never seen a set bit occupies no memory at all.
+#[derive(Clone, Debug)]
+pub struct SliceMatrix {
+    width: usize,
+    rows: usize,
+    slices: Vec<BitVec>,
+}
+
+impl SliceMatrix {
+    /// Creates an empty matrix of signatures that are `width` bits wide.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "slice matrix width must be positive");
+        SliceMatrix {
+            width,
+            rows: 0,
+            slices: vec![BitVec::new(); width],
+        }
+    }
+
+    /// Signature width `m`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows (transactions) stored.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Appends one signature as a new row and returns its row index.
+    ///
+    /// # Panics
+    /// Panics if the signature width does not match the matrix width.
+    pub fn push_row(&mut self, sig: &Signature) -> usize {
+        assert_eq!(
+            sig.width(),
+            self.width,
+            "signature width {} != matrix width {}",
+            sig.width(),
+            self.width
+        );
+        let row = self.rows;
+        self.rows += 1;
+        for pos in sig.iter_ones() {
+            let slice = &mut self.slices[pos];
+            slice.grow_to(row + 1);
+            slice.set(row);
+        }
+        row
+    }
+
+    /// Borrows bit-slice `j`.  Its logical length may be shorter than
+    /// [`SliceMatrix::rows`]; missing trailing bits are zero.
+    #[inline]
+    pub fn slice(&self, j: usize) -> &BitVec {
+        &self.slices[j]
+    }
+
+    /// Raw words of slice `j`.
+    #[inline]
+    pub fn slice_words(&self, j: usize) -> &[u64] {
+        self.slices[j].words()
+    }
+
+    /// ANDs together every slice selected by the set bits of `query`,
+    /// writing the result (one bit per row) into `out`.
+    ///
+    /// A query with no set bits selects nothing, and by the semantics of
+    /// `CountItemSet` on an empty itemset the result is "every row" — `out`
+    /// is set to all ones.
+    pub fn and_selected(&self, query: &Signature, out: &mut BitVec) {
+        assert_eq!(query.width(), self.width, "query width mismatch");
+        let mut ones = query.iter_ones();
+        match ones.next() {
+            None => {
+                *out = BitVec::ones(self.rows);
+            }
+            Some(first) => {
+                out.clear_all();
+                out.grow_to(self.rows);
+                out.truncate(self.rows);
+                // Seed with the first slice, then AND the rest in.
+                {
+                    let dst = out.words_mut();
+                    let src = self.slices[first].words();
+                    let n = src.len().min(dst.len());
+                    dst[..n].copy_from_slice(&src[..n]);
+                    for w in dst[n..].iter_mut() {
+                        *w = 0;
+                    }
+                }
+                for pos in ones {
+                    ops::and_assign(out.words_mut(), self.slices[pos].words());
+                }
+            }
+        }
+    }
+
+    /// Fused AND + popcount over the slices selected by `query`.
+    ///
+    /// Equivalent to `and_selected` followed by `count_ones`, but without
+    /// materialising the result vector.  An all-zero query counts every row.
+    pub fn count_selected(&self, query: &Signature) -> usize {
+        assert_eq!(query.width(), self.width, "query width mismatch");
+        let selected: Vec<&[u64]> = query.iter_ones().map(|p| self.slices[p].words()).collect();
+        if selected.is_empty() {
+            return self.rows;
+        }
+        // Limit the word walk to the number of words covering `rows`; the
+        // tail-invariant of BitVec guarantees no stray bits beyond each
+        // slice's logical length.
+        ops::and_all_count(&selected, words_for(self.rows))
+    }
+
+    /// Reconstructs the signature of one row (O(width); intended for tests,
+    /// debugging and the row-verification path).
+    ///
+    /// # Panics
+    /// Panics if `row >= rows`.
+    pub fn row_signature(&self, row: usize) -> Signature {
+        assert!(row < self.rows, "row {row} out of range ({})", self.rows);
+        let mut sig = Signature::zeros(self.width);
+        for (j, slice) in self.slices.iter().enumerate() {
+            if row < slice.len() && slice.get(row) {
+                sig.set(j);
+            }
+        }
+        sig
+    }
+
+    /// Folds the matrix down to `new_width` slices by ORing slice `j` into
+    /// slice `j % new_width`.
+    ///
+    /// This implements the paper's *MemBBS* construction for the adaptive
+    /// (memory-constrained) filter: the first `k` slices are kept and the
+    /// remaining `m − k` are "rehashed" onto them.  Folding a query signature
+    /// with [`fold_signature`] keeps the no-false-miss guarantee: any bit set
+    /// in the original is set in the fold.
+    pub fn fold(&self, new_width: usize) -> SliceMatrix {
+        assert!(new_width > 0, "fold width must be positive");
+        if new_width >= self.width {
+            return self.clone();
+        }
+        let mut folded = SliceMatrix::new(new_width);
+        folded.rows = self.rows;
+        for (j, slice) in self.slices.iter().enumerate() {
+            let dst = &mut folded.slices[j % new_width];
+            dst.grow_to(slice.len());
+            ops::or_assign(dst.words_mut(), slice.words());
+        }
+        folded
+    }
+
+    /// Reassembles a matrix from raw slices (deserialization path).
+    ///
+    /// Each slice's logical length may be at most `rows` (shorter slices
+    /// zero-extend, as during lazy growth).
+    pub fn from_slices(
+        width: usize,
+        rows: usize,
+        slices: Vec<BitVec>,
+    ) -> Result<SliceMatrix, &'static str> {
+        if width == 0 {
+            return Err("width must be positive");
+        }
+        if slices.len() != width {
+            return Err("slice count must equal width");
+        }
+        if slices.iter().any(|s| s.len() > rows) {
+            return Err("slice longer than row count");
+        }
+        Ok(SliceMatrix {
+            width,
+            rows,
+            slices,
+        })
+    }
+
+    /// Total heap bytes consumed by the slice storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.slices.iter().map(|s| s.heap_bytes()).sum()
+    }
+
+    /// Bytes a dense on-disk image of this matrix would occupy
+    /// (`width × ceil(rows / 8)`), independent of lazy in-memory growth.
+    /// This is the figure the I/O cost model charges for full BBS scans.
+    pub fn dense_bytes(&self) -> usize {
+        self.width * self.rows.div_ceil(8)
+    }
+}
+
+/// Folds a query signature to `new_width` bits by mapping bit `j` to
+/// `j % new_width`, matching [`SliceMatrix::fold`].
+pub fn fold_signature(sig: &Signature, new_width: usize) -> Signature {
+    let mut out = Signature::zeros(new_width);
+    for p in sig.iter_ones() {
+        out.set(p % new_width);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sig(width: usize, positions: &[usize]) -> Signature {
+        Signature::from_positions(width, positions)
+    }
+
+    /// The paper's running example (Tables 1–2): m = 8, h(x) = x mod 8.
+    fn running_example() -> SliceMatrix {
+        let txns: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3, 4, 5, 14, 15],
+            vec![1, 2, 3, 5, 6, 7],
+            vec![1, 5, 14, 15],
+            vec![0, 1, 2, 7],
+            vec![1, 2, 5, 6, 11, 15],
+        ];
+        let mut m = SliceMatrix::new(8);
+        for items in &txns {
+            let positions: Vec<usize> = items.iter().map(|i| i % 8).collect();
+            m.push_row(&sig(8, &positions));
+        }
+        m
+    }
+
+    #[test]
+    fn running_example_slices_match_table_2() {
+        let m = running_example();
+        assert_eq!(m.rows(), 5);
+        // Table 2 columns (slice j = bit j of each transaction, rows in
+        // transaction order 100..500):
+        let expected: [&[usize]; 8] = [
+            &[0, 3],          // slice 0: transactions 100, 400
+            &[0, 1, 2, 3, 4], // slice 1: all
+            &[0, 1, 3, 4],    // slice 2
+            &[0, 1, 4],       // slice 3: 100, 200, 500 (500 has 11 % 8 = 3)
+            &[0],             // slice 4: 100 only
+            &[0, 1, 2, 4],    // slice 5
+            &[0, 1, 2, 4],    // slice 6: 14%8=6 or item 6
+            &[0, 1, 2, 3, 4], // slice 7: 15%8=7 or item 7
+        ];
+        for (j, exp) in expected.iter().enumerate() {
+            let got: Vec<usize> = m.slice(j).iter_ones().collect();
+            assert_eq!(&got, exp, "slice {j}");
+        }
+    }
+
+    #[test]
+    fn running_example_count_itemset() {
+        let m = running_example();
+        // Example 2 of the paper: I = {0,1} -> vector 11000000 -> slices 0,1
+        // AND = rows {0,3} -> count 2 (exact).
+        assert_eq!(m.count_selected(&sig(8, &[0, 1])), 2);
+        // I = {1,3} -> slices 1,3 -> count 3 (overestimate; true count 2).
+        assert_eq!(m.count_selected(&sig(8, &[1, 3])), 3);
+    }
+
+    #[test]
+    fn and_selected_matches_count_selected() {
+        let m = running_example();
+        let q = sig(8, &[1, 3]);
+        let mut out = BitVec::new();
+        m.and_selected(&q, &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.count_ones(), m.count_selected(&q));
+        assert_eq!(out.iter_ones().collect::<Vec<_>>(), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn empty_query_counts_all_rows() {
+        let m = running_example();
+        assert_eq!(m.count_selected(&Signature::zeros(8)), 5);
+        let mut out = BitVec::new();
+        m.and_selected(&Signature::zeros(8), &mut out);
+        assert_eq!(out.count_ones(), 5);
+    }
+
+    #[test]
+    fn untouched_slice_counts_zero() {
+        let mut m = SliceMatrix::new(16);
+        m.push_row(&sig(16, &[0]));
+        m.push_row(&sig(16, &[1]));
+        // Slice 9 never set: selecting it alone yields zero.
+        assert_eq!(m.count_selected(&sig(16, &[9])), 0);
+        // Combined with a set slice still zero.
+        assert_eq!(m.count_selected(&sig(16, &[0, 9])), 0);
+    }
+
+    #[test]
+    fn row_signature_roundtrip() {
+        let mut m = SliceMatrix::new(12);
+        let sigs = [sig(12, &[0, 5, 11]), sig(12, &[3]), sig(12, &[])];
+        for s in &sigs {
+            m.push_row(s);
+        }
+        for (i, s) in sigs.iter().enumerate() {
+            assert_eq!(&m.row_signature(i), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn push_row_width_mismatch_panics() {
+        let mut m = SliceMatrix::new(8);
+        m.push_row(&sig(16, &[0]));
+    }
+
+    #[test]
+    fn fold_preserves_no_false_miss() {
+        let m = running_example();
+        let folded = m.fold(3);
+        assert_eq!(folded.width(), 3);
+        assert_eq!(folded.rows(), 5);
+        for positions in [&[0usize, 1][..], &[1, 3], &[2, 5, 7]] {
+            let q = sig(8, positions);
+            let fq = fold_signature(&q, 3);
+            // Folding can only increase the estimate, never decrease it.
+            assert!(
+                folded.count_selected(&fq) >= m.count_selected(&q),
+                "fold lost rows for query {positions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_to_wider_is_identity() {
+        let m = running_example();
+        let f = m.fold(8);
+        for j in 0..8 {
+            assert_eq!(
+                f.slice(j).iter_ones().collect::<Vec<_>>(),
+                m.slice(j).iter_ones().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn fold_row_signature_is_folded_original() {
+        let m = running_example();
+        let folded = m.fold(3);
+        for row in 0..m.rows() {
+            let orig = m.row_signature(row);
+            let expect = fold_signature(&orig, 3);
+            assert_eq!(folded.row_signature(row), expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn dense_bytes_formula() {
+        let mut m = SliceMatrix::new(1600);
+        for _ in 0..100 {
+            m.push_row(&sig(1600, &[0]));
+        }
+        assert_eq!(m.dense_bytes(), 1600 * 13);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_count_equals_coverage_scan(
+            rows in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..32, 0..8), 1..30),
+            query in proptest::collection::btree_set(0usize..32, 0..6),
+        ) {
+            let mut m = SliceMatrix::new(32);
+            let mut sigs = Vec::new();
+            for r in &rows {
+                let s = sig(32, &r.iter().copied().collect::<Vec<_>>());
+                m.push_row(&s);
+                sigs.push(s);
+            }
+            let q = sig(32, &query.iter().copied().collect::<Vec<_>>());
+            let expect = sigs.iter().filter(|s| q.is_covered_by(s)).count();
+            prop_assert_eq!(m.count_selected(&q), expect);
+            let mut out = BitVec::new();
+            m.and_selected(&q, &mut out);
+            prop_assert_eq!(out.count_ones(), expect);
+        }
+
+        #[test]
+        fn prop_fold_never_undercounts(
+            rows in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..24, 0..6), 1..20),
+            query in proptest::collection::btree_set(0usize..24, 1..5),
+            new_width in 1usize..24,
+        ) {
+            let mut m = SliceMatrix::new(24);
+            for r in &rows {
+                m.push_row(&sig(24, &r.iter().copied().collect::<Vec<_>>()));
+            }
+            let q = sig(24, &query.iter().copied().collect::<Vec<_>>());
+            let folded = m.fold(new_width);
+            let fq = fold_signature(&q, new_width);
+            prop_assert!(folded.count_selected(&fq) >= m.count_selected(&q));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal flag parser for the `bbs` tool — `--key value` pairs and bare
+//! boolean switches, with typed accessors.  Deliberately dependency-free.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// A flag error with a user-facing message.
+#[derive(Debug)]
+pub struct FlagError(pub String);
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+impl Flags {
+    /// Parses an argument list.  A `--key` followed by a non-flag token is a
+    /// valued flag; a `--key` followed by another flag (or nothing) is a
+    /// switch; anything else is positional.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Flags {
+        let mut flags = Flags::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let takes_value = iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false);
+                if takes_value {
+                    let value = iter.next().expect("peeked");
+                    flags.values.insert(key.to_string(), value);
+                } else {
+                    flags.switches.push(key.to_string());
+                }
+            } else {
+                flags.positional.push(arg);
+            }
+        }
+        flags
+    }
+
+    /// Positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// True if a bare `--switch` was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// A string flag, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, FlagError> {
+        self.get(key)
+            .ok_or_else(|| FlagError(format!("missing required flag --{key}")))
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, FlagError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|e| FlagError(format!("bad value for --{key} ({raw:?}): {e}"))),
+        }
+    }
+
+    /// A required parsed flag.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, FlagError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self.require(key)?;
+        raw.parse::<T>()
+            .map_err(|e| FlagError(format!("bad value for --{key} ({raw:?}): {e}")))
+    }
+}
+
+/// Parses a support threshold: either `N` (absolute count) or `P%`.
+pub fn parse_threshold(raw: &str) -> Result<bbs_tdb::SupportThreshold, FlagError> {
+    if let Some(pct) = raw.strip_suffix('%') {
+        let p: f64 = pct
+            .parse()
+            .map_err(|e| FlagError(format!("bad percentage {raw:?}: {e}")))?;
+        if !(0.0..=100.0).contains(&p) {
+            return Err(FlagError(format!("percentage out of range: {raw}")));
+        }
+        Ok(bbs_tdb::SupportThreshold::percent(p))
+    } else {
+        let c: u64 = raw
+            .parse()
+            .map_err(|e| FlagError(format!("bad count {raw:?}: {e}")))?;
+        Ok(bbs_tdb::SupportThreshold::Count(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Flags {
+        Flags::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn values_switches_positional() {
+        let f = parse(&["mine", "--db", "x.txt", "--quick", "--width", "400"]);
+        assert_eq!(f.positional(), &["mine".to_string()]);
+        assert_eq!(f.get("db"), Some("x.txt"));
+        assert_eq!(f.get_parsed_or("width", 0usize).unwrap(), 400);
+        assert!(f.has("quick"));
+        assert!(!f.has("db"));
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let f = parse(&[]);
+        assert!(f.require("db").is_err());
+        assert!(f.require_parsed::<u64>("n").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let f = parse(&["--width", "abc"]);
+        let err = f.get_parsed_or("width", 0usize).unwrap_err();
+        assert!(err.to_string().contains("width"));
+    }
+
+    #[test]
+    fn threshold_forms() {
+        assert!(matches!(
+            parse_threshold("30").unwrap(),
+            bbs_tdb::SupportThreshold::Count(30)
+        ));
+        match parse_threshold("0.3%").unwrap() {
+            bbs_tdb::SupportThreshold::Fraction(f) => assert!((f - 0.003).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_threshold("x%").is_err());
+        assert!(parse_threshold("101%").is_err());
+        assert!(parse_threshold("-1").is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! The `bbs` subcommand implementations.
+
+use crate::args::{parse_threshold, Flags};
+use bbs_apriori::AprioriMiner;
+use bbs_core::{persist, AdhocEngine, Bbs, BbsMiner, Scheme};
+use bbs_datagen::QuestConfig;
+use bbs_fptree::FpGrowthMiner;
+use bbs_hash::{ItemHasher, Md5BloomHasher};
+use bbs_tdb::{
+    read_transactions_path, write_transactions_path, FrequentPatternMiner, IoStats, Itemset,
+    MineResult, TidModulo, TransactionDb,
+};
+use std::error::Error;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn load_db(flags: &Flags) -> Result<TransactionDb, Box<dyn Error>> {
+    let path = flags.require("db")?;
+    let db = read_transactions_path(Path::new(path))?;
+    if db.is_empty() {
+        return Err(format!("{path}: no transactions").into());
+    }
+    Ok(db)
+}
+
+fn hasher(flags: &Flags) -> Result<Arc<dyn ItemHasher>, Box<dyn Error>> {
+    let k: usize = flags.get_parsed_or("hash-k", 4usize)?;
+    if k == 0 {
+        return Err("--hash-k must be at least 1".into());
+    }
+    Ok(Arc::new(Md5BloomHasher::new(k)))
+}
+
+/// Loads a persisted index if `--index` was given, otherwise builds one.
+fn load_or_build_index(flags: &Flags, db: &TransactionDb) -> Result<Bbs, Box<dyn Error>> {
+    if let Some(path) = flags.get("index") {
+        let path = Path::new(path);
+        if path.exists() {
+            let bbs = persist::load_from_path(path, hasher(flags)?)?;
+            if bbs.rows() != db.len() {
+                return Err(format!(
+                    "index has {} rows but the database has {} transactions; \
+                     rebuild with `bbs index`",
+                    bbs.rows(),
+                    db.len()
+                )
+                .into());
+            }
+            return Ok(bbs);
+        }
+    }
+    let width: usize = flags.get_parsed_or("width", 1600usize)?;
+    let mut io = IoStats::new();
+    Ok(Bbs::build(width, hasher(flags)?, db, &mut io))
+}
+
+/// `bbs generate` — write a synthetic Quest dataset.
+pub fn generate(flags: &Flags) -> CmdResult {
+    let out = flags.require("out")?;
+    let cfg = QuestConfig {
+        transactions: flags.require_parsed("transactions")?,
+        items: flags.require_parsed("items")?,
+        avg_txn_len: flags.get_parsed_or("avg-len", 10.0)?,
+        avg_pattern_len: flags.get_parsed_or("pattern-len", 10.0)?,
+        pattern_pool: flags.get_parsed_or("pattern-pool", 2000usize)?,
+        correlation: 0.5,
+        corruption_mean: 0.5,
+        corruption_sd: 0.1,
+        seed: flags.get_parsed_or("seed", 2002u64)?,
+    };
+    let db = bbs_datagen::generate_db(cfg);
+    write_transactions_path(&db, Path::new(out))?;
+    println!(
+        "wrote {} ({} transactions, {} distinct items) to {out}",
+        cfg.label(),
+        db.len(),
+        db.vocabulary().len()
+    );
+    Ok(())
+}
+
+/// `bbs index` — build a BBS index and persist it.
+pub fn index(flags: &Flags) -> CmdResult {
+    let db = load_db(flags)?;
+    let out = flags.require("out")?;
+    let width: usize = flags.get_parsed_or("width", 1600usize)?;
+    let mut io = IoStats::new();
+    let start = Instant::now();
+    let bbs = Bbs::build(width, hasher(flags)?, &db, &mut io);
+    let secs = start.elapsed().as_secs_f64();
+    persist::save_to_path(&bbs, Path::new(out))?;
+    println!(
+        "indexed {} transactions into {} slices ({} KiB dense) in {:.3}s -> {out}",
+        bbs.rows(),
+        bbs.width(),
+        bbs.dense_bytes() / 1024,
+        secs
+    );
+    Ok(())
+}
+
+fn parse_scheme(raw: &str) -> Result<Option<Scheme>, Box<dyn Error>> {
+    match raw.to_ascii_lowercase().as_str() {
+        "sfs" => Ok(Some(Scheme::Sfs)),
+        "sfp" => Ok(Some(Scheme::Sfp)),
+        "dfs" => Ok(Some(Scheme::Dfs)),
+        "dfp" => Ok(Some(Scheme::Dfp)),
+        "apriori" | "aps" | "fpgrowth" | "fps" => Ok(None),
+        other => Err(format!(
+            "unknown scheme {other:?} (expected sfs|sfp|dfs|dfp|apriori|fpgrowth)"
+        )
+        .into()),
+    }
+}
+
+/// `bbs mine` — mine frequent patterns.
+pub fn mine(flags: &Flags) -> CmdResult {
+    let db = load_db(flags)?;
+    let threshold = parse_threshold(flags.require("min-support")?)?;
+    let scheme_raw = flags.get("scheme").unwrap_or("dfp").to_string();
+
+    let start = Instant::now();
+    let result: MineResult = match parse_scheme(&scheme_raw)? {
+        Some(scheme) => {
+            let bbs = load_or_build_index(flags, &db)?;
+            BbsMiner::with_index(scheme, bbs).mine(&db, threshold)
+        }
+        None if scheme_raw.starts_with('a') => AprioriMiner::new().mine(&db, threshold),
+        None => FpGrowthMiner::new().mine(&db, threshold),
+    };
+    let secs = start.elapsed().as_secs_f64();
+
+    let mut patterns = result.patterns.sorted();
+    patterns.sort_by_key(|p| std::cmp::Reverse(p.support));
+    let top: usize = flags.get_parsed_or("top", usize::MAX)?;
+    for p in patterns.iter().take(top) {
+        let mark = if result.approx_supports.contains(&p.items) {
+            " (upper bound)"
+        } else {
+            ""
+        };
+        let ids: Vec<String> = p.items.items().iter().map(|i| i.to_string()).collect();
+        println!("{}\t{}{}", p.support, ids.join(" "), mark);
+    }
+    eprintln!(
+        "# {} patterns in {:.3}s  (scheme {}, candidates {}, false drops {}, \
+         db scans {}, probes {})",
+        result.patterns.len(),
+        secs,
+        scheme_raw,
+        result.stats.candidates,
+        result.stats.false_drops,
+        result.stats.io.db_scans,
+        result.stats.io.db_probes,
+    );
+    Ok(())
+}
+
+/// `bbs count` — exact ad-hoc count of one itemset, optionally constrained.
+pub fn count(flags: &Flags) -> CmdResult {
+    let db = load_db(flags)?;
+    let raw_items = flags.require("items")?;
+    let mut values = Vec::new();
+    for tok in raw_items.split_whitespace() {
+        values.push(tok.parse::<u32>().map_err(|e| format!("bad item {tok:?}: {e}"))?);
+    }
+    if values.is_empty() {
+        return Err("--items must name at least one item".into());
+    }
+    let itemset = Itemset::from_values(&values);
+
+    let bbs = load_or_build_index(flags, &db)?;
+    let engine = AdhocEngine::new(&bbs, &db);
+    let mut io = IoStats::new();
+    let start = Instant::now();
+    let (count, constrained) = match flags.get("mod") {
+        Some(raw) => {
+            let divisor: u64 = raw.parse().map_err(|e| format!("bad --mod {raw:?}: {e}"))?;
+            (
+                engine.count_constrained(&itemset, &TidModulo::divisible_by(divisor), &mut io),
+                true,
+            )
+        }
+        None => (engine.count(&itemset, &mut io), false),
+    };
+    let secs = start.elapsed().as_secs_f64();
+    let probes = io.db_probes;
+    let estimate = engine.estimate(&itemset, &mut io);
+    println!("{count}");
+    eprintln!(
+        "# exact count of {itemset:?}{} in {:.4}s ({} rows probed, estimate {})",
+        if constrained { " under TID-mod constraint" } else { "" },
+        secs,
+        probes,
+        estimate,
+    );
+    Ok(())
+}
+
+/// `bbs ingest` — append a text transaction file into a durable
+/// deployment (`<base>.dat/.idx/.slices/.counts`), creating it if absent.
+pub fn ingest(flags: &Flags) -> CmdResult {
+    let db = load_db(flags)?;
+    let base = flags.require("base")?;
+    let width: usize = flags.get_parsed_or("width", 1600usize)?;
+    let cache_pages: usize = flags.get_parsed_or("cache-pages", 4096usize)?;
+    let start = Instant::now();
+    let mut dep = bbs_storage::DiskDeployment::open(
+        Path::new(base),
+        width,
+        hasher(flags)?,
+        cache_pages,
+    )?;
+    let before = dep.db.len();
+    for txn in db.transactions() {
+        dep.append(txn)?;
+    }
+    dep.flush()?;
+    println!(
+        "ingested {} transactions (deployment now {} rows, index {} slices) in {:.3}s -> {base}.*",
+        db.len(),
+        dep.db.len(),
+        dep.index.width(),
+        start.elapsed().as_secs_f64()
+    );
+    let _ = before;
+    Ok(())
+}
+
+/// `bbs mine-deployment` — mine a durable deployment directly from its
+/// files (one-pass index load, then in-memory DFP or another scheme).
+pub fn mine_deployment(flags: &Flags) -> CmdResult {
+    let base = flags.require("base")?;
+    let width: usize = flags.get_parsed_or("width", 1600usize)?;
+    let cache_pages: usize = flags.get_parsed_or("cache-pages", 4096usize)?;
+    let threshold = parse_threshold(flags.require("min-support")?)?;
+    let scheme_raw = flags.get("scheme").unwrap_or("dfp").to_string();
+    let Some(scheme) = parse_scheme(&scheme_raw)? else {
+        return Err("mine-deployment supports the BBS schemes only (sfs|sfp|dfs|dfp)".into());
+    };
+
+    let start = Instant::now();
+    let mut dep = bbs_storage::DiskDeployment::open(
+        Path::new(base),
+        width,
+        hasher(flags)?,
+        cache_pages,
+    )?;
+    let db = dep.db.load()?;
+    let bbs = dep.index.load()?;
+    let load_secs = start.elapsed().as_secs_f64();
+
+    let mine_start = Instant::now();
+    let result = BbsMiner::with_index(scheme, bbs).mine(&db, threshold);
+    let mine_secs = mine_start.elapsed().as_secs_f64();
+
+    let mut patterns = result.patterns.sorted();
+    patterns.sort_by_key(|p| std::cmp::Reverse(p.support));
+    let top: usize = flags.get_parsed_or("top", usize::MAX)?;
+    for p in patterns.iter().take(top) {
+        let ids: Vec<String> = p.items.items().iter().map(|i| i.to_string()).collect();
+        println!("{}\t{}", p.support, ids.join(" "));
+    }
+    eprintln!(
+        "# {} patterns over {} rows (load {:.3}s, mine {:.3}s, scheme {})",
+        result.patterns.len(),
+        db.len(),
+        load_secs,
+        mine_secs,
+        scheme.name(),
+    );
+    Ok(())
+}
+
+/// `bbs stats` — dataset summary.
+pub fn stats(flags: &Flags) -> CmdResult {
+    let db = load_db(flags)?;
+    let vocab = db.vocabulary();
+    let total_items: usize = db.transactions().iter().map(|t| t.items.len()).sum();
+    let longest = db
+        .transactions()
+        .iter()
+        .map(|t| t.items.len())
+        .max()
+        .unwrap_or(0);
+    println!("transactions      : {}", db.len());
+    println!("distinct items    : {}", vocab.len());
+    println!(
+        "avg items per txn : {:.2}",
+        total_items as f64 / db.len() as f64
+    );
+    println!("longest txn       : {longest}");
+    println!("flat-file bytes   : {}", db.total_bytes());
+    println!("pages (4 KiB)     : {}", db.total_pages());
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Library surface of the `bbs` command-line tool (see `src/main.rs` for
+//! the binary).  Exposed as a library so the subcommands are unit-testable.
+
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,70 @@
+//! `bbs` — the command-line face of the BBS frequent-pattern index.
+//!
+//! ```text
+//! bbs generate --out data.txt --transactions 10000 --items 10000 [--avg-len 10] [--seed 7]
+//! bbs index    --db data.txt --out data.bbs [--width 1600] [--hash-k 4]
+//! bbs mine     --db data.txt --min-support 0.3% [--index data.bbs] [--scheme dfp]
+//! bbs count    --db data.txt --items "1 2 3" [--index data.bbs] [--mod 7]
+//! bbs stats    --db data.txt
+//! ```
+
+use bbs_cli::args::Flags;
+use bbs_cli::commands;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bbs — Bit-Sliced Bloom-Filtered Signature File frequent-pattern miner
+
+USAGE:
+  bbs generate --out FILE --transactions N --items V
+               [--avg-len T] [--pattern-len I] [--seed S]
+  bbs index    --db FILE --out FILE [--width M] [--hash-k K]
+  bbs mine     --db FILE --min-support N|P%
+               [--index FILE] [--scheme sfs|sfp|dfs|dfp|apriori|fpgrowth]
+               [--width M] [--hash-k K] [--top N]
+  bbs count    --db FILE --items \"I1 I2 …\"
+               [--index FILE] [--width M] [--hash-k K] [--mod D]
+  bbs ingest   --base PATH --db FILE [--width M] [--cache-pages N]
+  bbs mine-deployment --base PATH --min-support N|P%
+               [--scheme sfs|sfp|dfs|dfp] [--width M] [--top N]
+  bbs stats    --db FILE
+
+The transaction file format is one transaction per line: whitespace-
+separated item ids, optionally prefixed with an explicit `TID:`.  Lines
+starting with '#' are comments.";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1).peekable();
+    let Some(command) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = Flags::parse(argv);
+    if flags.has("help") || flags.positional().iter().any(|p| p == "help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let result = match command.as_str() {
+        "generate" => commands::generate(&flags),
+        "index" => commands::index(&flags),
+        "mine" => commands::mine(&flags),
+        "count" => commands::count(&flags),
+        "ingest" => commands::ingest(&flags),
+        "mine-deployment" => commands::mine_deployment(&flags),
+        "stats" => commands::stats(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bbs {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `bbs` subcommands through their library entry
+//! points, using temp files.
+
+use bbs_cli::args::Flags;
+use bbs_cli::commands;
+use std::path::PathBuf;
+
+fn flags(pairs: &[(&str, &str)]) -> Flags {
+    let mut argv: Vec<String> = Vec::new();
+    for (k, v) in pairs {
+        argv.push(format!("--{k}"));
+        argv.push(v.to_string());
+    }
+    Flags::parse(argv)
+}
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+struct Cleanup(Vec<PathBuf>);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+#[test]
+fn generate_index_mine_count_pipeline() {
+    let data = temp("pipeline.txt");
+    let index = temp("pipeline.bbs");
+    let _cleanup = Cleanup(vec![data.clone(), index.clone()]);
+    let data_s = data.to_str().expect("utf8 path");
+    let index_s = index.to_str().expect("utf8 path");
+
+    commands::generate(&flags(&[
+        ("out", data_s),
+        ("transactions", "300"),
+        ("items", "80"),
+        ("avg-len", "6"),
+        ("pattern-len", "3"),
+        ("pattern-pool", "25"),
+        ("seed", "11"),
+    ]))
+    .expect("generate");
+    assert!(data.exists());
+
+    commands::stats(&flags(&[("db", data_s)])).expect("stats");
+
+    commands::index(&flags(&[
+        ("db", data_s),
+        ("out", index_s),
+        ("width", "128"),
+    ]))
+    .expect("index");
+    assert!(index.exists());
+
+    // Mining with the persisted index must succeed for every scheme name.
+    for scheme in ["sfs", "sfp", "dfs", "dfp", "apriori", "fpgrowth"] {
+        commands::mine(&flags(&[
+            ("db", data_s),
+            ("index", index_s),
+            ("width", "128"),
+            ("min-support", "5%"),
+            ("scheme", scheme),
+            ("top", "3"),
+        ]))
+        .unwrap_or_else(|e| panic!("mine --scheme {scheme}: {e}"));
+    }
+
+    commands::count(&flags(&[
+        ("db", data_s),
+        ("index", index_s),
+        ("width", "128"),
+        ("items", "1 2"),
+    ]))
+    .expect("count");
+
+    commands::count(&flags(&[
+        ("db", data_s),
+        ("index", index_s),
+        ("width", "128"),
+        ("items", "1 2"),
+        ("mod", "7"),
+    ]))
+    .expect("constrained count");
+}
+
+#[test]
+fn stale_index_is_rejected() {
+    let data = temp("stale.txt");
+    let index = temp("stale.bbs");
+    let _cleanup = Cleanup(vec![data.clone(), index.clone()]);
+    let data_s = data.to_str().expect("utf8 path");
+    let index_s = index.to_str().expect("utf8 path");
+
+    commands::generate(&flags(&[
+        ("out", data_s),
+        ("transactions", "50"),
+        ("items", "20"),
+        ("pattern-pool", "5"),
+    ]))
+    .expect("generate");
+    commands::index(&flags(&[("db", data_s), ("out", index_s), ("width", "64")]))
+        .expect("index");
+
+    // Regenerate the data with a different size: the index no longer fits.
+    commands::generate(&flags(&[
+        ("out", data_s),
+        ("transactions", "60"),
+        ("items", "20"),
+        ("pattern-pool", "5"),
+    ]))
+    .expect("regenerate");
+    let err = commands::mine(&flags(&[
+        ("db", data_s),
+        ("index", index_s),
+        ("min-support", "10%"),
+    ]))
+    .expect_err("stale index must be rejected");
+    assert!(err.to_string().contains("rebuild"), "{err}");
+}
+
+#[test]
+fn missing_flags_and_bad_values_error_cleanly() {
+    assert!(commands::generate(&flags(&[("out", "/tmp/x")])).is_err());
+    assert!(commands::stats(&flags(&[("db", "/nonexistent/definitely.txt")])).is_err());
+    let data = temp("badvals.txt");
+    let _cleanup = Cleanup(vec![data.clone()]);
+    let data_s = data.to_str().expect("utf8 path");
+    commands::generate(&flags(&[
+        ("out", data_s),
+        ("transactions", "30"),
+        ("items", "10"),
+        ("pattern-pool", "5"),
+    ]))
+    .expect("generate");
+    assert!(commands::mine(&flags(&[
+        ("db", data_s),
+        ("min-support", "200%"),
+    ]))
+    .is_err());
+    assert!(commands::mine(&flags(&[
+        ("db", data_s),
+        ("min-support", "5%"),
+        ("scheme", "quantum"),
+    ]))
+    .is_err());
+    assert!(commands::count(&flags(&[("db", data_s), ("items", "one two")])).is_err());
+}

@@ -1,0 +1,171 @@
+//! Adaptive (memory-constrained) filtering: the three-phase scheme of §3.1.
+//!
+//! When the BBS is larger than the memory budget, repeated slice reads would
+//! thrash.  The paper bounds the I/O at **two passes over the BBS**:
+//!
+//! 1. **Preprocessing** — fold the `m` slices down to the `k` that fit in
+//!    memory (*MemBBS*), one sequential pass over the slice file.
+//! 2. **Filtering** — run SingleFilter or DualFilter entirely against the
+//!    in-memory MemBBS.  Folding only ORs slices together, so every estimate
+//!    remains an upper bound; the candidate set merely grows.
+//! 3. **Postprocessing** — one more pass over the original BBS re-estimates
+//!    each surviving candidate at full width and prunes those now below the
+//!    threshold.  The survivors still need ordinary refinement.
+
+use crate::bbs::Bbs;
+use crate::filter::{run_filter, FilterKind, FilterOutput};
+use bbs_tdb::io::pages_for;
+use bbs_tdb::{IoStats, MemoryBudget};
+
+/// Picks the number of slices of `bbs` that fit into `budget` (at least 1,
+/// at most the full width).  Returns `None` when the whole index fits and no
+/// folding is needed.
+pub fn slices_for_budget(bbs: &Bbs, budget: MemoryBudget) -> Option<usize> {
+    let limit = budget.limit()?;
+    if bbs.dense_bytes() <= limit {
+        return None;
+    }
+    let slice_bytes = bbs.rows().div_ceil(8).max(1);
+    Some((limit / slice_bytes).clamp(1, bbs.width()))
+}
+
+/// Runs the three-phase adaptive filter.
+///
+/// Returns the filter output exactly as [`run_filter`] would, except that
+/// uncertain candidates carry full-width re-estimates and phases 1 and 3
+/// have charged their BBS passes.  When the index already fits the budget
+/// this degrades gracefully to the ordinary memory-resident filter.
+pub fn adaptive_filter(
+    bbs: &Bbs,
+    kind: FilterKind,
+    tau: u64,
+    budget: MemoryBudget,
+) -> FilterOutput {
+    let Some(k) = slices_for_budget(bbs, budget) else {
+        return run_filter(bbs, kind, None, tau);
+    };
+
+    // Phase 1: build MemBBS (charges one BBS pass).
+    let mut fold_io = IoStats::new();
+    let membbs = bbs.fold(k, &mut fold_io);
+
+    // Phase 2: filter against the in-memory fold.  The folded slices live in
+    // memory, so their reads are free; we drop the per-count charges and
+    // keep only the counters.
+    let mut out = run_filter(&membbs, kind, None, tau);
+    out.stats.io.bbs_pages_read = 0;
+    out.stats.io.merge(&fold_io);
+
+    // Phase 3: one pass over the original BBS re-estimates the uncertain
+    // candidates at full width.  The pass is charged once, not per count —
+    // a real implementation streams row-chunks of the slice file and
+    // accumulates every candidate's count as it goes.
+    out.stats.io.bbs_passes += 1;
+    out.stats.io.bbs_pages_read += pages_for(bbs.dense_bytes(), page_size_of(bbs));
+
+    let mut scratch = IoStats::new();
+    let mut kept = Vec::with_capacity(out.uncertain.len());
+    for (items, _) in out.uncertain.drain(..) {
+        let full_est = bbs.est_count(&items, &mut scratch);
+        if full_est >= tau {
+            kept.push((items, full_est));
+        } else {
+            out.stats.false_drops += 1;
+        }
+    }
+    out.uncertain = kept;
+    out
+}
+
+/// The page size a BBS charges against (mirrors its construction).
+fn page_size_of(_bbs: &Bbs) -> usize {
+    bbs_tdb::DEFAULT_PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_hash::Md5BloomHasher;
+    use bbs_tdb::{Itemset, TransactionDb};
+    use std::sync::Arc;
+
+    fn fixture(width: usize) -> (Bbs, TransactionDb) {
+        // 64 transactions over 32 items with planted structure.
+        let mut itemsets = Vec::new();
+        for i in 0..64u32 {
+            let mut v = vec![i % 32, (i + 1) % 32, (i * 7) % 32];
+            if i % 2 == 0 {
+                v.push(0);
+                v.push(1);
+            }
+            itemsets.push(Itemset::from_values(&v));
+        }
+        let db = TransactionDb::from_itemsets(itemsets);
+        let mut io = IoStats::new();
+        let bbs = Bbs::build(width, Arc::new(Md5BloomHasher::new(4)), &db, &mut io);
+        (bbs, db)
+    }
+
+    #[test]
+    fn slices_for_budget_cases() {
+        let (bbs, _) = fixture(256);
+        // 64 rows → 8 bytes/slice → 256 slices → 2048 dense bytes.
+        assert_eq!(bbs.dense_bytes(), 2048);
+        assert_eq!(slices_for_budget(&bbs, MemoryBudget::unlimited()), None);
+        assert_eq!(slices_for_budget(&bbs, MemoryBudget::bytes(4096)), None);
+        assert_eq!(
+            slices_for_budget(&bbs, MemoryBudget::bytes(800)),
+            Some(100)
+        );
+        assert_eq!(slices_for_budget(&bbs, MemoryBudget::bytes(4)), Some(1));
+    }
+
+    #[test]
+    fn adaptive_superset_and_two_passes() {
+        let (bbs, db) = fixture(256);
+        let tau = 16;
+        let resident = run_filter(&bbs, FilterKind::Single, None, tau);
+        let adaptive = adaptive_filter(&bbs, FilterKind::Single, tau, MemoryBudget::bytes(512));
+
+        // Every memory-resident candidate must survive the adaptive pipeline
+        // (folding only adds false drops; phase 3 prunes at full width, so
+        // the final uncertain sets match exactly).
+        let resident_sets: Vec<&Itemset> = resident.uncertain.iter().map(|(s, _)| s).collect();
+        let adaptive_sets: Vec<&Itemset> = adaptive.uncertain.iter().map(|(s, _)| s).collect();
+        for s in &resident_sets {
+            assert!(adaptive_sets.contains(s), "lost candidate {s:?}");
+        }
+        // Phase-3 estimates are full-width, so adaptive candidates are
+        // exactly the full-width candidates.
+        assert_eq!(resident_sets.len(), adaptive_sets.len());
+
+        // I/O bound: exactly two BBS passes.
+        assert_eq!(adaptive.stats.io.bbs_passes, 2);
+        let _ = db;
+    }
+
+    #[test]
+    fn adaptive_dual_keeps_certainty_guarantees() {
+        let (bbs, db) = fixture(256);
+        let tau = 16;
+        let out = adaptive_filter(&bbs, FilterKind::Dual, tau, MemoryBudget::bytes(512));
+        let mut io = IoStats::new();
+        for (items, count) in out.frequent.iter() {
+            assert_eq!(count, db.count_support(items, &mut io), "{items:?}");
+        }
+        for (items, count) in out.approx.iter() {
+            let act = db.count_support(items, &mut io);
+            assert!(act >= tau, "{items:?} certified but infrequent");
+            assert!(count >= act, "{items:?} estimate below actual");
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_is_plain_filter() {
+        let (bbs, _) = fixture(128);
+        let a = adaptive_filter(&bbs, FilterKind::Single, 16, MemoryBudget::unlimited());
+        let b = run_filter(&bbs, FilterKind::Single, None, 16);
+        assert_eq!(a.uncertain.len(), b.uncertain.len());
+        assert_eq!(a.stats.io.bbs_passes, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! On-disk persistence for the BBS index.
+//!
+//! The paper's title feature is that BBS is a *persistent* structure: build
+//! it once, keep it next to the database, append to it as transactions
+//! arrive, and never rebuild.  This module gives the index a simple binary
+//! file format:
+//!
+//! ```text
+//! magic  "BBS1"            4 bytes
+//! width  u64 LE            signature width m
+//! rows   u64 LE            number of indexed transactions
+//! nitems u64 LE            number of distinct items with exact counts
+//! then nitems × (item u32 LE, count u64 LE)
+//! then width slices, each: len_bits u64 LE, nwords u64 LE, words u64 LE…
+//! ```
+//!
+//! The hash family is *not* serialized (it is code, not data); the loader
+//! takes the hasher as an argument and the caller is responsible for
+//! supplying the same family the index was built with — the same contract a
+//! database has with its collation functions.
+
+use crate::bbs::Bbs;
+use bbs_bitslice::{BitVec, SliceMatrix};
+use bbs_hash::ItemHasher;
+use bbs_tdb::ItemId;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"BBS1";
+
+/// Errors produced by loading a persisted index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the BBS magic.
+    BadMagic,
+    /// Structural inconsistency (e.g. slice longer than the row count).
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a BBS index file"),
+            PersistError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Serializes an index to a writer.
+pub fn save<W: Write>(bbs: &Bbs, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u64(w, bbs.width() as u64)?;
+    write_u64(w, bbs.rows() as u64)?;
+    let vocab = bbs.vocabulary();
+    write_u64(w, vocab.len() as u64)?;
+    for item in &vocab {
+        w.write_all(&item.0.to_le_bytes())?;
+        write_u64(w, bbs.actual_singleton_count(*item))?;
+    }
+    for j in 0..bbs.width() {
+        let slice = bbs.matrix().slice(j);
+        write_u64(w, slice.len() as u64)?;
+        let words = slice.words();
+        write_u64(w, words.len() as u64)?;
+        for word in words {
+            write_u64(w, *word)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes an index from a reader, attaching the hash family it was
+/// built with.
+pub fn load<R: Read>(r: &mut R, hasher: Arc<dyn ItemHasher>) -> Result<Bbs, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let width = read_u64(r)? as usize;
+    let rows = read_u64(r)? as usize;
+    if width == 0 {
+        return Err(PersistError::Corrupt("zero width"));
+    }
+    let nitems = read_u64(r)? as usize;
+    let mut item_counts = Vec::with_capacity(nitems);
+    for _ in 0..nitems {
+        let item = ItemId(read_u32(r)?);
+        let count = read_u64(r)?;
+        item_counts.push((item, count));
+    }
+    let mut slices: Vec<BitVec> = Vec::with_capacity(width);
+    for _ in 0..width {
+        let len_bits = read_u64(r)? as usize;
+        if len_bits > rows {
+            return Err(PersistError::Corrupt("slice longer than row count"));
+        }
+        let nwords = read_u64(r)? as usize;
+        if nwords != bbs_bitslice::words_for(len_bits) {
+            return Err(PersistError::Corrupt("slice word count mismatch"));
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(read_u64(r)?);
+        }
+        slices.push(BitVec::from_words(words, len_bits));
+    }
+    let matrix =
+        SliceMatrix::from_slices(width, rows, slices).map_err(PersistError::Corrupt)?;
+    Ok(Bbs::from_parts(
+        hasher,
+        matrix,
+        item_counts,
+        bbs_tdb::DEFAULT_PAGE_SIZE,
+    ))
+}
+
+/// Saves an index to a file path.
+pub fn save_to_path(bbs: &Bbs, path: &std::path::Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save(bbs, &mut f)?;
+    f.flush()
+}
+
+/// Loads an index from a file path.
+pub fn load_from_path(
+    path: &std::path::Path,
+    hasher: Arc<dyn ItemHasher>,
+) -> Result<Bbs, PersistError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load(&mut f, hasher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_hash::Md5BloomHasher;
+    use bbs_tdb::{IoStats, Itemset, Transaction, TransactionDb};
+
+    fn fixture() -> (Bbs, TransactionDb) {
+        let db = TransactionDb::from_transactions(vec![
+            Transaction::new(1, Itemset::from_values(&[1, 2, 3])),
+            Transaction::new(2, Itemset::from_values(&[2, 3, 4])),
+            Transaction::new(3, Itemset::from_values(&[1, 3])),
+        ]);
+        let mut io = IoStats::new();
+        let bbs = Bbs::build(64, Arc::new(Md5BloomHasher::new(4)), &db, &mut io);
+        (bbs, db)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (bbs, db) = fixture();
+        let mut buf = Vec::new();
+        save(&bbs, &mut buf).expect("save");
+        let loaded = load(&mut buf.as_slice(), Arc::new(Md5BloomHasher::new(4)))
+            .expect("load");
+        assert_eq!(loaded.width(), bbs.width());
+        assert_eq!(loaded.rows(), bbs.rows());
+        assert_eq!(loaded.vocabulary(), bbs.vocabulary());
+        let mut io = IoStats::new();
+        for q in [&[1u32][..], &[2, 3], &[1, 2, 3], &[9]] {
+            let items = Itemset::from_values(q);
+            assert_eq!(
+                loaded.est_count(&items, &mut io),
+                bbs.est_count(&items, &mut io),
+                "{items:?}"
+            );
+        }
+        // The loaded index keeps working incrementally.
+        let mut loaded = loaded;
+        loaded.insert(
+            &Transaction::new(4, Itemset::from_values(&[1, 2])),
+            &mut io,
+        );
+        assert_eq!(loaded.rows(), db.len() + 1);
+        assert_eq!(loaded.actual_singleton_count(bbs_tdb::ItemId(1)), 3);
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let (bbs, _) = fixture();
+        let path = std::env::temp_dir().join("bbs_persist_test.idx");
+        save_to_path(&bbs, &path).expect("save file");
+        let loaded =
+            load_from_path(&path, Arc::new(Md5BloomHasher::new(4))).expect("load file");
+        assert_eq!(loaded.rows(), bbs.rows());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load(&mut &b"NOPE0000"[..], Arc::new(Md5BloomHasher::new(4)));
+        assert!(matches!(err, Err(PersistError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let (bbs, _) = fixture();
+        let mut buf = Vec::new();
+        save(&bbs, &mut buf).expect("save");
+        buf.truncate(buf.len() / 2);
+        let err = load(&mut buf.as_slice(), Arc::new(Md5BloomHasher::new(4)));
+        assert!(matches!(err, Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_corrupt_slice_length() {
+        let (bbs, _) = fixture();
+        let mut buf = Vec::new();
+        save(&bbs, &mut buf).expect("save");
+        // rows field lives at offset 4 (magic) + 8 (width) = 12; shrink it.
+        buf[12] = 0;
+        buf[13] = 0;
+        let err = load(&mut buf.as_slice(), Arc::new(Md5BloomHasher::new(4)));
+        assert!(matches!(err, Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn mining_from_a_loaded_index_matches() {
+        use crate::miners::{BbsMiner, Scheme};
+        use bbs_tdb::{FrequentPatternMiner, SupportThreshold};
+        let (bbs, db) = fixture();
+        let mut buf = Vec::new();
+        save(&bbs, &mut buf).expect("save");
+        let loaded =
+            load(&mut buf.as_slice(), Arc::new(Md5BloomHasher::new(4))).expect("load");
+        let a = BbsMiner::with_index(Scheme::Dfp, bbs).mine(&db, SupportThreshold::Count(2));
+        let b = BbsMiner::with_index(Scheme::Dfp, loaded).mine(&db, SupportThreshold::Count(2));
+        assert_eq!(a.patterns, b.patterns);
+    }
+}

@@ -1,0 +1,244 @@
+//! The refinement phase: SequentialScan and Probe (§3.2).
+//!
+//! The filtering phase hands over candidates that *may* be frequent; the
+//! refinement phase establishes each one's actual support and discards the
+//! false drops.
+//!
+//! * [`sequential_scan`] loads as many candidates as the memory budget
+//!   allows and verifies them in one database pass, repeating until all
+//!   candidates are processed (so a small budget costs extra passes —
+//!   exactly the behaviour Fig. 11 measures).
+//! * [`probe_candidates`] retrieves only the rows named by each candidate's
+//!   BBS AND-result through the positional index and verifies containment.
+
+use crate::bbs::Bbs;
+use bbs_bitslice::BitVec;
+use bbs_tdb::{BufferPool, IoStats, Itemset, MemoryBudget, PatternSet, TransactionDb};
+
+/// Outcome of a refinement pass.
+#[derive(Debug, Default)]
+pub struct RefineOutput {
+    /// Candidates confirmed frequent, with exact supports.
+    pub confirmed: PatternSet,
+    /// Number of candidates rejected (false drops).
+    pub false_drops: u64,
+    /// I/O spent refining.
+    pub io: IoStats,
+}
+
+/// Approximate in-memory footprint of one candidate during verification:
+/// the itemset's items plus a counter and bookkeeping.
+fn candidate_bytes(itemset: &Itemset) -> usize {
+    32 + 4 * itemset.len()
+}
+
+/// Algorithm SequentialScan: verify `candidates` by full database passes,
+/// chunked to fit the memory budget.
+pub fn sequential_scan(
+    db: &TransactionDb,
+    candidates: &[(Itemset, u64)],
+    tau: u64,
+    budget: MemoryBudget,
+) -> RefineOutput {
+    let mut out = RefineOutput::default();
+    if candidates.is_empty() {
+        return out;
+    }
+
+    let mut start = 0usize;
+    while start < candidates.len() {
+        // Fill memory with as many candidates as fit.
+        let mut end = start;
+        let mut used = 0usize;
+        while end < candidates.len() {
+            let b = candidate_bytes(&candidates[end].0);
+            if end > start && !budget.fits(used + b) {
+                break;
+            }
+            used += b;
+            end += 1;
+            if !budget.fits(used) {
+                break;
+            }
+        }
+
+        let chunk = &candidates[start..end];
+        let mut counts = vec![0u64; chunk.len()];
+        for txn in db.scan(&mut out.io) {
+            for (i, (items, _)) in chunk.iter().enumerate() {
+                if items.is_subset_of(&txn.items) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        for ((items, _), count) in chunk.iter().zip(&counts) {
+            if *count >= tau {
+                out.confirmed.insert(items.clone(), *count);
+            } else {
+                out.false_drops += 1;
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+/// Algorithm Probe as a standalone (two-phase) refiner: for each candidate,
+/// recompute its BBS AND-result, fetch exactly those rows through the
+/// positional index, and verify containment.
+///
+/// The integrated SFP/DFP variants live in the filter engine; this function
+/// serves the adaptive (memory-constrained) pipeline and ad-hoc queries,
+/// where filtering and probing are necessarily separate.
+pub fn probe_candidates(
+    db: &TransactionDb,
+    bbs: &Bbs,
+    candidates: &[(Itemset, u64)],
+    tau: u64,
+) -> RefineOutput {
+    assert_eq!(db.len(), bbs.rows(), "BBS rows must match database rows");
+    let mut out = RefineOutput::default();
+    let mut result = BitVec::new();
+    let mut rows: Vec<usize> = Vec::new();
+    let mut pool = BufferPool::new();
+    for (items, _) in candidates {
+        bbs.est_result(items, &mut result, &mut out.io);
+        rows.clear();
+        rows.extend(result.iter_ones());
+        let txns = db.probe_cached(&rows, &mut pool, &mut out.io);
+        let actual = txns.iter().filter(|t| items.is_subset_of(&t.items)).count() as u64;
+        if actual >= tau {
+            out.confirmed.insert(items.clone(), actual);
+        } else {
+            out.false_drops += 1;
+        }
+    }
+    out
+}
+
+/// Probes the actual support of a single itemset (ad-hoc queries, §4.9),
+/// optionally restricted by a constraint slice.
+pub fn probe_support(
+    db: &TransactionDb,
+    bbs: &Bbs,
+    items: &Itemset,
+    constraint: Option<&BitVec>,
+    io: &mut IoStats,
+) -> u64 {
+    assert_eq!(db.len(), bbs.rows(), "BBS rows must match database rows");
+    let mut result = BitVec::new();
+    match constraint {
+        Some(c) => bbs.est_result_constrained(items, c, &mut result, io),
+        None => bbs.est_result(items, &mut result, io),
+    };
+    let rows: Vec<usize> = result.iter_ones().collect();
+    let txns = db.probe(&rows, io);
+    txns.iter().filter(|t| items.is_subset_of(&t.items)).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_hash::ModuloHasher;
+    use bbs_tdb::{Transaction, TransactionDb};
+    use std::sync::Arc;
+
+    fn set(vals: &[u32]) -> Itemset {
+        Itemset::from_values(vals)
+    }
+
+    fn fixture() -> (Bbs, TransactionDb) {
+        let db = TransactionDb::from_transactions(vec![
+            Transaction::new(100, set(&[0, 1, 2, 3, 4, 5, 14, 15])),
+            Transaction::new(200, set(&[1, 2, 3, 5, 6, 7])),
+            Transaction::new(300, set(&[1, 5, 14, 15])),
+            Transaction::new(400, set(&[0, 1, 2, 7])),
+            Transaction::new(500, set(&[1, 2, 5, 6, 11, 15])),
+        ]);
+        let mut io = IoStats::new();
+        let bbs = Bbs::build(8, Arc::new(ModuloHasher), &db, &mut io);
+        (bbs, db)
+    }
+
+    #[test]
+    fn sequential_scan_confirms_and_rejects() {
+        let (_, db) = fixture();
+        let candidates = vec![
+            (set(&[1]), 5),      // frequent (5)
+            (set(&[1, 3]), 3),   // false drop (actual 2)
+            (set(&[5, 15]), 3),  // frequent (3)
+        ];
+        let out = sequential_scan(&db, &candidates, 3, MemoryBudget::unlimited());
+        assert_eq!(out.confirmed.support(&set(&[1])), Some(5));
+        assert_eq!(out.confirmed.support(&set(&[5, 15])), Some(3));
+        assert!(!out.confirmed.contains(&set(&[1, 3])));
+        assert_eq!(out.false_drops, 1);
+        assert_eq!(out.io.db_scans, 1, "all candidates fit in one chunk");
+    }
+
+    #[test]
+    fn sequential_scan_chunks_under_small_budget() {
+        let (_, db) = fixture();
+        let candidates: Vec<(Itemset, u64)> =
+            (0u32..8).map(|i| (set(&[i]), 1)).collect();
+        // Budget fits roughly one candidate (36 bytes each): expect several
+        // passes but identical results.
+        let tight = sequential_scan(&db, &candidates, 2, MemoryBudget::bytes(40));
+        let loose = sequential_scan(&db, &candidates, 2, MemoryBudget::unlimited());
+        assert_eq!(tight.confirmed, loose.confirmed);
+        assert_eq!(tight.false_drops, loose.false_drops);
+        assert!(tight.io.db_scans > loose.io.db_scans);
+        assert_eq!(loose.io.db_scans, 1);
+    }
+
+    #[test]
+    fn sequential_scan_empty_candidates() {
+        let (_, db) = fixture();
+        let out = sequential_scan(&db, &[], 3, MemoryBudget::unlimited());
+        assert!(out.confirmed.is_empty());
+        assert_eq!(out.io.db_scans, 0, "no candidates, no passes");
+    }
+
+    #[test]
+    fn probe_candidates_matches_sequential_scan() {
+        let (bbs, db) = fixture();
+        let candidates = vec![
+            (set(&[1]), 5),
+            (set(&[1, 3]), 3),
+            (set(&[5, 15]), 3),
+            (set(&[2, 5]), 3),
+        ];
+        let scanned = sequential_scan(&db, &candidates, 3, MemoryBudget::unlimited());
+        let probed = probe_candidates(&db, &bbs, &candidates, 3);
+        assert_eq!(scanned.confirmed, probed.confirmed);
+        assert_eq!(scanned.false_drops, probed.false_drops);
+        assert!(probed.io.db_probes > 0);
+        assert_eq!(probed.io.db_scans, 0, "probe never scans");
+    }
+
+    #[test]
+    fn probe_support_single_itemset() {
+        let (bbs, db) = fixture();
+        let mut io = IoStats::new();
+        assert_eq!(probe_support(&db, &bbs, &set(&[1, 3]), None, &mut io), 2);
+        assert_eq!(probe_support(&db, &bbs, &set(&[9]), None, &mut io), 0);
+        assert!(io.db_probes >= 2, "candidate rows were fetched");
+    }
+
+    #[test]
+    fn probe_support_with_constraint() {
+        let (bbs, db) = fixture();
+        let mut io = IoStats::new();
+        // Restrict to rows 0..=2 (transactions 100, 200, 300).
+        let constraint = BitVec::from_indices(5, &[0, 1, 2]);
+        assert_eq!(
+            probe_support(&db, &bbs, &set(&[1, 2]), Some(&constraint), &mut io),
+            2,
+            "{{1,2}} occurs in rows 0 and 1 within the constraint"
+        );
+        assert_eq!(
+            probe_support(&db, &bbs, &set(&[1, 2]), None, &mut io),
+            4
+        );
+    }
+}

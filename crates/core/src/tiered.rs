@@ -1,0 +1,211 @@
+//! Tiered indexes: the paper's footnote-6 alternative to adaptive folding.
+//!
+//! §3.1's memory-constrained scheme folds the one big BBS down to whatever
+//! fits (*MemBBS*).  Footnote 6 sketches the alternative: *"create multiple
+//! BBSs with different memory requirement.  At runtime, we only need to
+//! load into memory the appropriate BBS that fits in the memory.  This
+//! method, however, incurs higher storage overhead as well as maintenance
+//! overhead."*
+//!
+//! [`TieredBbs`] implements that alternative so the trade-off can be
+//! measured (ablation A3): each tier is a full BBS at its own width, every
+//! insert maintains every tier, and [`TieredBbs::select`] picks the widest
+//! tier fitting a memory budget.  Compared with folding the big index, a
+//! selected tier has *better-distributed* bits at the same width — folding
+//! ORs hash positions `j` and `j + k` together, while a native tier hashes
+//! into the small width directly — at `Σ widths` bits/row of storage and
+//! `k × tiers` hash work per insert.
+
+use crate::bbs::Bbs;
+use bbs_hash::ItemHasher;
+use bbs_tdb::{IoStats, MemoryBudget, Transaction, TransactionDb};
+use std::sync::Arc;
+
+/// A family of BBS indexes over the same transactions at different widths.
+pub struct TieredBbs {
+    /// Tiers sorted by width ascending.
+    tiers: Vec<Bbs>,
+}
+
+impl TieredBbs {
+    /// Builds one tier per width over `db`.
+    ///
+    /// # Panics
+    /// Panics if `widths` is empty or contains duplicates.
+    pub fn build(
+        db: &TransactionDb,
+        widths: &[usize],
+        hasher: Arc<dyn ItemHasher>,
+        stats: &mut IoStats,
+    ) -> Self {
+        let mut widths = widths.to_vec();
+        widths.sort_unstable();
+        assert!(!widths.is_empty(), "need at least one tier");
+        assert!(
+            widths.windows(2).all(|w| w[0] < w[1]),
+            "tier widths must be distinct"
+        );
+        let tiers = widths
+            .iter()
+            .map(|&w| Bbs::build(w, Arc::clone(&hasher), db, stats))
+            .collect();
+        TieredBbs { tiers }
+    }
+
+    /// Number of tiers.
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// True if there are no tiers (never the case for a built family).
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// The tiers, width-ascending.
+    pub fn tiers(&self) -> &[Bbs] {
+        &self.tiers
+    }
+
+    /// Appends a transaction to **every** tier — the maintenance overhead
+    /// footnote 6 warns about, measurable via `stats`.
+    pub fn insert(&mut self, txn: &Transaction, stats: &mut IoStats) {
+        for tier in &mut self.tiers {
+            tier.insert(txn, stats);
+        }
+    }
+
+    /// The widest tier whose dense image fits `budget`; the narrowest tier
+    /// when none fits (the caller can still fold that one further).
+    pub fn select(&self, budget: MemoryBudget) -> &Bbs {
+        self.tiers
+            .iter()
+            .rev()
+            .find(|t| budget.fits(t.dense_bytes()))
+            .unwrap_or_else(|| self.tiers.first().expect("non-empty"))
+    }
+
+    /// Total dense storage across tiers (the footnote's storage overhead).
+    pub fn storage_bytes(&self) -> usize {
+        self.tiers.iter().map(|t| t.dense_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miners::{BbsMiner, Scheme};
+    use bbs_hash::Md5BloomHasher;
+    use bbs_tdb::{
+        FrequentPatternMiner, Itemset, NaiveMiner, SupportThreshold,
+    };
+
+    fn fixture() -> TransactionDb {
+        TransactionDb::from_itemsets((0..80u32).map(|i| {
+            Itemset::from_values(&[i % 16, (i + 1) % 16, (i * 3) % 16])
+        }))
+    }
+
+    fn family(db: &TransactionDb) -> TieredBbs {
+        let mut io = IoStats::new();
+        TieredBbs::build(
+            db,
+            &[64, 128, 256],
+            Arc::new(Md5BloomHasher::new(3)),
+            &mut io,
+        )
+    }
+
+    #[test]
+    fn tiers_are_width_sorted() {
+        let db = fixture();
+        let t = family(&db);
+        assert_eq!(t.len(), 3);
+        let widths: Vec<usize> = t.tiers().iter().map(|b| b.width()).collect();
+        assert_eq!(widths, vec![64, 128, 256]);
+    }
+
+    #[test]
+    fn select_picks_widest_fitting() {
+        let db = fixture();
+        let t = family(&db);
+        // 80 rows → 10 bytes/slice → tiers occupy 640 / 1280 / 2560 bytes.
+        assert_eq!(t.select(MemoryBudget::unlimited()).width(), 256);
+        assert_eq!(t.select(MemoryBudget::bytes(2000)).width(), 128);
+        assert_eq!(t.select(MemoryBudget::bytes(700)).width(), 64);
+        // Nothing fits: fall back to the narrowest.
+        assert_eq!(t.select(MemoryBudget::bytes(10)).width(), 64);
+    }
+
+    #[test]
+    fn storage_overhead_is_sum_of_tiers() {
+        let db = fixture();
+        let t = family(&db);
+        assert_eq!(t.storage_bytes(), 640 + 1280 + 2560);
+    }
+
+    #[test]
+    fn insert_maintains_every_tier() {
+        let db = fixture();
+        let mut t = family(&db);
+        let mut io = IoStats::new();
+        t.insert(
+            &Transaction::new(999, Itemset::from_values(&[1, 2])),
+            &mut io,
+        );
+        for tier in t.tiers() {
+            assert_eq!(tier.rows(), 81, "width {}", tier.width());
+            assert_eq!(tier.actual_singleton_count(bbs_tdb::ItemId(1)), 16);
+        }
+    }
+
+    #[test]
+    fn every_tier_mines_the_same_answer() {
+        let db = fixture();
+        let t = family(&db);
+        let threshold = SupportThreshold::Count(8);
+        let oracle = NaiveMiner::new().mine(&db, threshold).patterns;
+        for tier in t.tiers() {
+            let mut miner = BbsMiner::with_index(Scheme::Dfp, tier.clone());
+            let result = miner.mine(&db, threshold);
+            assert_eq!(
+                result.patterns.len(),
+                oracle.len(),
+                "width {}",
+                tier.width()
+            );
+        }
+    }
+
+    #[test]
+    fn native_tier_estimates_no_worse_than_fold() {
+        // The trade-off footnote 6 implies: a native small-width tier should
+        // not systematically overestimate more than a fold of the wide one
+        // down to the same width.  Compare total estimates over singletons.
+        let db = fixture();
+        let t = family(&db);
+        let wide = &t.tiers()[2];
+        let native_small = &t.tiers()[0];
+        let mut io = IoStats::new();
+        let folded = wide.fold(64, &mut io);
+        let mut native_total = 0u64;
+        let mut folded_total = 0u64;
+        for item in db.vocabulary() {
+            let s = Itemset::from_items(vec![item]);
+            native_total += native_small.est_count(&s, &mut io);
+            folded_total += folded.est_count(&s, &mut io);
+        }
+        assert!(
+            native_total <= folded_total,
+            "native {native_total} vs folded {folded_total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_widths_rejected() {
+        let db = fixture();
+        let mut io = IoStats::new();
+        TieredBbs::build(&db, &[64, 64], Arc::new(Md5BloomHasher::new(3)), &mut io);
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic workload generators for the BBS reproduction.
+//!
+//! * [`quest`] — the IBM Quest (Agrawal–Srikant) market-basket generator the
+//!   paper uses for every parameter-sweep experiment (§4, `T10.I10.D10K`).
+//! * [`weblog`] — the dynamic web-server-log workload of §4.8 (rotating hot
+//!   set, day-partitioned growth).
+//! * [`sampling`] — the Poisson / normal / exponential samplers both
+//!   generators need, implemented locally to keep dependencies minimal.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod quest;
+pub mod sampling;
+pub mod weblog;
+
+pub use quest::{generate_db, QuestConfig, QuestGenerator};
+pub use weblog::{DayBatch, WeblogConfig, WeblogGenerator};

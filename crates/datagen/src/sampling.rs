@@ -1,0 +1,165 @@
+//! Small statistical samplers used by the generators.
+//!
+//! The Agrawal–Srikant procedure needs Poisson, clipped-normal and
+//! exponential variates.  Rather than pulling in a distributions crate,
+//! these are implemented directly: Knuth's product method for Poisson
+//! (the means involved are ≤ ~50), Box–Muller for the normal, and inverse
+//! CDF for the exponential.
+
+use rand::Rng;
+
+/// Samples a Poisson variate with mean `lambda` (Knuth's method).
+///
+/// Suitable for the small means used in transaction-length sampling; cost is
+/// `O(lambda)` per draw.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Guard against pathological lambda: cap at a generous multiple.
+        if k > (lambda * 20.0 + 100.0) as u64 {
+            return k;
+        }
+    }
+}
+
+/// Samples a normal variate via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples a normal variate clipped to `[lo, hi]`.
+pub fn clipped_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+/// Samples an exponential variate with the given mean (inverse CDF).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "mean must be positive");
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+/// Draws an index in `0..weights.len()` proportionally to `weights`
+/// (cumulative table + binary search).
+///
+/// # Panics
+/// Panics if `cumulative` is empty or its last entry is not positive.
+pub fn pick_weighted<R: Rng + ?Sized>(rng: &mut R, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty cumulative table");
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let x = rng.random::<f64>() * total;
+    match cumulative.binary_search_by(|w| w.partial_cmp(&x).expect("no NaN weights")) {
+        Ok(i) => (i + 1).min(cumulative.len() - 1),
+        Err(i) => i.min(cumulative.len() - 1),
+    }
+}
+
+/// Builds a cumulative table from raw weights.
+pub fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w.max(0.0);
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBB5)
+    }
+
+    #[test]
+    fn poisson_mean_roughly_correct() {
+        let mut r = rng();
+        let n = 20_000;
+        for lambda in [0.5f64, 3.0, 10.0] {
+            let sum: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda * 0.1 + 0.1,
+                "lambda={lambda}, got mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn clipped_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = clipped_normal(&mut r, 0.5, 0.5, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn pick_weighted_follows_weights() {
+        let mut r = rng();
+        let cum = cumulative(&[1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[pick_weighted(&mut r, &cum)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight entry never drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cumulative_ignores_negative_weights() {
+        assert_eq!(cumulative(&[1.0, -5.0, 2.0]), vec![1.0, 1.0, 3.0]);
+    }
+}

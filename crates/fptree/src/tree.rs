@@ -1,0 +1,296 @@
+//! The FP-tree data structure (Han, Pei & Yin, SIGMOD 2000).
+
+use bbs_tdb::ItemId;
+use std::collections::HashMap;
+
+/// One node of an FP-tree.
+#[derive(Debug, Clone)]
+pub struct FpNode {
+    /// The item this node represents (meaningless for the root).
+    pub item: ItemId,
+    /// Number of transactions sharing this prefix path.
+    pub count: u64,
+    /// Parent node index (the root is its own parent).
+    pub parent: usize,
+    /// Children, keyed by item.
+    pub children: HashMap<ItemId, usize>,
+    /// Next node holding the same item (the header's node-link chain).
+    pub next: Option<usize>,
+}
+
+/// One header-table entry.
+#[derive(Debug, Clone)]
+pub struct HeaderEntry {
+    /// The item.
+    pub item: ItemId,
+    /// Total support of the item in the tree.
+    pub count: u64,
+    /// First node of the item's node-link chain.
+    pub head: Option<usize>,
+}
+
+/// An FP-tree: a prefix tree over frequency-ordered transactions plus a
+/// header table threading same-item nodes together.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    /// Header entries in *descending* support order (the f-list).
+    header: Vec<HeaderEntry>,
+    header_index: HashMap<ItemId, usize>,
+}
+
+/// Root node index.
+pub const ROOT: usize = 0;
+
+impl FpTree {
+    /// Creates a tree for the given frequent items with their total counts.
+    ///
+    /// `item_counts` must already be restricted to frequent items; it is
+    /// sorted here into the canonical f-list order (count descending, item
+    /// ascending as the tie-break).
+    pub fn new(mut item_counts: Vec<(ItemId, u64)>) -> Self {
+        item_counts.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let header: Vec<HeaderEntry> = item_counts
+            .into_iter()
+            .map(|(item, count)| HeaderEntry {
+                item,
+                count,
+                head: None,
+            })
+            .collect();
+        let header_index = header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.item, i))
+            .collect();
+        FpTree {
+            nodes: vec![FpNode {
+                item: ItemId(u32::MAX),
+                count: 0,
+                parent: ROOT,
+                children: HashMap::new(),
+                next: None,
+            }],
+            header,
+            header_index,
+        }
+    }
+
+    /// Number of nodes, including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The header table, descending support order.
+    pub fn header(&self) -> &[HeaderEntry] {
+        &self.header
+    }
+
+    /// A node by index.
+    pub fn node(&self, idx: usize) -> &FpNode {
+        &self.nodes[idx]
+    }
+
+    /// The f-list rank of an item, if it is frequent in this tree.
+    pub fn rank_of(&self, item: ItemId) -> Option<usize> {
+        self.header_index.get(&item).copied()
+    }
+
+    /// Filters a transaction's items down to this tree's frequent items and
+    /// orders them by f-list rank — the canonical insertion order.
+    pub fn order_items(&self, items: &[ItemId]) -> Vec<ItemId> {
+        let mut ranked: Vec<(usize, ItemId)> = items
+            .iter()
+            .filter_map(|&it| self.rank_of(it).map(|r| (r, it)))
+            .collect();
+        ranked.sort_unstable();
+        ranked.into_iter().map(|(_, it)| it).collect()
+    }
+
+    /// Inserts one frequency-ordered item path with a count (transactions
+    /// insert with count 1; conditional pattern bases with their path
+    /// counts).
+    pub fn insert_path(&mut self, ordered_items: &[ItemId], count: u64) {
+        let mut at = ROOT;
+        for &item in ordered_items {
+            if let Some(&child) = self.nodes[at].children.get(&item) {
+                self.nodes[child].count += count;
+                at = child;
+            } else {
+                let idx = self.nodes.len();
+                let header_slot = self.header_index[&item];
+                let next = self.header[header_slot].head.replace(idx);
+                self.nodes.push(FpNode {
+                    item,
+                    count,
+                    parent: at,
+                    children: HashMap::new(),
+                    next,
+                });
+                self.nodes[at].children.insert(item, idx);
+                at = idx;
+            }
+        }
+    }
+
+    /// Iterates the node-link chain of a header entry.
+    pub fn chain(&self, entry: &HeaderEntry) -> ChainIter<'_> {
+        ChainIter {
+            tree: self,
+            at: entry.head,
+        }
+    }
+
+    /// The items on the path from a node's parent up to (excluding) the
+    /// root, returned deepest-first.
+    pub fn prefix_path(&self, mut idx: usize) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        idx = self.nodes[idx].parent;
+        while idx != ROOT {
+            out.push(self.nodes[idx].item);
+            idx = self.nodes[idx].parent;
+        }
+        out
+    }
+
+    /// If the tree consists of a single path from the root, returns the
+    /// `(item, count)` sequence along it (top-down); otherwise `None`.
+    pub fn single_path(&self) -> Option<Vec<(ItemId, u64)>> {
+        let mut out = Vec::new();
+        let mut at = ROOT;
+        loop {
+            let node = &self.nodes[at];
+            match node.children.len() {
+                0 => return Some(out),
+                1 => {
+                    let (&item, &child) = node.children.iter().next().expect("one child");
+                    out.push((item, self.nodes[child].count));
+                    at = child;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Approximate heap bytes of the tree (nodes + header), used by the
+    /// memory-budget cost model.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * 96 + self.header.len() * 32
+    }
+}
+
+/// Iterator over a header entry's node-link chain.
+pub struct ChainIter<'a> {
+    tree: &'a FpTree,
+    at: Option<usize>,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let idx = self.at?;
+        self.at = self.tree.nodes[idx].next;
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(vals: &[u32]) -> Vec<ItemId> {
+        vals.iter().map(|&v| ItemId(v)).collect()
+    }
+
+    fn sample_tree() -> FpTree {
+        // Items with supports: 3→4, 1→3, 2→2.
+        let mut tree = FpTree::new(vec![(ItemId(1), 3), (ItemId(2), 2), (ItemId(3), 4)]);
+        // f-list order: 3, 1, 2.
+        tree.insert_path(&ids(&[3, 1, 2]), 1);
+        tree.insert_path(&ids(&[3, 1]), 1);
+        tree.insert_path(&ids(&[3, 1, 2]), 1);
+        tree.insert_path(&ids(&[3]), 1);
+        tree
+    }
+
+    #[test]
+    fn header_is_sorted_descending() {
+        let tree = sample_tree();
+        let order: Vec<u32> = tree.header().iter().map(|h| h.item.0).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+        assert_eq!(tree.rank_of(ItemId(3)), Some(0));
+        assert_eq!(tree.rank_of(ItemId(9)), None);
+    }
+
+    #[test]
+    fn shared_prefixes_compress() {
+        let tree = sample_tree();
+        // Root + one node per distinct prefix: 3, 3-1, 3-1-2 → 4 nodes.
+        assert_eq!(tree.node_count(), 4);
+        let h3 = &tree.header()[0];
+        let chain: Vec<usize> = tree.chain(h3).collect();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(tree.node(chain[0]).count, 4);
+    }
+
+    #[test]
+    fn order_items_filters_and_ranks() {
+        let tree = sample_tree();
+        assert_eq!(tree.order_items(&ids(&[2, 9, 3])), ids(&[3, 2]));
+        assert_eq!(tree.order_items(&ids(&[1, 2, 3])), ids(&[3, 1, 2]));
+        assert!(tree.order_items(&ids(&[7, 8])).is_empty());
+    }
+
+    #[test]
+    fn prefix_path_walks_to_root() {
+        let tree = sample_tree();
+        let h2 = tree
+            .header()
+            .iter()
+            .find(|h| h.item == ItemId(2))
+            .expect("item 2");
+        let node2 = tree.chain(h2).next().expect("one node for item 2");
+        assert_eq!(tree.prefix_path(node2), ids(&[1, 3]));
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let mut linear = FpTree::new(vec![(ItemId(1), 3), (ItemId(2), 2)]);
+        linear.insert_path(&ids(&[1, 2]), 2);
+        linear.insert_path(&ids(&[1]), 1);
+        assert_eq!(
+            linear.single_path(),
+            Some(vec![(ItemId(1), 3), (ItemId(2), 2)])
+        );
+        let branched = sample_tree();
+        // Node "3" has children {1} only; node "1" has child {2}; single
+        // path actually... 3 -> 1 -> 2 is a single chain here.
+        assert!(branched.single_path().is_some());
+        let mut forked = sample_tree();
+        forked.insert_path(&ids(&[1]), 1);
+        assert_eq!(forked.single_path(), None);
+    }
+
+    #[test]
+    fn empty_tree_is_single_empty_path() {
+        let tree = FpTree::new(vec![]);
+        assert_eq!(tree.single_path(), Some(vec![]));
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn chain_links_multiple_nodes() {
+        let mut tree = FpTree::new(vec![(ItemId(1), 3), (ItemId(2), 3)]);
+        tree.insert_path(&ids(&[1, 2]), 1);
+        tree.insert_path(&ids(&[2]), 2);
+        let h2 = tree
+            .header()
+            .iter()
+            .find(|h| h.item == ItemId(2))
+            .expect("item 2");
+        let counts: Vec<u64> = tree.chain(h2).map(|i| tree.node(i).count).collect();
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        assert_eq!(counts.len(), 2);
+    }
+}

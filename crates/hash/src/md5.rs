@@ -1,0 +1,243 @@
+//! MD5 message digest (RFC 1321), implemented from scratch.
+//!
+//! The BBS paper derives its Bloom-filter hash family from "four disjoint
+//! groups of bits from the 128-bit MD5 signature of the item name".  MD5 is
+//! long broken for cryptographic purposes, but that is irrelevant here: all
+//! the index needs is a cheap, well-mixed, deterministic hash, and using the
+//! same function as the paper keeps the reproduction faithful.
+
+/// Size of an MD5 digest in bytes.
+pub const DIGEST_LEN: usize = 16;
+
+/// A 128-bit MD5 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+const INIT: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
+
+/// Incremental MD5 hasher.
+///
+/// Feed bytes with [`Md5::update`], finish with [`Md5::finalize`].  The
+/// streaming interface lets the Bloom hash family extend a digest by
+/// re-hashing an item name concatenated with itself without allocating the
+/// concatenation.
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Md5::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Md5 {
+            state: INIT,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the running hash.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Completes the hash and returns the 128-bit digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: a single 0x80 byte, zeros to 56 mod 64, then the length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Append length without counting it in total_len bookkeeping
+        // (total_len is already captured in bit_len).
+        let mut block = self.buf;
+        block[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        self.compress(&block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot MD5 of a byte slice.
+pub fn md5(data: &[u8]) -> Digest {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Formats a digest as the conventional lowercase hex string.
+pub fn to_hex(digest: &Digest) -> String {
+    let mut s = String::with_capacity(32);
+    for b in digest {
+        use std::fmt::Write;
+        write!(s, "{b:02x}").expect("writing to String cannot fail");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // RFC 1321 Appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: [(&str, &str); 7] = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(to_hex(&md5(input.as_bytes())), expect, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog, repeatedly";
+        let whole = md5(data);
+        for split in [0, 1, 7, 32, 55, data.len()] {
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths around the 64-byte block and 56-byte padding boundaries are
+        // the classic MD5 off-by-one traps.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xABu8; len];
+            let d1 = md5(&data);
+            let mut h = Md5::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn known_56_byte_digest() {
+        // 56 bytes of 'A': cross-checked against coreutils md5sum.
+        let data = [b'A'; 56];
+        assert_eq!(to_hex(&md5(&data)), "a2f3e2024931bd470555002aa5ccc010");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..300),
+                                         split in 0usize..300) {
+            let split = split.min(data.len());
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), md5(&data));
+        }
+
+        #[test]
+        fn prop_distinct_inputs_distinct_digests(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            prop_assume!(a != b);
+            prop_assert_ne!(md5(&a.to_le_bytes()), md5(&b.to_le_bytes()));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Ad-hoc queries answered entirely from disk (§4.9 without a load phase).
+//!
+//! The in-memory [`bbs_core::AdhocEngine`] assumes the index and database
+//! are resident.  This engine answers the same queries straight off the
+//! files: the estimate comes from [`DiskBbs::count_itemset`] (reading only
+//! the selected slices' pages through the cache), and the exact count
+//! probes the heap file for just the nominated rows.  Nothing is ever
+//! loaded wholesale — the working set is the query's slices plus the
+//! candidate rows' pages.
+
+use crate::diskbbs::DiskDeployment;
+use bbs_bitslice::BitVec;
+use bbs_tdb::Itemset;
+use std::io;
+
+/// Per-query work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskQueryStats {
+    /// The BBS estimate computed for the query.
+    pub estimate: u64,
+    /// Rows fetched from the heap file.
+    pub rows_probed: u64,
+}
+
+/// Ad-hoc query engine over a [`DiskDeployment`].
+pub struct DiskAdhocEngine<'a> {
+    deployment: &'a mut DiskDeployment,
+}
+
+impl<'a> DiskAdhocEngine<'a> {
+    /// Wraps a deployment.
+    pub fn new(deployment: &'a mut DiskDeployment) -> Self {
+        DiskAdhocEngine { deployment }
+    }
+
+    /// Upper-bound estimate of a pattern's support (slice pages only).
+    pub fn estimate(&mut self, items: &Itemset) -> io::Result<u64> {
+        self.deployment.index.count_itemset(items)
+    }
+
+    /// Exact support: estimate, materialise the candidate rows, fetch and
+    /// verify each against the heap file.
+    pub fn count(&mut self, items: &Itemset) -> io::Result<(u64, DiskQueryStats)> {
+        let candidates = self.candidate_rows(items)?;
+        let mut stats = DiskQueryStats {
+            estimate: candidates.count_ones() as u64,
+            rows_probed: 0,
+        };
+        let mut actual = 0u64;
+        for row in candidates.iter_ones() {
+            stats.rows_probed += 1;
+            let txn = self.deployment.db.get(row as u64)?;
+            if items.is_subset_of(&txn.items) {
+                actual += 1;
+            }
+        }
+        Ok((actual, stats))
+    }
+
+    /// Exact support among the rows selected by a constraint slice (§3.4):
+    /// the slice ANDs into the candidate rows before probing, exactly like
+    /// the in-memory engine's constrained path.
+    pub fn count_constrained(
+        &mut self,
+        items: &Itemset,
+        constraint: &BitVec,
+    ) -> io::Result<(u64, DiskQueryStats)> {
+        let mut candidates = self.candidate_rows(items)?;
+        candidates.and_assign(constraint);
+        let mut stats = DiskQueryStats {
+            estimate: candidates.count_ones() as u64,
+            rows_probed: 0,
+        };
+        let mut actual = 0u64;
+        for row in candidates.iter_ones() {
+            stats.rows_probed += 1;
+            let txn = self.deployment.db.get(row as u64)?;
+            if items.is_subset_of(&txn.items) {
+                actual += 1;
+            }
+        }
+        Ok((actual, stats))
+    }
+
+    /// Whether a pattern reaches an absolute threshold, with the Lemma-4
+    /// short-circuit: an estimate below τ settles "no" from slices alone.
+    pub fn is_frequent(&mut self, items: &Itemset, tau: u64) -> io::Result<bool> {
+        if self.estimate(items)? < tau {
+            return Ok(false);
+        }
+        Ok(self.count(items)?.0 >= tau)
+    }
+
+    /// The AND-result rows for a query, assembled from the on-disk slices.
+    fn candidate_rows(&mut self, items: &Itemset) -> io::Result<BitVec> {
+        let index = &mut self.deployment.index;
+        let rows = index.rows() as usize;
+        let positions = index.query_positions(items);
+        if positions.is_empty() {
+            return Ok(BitVec::ones(rows));
+        }
+        let mut acc = index.load_slice(positions[0])?;
+        acc.grow_to(rows);
+        for &p in &positions[1..] {
+            let slice = index.load_slice(p)?;
+            acc.and_assign(&slice);
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_hash::Md5BloomHasher;
+    use bbs_tdb::TransactionDb;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn base(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_diskadhoc_{}_{}", std::process::id(), name));
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            DiskDeployment::remove_files(&self.0).ok();
+        }
+    }
+
+    fn fixture(name: &str) -> (DiskDeployment, TransactionDb, Cleanup) {
+        let b = base(name);
+        let cleanup = Cleanup(b.clone());
+        let db = bbs_datagen::generate_db(bbs_datagen::QuestConfig::tiny());
+        let mut dep =
+            DiskDeployment::open(&b, 96, Arc::new(Md5BloomHasher::new(3)), 512).expect("open");
+        for t in db.transactions() {
+            dep.append(t).expect("append");
+        }
+        (dep, db, cleanup)
+    }
+
+    #[test]
+    fn exact_counts_match_full_scan() {
+        let (mut dep, db, _g) = fixture("exact");
+        let mut engine = DiskAdhocEngine::new(&mut dep);
+        let queries: Vec<Itemset> = db
+            .transactions()
+            .iter()
+            .step_by(40)
+            .map(|t| {
+                Itemset::from_items(t.items.items().iter().take(2).copied().collect())
+            })
+            .collect();
+        for q in &queries {
+            let (count, stats) = engine.count(q).expect("count");
+            let truth = db
+                .transactions()
+                .iter()
+                .filter(|t| q.is_subset_of(&t.items))
+                .count() as u64;
+            assert_eq!(count, truth, "{q:?}");
+            assert!(stats.estimate >= truth, "{q:?}");
+            assert_eq!(stats.rows_probed, stats.estimate, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn is_frequent_short_circuits() {
+        let (mut dep, db, _g) = fixture("freq");
+        let mut engine = DiskAdhocEngine::new(&mut dep);
+        // A pattern of two items that never co-occur: estimate may still
+        // exceed zero, but correctness must hold either way.
+        let q = Itemset::from_values(&[0, 1]);
+        let truth = db
+            .transactions()
+            .iter()
+            .filter(|t| q.is_subset_of(&t.items))
+            .count() as u64;
+        assert_eq!(
+            engine.is_frequent(&q, truth.max(1)).expect("is_frequent"),
+            truth >= truth.max(1)
+        );
+        assert!(!engine.is_frequent(&q, db.len() as u64 + 1).expect("is_frequent"));
+    }
+
+    #[test]
+    fn constrained_count_matches_filtered_scan() {
+        let (mut dep, db, _g) = fixture("constrained");
+        // Constraint: even rows only.
+        let mut constraint = BitVec::zeros(db.len());
+        for i in (0..db.len()).step_by(2) {
+            constraint.set(i);
+        }
+        let mut engine = DiskAdhocEngine::new(&mut dep);
+        for q in [&[0u32][..], &[1, 2], &[5]] {
+            let items = Itemset::from_values(q);
+            let (got, _) = engine.count_constrained(&items, &constraint).expect("count");
+            let expect = db
+                .transactions()
+                .iter()
+                .enumerate()
+                .filter(|(i, t)| i % 2 == 0 && items.is_subset_of(&t.items))
+                .count() as u64;
+            assert_eq!(got, expect, "{items:?}");
+        }
+    }
+
+    #[test]
+    fn empty_query_counts_every_row() {
+        let (mut dep, db, _g) = fixture("empty");
+        let mut engine = DiskAdhocEngine::new(&mut dep);
+        let (count, _) = engine.count(&Itemset::empty()).expect("count");
+        assert_eq!(count, db.len() as u64);
+    }
+}

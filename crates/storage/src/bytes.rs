@@ -1,0 +1,97 @@
+//! Byte-granular access on top of the page cache: reads and writes at
+//! arbitrary file offsets, transparently spanning page boundaries.
+
+use crate::cache::PageCache;
+use crate::pager::{PageId, PAGE_SIZE};
+use std::io;
+
+/// Reads `out.len()` bytes starting at byte `offset`.
+pub fn read_bytes(cache: &mut PageCache, mut offset: u64, mut out: &mut [u8]) -> io::Result<()> {
+    while !out.is_empty() {
+        let page = PageId(offset / PAGE_SIZE as u64);
+        let within = (offset % PAGE_SIZE as u64) as usize;
+        let take = out.len().min(PAGE_SIZE - within);
+        let (head, rest) = out.split_at_mut(take);
+        cache.read_at(page, within, head)?;
+        out = rest;
+        offset += take as u64;
+    }
+    Ok(())
+}
+
+/// Writes `data` starting at byte `offset`.
+pub fn write_bytes(cache: &mut PageCache, mut offset: u64, mut data: &[u8]) -> io::Result<()> {
+    while !data.is_empty() {
+        let page = PageId(offset / PAGE_SIZE as u64);
+        let within = (offset % PAGE_SIZE as u64) as usize;
+        let take = data.len().min(PAGE_SIZE - within);
+        cache.write_at(page, within, &data[..take])?;
+        data = &data[take..];
+        offset += take as u64;
+    }
+    Ok(())
+}
+
+/// Reads a little-endian `u64` at `offset`.
+pub fn read_u64(cache: &mut PageCache, offset: u64) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    read_bytes(cache, offset, &mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a little-endian `u64` at `offset`.
+pub fn write_u64(cache: &mut PageCache, offset: u64, v: u64) -> io::Result<()> {
+    write_bytes(cache, offset, &v.to_le_bytes())
+}
+
+/// Reads a little-endian `u32` at `offset`.
+pub fn read_u32(cache: &mut PageCache, offset: u64) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    read_bytes(cache, offset, &mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes a little-endian `u32` at `offset`.
+pub fn write_u32(cache: &mut PageCache, offset: u64, v: u32) -> io::Result<()> {
+    write_bytes(cache, offset, &v.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+
+    fn cache(name: &str) -> (PageCache, std::path::PathBuf) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_bytes_{}_{}", std::process::id(), name));
+        let pager = Pager::open(&p).expect("open");
+        (PageCache::new(pager, 4), p)
+    }
+
+    #[test]
+    fn cross_page_roundtrip() {
+        let (mut c, path) = cache("cross");
+        let data: Vec<u8> = (0..(PAGE_SIZE * 2 + 100)).map(|i| (i % 251) as u8).collect();
+        write_bytes(&mut c, (PAGE_SIZE - 50) as u64, &data).expect("write");
+        let mut got = vec![0u8; data.len()];
+        read_bytes(&mut c, (PAGE_SIZE - 50) as u64, &mut got).expect("read");
+        assert_eq!(got, data);
+        drop(c);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn integer_helpers() {
+        let (mut c, path) = cache("ints");
+        // Place a u64 straddling the first page boundary.
+        write_u64(&mut c, (PAGE_SIZE - 3) as u64, 0xDEAD_BEEF_CAFE_F00D).expect("write");
+        write_u32(&mut c, 0, 77).expect("write");
+        assert_eq!(
+            read_u64(&mut c, (PAGE_SIZE - 3) as u64).expect("read"),
+            0xDEAD_BEEF_CAFE_F00D
+        );
+        assert_eq!(read_u32(&mut c, 0).expect("read"), 77);
+        drop(c);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,274 @@
+//! A bounded LRU page cache over a [`Pager`].
+//!
+//! This is what turns the paper's memory axis (Fig. 11) into real
+//! behaviour: a mining run against disk-backed structures sees hits while
+//! its working set fits the cache and physical reads once it does not.
+
+use crate::pager::{PageBuf, PageId, Pager, PAGE_SIZE};
+use std::collections::HashMap;
+use std::io;
+
+/// Cache hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from memory.
+    pub hits: u64,
+    /// Requests that required a physical read.
+    pub misses: u64,
+    /// Pages evicted (dirty evictions force a physical write).
+    pub evictions: u64,
+}
+
+struct Frame {
+    buf: PageBuf,
+    dirty: bool,
+    /// Monotonic last-use stamp for LRU.
+    last_used: u64,
+}
+
+/// An LRU page cache with a fixed capacity in pages.
+pub struct PageCache {
+    pager: Pager,
+    frames: HashMap<PageId, Frame>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// Wraps a pager with a cache of `capacity` pages (min 1).
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        PageCache {
+            pager,
+            frames: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Physical I/O counters of the underlying pager.
+    pub fn pager_stats(&self) -> crate::pager::PagerStats {
+        self.pager.stats()
+    }
+
+    /// Number of pages in the backing file.
+    pub fn page_count(&self) -> u64 {
+        self.pager.page_count()
+    }
+
+    fn touch(&mut self, id: PageId) {
+        self.tick += 1;
+        if let Some(f) = self.frames.get_mut(&id) {
+            f.last_used = self.tick;
+        }
+    }
+
+    fn ensure_resident(&mut self, id: PageId) -> io::Result<()> {
+        if self.frames.contains_key(&id) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            self.evict_if_full()?;
+            let buf = self.pager.read_page(id)?;
+            self.frames.insert(
+                id,
+                Frame {
+                    buf,
+                    dirty: false,
+                    last_used: 0,
+                },
+            );
+        }
+        self.touch(id);
+        Ok(())
+    }
+
+    fn evict_if_full(&mut self) -> io::Result<()> {
+        while self.frames.len() >= self.capacity {
+            let victim = *self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| id)
+                .expect("non-empty cache");
+            let frame = self.frames.remove(&victim).expect("present");
+            if frame.dirty {
+                self.pager.write_page(victim, &frame.buf)?;
+            }
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads bytes from a page through the cache.
+    ///
+    /// # Panics
+    /// Panics if `offset + out.len()` exceeds the page size.
+    pub fn read_at(&mut self, id: PageId, offset: usize, out: &mut [u8]) -> io::Result<()> {
+        assert!(offset + out.len() <= PAGE_SIZE, "read crosses page boundary");
+        self.ensure_resident(id)?;
+        let frame = self.frames.get(&id).expect("resident");
+        out.copy_from_slice(&frame.buf[offset..offset + out.len()]);
+        Ok(())
+    }
+
+    /// Writes bytes into a page through the cache (write-back).
+    ///
+    /// # Panics
+    /// Panics if `offset + data.len()` exceeds the page size.
+    pub fn write_at(&mut self, id: PageId, offset: usize, data: &[u8]) -> io::Result<()> {
+        assert!(
+            offset + data.len() <= PAGE_SIZE,
+            "write crosses page boundary"
+        );
+        self.ensure_resident(id)?;
+        let frame = self.frames.get_mut(&id).expect("resident");
+        frame.buf[offset..offset + data.len()].copy_from_slice(data);
+        frame.dirty = true;
+        Ok(())
+    }
+
+    /// Runs a closure over a page's bytes without copying them out.
+    pub fn with_page<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> io::Result<R> {
+        self.ensure_resident(id)?;
+        Ok(f(&self.frames.get(&id).expect("resident").buf))
+    }
+
+    /// Writes all dirty pages back and syncs the file.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let mut dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        for id in dirty {
+            let frame = self.frames.get_mut(&id).expect("present");
+            self.pager.write_page(id, &frame.buf)?;
+            frame.dirty = false;
+        }
+        self.pager.sync()
+    }
+}
+
+impl Drop for PageCache {
+    fn drop(&mut self) {
+        // Best-effort write-back; errors on drop cannot be reported.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_cache_{}_{}", std::process::id(), name));
+        p
+    }
+
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
+    fn cache(name: &str, capacity: usize) -> (PageCache, Cleanup) {
+        let path = temp(name);
+        let cleanup = Cleanup(path.clone());
+        let pager = Pager::open(&path).expect("open");
+        (PageCache::new(pager, capacity), cleanup)
+    }
+
+    #[test]
+    fn read_own_writes() {
+        let (mut c, _g) = cache("rw", 4);
+        c.write_at(PageId(0), 10, b"hello").expect("write");
+        let mut buf = [0u8; 5];
+        c.read_at(PageId(0), 10, &mut buf).expect("read");
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let (mut c, _g) = cache("hitmiss", 4);
+        let mut buf = [0u8; 1];
+        c.read_at(PageId(0), 0, &mut buf).expect("read");
+        c.read_at(PageId(0), 1, &mut buf).expect("read");
+        c.read_at(PageId(1), 0, &mut buf).expect("read");
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (mut c, _g) = cache("lru", 2);
+        let mut buf = [0u8; 1];
+        c.read_at(PageId(0), 0, &mut buf).expect("read"); // miss
+        c.read_at(PageId(1), 0, &mut buf).expect("read"); // miss
+        c.read_at(PageId(0), 0, &mut buf).expect("read"); // hit, 0 is MRU
+        c.read_at(PageId(2), 0, &mut buf).expect("read"); // miss, evicts 1
+        assert_eq!(c.stats().evictions, 1);
+        c.read_at(PageId(0), 0, &mut buf).expect("read"); // still cached
+        assert_eq!(c.stats().hits, 2);
+        c.read_at(PageId(1), 0, &mut buf).expect("read"); // miss again
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn dirty_eviction_persists_data() {
+        let (mut c, _g) = cache("dirty", 1);
+        c.write_at(PageId(0), 0, b"persist-me").expect("write");
+        // Touching another page evicts page 0, forcing the write-back.
+        let mut buf = [0u8; 1];
+        c.read_at(PageId(5), 0, &mut buf).expect("read");
+        assert_eq!(c.pager_stats().writes, 1);
+        // Reading page 0 again fetches the persisted bytes.
+        let mut got = [0u8; 10];
+        c.read_at(PageId(0), 0, &mut got).expect("read");
+        assert_eq!(&got, b"persist-me");
+    }
+
+    #[test]
+    fn flush_then_reopen() {
+        let path = temp("flush_reopen");
+        let _g = Cleanup(path.clone());
+        {
+            let pager = Pager::open(&path).expect("open");
+            let mut c = PageCache::new(pager, 4);
+            c.write_at(PageId(1), 0, b"durable").expect("write");
+            c.flush().expect("flush");
+        }
+        let pager = Pager::open(&path).expect("reopen");
+        let mut c = PageCache::new(pager, 4);
+        let mut got = [0u8; 7];
+        c.read_at(PageId(1), 0, &mut got).expect("read");
+        assert_eq!(&got, b"durable");
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses page boundary")]
+    fn cross_page_read_panics() {
+        let (mut c, _g) = cache("cross", 2);
+        let mut buf = [0u8; 8];
+        c.read_at(PageId(0), PAGE_SIZE - 4, &mut buf).expect("read");
+    }
+}

@@ -1,0 +1,399 @@
+//! The durable BBS: a slice file plus persisted exact 1-itemset counts.
+//!
+//! This is the paper's "dynamic and persistent data structure" made
+//! literal: the index lives on disk next to the database, transactions
+//! append to it incrementally (no reconstruction, ever), and a mining run
+//! either loads it into memory once (the memory-resident mode of §4) or
+//! queries it in place through the page cache.
+
+use crate::heapfile::HeapFile;
+use crate::slicefile::SliceFile;
+use bbs_core::Bbs;
+use bbs_hash::ItemHasher;
+use bbs_tdb::{ItemId, Itemset, Transaction};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const CNT_MAGIC: &[u8; 8] = b"BBSCNTS1";
+
+/// A disk-backed BBS index.
+pub struct DiskBbs {
+    slices: SliceFile,
+    counts_path: PathBuf,
+    hasher: Arc<dyn ItemHasher>,
+    item_counts: HashMap<ItemId, u64>,
+    /// Cached deduplicated positions per item.
+    positions: HashMap<ItemId, Vec<usize>>,
+}
+
+fn slice_path(base: &Path) -> PathBuf {
+    base.with_extension("slices")
+}
+
+fn counts_path(base: &Path) -> PathBuf {
+    base.with_extension("counts")
+}
+
+impl DiskBbs {
+    /// Opens (creating if absent) a durable index at `<base>.slices` /
+    /// `<base>.counts` with the given slice-cache size in pages.
+    pub fn open(
+        base: &Path,
+        width: usize,
+        hasher: Arc<dyn ItemHasher>,
+        cache_pages: usize,
+    ) -> io::Result<Self> {
+        let slices = SliceFile::open(&slice_path(base), width, cache_pages)?;
+        let counts_path = counts_path(base);
+        let item_counts = if counts_path.exists() {
+            read_counts(&counts_path)?
+        } else {
+            HashMap::new()
+        };
+        Ok(DiskBbs {
+            slices,
+            counts_path,
+            hasher,
+            item_counts,
+            positions: HashMap::new(),
+        })
+    }
+
+    /// Signature width `m`.
+    pub fn width(&self) -> usize {
+        self.slices.width()
+    }
+
+    /// Number of indexed transactions.
+    pub fn rows(&self) -> u64 {
+        self.slices.rows()
+    }
+
+    /// Slice-cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.slices.cache_stats()
+    }
+
+    fn positions_of(&mut self, item: ItemId) -> Vec<usize> {
+        if let Some(p) = self.positions.get(&item) {
+            return p.clone();
+        }
+        let mut v = self.hasher.positions_vec(item.value(), self.slices.width());
+        v.sort_unstable();
+        v.dedup();
+        self.positions.insert(item, v.clone());
+        v
+    }
+
+    fn positions_of_itemset(&mut self, items: &Itemset) -> Vec<usize> {
+        let mut all = Vec::new();
+        for &item in items.items() {
+            all.extend(self.positions_of(item));
+        }
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Appends one transaction to the index.
+    pub fn append(&mut self, txn: &Transaction) -> io::Result<u64> {
+        let positions = self.positions_of_itemset(&txn.items);
+        let row = self.slices.append_row(&positions)?;
+        for &item in txn.items.items() {
+            *self.item_counts.entry(item).or_insert(0) += 1;
+        }
+        Ok(row)
+    }
+
+    /// Exact support of a 1-itemset.
+    pub fn actual_singleton_count(&self, item: ItemId) -> u64 {
+        self.item_counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// `CountItemSet` directly against the disk layout, through the page
+    /// cache (the in-place query mode — no full load required).
+    pub fn count_itemset(&mut self, items: &Itemset) -> io::Result<u64> {
+        let positions = self.positions_of_itemset(items);
+        self.slices.count_selected(&positions)
+    }
+
+    /// The deduplicated slice positions a query itemset selects.
+    pub fn query_positions(&mut self, items: &Itemset) -> Vec<usize> {
+        self.positions_of_itemset(items)
+    }
+
+    /// Loads one slice as an in-memory bit vector (through the cache).
+    pub fn load_slice(&mut self, slice: usize) -> io::Result<bbs_bitslice::BitVec> {
+        self.slices.load_slice(slice)
+    }
+
+    /// Loads the index into memory as a [`bbs_core::Bbs`] — the paper's
+    /// memory-resident mode: one sequential pass over the slice file, then
+    /// every `CountItemSet` is a RAM operation.
+    pub fn load(&mut self) -> io::Result<Bbs> {
+        let width = self.slices.width();
+        let rows = self.slices.rows() as usize;
+        let mut slices = Vec::with_capacity(width);
+        for j in 0..width {
+            slices.push(self.slices.load_slice(j)?);
+        }
+        let counts: Vec<(ItemId, u64)> =
+            self.item_counts.iter().map(|(&i, &c)| (i, c)).collect();
+        Bbs::from_raw_parts(Arc::clone(&self.hasher), width, rows, slices, counts)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Flushes slices and persists the item counts.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.slices.flush()?;
+        write_counts(&self.counts_path, &self.item_counts)
+    }
+
+    /// Removes the index's backing files (tests and tooling).
+    pub fn remove_files(base: &Path) -> io::Result<()> {
+        std::fs::remove_file(slice_path(base)).ok();
+        std::fs::remove_file(counts_path(base)).ok();
+        Ok(())
+    }
+}
+
+fn write_counts(path: &Path, counts: &HashMap<ItemId, u64>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(CNT_MAGIC)?;
+    f.write_all(&(counts.len() as u64).to_le_bytes())?;
+    let mut sorted: Vec<(&ItemId, &u64)> = counts.iter().collect();
+    sorted.sort_unstable();
+    for (item, count) in sorted {
+        f.write_all(&item.0.to_le_bytes())?;
+        f.write_all(&count.to_le_bytes())?;
+    }
+    f.flush()
+}
+
+fn read_counts(path: &Path) -> io::Result<HashMap<ItemId, u64>> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != CNT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a BBS counts file",
+        ));
+    }
+    let mut n8 = [0u8; 8];
+    f.read_exact(&mut n8)?;
+    let n = u64::from_le_bytes(n8) as usize;
+    let mut out = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let mut item = [0u8; 4];
+        let mut count = [0u8; 8];
+        f.read_exact(&mut item)?;
+        f.read_exact(&mut count)?;
+        out.insert(ItemId(u32::from_le_bytes(item)), u64::from_le_bytes(count));
+    }
+    Ok(out)
+}
+
+/// A complete durable deployment: the transaction heap file and its BBS
+/// index, kept row-aligned by construction.
+pub struct DiskDeployment {
+    /// The transaction database.
+    pub db: HeapFile,
+    /// The index.
+    pub index: DiskBbs,
+}
+
+impl DiskDeployment {
+    /// Opens (creating if absent) a deployment at `<base>.*`.
+    pub fn open(
+        base: &Path,
+        width: usize,
+        hasher: Arc<dyn ItemHasher>,
+        cache_pages: usize,
+    ) -> io::Result<Self> {
+        let db = HeapFile::open(base, cache_pages, cache_pages.div_ceil(4).max(2))?;
+        let index = DiskBbs::open(base, width, hasher, cache_pages)?;
+        if db.len() != index.rows() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "database has {} rows but index has {} — files out of sync",
+                    db.len(),
+                    index.rows()
+                ),
+            ));
+        }
+        Ok(DiskDeployment { db, index })
+    }
+
+    /// Appends one transaction to both structures.
+    pub fn append(&mut self, txn: &Transaction) -> io::Result<u64> {
+        let row = self.db.append(txn)?;
+        let irow = self.index.append(txn)?;
+        debug_assert_eq!(row, irow);
+        Ok(row)
+    }
+
+    /// Flushes everything.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.db.flush()?;
+        self.index.flush()
+    }
+
+    /// Removes all backing files.
+    pub fn remove_files(base: &Path) -> io::Result<()> {
+        HeapFile::remove_files(base).ok();
+        DiskBbs::remove_files(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_core::{BbsMiner, Scheme};
+    use bbs_hash::Md5BloomHasher;
+    use bbs_tdb::{FrequentPatternMiner, IoStats, NaiveMiner, SupportThreshold};
+
+    fn base(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_diskbbs_{}_{}", std::process::id(), name));
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            DiskDeployment::remove_files(&self.0).ok();
+        }
+    }
+
+    fn txn(tid: u64, items: &[u32]) -> Transaction {
+        Transaction::new(tid, Itemset::from_values(items))
+    }
+
+    fn hasher() -> Arc<dyn ItemHasher> {
+        Arc::new(Md5BloomHasher::new(4))
+    }
+
+    #[test]
+    fn disk_count_matches_memory_count() {
+        let b = base("counts");
+        let _g = Cleanup(b.clone());
+        let mut dep = DiskDeployment::open(&b, 64, hasher(), 256).expect("open");
+        let txns = vec![
+            txn(1, &[1, 2, 3]),
+            txn(2, &[2, 3]),
+            txn(3, &[1, 3, 9]),
+            txn(4, &[1, 2]),
+        ];
+        for t in &txns {
+            dep.append(t).expect("append");
+        }
+        let mem = dep.index.load().expect("load");
+        let mut io = IoStats::new();
+        for q in [&[1u32][..], &[2, 3], &[1, 2, 3], &[9], &[7]] {
+            let items = Itemset::from_values(q);
+            assert_eq!(
+                dep.index.count_itemset(&items).expect("disk count"),
+                mem.est_count(&items, &mut io),
+                "{items:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn survives_restart_and_keeps_appending() {
+        let b = base("restart");
+        let _g = Cleanup(b.clone());
+        {
+            let mut dep = DiskDeployment::open(&b, 64, hasher(), 256).expect("open");
+            dep.append(&txn(1, &[1, 2])).expect("append");
+            dep.append(&txn(2, &[2, 3])).expect("append");
+            dep.flush().expect("flush");
+        }
+        // "Restart": reopen from the files alone.
+        let mut dep = DiskDeployment::open(&b, 64, hasher(), 256).expect("reopen");
+        assert_eq!(dep.db.len(), 2);
+        assert_eq!(dep.index.rows(), 2);
+        assert_eq!(dep.index.actual_singleton_count(ItemId(2)), 2);
+        dep.append(&txn(3, &[1, 2, 3])).expect("append");
+        assert_eq!(
+            dep.index
+                .count_itemset(&Itemset::from_values(&[1, 2]))
+                .expect("count"),
+            2
+        );
+    }
+
+    #[test]
+    fn mining_from_disk_matches_oracle() {
+        let b = base("mine");
+        let _g = Cleanup(b.clone());
+        let quest = bbs_datagen::QuestConfig::tiny();
+        let source = bbs_datagen::generate_db(quest);
+        let mut dep = DiskDeployment::open(&b, 128, hasher(), 1024).expect("open");
+        for t in source.transactions() {
+            dep.append(t).expect("append");
+        }
+        dep.flush().expect("flush");
+
+        // Load both structures back and mine.
+        let db = dep.db.load().expect("load db");
+        let bbs = dep.index.load().expect("load index");
+        let threshold = SupportThreshold::percent(5.0);
+        let result = BbsMiner::with_index(Scheme::Dfp, bbs).mine(&db, threshold);
+        let oracle = NaiveMiner::new().mine(&source, threshold).patterns;
+        assert_eq!(result.patterns.len(), oracle.len());
+        for (items, support) in result.patterns.iter() {
+            let truth = oracle.support(items).expect("pattern in oracle");
+            if result.approx_supports.contains(items) {
+                assert!(support >= truth);
+            } else {
+                assert_eq!(support, truth, "{items:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_sync_files_are_rejected() {
+        let b = base("oos");
+        let _g = Cleanup(b.clone());
+        {
+            let mut dep = DiskDeployment::open(&b, 64, hasher(), 64).expect("open");
+            dep.append(&txn(1, &[1])).expect("append");
+            dep.flush().expect("flush");
+        }
+        {
+            // Append to the heap file only, bypassing the index.
+            let mut heap = HeapFile::open(&b, 64, 4).expect("open heap");
+            heap.append(&txn(2, &[2])).expect("append");
+            heap.flush().expect("flush");
+        }
+        assert!(DiskDeployment::open(&b, 64, hasher(), 64).is_err());
+    }
+
+    #[test]
+    fn in_place_counting_under_tiny_cache() {
+        let b = base("tinycache");
+        let _g = Cleanup(b.clone());
+        // Cache of 4 pages over a 64-slice file: every count evicts.
+        let mut dep = DiskDeployment::open(&b, 64, hasher(), 4).expect("open");
+        for i in 0..500 {
+            dep.append(&txn(i, &[(i % 40) as u32, ((i * 7) % 40) as u32]))
+                .expect("append");
+        }
+        let mem = dep.index.load().expect("load");
+        let mut io = IoStats::new();
+        for v in 0..40u32 {
+            let items = Itemset::from_values(&[v]);
+            assert_eq!(
+                dep.index.count_itemset(&items).expect("count"),
+                mem.est_count(&items, &mut io),
+                "item {v}"
+            );
+        }
+        assert!(dep.index.cache_stats().evictions > 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Durable storage for the BBS reproduction.
+//!
+//! The paper's structures are disk files: the database is scanned or probed
+//! through a positional index, and the BBS itself "is stored as slices".
+//! This crate provides that layer for real:
+//!
+//! * [`pager`] — fixed-size page I/O over a file, with physical counters;
+//! * [`cache`] — a bounded LRU page cache (write-back, dirty eviction);
+//! * [`bytes`] — byte-granular access spanning page boundaries;
+//! * [`heapfile`] — the append-only transaction store + positional index
+//!   (§3.2's probe index);
+//! * [`slicefile`] — the chunk-major on-disk slice file: `CountItemSet`
+//!   reads only the selected slices' pages;
+//! * [`diskbbs`] — the durable index ([`DiskBbs`]) and a row-aligned
+//!   database+index pair ([`DiskDeployment`]): append incrementally,
+//!   survive restarts, load to memory to mine, or count in place through
+//!   the cache;
+//! * [`adhoc`] — §4.9's ad-hoc queries answered entirely from the files
+//!   (slice-page estimates + heap-file probes, no load phase).
+//!
+//! The in-memory crates stay the mining substrate; this crate feeds them
+//! ([`HeapFile::load`] → `TransactionDb`, [`DiskBbs::load`] → `Bbs`) and
+//! makes the paper's persistence claims mechanically checkable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adhoc;
+pub mod bytes;
+pub mod cache;
+pub mod diskbbs;
+pub mod heapfile;
+pub mod pager;
+pub mod slicefile;
+
+pub use adhoc::{DiskAdhocEngine, DiskQueryStats};
+pub use cache::{CacheStats, PageCache};
+pub use diskbbs::{DiskBbs, DiskDeployment};
+pub use heapfile::HeapFile;
+pub use pager::{PageId, Pager, PagerStats, PAGE_SIZE};
+pub use slicefile::{SliceFile, CHUNK_ROWS};

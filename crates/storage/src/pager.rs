@@ -1,0 +1,207 @@
+//! Page-granular file access.
+//!
+//! Every durable structure in this crate — the transaction heap file, its
+//! positional index, and the BBS slice file — talks to its backing file
+//! exclusively through a [`Pager`]: fixed-size pages, explicit read/write,
+//! and physical-I/O counters that the cache layer exposes upward.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Page size in bytes.  4 KiB matches the simulated cost model in
+/// `bbs-tdb` so disk-backed and in-memory ledgers are comparable.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A page number within one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+/// One page worth of bytes.
+pub type PageBuf = Box<[u8; PAGE_SIZE]>;
+
+/// Allocates a zeroed page buffer.
+pub fn zeroed_page() -> PageBuf {
+    vec![0u8; PAGE_SIZE]
+        .into_boxed_slice()
+        .try_into()
+        .expect("exact size")
+}
+
+/// Physical I/O counters for one pager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Pages physically read from the file.
+    pub reads: u64,
+    /// Pages physically written to the file.
+    pub writes: u64,
+}
+
+/// A fixed-page-size file wrapper.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    /// Number of pages the file currently holds.
+    pages: u64,
+    stats: PagerStats,
+}
+
+impl Pager {
+    /// Opens (or creates) a paged file.
+    ///
+    /// A pre-existing file must be page-aligned; trailing partial pages
+    /// indicate corruption and are rejected.
+    pub fn open(path: &Path) -> io::Result<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("file length {len} is not page-aligned"),
+            ));
+        }
+        Ok(Pager {
+            file,
+            pages: len / PAGE_SIZE as u64,
+            stats: PagerStats::default(),
+        })
+    }
+
+    /// Number of pages in the file.
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    /// Physical I/O counters so far.
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Reads page `id` into a fresh buffer.
+    ///
+    /// Reading past the end returns a zeroed page without touching the file
+    /// (the page will materialise when first written) — this mirrors the
+    /// zero-extension semantics of the in-memory bit-slices.
+    pub fn read_page(&mut self, id: PageId) -> io::Result<PageBuf> {
+        let mut buf = zeroed_page();
+        if id.0 < self.pages {
+            self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+            self.file.read_exact(&mut buf[..])?;
+            self.stats.reads += 1;
+        }
+        Ok(buf)
+    }
+
+    /// Writes page `id`, extending the file (with zero pages) if needed.
+    pub fn write_page(&mut self, id: PageId, data: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        if id.0 >= self.pages {
+            // Extend with explicit zero pages so the file stays aligned.
+            let zero = zeroed_page();
+            self.file.seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
+            for _ in self.pages..id.0 {
+                self.file.write_all(&zero[..])?;
+                self.stats.writes += 1;
+            }
+            self.pages = id.0 + 1;
+        }
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.write_all(&data[..])?;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Flushes OS buffers to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_pager_{}_{}", std::process::id(), name));
+        p
+    }
+
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let path = temp("roundtrip");
+        let _c = Cleanup(path.clone());
+        let mut pager = Pager::open(&path).expect("open");
+        assert_eq!(pager.page_count(), 0);
+
+        let mut page = zeroed_page();
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        pager.write_page(PageId(0), &page).expect("write");
+        assert_eq!(pager.page_count(), 1);
+
+        let got = pager.read_page(PageId(0)).expect("read");
+        assert_eq!(got[0], 0xAB);
+        assert_eq!(got[PAGE_SIZE - 1], 0xCD);
+        assert_eq!(pager.stats().reads, 1);
+        assert_eq!(pager.stats().writes, 1);
+    }
+
+    #[test]
+    fn read_past_end_is_zero_and_free() {
+        let path = temp("past_end");
+        let _c = Cleanup(path.clone());
+        let mut pager = Pager::open(&path).expect("open");
+        let got = pager.read_page(PageId(7)).expect("read");
+        assert!(got.iter().all(|&b| b == 0));
+        assert_eq!(pager.stats().reads, 0, "no physical read happened");
+    }
+
+    #[test]
+    fn sparse_write_extends_with_zero_pages() {
+        let path = temp("sparse");
+        let _c = Cleanup(path.clone());
+        let mut pager = Pager::open(&path).expect("open");
+        let mut page = zeroed_page();
+        page[5] = 9;
+        pager.write_page(PageId(3), &page).expect("write");
+        assert_eq!(pager.page_count(), 4);
+        let middle = pager.read_page(PageId(1)).expect("read");
+        assert!(middle.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn reopen_preserves_contents() {
+        let path = temp("reopen");
+        let _c = Cleanup(path.clone());
+        {
+            let mut pager = Pager::open(&path).expect("open");
+            let mut page = zeroed_page();
+            page[100] = 42;
+            pager.write_page(PageId(2), &page).expect("write");
+            pager.sync().expect("sync");
+        }
+        let mut pager = Pager::open(&path).expect("reopen");
+        assert_eq!(pager.page_count(), 3);
+        assert_eq!(pager.read_page(PageId(2)).expect("read")[100], 42);
+    }
+
+    #[test]
+    fn rejects_unaligned_file() {
+        let path = temp("unaligned");
+        let _c = Cleanup(path.clone());
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 100]).expect("write file");
+        assert!(Pager::open(&path).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Selection constraints over transactions, materialised as bit-slices.
+//!
+//! §3.4 / §4.9 of the paper: a constraint is a predicate over transactions
+//! ("falls in October", "TID divisible by 7").  Materialising it as one
+//! extra bit-slice — bit `r` set iff row `r` satisfies the predicate — lets
+//! `CountItemSet` answer constrained counting queries by ANDing one more
+//! slice into the result.
+
+use crate::store::{TransactionDb, Transaction};
+use bbs_bitslice::BitVec;
+
+/// A predicate over transactions that can be compiled to a constraint slice.
+pub trait Constraint {
+    /// Whether row `row` (holding `txn`) satisfies the constraint.
+    fn matches(&self, row: usize, txn: &Transaction) -> bool;
+
+    /// A short human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// `TID mod divisor == remainder` — the paper's "Sunday transactions" query
+/// (`TID` divisible by 7).
+#[derive(Debug, Clone, Copy)]
+pub struct TidModulo {
+    /// Divisor (must be non-zero).
+    pub divisor: u64,
+    /// Required remainder.
+    pub remainder: u64,
+}
+
+impl TidModulo {
+    /// `TID % divisor == 0`.
+    pub fn divisible_by(divisor: u64) -> Self {
+        assert!(divisor > 0, "divisor must be non-zero");
+        TidModulo {
+            divisor,
+            remainder: 0,
+        }
+    }
+}
+
+impl Constraint for TidModulo {
+    fn matches(&self, _row: usize, txn: &Transaction) -> bool {
+        txn.tid.0 % self.divisor == self.remainder
+    }
+
+    fn describe(&self) -> String {
+        format!("TID % {} == {}", self.divisor, self.remainder)
+    }
+}
+
+/// `TID` within a half-open range — models time-window constraints such as
+/// "during the month of October" when TIDs are assigned chronologically.
+#[derive(Debug, Clone, Copy)]
+pub struct TidRange {
+    /// Inclusive lower bound.
+    pub start: u64,
+    /// Exclusive upper bound.
+    pub end: u64,
+}
+
+impl Constraint for TidRange {
+    fn matches(&self, _row: usize, txn: &Transaction) -> bool {
+        (self.start..self.end).contains(&txn.tid.0)
+    }
+
+    fn describe(&self) -> String {
+        format!("TID in [{}, {})", self.start, self.end)
+    }
+}
+
+/// An arbitrary closure constraint.
+pub struct FnConstraint<F: Fn(usize, &Transaction) -> bool> {
+    f: F,
+    label: String,
+}
+
+impl<F: Fn(usize, &Transaction) -> bool> FnConstraint<F> {
+    /// Wraps a closure with a description label.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        FnConstraint {
+            f,
+            label: label.into(),
+        }
+    }
+}
+
+impl<F: Fn(usize, &Transaction) -> bool> Constraint for FnConstraint<F> {
+    fn matches(&self, row: usize, txn: &Transaction) -> bool {
+        (self.f)(row, txn)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Compiles a constraint to a bit-slice over the database's rows.
+pub fn build_constraint_slice<C: Constraint + ?Sized>(db: &TransactionDb, c: &C) -> BitVec {
+    let mut bits = BitVec::zeros(db.len());
+    for (row, txn) in db.transactions().iter().enumerate() {
+        if c.matches(row, txn) {
+            bits.set(row);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Itemset;
+    use crate::store::Transaction;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_transactions((0..20).map(|i| {
+            Transaction::new(i * 3, Itemset::from_values(&[i as u32]))
+        }))
+    }
+
+    #[test]
+    fn tid_modulo_slice() {
+        let db = db();
+        let slice = build_constraint_slice(&db, &TidModulo::divisible_by(7));
+        // TIDs are 0,3,6,…,57; divisible by 7: 0, 21, 42 → rows 0, 7, 14.
+        assert_eq!(slice.iter_ones().collect::<Vec<_>>(), vec![0, 7, 14]);
+    }
+
+    #[test]
+    fn tid_range_slice() {
+        let db = db();
+        let slice = build_constraint_slice(&db, &TidRange { start: 9, end: 16 });
+        // TIDs 9, 12, 15 → rows 3, 4, 5.
+        assert_eq!(slice.iter_ones().collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn fn_constraint_sees_row_and_txn() {
+        let db = db();
+        let c = FnConstraint::new("even rows with small items", |row, txn: &Transaction| {
+            row % 2 == 0 && txn.items.items()[0].0 < 6
+        });
+        let slice = build_constraint_slice(&db, &c);
+        assert_eq!(slice.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(c.describe(), "even rows with small items");
+    }
+
+    #[test]
+    fn constraint_on_empty_db() {
+        let db = TransactionDb::new();
+        let slice = build_constraint_slice(&db, &TidModulo::divisible_by(7));
+        assert_eq!(slice.len(), 0);
+        assert_eq!(slice.count_ones(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! I/O cost accounting and memory budgets.
+//!
+//! The paper's experiments ran against on-disk files on a 64 MB machine; the
+//! response-time differences between schemes are driven by *how much data
+//! each one moves* (database passes, BBS passes, probed pages) and by the
+//! algorithmic fallbacks a small memory budget forces.  This reproduction
+//! keeps everything in memory but charges every logical transfer to an
+//! [`IoStats`] ledger at page granularity, and exposes a byte-denominated
+//! [`MemoryBudget`] that the adaptive filter, the chunked sequential-scan
+//! refiner, and the budgeted baselines consult.
+
+/// Default page size, in bytes, for the simulated storage layer.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Counters for simulated I/O traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages read from the transaction database.
+    pub db_pages_read: u64,
+    /// Full sequential passes over the transaction database.
+    pub db_scans: u64,
+    /// Individual transactions fetched by the probe refiner.
+    pub db_probes: u64,
+    /// Pages read from the BBS slice file.
+    pub bbs_pages_read: u64,
+    /// Pages written to the BBS slice file (inserts).
+    pub bbs_pages_written: u64,
+    /// Full passes over the BBS slice file (adaptive filtering).
+    pub bbs_passes: u64,
+}
+
+impl IoStats {
+    /// A zeroed ledger.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Adds another ledger into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.db_pages_read += other.db_pages_read;
+        self.db_scans += other.db_scans;
+        self.db_probes += other.db_probes;
+        self.bbs_pages_read += other.bbs_pages_read;
+        self.bbs_pages_written += other.bbs_pages_written;
+        self.bbs_passes += other.bbs_passes;
+    }
+
+    /// Total pages moved in either direction.
+    pub fn total_pages(&self) -> u64 {
+        self.db_pages_read + self.bbs_pages_read + self.bbs_pages_written
+    }
+}
+
+/// A byte-denominated memory budget for an algorithm run.
+///
+/// `MemoryBudget::unlimited()` models the memory-resident case; a finite
+/// budget forces the adaptive three-phase filter (BBS), multi-pass counting
+/// (Apriori) and chunked candidate verification (SequentialScan), mirroring
+/// §4.7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: Option<usize>,
+}
+
+impl MemoryBudget {
+    /// No limit: everything fits.
+    pub const fn unlimited() -> Self {
+        MemoryBudget { bytes: None }
+    }
+
+    /// A budget of `bytes` bytes.
+    pub const fn bytes(bytes: usize) -> Self {
+        MemoryBudget { bytes: Some(bytes) }
+    }
+
+    /// A budget expressed in kibibytes, matching the paper's 250K–2M axis.
+    pub const fn kib(kib: usize) -> Self {
+        MemoryBudget {
+            bytes: Some(kib * 1024),
+        }
+    }
+
+    /// The limit, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.bytes
+    }
+
+    /// True if a structure of `bytes` bytes fits in the budget.
+    pub fn fits(&self, bytes: usize) -> bool {
+        match self.bytes {
+            None => true,
+            Some(limit) => bytes <= limit,
+        }
+    }
+
+    /// How many `unit_bytes`-sized objects fit; `usize::MAX` when unlimited.
+    ///
+    /// Guaranteed to be at least 1 so algorithms always make progress (a
+    /// budget too small to hold even one unit degenerates to one-at-a-time
+    /// processing, which is what a real system would page through).
+    pub fn capacity_of(&self, unit_bytes: usize) -> usize {
+        match self.bytes {
+            None => usize::MAX,
+            Some(limit) => (limit / unit_bytes.max(1)).max(1),
+        }
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        MemoryBudget::unlimited()
+    }
+}
+
+/// Number of pages needed for `bytes` bytes under page size `page`.
+pub fn pages_for(bytes: usize, page: usize) -> u64 {
+    (bytes.div_ceil(page.max(1))) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = IoStats {
+            db_pages_read: 1,
+            db_scans: 1,
+            ..IoStats::default()
+        };
+        let b = IoStats {
+            db_pages_read: 2,
+            db_probes: 5,
+            bbs_passes: 1,
+            ..IoStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.db_pages_read, 3);
+        assert_eq!(a.db_scans, 1);
+        assert_eq!(a.db_probes, 5);
+        assert_eq!(a.bbs_passes, 1);
+    }
+
+    #[test]
+    fn unlimited_budget_fits_everything() {
+        let b = MemoryBudget::unlimited();
+        assert!(b.fits(usize::MAX));
+        assert_eq!(b.capacity_of(1000), usize::MAX);
+        assert_eq!(b.limit(), None);
+    }
+
+    #[test]
+    fn finite_budget() {
+        let b = MemoryBudget::kib(1); // 1024 bytes
+        assert!(b.fits(1024));
+        assert!(!b.fits(1025));
+        assert_eq!(b.capacity_of(100), 10);
+        assert_eq!(b.capacity_of(4096), 1, "always at least one unit");
+        assert_eq!(b.capacity_of(0), 1024);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0, 4096), 0);
+        assert_eq!(pages_for(1, 4096), 1);
+        assert_eq!(pages_for(4096, 4096), 1);
+        assert_eq!(pages_for(4097, 4096), 2);
+    }
+}

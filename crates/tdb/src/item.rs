@@ -1,0 +1,357 @@
+//! Items and itemsets.
+
+use std::fmt;
+
+/// A distinct item (literal) in the database's vocabulary.
+///
+/// The paper's datasets use up to 100 000 distinct items, so a `u32` payload
+/// is ample and keeps itemsets compact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Numeric value used by the hash family ("item name" in the paper).
+    #[inline]
+    pub fn value(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+/// A sorted, duplicate-free set of items.
+///
+/// Both transactions and patterns are itemsets; keeping them sorted makes
+/// subset testing a linear merge and makes the itemset usable as a hash-map
+/// key with a canonical representation.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Itemset {
+    items: Vec<ItemId>,
+}
+
+impl Itemset {
+    /// The empty itemset.
+    pub fn empty() -> Self {
+        Itemset::default()
+    }
+
+    /// Builds an itemset from arbitrary items, sorting and deduplicating.
+    pub fn from_items(mut items: Vec<ItemId>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Itemset { items }
+    }
+
+    /// Builds an itemset from raw `u32` item values.
+    pub fn from_values(values: &[u32]) -> Self {
+        Itemset::from_items(values.iter().copied().map(ItemId).collect())
+    }
+
+    /// Builds from a vector that is already sorted and duplicate-free.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the invariant does not hold.
+    pub fn from_sorted_unchecked(items: Vec<ItemId>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+        Itemset { items }
+    }
+
+    /// Number of items (the pattern "length" `k`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if this is the empty itemset.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items, sorted ascending.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// True if every item of `self` occurs in `other` (sorted merge walk).
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        if self.items.len() > other.items.len() {
+            return false;
+        }
+        let mut oi = other.items.iter();
+        'outer: for a in &self.items {
+            for b in oi.by_ref() {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Returns a new itemset with `item` added (no-op clone if present).
+    pub fn with_item(&self, item: ItemId) -> Itemset {
+        match self.items.binary_search(&item) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut items = Vec::with_capacity(self.items.len() + 1);
+                items.extend_from_slice(&self.items[..pos]);
+                items.push(item);
+                items.extend_from_slice(&self.items[pos..]);
+                Itemset { items }
+            }
+        }
+    }
+
+    /// Returns a new itemset with `item` removed (clone if absent).
+    pub fn without_item(&self, item: ItemId) -> Itemset {
+        let mut items = self.items.clone();
+        if let Ok(pos) = items.binary_search(&item) {
+            items.remove(pos);
+        }
+        Itemset { items }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut items = Vec::with_capacity(self.items.len() + other.items.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    items.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    items.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        items.extend_from_slice(&self.items[i..]);
+        items.extend_from_slice(&other.items[j..]);
+        Itemset { items }
+    }
+
+    /// Iterator over all subsets of `self` with exactly `k` items, in
+    /// lexicographic order.  Used by Apriori's candidate-containment check
+    /// and by tests; the count is `C(len, k)`, so callers keep `k` small.
+    pub fn subsets_of_len(&self, k: usize) -> SubsetIter<'_> {
+        SubsetIter::new(&self.items, k)
+    }
+}
+
+impl fmt::Debug for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, it) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{it}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ItemId> for Itemset {
+    fn from_iter<T: IntoIterator<Item = ItemId>>(iter: T) -> Self {
+        Itemset::from_items(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<u32> for Itemset {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Itemset::from_items(iter.into_iter().map(ItemId).collect())
+    }
+}
+
+/// Iterator over the `k`-subsets of a sorted item slice.
+pub struct SubsetIter<'a> {
+    items: &'a [ItemId],
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> SubsetIter<'a> {
+    fn new(items: &'a [ItemId], k: usize) -> Self {
+        let done = k > items.len();
+        SubsetIter {
+            items,
+            indices: (0..k).collect(),
+            done,
+        }
+    }
+}
+
+impl Iterator for SubsetIter<'_> {
+    type Item = Itemset;
+
+    fn next(&mut self) -> Option<Itemset> {
+        if self.done {
+            return None;
+        }
+        let out = Itemset::from_sorted_unchecked(
+            self.indices.iter().map(|&i| self.items[i]).collect(),
+        );
+        // Advance to the next combination.
+        let k = self.indices.len();
+        if k == 0 {
+            self.done = true;
+            return Some(out);
+        }
+        let n = self.items.len();
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.indices[i] != i + n - k {
+                self.indices[i] += 1;
+                for j in i + 1..k {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(vals: &[u32]) -> Itemset {
+        Itemset::from_values(vals)
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.items(), &[ItemId(1), ItemId(3), ItemId(5)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_subset() {
+        let a = set(&[1, 3, 5]);
+        let b = set(&[0, 1, 2, 3, 4, 5]);
+        assert!(a.contains(ItemId(3)));
+        assert!(!a.contains(ItemId(2)));
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(Itemset::empty().is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn subset_of_disjoint_is_false() {
+        assert!(!set(&[7]).is_subset_of(&set(&[1, 2, 3])));
+        assert!(!set(&[0]).is_subset_of(&set(&[1, 2, 3])));
+        assert!(!set(&[1, 9]).is_subset_of(&set(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn with_item_keeps_order() {
+        let s = set(&[1, 5]);
+        assert_eq!(s.with_item(ItemId(3)).items(), &[ItemId(1), ItemId(3), ItemId(5)]);
+        assert_eq!(s.with_item(ItemId(0)).items(), &[ItemId(0), ItemId(1), ItemId(5)]);
+        assert_eq!(s.with_item(ItemId(9)).items(), &[ItemId(1), ItemId(5), ItemId(9)]);
+        assert_eq!(s.with_item(ItemId(5)), s);
+    }
+
+    #[test]
+    fn without_item_removes() {
+        let s = set(&[1, 3, 5]);
+        assert_eq!(s.without_item(ItemId(3)), set(&[1, 5]));
+        assert_eq!(s.without_item(ItemId(4)), s);
+    }
+
+    #[test]
+    fn union_merges() {
+        assert_eq!(set(&[1, 3]).union(&set(&[2, 3, 7])), set(&[1, 2, 3, 7]));
+        assert_eq!(set(&[]).union(&set(&[2])), set(&[2]));
+    }
+
+    #[test]
+    fn subsets_of_len_enumerates_combinations() {
+        let s = set(&[1, 2, 3, 4]);
+        let twos: Vec<Itemset> = s.subsets_of_len(2).collect();
+        assert_eq!(twos.len(), 6);
+        assert_eq!(twos[0], set(&[1, 2]));
+        assert_eq!(twos[5], set(&[3, 4]));
+        assert_eq!(s.subsets_of_len(0).count(), 1);
+        assert_eq!(s.subsets_of_len(4).count(), 1);
+        assert_eq!(s.subsets_of_len(5).count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_subset_matches_naive(
+            a in proptest::collection::btree_set(0u32..50, 0..10),
+            b in proptest::collection::btree_set(0u32..50, 0..15),
+        ) {
+            let sa: Itemset = a.iter().copied().collect();
+            let sb: Itemset = b.iter().copied().collect();
+            prop_assert_eq!(sa.is_subset_of(&sb), a.is_subset(&b));
+        }
+
+        #[test]
+        fn prop_union_matches_naive(
+            a in proptest::collection::btree_set(0u32..50, 0..10),
+            b in proptest::collection::btree_set(0u32..50, 0..10),
+        ) {
+            let sa: Itemset = a.iter().copied().collect();
+            let sb: Itemset = b.iter().copied().collect();
+            let expect: Itemset = a.union(&b).copied().collect();
+            prop_assert_eq!(sa.union(&sb), expect);
+        }
+
+        #[test]
+        fn prop_subsets_count_is_binomial(
+            items in proptest::collection::btree_set(0u32..20, 0..8),
+            k in 0usize..5,
+        ) {
+            let s: Itemset = items.iter().copied().collect();
+            let n = s.len();
+            let expect = if k > n { 0 } else {
+                (0..k).fold(1usize, |acc, i| acc * (n - i) / (i + 1))
+            };
+            prop_assert_eq!(s.subsets_of_len(k).count(), expect);
+        }
+    }
+}

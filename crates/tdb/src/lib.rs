@@ -1,0 +1,34 @@
+//! Transaction-database substrate for the BBS frequent-pattern index.
+//!
+//! This crate owns everything the paper treats as "the database side":
+//!
+//! * [`item`] — items ([`ItemId`]) and canonical sorted [`Itemset`]s;
+//! * [`store`] — the append-only [`TransactionDb`] with a positional index,
+//!   page-granular I/O charging, and exact support counting;
+//! * [`io`] — the [`IoStats`] ledger and [`MemoryBudget`] (§4.7's axis);
+//! * [`pattern`] — mined [`Pattern`]s and [`PatternSet`] collections;
+//! * [`miner`] — the [`FrequentPatternMiner`] trait every algorithm in the
+//!   workspace implements, [`SupportThreshold`], per-run [`MineStats`] and
+//!   the exact [`NaiveMiner`] oracle;
+//! * [`constraint`] — §3.4 selection constraints compiled to bit-slices.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constraint;
+pub mod io;
+pub mod item;
+pub mod miner;
+pub mod pattern;
+pub mod rules;
+pub mod store;
+pub mod text;
+
+pub use constraint::{build_constraint_slice, Constraint, FnConstraint, TidModulo, TidRange};
+pub use io::{IoStats, MemoryBudget, DEFAULT_PAGE_SIZE};
+pub use item::{ItemId, Itemset};
+pub use miner::{FrequentPatternMiner, MineResult, MineStats, NaiveMiner, SupportThreshold};
+pub use pattern::{false_drop_ratio, Pattern, PatternSet};
+pub use rules::{generate_rules, AssociationRule};
+pub use store::{BufferPool, Tid, Transaction, TransactionDb};
+pub use text::{read_transactions, read_transactions_path, write_transactions, write_transactions_path, TextError};

@@ -1,0 +1,253 @@
+//! The common interface every frequent-pattern miner implements, plus a
+//! naive exact reference miner used for cross-validation.
+
+use crate::io::IoStats;
+use crate::item::{ItemId, Itemset};
+use crate::pattern::PatternSet;
+use crate::store::TransactionDb;
+
+/// A minimum-support threshold, either absolute or as a fraction of the
+/// database size (the paper quotes percentages, e.g. τ = 0.3 %).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SupportThreshold {
+    /// Absolute number of transactions.
+    Count(u64),
+    /// Fraction of the database size, in `[0, 1]`.
+    Fraction(f64),
+}
+
+impl SupportThreshold {
+    /// A percentage, e.g. `SupportThreshold::percent(0.3)` for the paper's
+    /// default τ = 0.3 %.
+    pub fn percent(pct: f64) -> Self {
+        SupportThreshold::Fraction(pct / 100.0)
+    }
+
+    /// Resolves to an absolute count for a database of `db_len` rows.
+    ///
+    /// A fractional threshold rounds up (a pattern must appear in at least
+    /// `ceil(f · D)` transactions) and is clamped to at least 1 so that the
+    /// empty pattern set on an empty database stays consistent.
+    pub fn resolve(&self, db_len: usize) -> u64 {
+        match *self {
+            SupportThreshold::Count(c) => c.max(1),
+            SupportThreshold::Fraction(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction out of range: {f}");
+                ((f * db_len as f64).ceil() as u64).max(1)
+            }
+        }
+    }
+}
+
+/// Counters describing one mining run, over and above the raw I/O ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MineStats {
+    /// Candidate patterns produced by the filtering phase (BBS schemes) or
+    /// candidate generation (Apriori).  For FP-growth this is the number of
+    /// patterns emitted (its search is exact).
+    pub candidates: u64,
+    /// Candidates that turned out to be infrequent (false drops).
+    pub false_drops: u64,
+    /// Patterns certified frequent *without* consulting the database
+    /// (DualFilter's flag 1/2 cases).
+    pub certified: u64,
+    /// `CountItemSet` invocations against the BBS.
+    pub bbs_counts: u64,
+    /// Simulated I/O ledger.
+    pub io: IoStats,
+}
+
+impl MineStats {
+    /// False-drop ratio relative to `actual` frequent patterns, if defined.
+    pub fn fdr(&self, actual: u64) -> Option<f64> {
+        crate::pattern::false_drop_ratio(self.false_drops, actual)
+    }
+}
+
+/// The result of one mining run: the frequent patterns with their actual
+/// supports, plus run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MineResult {
+    /// The frequent patterns (non-empty itemsets only).
+    pub patterns: PatternSet,
+    /// Patterns whose reported support is a certified *upper-bound estimate*
+    /// rather than an exact count.
+    ///
+    /// Only the DualFilter schemes populate this: a flag-2 certification
+    /// (Lemma 5) guarantees the pattern is frequent without ever learning
+    /// its exact support.  For every itemset in this set the reported
+    /// support satisfies `actual ≤ reported` and `actual ≥ threshold`.
+    /// All other miners report exact supports and leave this empty.
+    pub approx_supports: std::collections::HashSet<Itemset>,
+    /// Run statistics.
+    pub stats: MineStats,
+}
+
+/// A frequent-pattern mining algorithm.
+///
+/// `mine` must return *exactly* the itemsets whose support is at least the
+/// resolved threshold, with their exact support counts.  All six algorithms
+/// in this workspace (SFS, SFP, DFS, DFP, Apriori, FP-growth) satisfy this
+/// contract and are interchangeable behind the trait.
+pub trait FrequentPatternMiner {
+    /// Human-readable algorithm name (e.g. `"DFP"`).
+    fn name(&self) -> &str;
+
+    /// Mines all frequent patterns from `db` at threshold `min_support`.
+    fn mine(&mut self, db: &TransactionDb, min_support: SupportThreshold) -> MineResult;
+}
+
+/// Exact reference miner: depth-first enumeration with a full-scan support
+/// count per candidate.
+///
+/// Exponentially slower than the real algorithms but obviously correct,
+/// which is exactly what a cross-validation oracle should be.  Use only on
+/// small databases.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveMiner;
+
+impl NaiveMiner {
+    /// Creates the reference miner.
+    pub fn new() -> Self {
+        NaiveMiner
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend(
+        &self,
+        db: &TransactionDb,
+        tau: u64,
+        items: &[ItemId],
+        start: usize,
+        base: &Itemset,
+        out: &mut PatternSet,
+        io: &mut IoStats,
+    ) {
+        for (offset, &item) in items[start..].iter().enumerate() {
+            let candidate = base.with_item(item);
+            let support = db.count_support(&candidate, io);
+            if support >= tau {
+                out.insert(candidate.clone(), support);
+                self.extend(db, tau, items, start + offset + 1, &candidate, out, io);
+            }
+        }
+    }
+}
+
+impl FrequentPatternMiner for NaiveMiner {
+    fn name(&self) -> &str {
+        "Naive"
+    }
+
+    fn mine(&mut self, db: &TransactionDb, min_support: SupportThreshold) -> MineResult {
+        let tau = min_support.resolve(db.len());
+        let mut result = MineResult::default();
+        let vocab = db.vocabulary();
+        let mut io = IoStats::new();
+        self.extend(db, tau, &vocab, 0, &Itemset::empty(), &mut result.patterns, &mut io);
+        result.stats.io = io;
+        result.stats.candidates = result.patterns.len() as u64;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Itemset;
+
+    fn set(vals: &[u32]) -> Itemset {
+        Itemset::from_values(vals)
+    }
+
+    fn paper_db() -> TransactionDb {
+        // Table 1 of the paper.
+        TransactionDb::from_transactions(vec![
+            crate::store::Transaction::new(100, set(&[0, 1, 2, 3, 4, 5, 14, 15])),
+            crate::store::Transaction::new(200, set(&[1, 2, 3, 5, 6, 7])),
+            crate::store::Transaction::new(300, set(&[1, 5, 14, 15])),
+            crate::store::Transaction::new(400, set(&[0, 1, 2, 7])),
+            crate::store::Transaction::new(500, set(&[1, 2, 5, 6, 11, 15])),
+        ])
+    }
+
+    #[test]
+    fn threshold_resolution() {
+        assert_eq!(SupportThreshold::Count(5).resolve(100), 5);
+        assert_eq!(SupportThreshold::Count(0).resolve(100), 1);
+        assert_eq!(SupportThreshold::Fraction(0.25).resolve(100), 25);
+        assert_eq!(SupportThreshold::percent(0.3).resolve(10_000), 30);
+        // ceil: 0.3% of 1001 = 3.003 -> 4.
+        assert_eq!(SupportThreshold::percent(0.3).resolve(1001), 4);
+        assert_eq!(SupportThreshold::Fraction(0.0).resolve(100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn threshold_rejects_bad_fraction() {
+        SupportThreshold::Fraction(1.5).resolve(10);
+    }
+
+    #[test]
+    fn naive_miner_on_paper_db() {
+        let db = paper_db();
+        let r = NaiveMiner::new().mine(&db, SupportThreshold::Count(3));
+        // Hand-checked supports: 1→5, 2→4, 5→4, 15→3, {1,2}→4, {1,5}→4,
+        // {2,5}→3, {1,15}→3, {5,15}→3, {1,2,5}→3, {1,5,15}→3.
+        assert_eq!(r.patterns.support(&set(&[1])), Some(5));
+        assert_eq!(r.patterns.support(&set(&[2])), Some(4));
+        assert_eq!(r.patterns.support(&set(&[5])), Some(4));
+        assert_eq!(r.patterns.support(&set(&[15])), Some(3));
+        assert_eq!(r.patterns.support(&set(&[1, 2])), Some(4));
+        assert_eq!(r.patterns.support(&set(&[1, 5])), Some(4));
+        assert_eq!(r.patterns.support(&set(&[2, 5])), Some(3));
+        assert_eq!(r.patterns.support(&set(&[1, 15])), Some(3));
+        assert_eq!(r.patterns.support(&set(&[5, 15])), Some(3));
+        assert_eq!(r.patterns.support(&set(&[1, 2, 5])), Some(3));
+        assert_eq!(r.patterns.support(&set(&[1, 5, 15])), Some(3));
+        assert_eq!(r.patterns.len(), 11);
+    }
+
+    #[test]
+    fn naive_miner_monotone_in_threshold() {
+        let db = paper_db();
+        let lo = NaiveMiner::new().mine(&db, SupportThreshold::Count(2));
+        let hi = NaiveMiner::new().mine(&db, SupportThreshold::Count(4));
+        assert!(hi.patterns.len() <= lo.patterns.len());
+        for (items, support) in hi.patterns.iter() {
+            assert_eq!(lo.patterns.support(items), Some(support));
+        }
+    }
+
+    #[test]
+    fn naive_miner_empty_db() {
+        let db = TransactionDb::new();
+        let r = NaiveMiner::new().mine(&db, SupportThreshold::Count(1));
+        assert!(r.patterns.is_empty());
+    }
+
+    #[test]
+    fn naive_miner_threshold_above_db_size() {
+        let db = paper_db();
+        let r = NaiveMiner::new().mine(&db, SupportThreshold::Count(6));
+        assert!(r.patterns.is_empty());
+    }
+
+    #[test]
+    fn apriori_closure_property_holds() {
+        // Every subset of a frequent pattern is frequent (downward closure);
+        // the reference miner must exhibit it.
+        let db = paper_db();
+        let r = NaiveMiner::new().mine(&db, SupportThreshold::Count(3));
+        for (items, _) in r.patterns.iter() {
+            for k in 1..items.len() {
+                for sub in items.subsets_of_len(k) {
+                    assert!(
+                        r.patterns.contains(&sub),
+                        "subset {sub:?} of {items:?} missing"
+                    );
+                }
+            }
+        }
+    }
+}

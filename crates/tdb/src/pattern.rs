@@ -1,0 +1,208 @@
+//! Frequent patterns and pattern collections.
+
+use crate::item::Itemset;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A mined pattern: an itemset together with its (actual) support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// The itemset.
+    pub items: Itemset,
+    /// Number of transactions containing the itemset.
+    pub support: u64,
+}
+
+/// A set of patterns keyed by itemset.
+///
+/// Every miner in the workspace returns one of these, which makes
+/// cross-validation ("all six algorithms agree") a single equality check.
+#[derive(Clone, Default)]
+pub struct PatternSet {
+    map: HashMap<Itemset, u64>,
+}
+
+impl PatternSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PatternSet::default()
+    }
+
+    /// Inserts or replaces a pattern's support.
+    pub fn insert(&mut self, items: Itemset, support: u64) {
+        self.map.insert(items, support);
+    }
+
+    /// Removes a pattern, returning its support if present.
+    pub fn remove(&mut self, items: &Itemset) -> Option<u64> {
+        self.map.remove(items)
+    }
+
+    /// Support of an itemset, if present.
+    pub fn support(&self, items: &Itemset) -> Option<u64> {
+        self.map.get(items).copied()
+    }
+
+    /// True if the itemset is present.
+    pub fn contains(&self, items: &Itemset) -> bool {
+        self.map.contains_key(items)
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(itemset, support)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Itemset, u64)> {
+        self.map.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All patterns, sorted by (length, items) for stable output.
+    pub fn sorted(&self) -> Vec<Pattern> {
+        let mut v: Vec<Pattern> = self
+            .map
+            .iter()
+            .map(|(k, &s)| Pattern {
+                items: k.clone(),
+                support: s,
+            })
+            .collect();
+        v.sort_unstable_by(|a, b| {
+            (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items))
+        });
+        v
+    }
+
+    /// Length of the longest pattern.
+    pub fn max_len(&self) -> usize {
+        self.map.keys().map(|k| k.len()).max().unwrap_or(0)
+    }
+
+    /// Merges another set into this one (later insert wins on conflict).
+    pub fn extend_from(&mut self, other: &PatternSet) {
+        for (k, v) in other.iter() {
+            self.map.insert(k.clone(), v);
+        }
+    }
+}
+
+impl PartialEq for PatternSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.map == other.map
+    }
+}
+
+impl Eq for PatternSet {}
+
+impl fmt::Debug for PatternSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_map();
+        for p in self.sorted() {
+            d.entry(&p.items, &p.support);
+        }
+        d.finish()
+    }
+}
+
+impl FromIterator<(Itemset, u64)> for PatternSet {
+    fn from_iter<T: IntoIterator<Item = (Itemset, u64)>>(iter: T) -> Self {
+        PatternSet {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// False-drop ratio as defined in §4 of the paper:
+/// `FDR = false_drops / actual_frequent_count`.
+///
+/// Returns `None` when there are no actual frequent patterns (the ratio is
+/// undefined; the paper's datasets always have some).
+pub fn false_drop_ratio(false_drops: u64, actual_frequent: u64) -> Option<f64> {
+    if actual_frequent == 0 {
+        None
+    } else {
+        Some(false_drops as f64 / actual_frequent as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Itemset;
+
+    fn set(vals: &[u32]) -> Itemset {
+        Itemset::from_values(vals)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ps = PatternSet::new();
+        ps.insert(set(&[1]), 5);
+        ps.insert(set(&[1, 2]), 3);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.support(&set(&[1])), Some(5));
+        assert_eq!(ps.support(&set(&[2])), None);
+        assert!(ps.contains(&set(&[1, 2])));
+        assert_eq!(ps.remove(&set(&[1])), Some(5));
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn sorted_orders_by_length_then_items() {
+        let mut ps = PatternSet::new();
+        ps.insert(set(&[2, 3]), 1);
+        ps.insert(set(&[9]), 2);
+        ps.insert(set(&[1]), 3);
+        ps.insert(set(&[1, 5]), 4);
+        let order: Vec<Itemset> = ps.sorted().into_iter().map(|p| p.items).collect();
+        assert_eq!(order, vec![set(&[1]), set(&[9]), set(&[1, 5]), set(&[2, 3])]);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = PatternSet::new();
+        a.insert(set(&[1]), 1);
+        a.insert(set(&[2]), 2);
+        let mut b = PatternSet::new();
+        b.insert(set(&[2]), 2);
+        b.insert(set(&[1]), 1);
+        assert_eq!(a, b);
+        b.insert(set(&[3]), 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn max_len_and_empty() {
+        let mut ps = PatternSet::new();
+        assert_eq!(ps.max_len(), 0);
+        assert!(ps.is_empty());
+        ps.insert(set(&[1, 2, 3]), 1);
+        ps.insert(set(&[4]), 1);
+        assert_eq!(ps.max_len(), 3);
+    }
+
+    #[test]
+    fn fdr_definition() {
+        assert_eq!(false_drop_ratio(0, 10), Some(0.0));
+        assert_eq!(false_drop_ratio(3, 10), Some(0.3));
+        assert_eq!(false_drop_ratio(5, 0), None);
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = PatternSet::new();
+        a.insert(set(&[1]), 1);
+        let mut b = PatternSet::new();
+        b.insert(set(&[2]), 2);
+        b.insert(set(&[1]), 7);
+        a.extend_from(&b);
+        assert_eq!(a.support(&set(&[1])), Some(7));
+        assert_eq!(a.len(), 2);
+    }
+}

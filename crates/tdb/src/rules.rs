@@ -1,0 +1,250 @@
+//! Association-rule generation from mined frequent patterns.
+//!
+//! Frequent-pattern mining is "a fundamental step" (the paper's opening
+//! line) — the classic consumer is association-rule mining: from every
+//! frequent itemset `Z` and non-empty proper subset `X ⊂ Z`, emit
+//! `X ⇒ Z∖X` when its confidence `supp(Z)/supp(X)` reaches a threshold.
+//! This module closes that loop so the workspace covers the end-to-end
+//! task, not just the pattern-mining step.
+
+use crate::item::Itemset;
+use crate::pattern::PatternSet;
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side (non-empty).
+    pub antecedent: Itemset,
+    /// Right-hand side (non-empty, disjoint from the antecedent).
+    pub consequent: Itemset,
+    /// Support count of antecedent ∪ consequent.
+    pub support: u64,
+    /// `supp(X ∪ Y) / supp(X)`, in `(0, 1]`.
+    pub confidence: f64,
+    /// `confidence / (supp(Y) / |D|)` — how much more likely the consequent
+    /// is given the antecedent than baseline.  `None` when the database
+    /// size is unknown or the consequent's support is missing.
+    pub lift: Option<f64>,
+}
+
+impl std::fmt::Display for AssociationRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} => {:?} (support {}, confidence {:.3}",
+            self.antecedent, self.consequent, self.support, self.confidence
+        )?;
+        if let Some(l) = self.lift {
+            write!(f, ", lift {l:.2}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Generates all rules meeting `min_confidence` from a *complete* pattern
+/// set (one where every subset of a frequent pattern is present — true for
+/// any output of the miners in this workspace).
+///
+/// `db_size` enables lift computation when provided.
+///
+/// Uses the standard confidence-antimonotonicity prune: for a fixed
+/// pattern `Z`, if `X ⇒ Z∖X` fails the confidence bar, every rule with an
+/// antecedent `⊂ X` fails too, so consequents are grown level-wise.
+pub fn generate_rules(
+    patterns: &PatternSet,
+    min_confidence: f64,
+    db_size: Option<u64>,
+) -> Vec<AssociationRule> {
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "confidence must be in [0, 1]"
+    );
+    let mut rules = Vec::new();
+    for (itemset, support) in patterns.iter() {
+        if itemset.len() < 2 {
+            continue;
+        }
+        // Level-wise over consequent size.  Consequents that failed at size
+        // s cannot be extended (confidence only drops as the antecedent
+        // shrinks), mirroring Apriori's rule-generation phase.
+        let mut consequents: Vec<Itemset> = itemset
+            .items()
+            .iter()
+            .map(|&i| Itemset::from_items(vec![i]))
+            .collect();
+        while !consequents.is_empty() {
+            let mut surviving = Vec::new();
+            for consequent in &consequents {
+                if consequent.len() >= itemset.len() {
+                    continue;
+                }
+                let antecedent = subtract(itemset, consequent);
+                let Some(ante_support) = patterns.support(&antecedent) else {
+                    continue; // incomplete pattern set; skip defensively
+                };
+                let confidence = support as f64 / ante_support as f64;
+                if confidence >= min_confidence {
+                    let lift = match (db_size, patterns.support(consequent)) {
+                        (Some(n), Some(cons_support)) if cons_support > 0 => {
+                            Some(confidence / (cons_support as f64 / n as f64))
+                        }
+                        _ => None,
+                    };
+                    rules.push(AssociationRule {
+                        antecedent,
+                        consequent: consequent.clone(),
+                        support,
+                        confidence,
+                        lift,
+                    });
+                    surviving.push(consequent.clone());
+                }
+            }
+            consequents = grow_consequents(&surviving);
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("confidences are finite")
+            .then(b.support.cmp(&a.support))
+    });
+    rules
+}
+
+fn subtract(from: &Itemset, remove: &Itemset) -> Itemset {
+    Itemset::from_items(
+        from.items()
+            .iter()
+            .filter(|i| !remove.contains(**i))
+            .copied()
+            .collect(),
+    )
+}
+
+/// Apriori-style join of same-size consequents sharing all but their last
+/// item.
+fn grow_consequents(level: &[Itemset]) -> Vec<Itemset> {
+    let mut out = Vec::new();
+    for i in 0..level.len() {
+        for j in i + 1..level.len() {
+            let a = level[i].items();
+            let b = level[j].items();
+            if a.len() == b.len() && a[..a.len() - 1] == b[..b.len() - 1] {
+                out.push(level[i].with_item(*b.last().expect("non-empty")));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[u32]) -> Itemset {
+        Itemset::from_values(vals)
+    }
+
+    /// supp: {1}=8, {2}=6, {3}=4, {1,2}=5, {1,3}=4, {2,3}=3, {1,2,3}=3,
+    /// over a 10-transaction database.
+    fn patterns() -> PatternSet {
+        let mut ps = PatternSet::new();
+        ps.insert(set(&[1]), 8);
+        ps.insert(set(&[2]), 6);
+        ps.insert(set(&[3]), 4);
+        ps.insert(set(&[1, 2]), 5);
+        ps.insert(set(&[1, 3]), 4);
+        ps.insert(set(&[2, 3]), 3);
+        ps.insert(set(&[1, 2, 3]), 3);
+        ps
+    }
+
+    fn find<'a>(
+        rules: &'a [AssociationRule],
+        ante: &Itemset,
+        cons: &Itemset,
+    ) -> Option<&'a AssociationRule> {
+        rules
+            .iter()
+            .find(|r| &r.antecedent == ante && &r.consequent == cons)
+    }
+
+    #[test]
+    fn confidence_values_are_exact() {
+        let rules = generate_rules(&patterns(), 0.0, Some(10));
+        // {1} => {2}: 5/8.
+        let r = find(&rules, &set(&[1]), &set(&[2])).expect("rule");
+        assert!((r.confidence - 0.625).abs() < 1e-12);
+        assert_eq!(r.support, 5);
+        // lift = 0.625 / (6/10) ≈ 1.0417.
+        assert!((r.lift.expect("lift") - 0.625 / 0.6).abs() < 1e-12);
+        // {3} => {1}: 4/4 = 1.0, lift = 1.0/(8/10) = 1.25.
+        let r = find(&rules, &set(&[3]), &set(&[1])).expect("rule");
+        assert_eq!(r.confidence, 1.0);
+        assert!((r.lift.expect("lift") - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_confidence_filters_rules() {
+        let all = generate_rules(&patterns(), 0.0, None);
+        let strict = generate_rules(&patterns(), 0.8, None);
+        assert!(strict.len() < all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.8));
+        // {3} => {1} (confidence 1.0) survives.
+        assert!(find(&strict, &set(&[3]), &set(&[1])).is_some());
+        // {1} => {2} (0.625) does not.
+        assert!(find(&strict, &set(&[1]), &set(&[2])).is_none());
+    }
+
+    #[test]
+    fn multi_item_consequents_emerge() {
+        let rules = generate_rules(&patterns(), 0.0, None);
+        // {3} => {1,2}: supp(123)/supp(3) = 3/4.
+        let r = find(&rules, &set(&[3]), &set(&[1, 2])).expect("rule");
+        assert!((r.confidence - 0.75).abs() < 1e-12);
+        // Every rule partitions its pattern.
+        for r in &rules {
+            assert!(!r.antecedent.is_empty() && !r.consequent.is_empty());
+            let whole = r.antecedent.union(&r.consequent);
+            assert!(patterns().contains(&whole));
+            for i in r.consequent.items() {
+                assert!(!r.antecedent.contains(*i));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_by_confidence_then_support() {
+        let rules = generate_rules(&patterns(), 0.0, None);
+        for w in rules.windows(2) {
+            assert!(
+                w[0].confidence > w[1].confidence
+                    || (w[0].confidence == w[1].confidence && w[0].support >= w[1].support)
+            );
+        }
+    }
+
+    #[test]
+    fn singletons_yield_no_rules() {
+        let mut ps = PatternSet::new();
+        ps.insert(set(&[1]), 5);
+        assert!(generate_rules(&ps, 0.0, Some(10)).is_empty());
+    }
+
+    #[test]
+    fn no_lift_without_db_size() {
+        let rules = generate_rules(&patterns(), 0.0, None);
+        assert!(rules.iter().all(|r| r.lift.is_none()));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let rules = generate_rules(&patterns(), 0.9, Some(10));
+        let s = rules[0].to_string();
+        assert!(s.contains("=>"), "{s}");
+        assert!(s.contains("confidence"), "{s}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text transaction files.
+//!
+//! The interchange format used by the `bbs` command-line tool (and common
+//! to most frequent-itemset tooling, e.g. the FIMI repository datasets):
+//! one transaction per line, whitespace-separated non-negative item ids.
+//! Blank lines and lines starting with `#` are ignored.  An optional
+//! `tid:` prefix carries an explicit transaction identifier; otherwise the
+//! 0-based line ordinal is used.
+//!
+//! ```text
+//! # three transactions
+//! 1 2 3
+//! 42: 2 3
+//! 3 9
+//! ```
+
+use crate::item::Itemset;
+use crate::store::{Transaction, TransactionDb};
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from reading a transaction file.
+#[derive(Debug)]
+pub enum TextError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content.
+    Parse(ParseError),
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::Io(e) => write!(f, "i/o error: {e}"),
+            TextError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<std::io::Error> for TextError {
+    fn from(e: std::io::Error) -> Self {
+        TextError::Io(e)
+    }
+}
+
+/// Parses one line into an optional transaction (None for blanks/comments).
+fn parse_line(line: &str, lineno: usize, default_tid: u64) -> Result<Option<Transaction>, TextError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let (tid, items_str) = match trimmed.split_once(':') {
+        Some((tid_str, rest)) => {
+            let tid = tid_str.trim().parse::<u64>().map_err(|e| {
+                TextError::Parse(ParseError {
+                    line: lineno,
+                    message: format!("bad TID {tid_str:?}: {e}"),
+                })
+            })?;
+            (tid, rest)
+        }
+        None => (default_tid, trimmed),
+    };
+    let mut items = Vec::new();
+    for tok in items_str.split_whitespace() {
+        let v = tok.parse::<u32>().map_err(|e| {
+            TextError::Parse(ParseError {
+                line: lineno,
+                message: format!("bad item {tok:?}: {e}"),
+            })
+        })?;
+        items.push(v);
+    }
+    if items.is_empty() {
+        return Err(TextError::Parse(ParseError {
+            line: lineno,
+            message: "transaction has no items".into(),
+        }));
+    }
+    Ok(Some(Transaction::new(tid, Itemset::from_values(&items))))
+}
+
+/// Reads a transaction database from a reader.
+pub fn read_transactions<R: Read>(r: R) -> Result<TransactionDb, TextError> {
+    let mut db = TransactionDb::new();
+    let reader = BufReader::new(r);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some(txn) = parse_line(&line, i + 1, db.len() as u64)? {
+            db.push(txn);
+        }
+    }
+    Ok(db)
+}
+
+/// Reads a transaction database from a file path.
+pub fn read_transactions_path(path: &Path) -> Result<TransactionDb, TextError> {
+    read_transactions(std::fs::File::open(path)?)
+}
+
+/// Writes a database in the text format (with explicit TIDs).
+pub fn write_transactions<W: Write>(db: &TransactionDb, w: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for txn in db.transactions() {
+        write!(w, "{}:", txn.tid.0)?;
+        for item in txn.items.items() {
+            write!(w, " {item}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Writes a database to a file path.
+pub fn write_transactions_path(db: &TransactionDb, path: &Path) -> std::io::Result<()> {
+    write_transactions(db, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemId;
+    use crate::store::Tid;
+
+    #[test]
+    fn parses_basic_file() {
+        let input = "# comment\n1 2 3\n\n42: 2 3\n9\n";
+        let db = read_transactions(input.as_bytes()).expect("parse");
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.get(0).tid, Tid(0));
+        assert_eq!(db.get(0).items.items(), &[ItemId(1), ItemId(2), ItemId(3)]);
+        assert_eq!(db.get(1).tid, Tid(42));
+        assert_eq!(db.get(2).tid, Tid(2), "default TID is the row ordinal");
+    }
+
+    #[test]
+    fn rejects_bad_item() {
+        let err = read_transactions("1 2 x\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("bad item"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_bad_tid_and_empty_txn() {
+        assert!(read_transactions("abc: 1\n".as_bytes()).is_err());
+        assert!(read_transactions("5:\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let input = "7: 1 2\n9: 4\n";
+        let db = read_transactions(input.as_bytes()).expect("parse");
+        let mut out = Vec::new();
+        write_transactions(&db, &mut out).expect("write");
+        let again = read_transactions(out.as_slice()).expect("reparse");
+        assert_eq!(db.transactions(), again.transactions());
+    }
+
+    #[test]
+    fn duplicate_items_collapse() {
+        let db = read_transactions("5 5 5 1\n".as_bytes()).expect("parse");
+        assert_eq!(db.get(0).items.items(), &[ItemId(1), ItemId(5)]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Workspace umbrella crate: re-exports for integration tests and examples.
+pub use bbs_apriori as apriori;
+pub use bbs_bitslice as bitslice;
+pub use bbs_core as core;
+pub use bbs_datagen as datagen;
+pub use bbs_fptree as fptree;
+pub use bbs_hash as hash;
+pub use bbs_storage as storage;
+pub use bbs_tdb as tdb;

@@ -1,0 +1,183 @@
+//! Cross-validation: every miner in the workspace — the four BBS schemes,
+//! Apriori, FP-growth and the naive oracle — must produce the same frequent
+//! patterns on the same input.
+
+use bbs_apriori::AprioriMiner;
+use bbs_core::{BbsMiner, Scheme};
+use bbs_datagen::{generate_db, QuestConfig};
+use bbs_fptree::FpGrowthMiner;
+use bbs_hash::{Md5BloomHasher, ModuloHasher};
+use bbs_tdb::{
+    FrequentPatternMiner, Itemset, MineResult, NaiveMiner, PatternSet, SupportThreshold,
+    TransactionDb,
+};
+use std::sync::Arc;
+
+/// Checks a result against the oracle: identical pattern sets, identical
+/// supports except for certified-approximate patterns (whose reported value
+/// must upper-bound the truth).
+fn assert_matches(name: &str, result: &MineResult, oracle: &PatternSet) {
+    assert_eq!(
+        result.patterns.len(),
+        oracle.len(),
+        "{name}: got {} patterns, oracle has {}",
+        result.patterns.len(),
+        oracle.len()
+    );
+    for (items, support) in result.patterns.iter() {
+        let truth = oracle
+            .support(items)
+            .unwrap_or_else(|| panic!("{name}: spurious pattern {items:?}"));
+        if result.approx_supports.contains(items) {
+            assert!(
+                support >= truth,
+                "{name}: approx support {support} < actual {truth} for {items:?}"
+            );
+        } else {
+            assert_eq!(support, truth, "{name}: wrong support for {items:?}");
+        }
+    }
+}
+
+fn check_all_miners(db: &TransactionDb, threshold: SupportThreshold, width: usize) {
+    let oracle = NaiveMiner::new().mine(db, threshold).patterns;
+
+    for scheme in Scheme::ALL {
+        let mut miner = BbsMiner::build(scheme, db, width, Arc::new(Md5BloomHasher::new(4)));
+        let result = miner.mine(db, threshold);
+        assert_matches(scheme.name(), &result, &oracle);
+    }
+    let apriori = AprioriMiner::new().mine(db, threshold);
+    assert_matches("APS", &apriori, &oracle);
+    assert!(apriori.approx_supports.is_empty());
+
+    let fp = FpGrowthMiner::new().mine(db, threshold);
+    assert_matches("FPS", &fp, &oracle);
+    assert!(fp.approx_supports.is_empty());
+}
+
+#[test]
+fn all_miners_agree_on_tiny_quest_data() {
+    let db = generate_db(QuestConfig::tiny());
+    for pct in [2.0f64, 5.0, 10.0] {
+        check_all_miners(&db, SupportThreshold::percent(pct), 128);
+    }
+}
+
+#[test]
+fn all_miners_agree_on_denser_data() {
+    let cfg = QuestConfig {
+        transactions: 400,
+        items: 80,
+        avg_txn_len: 8.0,
+        avg_pattern_len: 4.0,
+        pattern_pool: 30,
+        correlation: 0.5,
+        corruption_mean: 0.4,
+        corruption_sd: 0.1,
+        seed: 11,
+    };
+    let db = generate_db(cfg);
+    check_all_miners(&db, SupportThreshold::percent(4.0), 256);
+}
+
+#[test]
+fn all_miners_agree_with_narrow_signatures() {
+    // A deliberately narrow signature (many collisions, many false drops):
+    // correctness must not depend on the filter being selective.  Width 48
+    // with k = 2 keeps signatures from saturating outright — a *saturated*
+    // signature file makes the two-phase filters enumerate exponentially
+    // many candidates (the m-tuning trade-off §2.2 warns about), which the
+    // next test covers for the robust probe-based schemes only.
+    let db = generate_db(QuestConfig::tiny());
+    let oracle = NaiveMiner::new()
+        .mine(&db, SupportThreshold::percent(6.0))
+        .patterns;
+    for scheme in Scheme::ALL {
+        let mut miner = BbsMiner::build(scheme, &db, 48, Arc::new(Md5BloomHasher::new(2)));
+        let result = miner.mine(&db, SupportThreshold::percent(6.0));
+        assert_matches(scheme.name(), &result, &oracle);
+    }
+}
+
+#[test]
+fn probe_schemes_survive_saturated_signatures() {
+    // At width 16 with k = 4, nearly every signature is all-ones and the
+    // estimate of *any* itemset approaches |D|.  The integrated probe
+    // verifies each candidate immediately, so SFP/DFP stay correct (and
+    // bounded) even in this worst case.
+    let db = generate_db(QuestConfig::tiny());
+    let threshold = SupportThreshold::percent(6.0);
+    let oracle = NaiveMiner::new().mine(&db, threshold).patterns;
+    for scheme in [Scheme::Sfp, Scheme::Dfp] {
+        let mut miner = BbsMiner::build(scheme, &db, 16, Arc::new(Md5BloomHasher::new(4)));
+        let result = miner.mine(&db, threshold);
+        assert_matches(scheme.name(), &result, &oracle);
+    }
+}
+
+#[test]
+fn all_miners_agree_with_single_hash_function() {
+    let db = generate_db(QuestConfig::tiny());
+    let oracle = NaiveMiner::new()
+        .mine(&db, SupportThreshold::percent(5.0))
+        .patterns;
+    for scheme in Scheme::ALL {
+        let mut miner = BbsMiner::build(scheme, &db, 64, Arc::new(ModuloHasher));
+        let result = miner.mine(&db, SupportThreshold::percent(5.0));
+        assert_matches(scheme.name(), &result, &oracle);
+    }
+}
+
+#[test]
+fn all_miners_agree_on_degenerate_databases() {
+    // All-identical transactions.
+    let identical =
+        TransactionDb::from_itemsets((0..20).map(|_| Itemset::from_values(&[1, 2, 3])));
+    check_all_miners(&identical, SupportThreshold::Count(10), 32);
+
+    // All-disjoint transactions (nothing frequent beyond singletons).
+    let disjoint =
+        TransactionDb::from_itemsets((0..20u32).map(|i| Itemset::from_values(&[i])));
+    check_all_miners(&disjoint, SupportThreshold::Count(2), 32);
+
+    // Single transaction.
+    let single = TransactionDb::from_itemsets(vec![Itemset::from_values(&[5, 6, 7])]);
+    check_all_miners(&single, SupportThreshold::Count(1), 32);
+}
+
+#[test]
+fn threshold_sweep_is_monotone_for_every_miner() {
+    let db = generate_db(QuestConfig::tiny());
+    let mut previous_len = usize::MAX;
+    for pct in [2.0f64, 4.0, 8.0, 16.0] {
+        let mut miner = BbsMiner::build(
+            Scheme::Dfp,
+            &db,
+            128,
+            Arc::new(Md5BloomHasher::new(4)),
+        );
+        let n = miner.mine(&db, SupportThreshold::percent(pct)).patterns.len();
+        assert!(n <= previous_len, "pattern count must fall as τ rises");
+        previous_len = n;
+    }
+}
+
+#[test]
+fn threaded_miners_agree_with_serial() {
+    let db = generate_db(QuestConfig::tiny());
+    let threshold = SupportThreshold::percent(4.0);
+    for scheme in Scheme::ALL {
+        let serial = BbsMiner::build(scheme, &db, 128, Arc::new(Md5BloomHasher::new(4)))
+            .mine(&db, threshold);
+        let threaded = BbsMiner::build(scheme, &db, 128, Arc::new(Md5BloomHasher::new(4)))
+            .with_threads(4)
+            .mine(&db, threshold);
+        assert_eq!(serial.patterns, threaded.patterns, "{}", scheme.name());
+        assert_eq!(
+            serial.stats.false_drops, threaded.stats.false_drops,
+            "{}",
+            scheme.name()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Dynamic-database integration tests (§3.4 / §4.8): the BBS index is
+//! maintained incrementally across day batches and keeps mining correctly,
+//! while an FP-tree must be rebuilt from scratch each time.
+
+use bbs_core::{BbsMiner, Scheme};
+use bbs_datagen::{WeblogConfig, WeblogGenerator};
+use bbs_fptree::FpGrowthMiner;
+use bbs_hash::Md5BloomHasher;
+use bbs_tdb::{FrequentPatternMiner, NaiveMiner, SupportThreshold, TransactionDb};
+use std::sync::Arc;
+
+#[test]
+fn incremental_mining_tracks_growing_weblog() {
+    let mut generator = WeblogGenerator::new(WeblogConfig::tiny());
+    let day0 = generator.next_day().expect("day 0");
+
+    let mut db = TransactionDb::from_transactions(day0.transactions.clone());
+    let mut miner = BbsMiner::build(Scheme::Dfp, &db, 64, Arc::new(Md5BloomHasher::new(4)));
+    let threshold = SupportThreshold::percent(8.0);
+
+    // Mine day 0, then append each subsequent day and re-mine; every result
+    // must match a from-scratch oracle over the accumulated database.
+    for _ in 0..3 {
+        let result = miner.mine(&db, threshold);
+        let oracle = NaiveMiner::new().mine(&db, threshold).patterns;
+        assert_eq!(result.patterns.len(), oracle.len());
+        for (items, support) in result.patterns.iter() {
+            let truth = oracle.support(items).expect("pattern in oracle");
+            if result.approx_supports.contains(items) {
+                assert!(support >= truth);
+            } else {
+                assert_eq!(support, truth, "{items:?}");
+            }
+        }
+
+        let Some(day) = generator.next_day() else {
+            break;
+        };
+        for txn in &day.transactions {
+            miner.append(txn);
+            db.push(txn.clone());
+        }
+    }
+}
+
+#[test]
+fn bbs_update_is_append_only_while_fptree_rebuilds() {
+    let mut generator = WeblogGenerator::new(WeblogConfig::tiny());
+    let day0 = generator.next_day().expect("day 0");
+    let day1 = generator.next_day().expect("day 1");
+
+    let mut db = TransactionDb::from_transactions(day0.transactions.clone());
+    let mut miner = BbsMiner::build(Scheme::Dfp, &db, 64, Arc::new(Md5BloomHasher::new(4)));
+    let rows_before = miner.index().rows();
+
+    for txn in &day1.transactions {
+        miner.append(txn);
+        db.push(txn.clone());
+    }
+    // The index grew by exactly the appended transactions — no rebuild.
+    assert_eq!(miner.index().rows(), rows_before + day1.transactions.len());
+
+    // FP-growth has no incremental path: each mine over the grown database
+    // re-scans everything (2 scans per run, every run).
+    let mut fp = FpGrowthMiner::new();
+    let r1 = fp.mine(&db, SupportThreshold::percent(8.0));
+    let r2 = fp.mine(&db, SupportThreshold::percent(8.0));
+    assert_eq!(r1.stats.io.db_scans, 2);
+    assert_eq!(r2.stats.io.db_scans, 2, "every FP run pays the full rebuild");
+
+    // Both agree on the answer, of course.
+    let bbs_result = miner.mine(&db, SupportThreshold::percent(8.0));
+    assert_eq!(bbs_result.patterns.len(), r1.patterns.len());
+}
+
+#[test]
+fn new_items_require_no_restructuring() {
+    // §3.4: "for new items, since the bit vector is obtained by hashing on
+    // the items, the new items do not affect BBS either."
+    let db = TransactionDb::from_itemsets(vec![
+        bbs_tdb::Itemset::from_values(&[1, 2]),
+        bbs_tdb::Itemset::from_values(&[1, 2, 3]),
+    ]);
+    let mut miner = BbsMiner::build(Scheme::Dfp, &db, 64, Arc::new(Md5BloomHasher::new(4)));
+    let width_before = miner.index().width();
+
+    // Append transactions introducing items never seen before.
+    let mut grown = db.clone();
+    for (i, items) in [&[900u32, 901][..], &[900, 1, 2], &[901, 902]]
+        .iter()
+        .enumerate()
+    {
+        let txn = bbs_tdb::Transaction::new(100 + i as u64, bbs_tdb::Itemset::from_values(items));
+        miner.append(&txn);
+        grown.push(txn);
+    }
+    assert_eq!(miner.index().width(), width_before, "width is stable");
+
+    let result = miner.mine(&grown, SupportThreshold::Count(2));
+    let oracle = NaiveMiner::new()
+        .mine(&grown, SupportThreshold::Count(2))
+        .patterns;
+    assert_eq!(result.patterns.len(), oracle.len());
+    // The brand-new item 900 (support 2) is found.
+    assert!(result
+        .patterns
+        .contains(&bbs_tdb::Itemset::from_values(&[900])));
+}
