@@ -1,0 +1,8 @@
+#!/bin/sh
+# Full local CI: release build, every test in the workspace, and a
+# warning-free clippy pass.  Run from the repository root.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -36,11 +36,11 @@ impl Flags {
                     .peek()
                     .map(|next| !next.starts_with("--"))
                     .unwrap_or(false);
-                if takes_value {
-                    let value = iter.next().expect("peeked");
-                    flags.values.insert(key.to_string(), value);
-                } else {
-                    flags.switches.push(key.to_string());
+                match iter.next_if(|_| takes_value) {
+                    Some(value) => {
+                        flags.values.insert(key.to_string(), value);
+                    }
+                    None => flags.switches.push(key.to_string()),
                 }
             } else {
                 flags.positional.push(arg);

@@ -27,6 +27,7 @@ USAGE:
   bbs ingest   --base PATH --db FILE [--width M] [--cache-pages N]
   bbs mine-deployment --base PATH --min-support N|P%
                [--scheme sfs|sfp|dfs|dfp] [--width M] [--top N]
+  bbs fsck     --base PATH
   bbs stats    --db FILE
 
 The transaction file format is one transaction per line: whitespace-
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
         "count" => commands::count(&flags),
         "ingest" => commands::ingest(&flags),
         "mine-deployment" => commands::mine_deployment(&flags),
+        "fsck" => commands::fsck(&flags),
         "stats" => commands::stats(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

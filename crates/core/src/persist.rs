@@ -96,8 +96,20 @@ pub fn save<W: Write>(bbs: &Bbs, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
+/// Caps speculative preallocation from untrusted header fields.  Every
+/// element still has to be *read* before it exists, so a length-inflated
+/// header runs into end-of-stream instead of a giant allocation; this
+/// bound only limits how much memory is reserved ahead of the reads.
+fn bounded_cap(claimed: usize) -> usize {
+    claimed.min(1 << 16)
+}
+
 /// Deserializes an index from a reader, attaching the hash family it was
 /// built with.
+///
+/// The stream is untrusted: truncated, bit-flipped, or length-inflated
+/// input yields a [`PersistError`], never a panic or an allocation
+/// proportional to a corrupt header field.
 pub fn load<R: Read>(r: &mut R, hasher: Arc<dyn ItemHasher>) -> Result<Bbs, PersistError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -110,13 +122,13 @@ pub fn load<R: Read>(r: &mut R, hasher: Arc<dyn ItemHasher>) -> Result<Bbs, Pers
         return Err(PersistError::Corrupt("zero width"));
     }
     let nitems = read_u64(r)? as usize;
-    let mut item_counts = Vec::with_capacity(nitems);
+    let mut item_counts = Vec::with_capacity(bounded_cap(nitems));
     for _ in 0..nitems {
         let item = ItemId(read_u32(r)?);
         let count = read_u64(r)?;
         item_counts.push((item, count));
     }
-    let mut slices: Vec<BitVec> = Vec::with_capacity(width);
+    let mut slices: Vec<BitVec> = Vec::with_capacity(bounded_cap(width));
     for _ in 0..width {
         let len_bits = read_u64(r)? as usize;
         if len_bits > rows {
@@ -126,7 +138,7 @@ pub fn load<R: Read>(r: &mut R, hasher: Arc<dyn ItemHasher>) -> Result<Bbs, Pers
         if nwords != bbs_bitslice::words_for(len_bits) {
             return Err(PersistError::Corrupt("slice word count mismatch"));
         }
-        let mut words = Vec::with_capacity(nwords);
+        let mut words = Vec::with_capacity(bounded_cap(nwords));
         for _ in 0..nwords {
             words.push(read_u64(r)?);
         }
@@ -241,6 +253,59 @@ mod tests {
         buf[13] = 0;
         let err = load(&mut buf.as_slice(), Arc::new(Md5BloomHasher::new(4)));
         assert!(matches!(err, Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_length_inflated_headers_without_huge_allocation() {
+        let (bbs, _) = fixture();
+        let mut buf = Vec::new();
+        save(&bbs, &mut buf).expect("save");
+
+        // nitems lives at offset 4 (magic) + 8 (width) + 8 (rows) = 20.
+        let mut inflated = buf.clone();
+        inflated[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = load(&mut inflated.as_slice(), Arc::new(Md5BloomHasher::new(4)));
+        assert!(matches!(err, Err(PersistError::Io(_))));
+
+        // width lives at offset 4.
+        let mut inflated = buf.clone();
+        inflated[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(load(&mut inflated.as_slice(), Arc::new(Md5BloomHasher::new(4))).is_err());
+
+        // A slice's claimed word count (can only EOF or mismatch, never
+        // allocate): first slice header follows the item table.
+        let vocab_bytes = 12 * bbs.vocabulary().len();
+        let at = 28 + vocab_bytes + 8;
+        let mut inflated = buf;
+        inflated[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(load(&mut inflated.as_slice(), Arc::new(Md5BloomHasher::new(4))).is_err());
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let (bbs, _) = fixture();
+        let mut buf = Vec::new();
+        save(&bbs, &mut buf).expect("save");
+        for len in 0..buf.len() {
+            let err = load(&mut &buf[..len], Arc::new(Md5BloomHasher::new(4)));
+            assert!(err.is_err(), "prefix of {len} bytes must not load");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic() {
+        let (bbs, _) = fixture();
+        let mut buf = Vec::new();
+        save(&bbs, &mut buf).expect("save");
+        for pos in 0..buf.len() {
+            for bit in [0u8, 3, 7] {
+                let mut corrupt = buf.clone();
+                corrupt[pos] ^= 1 << bit;
+                // Flips in slice payload words load fine (they are data);
+                // everything else must degrade to a typed error.
+                let _ = load(&mut corrupt.as_slice(), Arc::new(Md5BloomHasher::new(4)));
+            }
+        }
     }
 
     #[test]

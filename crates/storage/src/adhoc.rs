@@ -8,6 +8,7 @@
 //! loaded wholesale — the working set is the query's slices plus the
 //! candidate rows' pages.
 
+use crate::backend::{FileBackend, StorageBackend};
 use crate::diskbbs::DiskDeployment;
 use bbs_bitslice::BitVec;
 use bbs_tdb::Itemset;
@@ -23,13 +24,13 @@ pub struct DiskQueryStats {
 }
 
 /// Ad-hoc query engine over a [`DiskDeployment`].
-pub struct DiskAdhocEngine<'a> {
-    deployment: &'a mut DiskDeployment,
+pub struct DiskAdhocEngine<'a, B: StorageBackend = FileBackend> {
+    deployment: &'a mut DiskDeployment<B>,
 }
 
-impl<'a> DiskAdhocEngine<'a> {
+impl<'a, B: StorageBackend> DiskAdhocEngine<'a, B> {
     /// Wraps a deployment.
-    pub fn new(deployment: &'a mut DiskDeployment) -> Self {
+    pub fn new(deployment: &'a mut DiskDeployment<B>) -> Self {
         DiskAdhocEngine { deployment }
     }
 

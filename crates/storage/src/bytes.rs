@@ -1,12 +1,13 @@
 //! Byte-granular access on top of the page cache: reads and writes at
 //! arbitrary file offsets, transparently spanning page boundaries.
 
+use crate::backend::StorageBackend;
 use crate::cache::PageCache;
 use crate::pager::{PageId, PAGE_SIZE};
 use std::io;
 
 /// Reads `out.len()` bytes starting at byte `offset`.
-pub fn read_bytes(cache: &mut PageCache, mut offset: u64, mut out: &mut [u8]) -> io::Result<()> {
+pub fn read_bytes<B: StorageBackend>(cache: &mut PageCache<B>, mut offset: u64, mut out: &mut [u8]) -> io::Result<()> {
     while !out.is_empty() {
         let page = PageId(offset / PAGE_SIZE as u64);
         let within = (offset % PAGE_SIZE as u64) as usize;
@@ -20,7 +21,7 @@ pub fn read_bytes(cache: &mut PageCache, mut offset: u64, mut out: &mut [u8]) ->
 }
 
 /// Writes `data` starting at byte `offset`.
-pub fn write_bytes(cache: &mut PageCache, mut offset: u64, mut data: &[u8]) -> io::Result<()> {
+pub fn write_bytes<B: StorageBackend>(cache: &mut PageCache<B>, mut offset: u64, mut data: &[u8]) -> io::Result<()> {
     while !data.is_empty() {
         let page = PageId(offset / PAGE_SIZE as u64);
         let within = (offset % PAGE_SIZE as u64) as usize;
@@ -33,26 +34,26 @@ pub fn write_bytes(cache: &mut PageCache, mut offset: u64, mut data: &[u8]) -> i
 }
 
 /// Reads a little-endian `u64` at `offset`.
-pub fn read_u64(cache: &mut PageCache, offset: u64) -> io::Result<u64> {
+pub fn read_u64<B: StorageBackend>(cache: &mut PageCache<B>, offset: u64) -> io::Result<u64> {
     let mut buf = [0u8; 8];
     read_bytes(cache, offset, &mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
 /// Writes a little-endian `u64` at `offset`.
-pub fn write_u64(cache: &mut PageCache, offset: u64, v: u64) -> io::Result<()> {
+pub fn write_u64<B: StorageBackend>(cache: &mut PageCache<B>, offset: u64, v: u64) -> io::Result<()> {
     write_bytes(cache, offset, &v.to_le_bytes())
 }
 
 /// Reads a little-endian `u32` at `offset`.
-pub fn read_u32(cache: &mut PageCache, offset: u64) -> io::Result<u32> {
+pub fn read_u32<B: StorageBackend>(cache: &mut PageCache<B>, offset: u64) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     read_bytes(cache, offset, &mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
 /// Writes a little-endian `u32` at `offset`.
-pub fn write_u32(cache: &mut PageCache, offset: u64, v: u32) -> io::Result<()> {
+pub fn write_u32<B: StorageBackend>(cache: &mut PageCache<B>, offset: u64, v: u32) -> io::Result<()> {
     write_bytes(cache, offset, &v.to_le_bytes())
 }
 

@@ -4,6 +4,7 @@
 //! behaviour: a mining run against disk-backed structures sees hits while
 //! its working set fits the cache and physical reads once it does not.
 
+use crate::backend::{FileBackend, StorageBackend};
 use crate::pager::{PageBuf, PageId, Pager, PAGE_SIZE};
 use std::collections::HashMap;
 use std::io;
@@ -27,17 +28,17 @@ struct Frame {
 }
 
 /// An LRU page cache with a fixed capacity in pages.
-pub struct PageCache {
-    pager: Pager,
+pub struct PageCache<B: StorageBackend = FileBackend> {
+    pager: Pager<B>,
     frames: HashMap<PageId, Frame>,
     capacity: usize,
     tick: u64,
     stats: CacheStats,
 }
 
-impl PageCache {
+impl<B: StorageBackend> PageCache<B> {
     /// Wraps a pager with a cache of `capacity` pages (min 1).
-    pub fn new(pager: Pager, capacity: usize) -> Self {
+    pub fn new(pager: Pager<B>, capacity: usize) -> Self {
         PageCache {
             pager,
             frames: HashMap::new(),
@@ -167,7 +168,7 @@ impl PageCache {
     }
 }
 
-impl Drop for PageCache {
+impl<B: StorageBackend> Drop for PageCache<B> {
     fn drop(&mut self) {
         // Best-effort write-back; errors on drop cannot be reported.
         let _ = self.flush();

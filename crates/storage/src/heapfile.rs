@@ -13,9 +13,10 @@
 //! All access goes through bounded LRU page caches, so sequential scans and
 //! random probes exhibit real hit/miss behaviour.
 
+use crate::backend::{FileBackend, StorageBackend};
 use crate::bytes;
 use crate::cache::{CacheStats, PageCache};
-use crate::pager::{Pager, PAGE_SIZE};
+use crate::pager::{PageId, Pager, PAGE_SIZE};
 use bbs_tdb::{ItemId, Itemset, Transaction};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -26,28 +27,148 @@ const H_MAGIC: u64 = 0;
 const H_COUNT: u64 = 8;
 const H_TAIL: u64 = 16;
 /// First byte of index entries (page 1).
-const IDX_ENTRIES: u64 = PAGE_SIZE as u64;
+pub(crate) const IDX_ENTRIES: u64 = PAGE_SIZE as u64;
 
 /// A disk-backed transaction database.
-pub struct HeapFile {
-    data: PageCache,
-    idx: PageCache,
+pub struct HeapFile<B: StorageBackend = FileBackend> {
+    data: PageCache<B>,
+    idx: PageCache<B>,
     count: u64,
     tail: u64,
 }
 
 /// Paths used by a heap file.
-fn paths(base: &Path) -> (PathBuf, PathBuf) {
+pub(crate) fn paths(base: &Path) -> (PathBuf, PathBuf) {
     (base.with_extension("dat"), base.with_extension("idx"))
 }
 
-impl HeapFile {
+/// Number of index-file pages a committed row count occupies (the header
+/// page plus full or partial entry pages).
+pub(crate) fn idx_pages_for_rows(rows: u64) -> u64 {
+    (IDX_ENTRIES + rows * 8).div_ceil(PAGE_SIZE as u64)
+}
+
+impl HeapFile<FileBackend> {
     /// Opens (creating if absent) the heap file at `<base>.dat/.idx` with
     /// the given cache sizes (in pages) for data and index.
     pub fn open(base: &Path, data_cache_pages: usize, idx_cache_pages: usize) -> io::Result<Self> {
         let (dat, idxp) = paths(base);
-        let data = PageCache::new(Pager::open(&dat)?, data_cache_pages);
-        let mut idx = PageCache::new(Pager::open(&idxp)?, idx_cache_pages);
+        HeapFile::open_with(
+            FileBackend::open(&dat)?,
+            FileBackend::open(&idxp)?,
+            data_cache_pages,
+            idx_cache_pages,
+            None,
+        )
+    }
+
+    /// Removes the heap file's backing files (for tests and tooling).
+    pub fn remove_files(base: &Path) -> io::Result<()> {
+        let (dat, idx) = paths(base);
+        std::fs::remove_file(dat).and(std::fs::remove_file(idx))
+    }
+}
+
+/// The committed boundary of a heap file, as a recovery target.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapRecoverPoint {
+    /// Committed record count.
+    pub rows: u64,
+    /// Committed data tail in bytes.
+    pub tail: u64,
+    /// Commit-record digest of the committed data boundary page.
+    pub dat_digest: u64,
+    /// Commit-record digest of the committed last index entry page.
+    pub idx_digest: u64,
+}
+
+/// Restores the boundary page of one file to its committed content:
+/// reads it raw (its digest may not verify after a torn write), zeroes
+/// everything from byte `keep` on — committed bytes are a pure prefix, so
+/// this reconstructs exactly the committed page — and checks the result
+/// against the digest the commit record vouched for.  A mismatch means
+/// the committed prefix itself is damaged (e.g. a flipped bit), which
+/// recovery must surface, never re-checksum into validity.
+fn restore_boundary_page<B: StorageBackend>(
+    pager: &mut Pager<B>,
+    last: PageId,
+    keep: usize,
+    committed_digest: u64,
+) -> io::Result<()> {
+    let mut page = pager.read_page_raw(last)?;
+    page[keep..].fill(0);
+    let actual = crate::pager::fnv1a64(&page[..]);
+    if actual != committed_digest {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            crate::pager::ChecksumMismatch {
+                page: last.0,
+                expected: committed_digest,
+                actual,
+            },
+        ));
+    }
+    pager.write_page(last, &page)
+}
+
+/// Rolls the data and index files back to exactly the committed boundary.
+///
+/// Idempotent: every step either truncates to a fixed length or rewrites
+/// a page to content derived purely from the commit record and committed
+/// bytes, so a crash *during* recovery just means recovery runs again.
+fn recover<B: StorageBackend>(
+    data: &mut Pager<B>,
+    idx: &mut Pager<B>,
+    to: HeapRecoverPoint,
+) -> io::Result<()> {
+    // Data file: keep the pages holding bytes [0, tail); restore the
+    // boundary page.
+    let data_pages = to.tail.div_ceil(PAGE_SIZE as u64);
+    data.truncate_logical(data_pages)?;
+    if data_pages > 0 {
+        let keep = (to.tail - (data_pages - 1) * PAGE_SIZE as u64) as usize;
+        restore_boundary_page(data, PageId(data_pages - 1), keep, to.dat_digest)?;
+    }
+
+    // Index file: header page + entry pages for `rows` entries.
+    let idx_pages = idx_pages_for_rows(to.rows);
+    idx.truncate_logical(idx_pages)?;
+    if to.rows > 0 {
+        let entry_end = IDX_ENTRIES + to.rows * 8;
+        let keep = (entry_end - (idx_pages - 1) * PAGE_SIZE as u64) as usize;
+        restore_boundary_page(idx, PageId(idx_pages - 1), keep, to.idx_digest)?;
+    }
+
+    // The header is rebuilt from the commit record, not trusted from disk
+    // (it is rewritten on every append, so a torn write may have hit it).
+    let mut header = crate::pager::zeroed_page();
+    header[H_MAGIC as usize..H_MAGIC as usize + 8].copy_from_slice(&IDX_MAGIC.to_le_bytes());
+    header[H_COUNT as usize..H_COUNT as usize + 8].copy_from_slice(&to.rows.to_le_bytes());
+    header[H_TAIL as usize..H_TAIL as usize + 8].copy_from_slice(&to.tail.to_le_bytes());
+    idx.write_page(PageId(0), &header)?;
+    Ok(())
+}
+
+impl<B: StorageBackend> HeapFile<B> {
+    /// Opens a heap file over explicit backends.
+    ///
+    /// With `recover_to` set, the files are first rolled back to that
+    /// committed boundary (see [`crate::diskbbs::DiskDeployment`] for
+    /// where the boundary comes from).
+    pub fn open_with(
+        dat: B,
+        idxb: B,
+        data_cache_pages: usize,
+        idx_cache_pages: usize,
+        recover_to: Option<HeapRecoverPoint>,
+    ) -> io::Result<Self> {
+        let mut data_pager = Pager::new(dat)?;
+        let mut idx_pager = Pager::new(idxb)?;
+        if let Some(to) = recover_to {
+            recover(&mut data_pager, &mut idx_pager, to)?;
+        }
+        let data = PageCache::new(data_pager, data_cache_pages);
+        let mut idx = PageCache::new(idx_pager, idx_cache_pages);
 
         let (count, tail) = if idx.page_count() == 0 {
             bytes::write_u64(&mut idx, H_MAGIC, IDX_MAGIC)?;
@@ -175,10 +296,27 @@ impl HeapFile {
         self.idx.flush()
     }
 
-    /// Removes the heap file's backing files (for tests and tooling).
-    pub fn remove_files(base: &Path) -> io::Result<()> {
-        let (dat, idx) = paths(base);
-        std::fs::remove_file(dat).and(std::fs::remove_file(idx))
+    /// Digests of the two boundary pages as they stand right now.
+    ///
+    /// Called at commit time, when the cached content *is* the content
+    /// being committed: bytes past the tail (resp. past the last index
+    /// entry) inside the boundary page are zero, so these digests equal
+    /// what recovery will reconstruct.  Zero when the file is empty.
+    pub(crate) fn boundary_digests(&mut self) -> io::Result<(u64, u64)> {
+        let dat = if self.tail == 0 {
+            0
+        } else {
+            let last = PageId((self.tail - 1) / PAGE_SIZE as u64);
+            self.data.with_page(last, |p| crate::pager::fnv1a64(p))?
+        };
+        let idx = if self.count == 0 {
+            0
+        } else {
+            let entry_end = IDX_ENTRIES + self.count * 8;
+            let last = PageId((entry_end - 1) / PAGE_SIZE as u64);
+            self.idx.with_page(last, |p| crate::pager::fnv1a64(p))?
+        };
+        Ok((dat, idx))
     }
 }
 
@@ -298,7 +436,10 @@ mod tests {
     fn rejects_foreign_index_file() {
         let b = base("foreign");
         let _g = Cleanup(b.clone());
-        std::fs::write(b.with_extension("idx"), vec![0xFFu8; PAGE_SIZE]).expect("write");
+        // Two physical pages: the first is read as a checksum page, the
+        // second as data — garbage in both means a failed magic check or a
+        // checksum mismatch, never silent adoption.
+        std::fs::write(b.with_extension("idx"), vec![0xFFu8; 2 * PAGE_SIZE]).expect("write");
         std::fs::write(b.with_extension("dat"), Vec::<u8>::new()).expect("write");
         assert!(HeapFile::open(&b, 4, 4).is_err());
     }

@@ -17,6 +17,19 @@
 //!   the cache;
 //! * [`adhoc`] — §4.9's ad-hoc queries answered entirely from the files
 //!   (slice-page estimates + heap-file probes, no load phase).
+//! * [`backend`] — the physical-I/O abstraction ([`StorageBackend`]) every
+//!   structure above is generic over, including the fault-injection
+//!   backend the crash tests drive.
+//!
+//! # Crash safety
+//!
+//! Every page carries an FNV-1a checksum verified on read ([`pager`]), a
+//! deployment's durability boundary is a checksummed commit record written
+//! last ([`diskbbs`]), and opening a deployment rolls every file back to
+//! exactly the committed state — torn or interrupted writes heal, flipped
+//! bits surface as [`ChecksumMismatch`], never as data.
+//! [`DiskDeployment::verify`] is the read-only integrity check behind
+//! `bbs fsck`.
 //!
 //! The in-memory crates stay the mining substrate; this crate feeds them
 //! ([`HeapFile::load`] → `TransactionDb`, [`DiskBbs::load`] → `Bbs`) and
@@ -26,16 +39,27 @@
 #![forbid(unsafe_code)]
 
 pub mod adhoc;
+pub mod backend;
 pub mod bytes;
 pub mod cache;
+mod commit;
 pub mod diskbbs;
 pub mod heapfile;
 pub mod pager;
 pub mod slicefile;
 
 pub use adhoc::{DiskAdhocEngine, DiskQueryStats};
+pub use backend::{
+    BitFlip, CrashMode, FaultInjector, FaultPlan, FileBackend, MemBackend, SharedFaultPlan,
+    StorageBackend,
+};
 pub use cache::{CacheStats, PageCache};
-pub use diskbbs::{DiskBbs, DiskDeployment};
+pub use diskbbs::{
+    deployment_paths, DeploymentBackends, DeploymentPaths, DiskBbs, DiskDeployment,
+    PageCorruption, VerifyReport,
+};
 pub use heapfile::HeapFile;
-pub use pager::{PageId, Pager, PagerStats, PAGE_SIZE};
+pub use pager::{
+    checksum_mismatch, fnv1a64, ChecksumMismatch, PageId, Pager, PagerStats, PAGE_SIZE,
+};
 pub use slicefile::{SliceFile, CHUNK_ROWS};

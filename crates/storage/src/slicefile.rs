@@ -16,8 +16,11 @@
 //! appending a transaction performs one read-modify-write per set bit, all
 //! within the current chunk's pages (which stay hot in the cache).
 
+use crate::backend::{FileBackend, StorageBackend};
 use crate::cache::{CacheStats, PageCache};
-use crate::pager::{PageId, Pager, PAGE_SIZE};
+use crate::pager::{
+    fnv1a64_extend, zeroed_page, ChecksumMismatch, PageId, Pager, FNV_OFFSET, PAGE_SIZE,
+};
 use bbs_bitslice::BitVec;
 use std::io;
 use std::path::Path;
@@ -27,19 +30,131 @@ const MAGIC: u64 = 0x4242_5353_4c49_4345; // "BBSSLICE"
 pub const CHUNK_ROWS: usize = PAGE_SIZE * 8;
 
 /// A durable, chunk-major bit-slice file.
-pub struct SliceFile {
-    cache: PageCache,
+pub struct SliceFile<B: StorageBackend = FileBackend> {
+    cache: PageCache<B>,
     width: usize,
     rows: u64,
 }
 
-impl SliceFile {
+impl SliceFile<FileBackend> {
     /// Opens (creating if absent) a slice file of signature width `width`.
     ///
     /// An existing file must have been created with the same width.
     pub fn open(path: &Path, width: usize, cache_pages: usize) -> io::Result<Self> {
+        SliceFile::open_with(FileBackend::open(path)?, width, cache_pages, None)
+    }
+}
+
+/// Clears the bits of rows `within..` from a boundary-chunk slice page,
+/// reconstructing its committed content (committed bits are never lost to
+/// a torn write because appends only OR bits in).
+pub(crate) fn clear_uncommitted_bits(page: &mut [u8; PAGE_SIZE], within: u64) {
+    let whole = (within / 8) as usize;
+    let rem = (within % 8) as u32;
+    if rem == 0 {
+        page[whole..].fill(0);
+    } else {
+        page[whole] &= (1u8 << rem) - 1;
+        page[whole + 1..].fill(0);
+    }
+}
+
+/// Rolls a slice file back to exactly `rows` committed rows, whose
+/// boundary-chunk content must chain-digest to `slices_digest` (from the
+/// commit record).
+///
+/// Pages of whole uncommitted chunks are dropped.  In the boundary chunk,
+/// every slice page's committed content is reconstructed by clearing the
+/// bits of uncommitted rows (committed bits survive any torn write because
+/// appends only OR bits in; never-materialised pages reconstruct to
+/// zeros).  The reconstructions are chain-digested in slice order and
+/// checked against the commit record before anything is written back: a
+/// mismatch means committed bits were lost or flipped — real corruption,
+/// surfaced rather than re-checksummed into validity.
+fn recover<B: StorageBackend>(
+    pager: &mut Pager<B>,
+    width: usize,
+    rows: u64,
+    slices_digest: u64,
+) -> io::Result<()> {
+    let chunks = (rows as usize).div_ceil(CHUNK_ROWS) as u64;
+    let target = 1 + chunks * width as u64;
+    let keep = pager.page_count().min(target);
+    pager.truncate_logical(keep)?;
+
+    let within = rows % CHUNK_ROWS as u64;
+    if within != 0 {
+        let chunk = rows / CHUNK_ROWS as u64;
+        let mut digest = FNV_OFFSET;
+        let mut repaired = Vec::with_capacity(width);
+        for slice in 0..width as u64 {
+            let id = PageId(1 + chunk * width as u64 + slice);
+            // Past-the-end pages read as zeros, which is also their
+            // reconstruction.
+            let mut page = pager.read_page_raw(id)?;
+            clear_uncommitted_bits(&mut page, within);
+            digest = fnv1a64_extend(digest, &page[..]);
+            repaired.push((id, page));
+        }
+        if digest != slices_digest {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                ChecksumMismatch {
+                    page: 1 + chunk * width as u64,
+                    expected: slices_digest,
+                    actual: digest,
+                },
+            ));
+        }
+        for (id, page) in repaired {
+            if id.0 < keep {
+                pager.write_page(id, &page)?;
+            }
+        }
+    }
+
+    // Rebuild the header from the commit record rather than trusting disk.
+    let mut header = zeroed_page();
+    header[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+    header[8..16].copy_from_slice(&(width as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&rows.to_le_bytes());
+    pager.write_page(PageId(0), &header)
+}
+
+impl<B: StorageBackend> SliceFile<B> {
+    /// Opens a slice file over an explicit backend.
+    ///
+    /// With `recover_to = Some((rows, slices_digest))`, the file is first
+    /// rolled back to that committed row count; the reconstructed
+    /// boundary-chunk pages must match the commit record's digest.
+    pub fn open_with(
+        backend: B,
+        width: usize,
+        cache_pages: usize,
+        recover_to: Option<(u64, u64)>,
+    ) -> io::Result<Self> {
         assert!(width > 0, "width must be positive");
-        let mut cache = PageCache::new(Pager::open(path)?, cache_pages);
+        let mut pager = Pager::new(backend)?;
+        // A width mismatch must be reported as such, not as the boundary
+        // digest mismatch recovery would trip over — but only when the
+        // header page actually verifies (a torn header is rebuilt by
+        // recovery and cannot be trusted to hold anything).
+        if pager.page_count() > 0 {
+            if let Ok(header) = pager.read_page(PageId(0)) {
+                let stored = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+                let magic = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+                if magic == MAGIC && stored != width as u64 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("slice file width {stored} != requested {width}"),
+                    ));
+                }
+            }
+        }
+        if let Some((rows, slices_digest)) = recover_to {
+            recover(&mut pager, width, rows, slices_digest)?;
+        }
+        let mut cache = PageCache::new(pager, cache_pages);
         let (stored_width, rows) = if cache.page_count() == 0 {
             crate::bytes::write_u64(&mut cache, 0, MAGIC)?;
             crate::bytes::write_u64(&mut cache, 8, width as u64)?;
@@ -156,6 +271,23 @@ impl SliceFile {
     /// Flushes dirty pages and syncs.
     pub fn flush(&mut self) -> io::Result<()> {
         self.cache.flush()
+    }
+
+    /// Chained digest of the boundary-chunk slice pages as they stand
+    /// right now (what a commit record vouches for; see
+    /// [`crate::commit::Commit::slices_digest`]).  Zero when the row count
+    /// is chunk-aligned.
+    pub(crate) fn boundary_digest(&mut self) -> io::Result<u64> {
+        if self.rows.is_multiple_of(CHUNK_ROWS as u64) {
+            return Ok(0);
+        }
+        let chunk = self.rows / CHUNK_ROWS as u64;
+        let mut digest = FNV_OFFSET;
+        for slice in 0..self.width {
+            let page = self.page_of(chunk, slice);
+            digest = self.cache.with_page(page, |p| fnv1a64_extend(digest, p))?;
+        }
+        Ok(digest)
     }
 }
 

@@ -1,0 +1,180 @@
+//! Property tests: a durable deployment is semantically identical to the
+//! in-memory [`Bbs`] over the same transactions — after a clean
+//! append→flush→reopen cycle, and after crash recovery.
+
+use bbs_core::Bbs;
+use bbs_hash::{ItemHasher, Md5BloomHasher};
+use bbs_storage::diskbbs::{deployment_paths, DeploymentBackends, DiskDeployment};
+use bbs_storage::{CrashMode, FaultPlan, FileBackend};
+use bbs_tdb::{IoStats, Itemset, TransactionDb};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const CACHE: usize = 64;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn base(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "bbs_rt_{}_{}_{}",
+        std::process::id(),
+        name,
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+    }
+}
+
+fn hasher() -> Arc<dyn ItemHasher> {
+    Arc::new(Md5BloomHasher::new(3))
+}
+
+/// Strategy: a small random transaction database over items `0..items`.
+fn arb_db(items: u32, max_txns: usize) -> impl Strategy<Value = TransactionDb> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0..items, 1..8),
+        1..max_txns,
+    )
+    .prop_map(|txns| {
+        TransactionDb::from_itemsets(txns.into_iter().map(|s| s.into_iter().collect::<Itemset>()))
+    })
+}
+
+fn arb_itemset(items: u32) -> impl Strategy<Value = Itemset> {
+    proptest::collection::btree_set(0..items, 1..5).prop_map(|s| s.into_iter().collect())
+}
+
+/// The in-memory index over a prefix of `db`, built with the same width
+/// and hash family as the deployment under test.
+fn memory_index(db: &TransactionDb, rows: usize, width: usize) -> Bbs {
+    let prefix = TransactionDb::from_transactions(db.transactions()[..rows].to_vec());
+    let mut io = IoStats::new();
+    Bbs::build(width, hasher(), &prefix, &mut io)
+}
+
+fn open(b: &Path, width: usize) -> DiskDeployment {
+    DiskDeployment::open(b, width, hasher(), CACHE).expect("open deployment")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// append → flush → reopen → load gives back exactly the appended
+    /// transactions, and the on-disk index answers every query exactly as
+    /// the in-memory index built over the same database would.
+    #[test]
+    fn clean_roundtrip_matches_in_memory_index(
+        db in arb_db(32, 40),
+        query in arb_itemset(32),
+        width in 16usize..64,
+    ) {
+        let b = base("clean");
+        let _g = Cleanup(b.clone());
+        {
+            let mut dep = open(&b, width);
+            for t in db.transactions() {
+                dep.append(t).expect("append");
+            }
+            dep.flush().expect("flush");
+        }
+
+        let mut dep = open(&b, width);
+        prop_assert_eq!(dep.committed_rows(), db.len() as u64);
+        let loaded = dep.db.load().expect("load heap");
+        prop_assert_eq!(loaded.transactions(), db.transactions());
+
+        let mem = memory_index(&db, db.len(), width);
+        let mut io = IoStats::new();
+        prop_assert_eq!(
+            dep.index.count_itemset(&query).expect("count"),
+            mem.est_count(&query, &mut io)
+        );
+        let disk_index = dep.index.load().expect("load index");
+        prop_assert_eq!(
+            disk_index.est_count(&query, &mut io),
+            mem.est_count(&query, &mut io)
+        );
+    }
+
+    /// A crash anywhere in a two-commit workload recovers to one of the
+    /// three commit points; the recovered deployment matches the
+    /// in-memory index over that prefix and accepts the rest of the
+    /// workload as if the crash never happened.
+    #[test]
+    fn recovery_roundtrip_yields_a_committed_prefix(
+        db in arb_db(32, 40),
+        query in arb_itemset(32),
+        crash_n in 5u64..260,
+    ) {
+        let b = base("recover");
+        let _g = Cleanup(b.clone());
+        let half = db.len() / 2;
+        let width = 32usize;
+
+        let plan = FaultPlan::crash_at(crash_n, CrashMode::TornWrite);
+        let paths = deployment_paths(&b);
+        let run = (|| -> std::io::Result<()> {
+            let backends = DeploymentBackends {
+                commit: plan.wrap("commit", FileBackend::open(&paths.commit)?),
+                dat: plan.wrap("dat", FileBackend::open(&paths.dat)?),
+                idx: plan.wrap("idx", FileBackend::open(&paths.idx)?),
+                slices: plan.wrap("slices", FileBackend::open(&paths.slices)?),
+                counts: plan.wrap("counts", FileBackend::open(&paths.counts)?),
+            };
+            let mut dep = DiskDeployment::open_with(backends, width, hasher(), CACHE)?;
+            for t in &db.transactions()[..half] {
+                dep.append(t)?;
+            }
+            dep.flush()?;
+            for t in &db.transactions()[half..] {
+                dep.append(t)?;
+            }
+            dep.flush()?;
+            Ok(())
+        })();
+        if !plan.crashed() {
+            run.expect("uncrashed run must succeed");
+        }
+
+        // Recovery lands on a commit point, never in between.
+        let mut dep = open(&b, width);
+        let rows = dep.committed_rows();
+        prop_assert!(
+            rows == 0 || rows == half as u64 || rows == db.len() as u64,
+            "recovered to {} rows (commit points 0/{}/{})", rows, half, db.len()
+        );
+        let loaded = dep.db.load().expect("load heap");
+        prop_assert_eq!(loaded.transactions(), &db.transactions()[..rows as usize]);
+        if rows > 0 {
+            let mem = memory_index(&db, rows as usize, width);
+            let mut io = IoStats::new();
+            prop_assert_eq!(
+                dep.index.count_itemset(&query).expect("count"),
+                mem.est_count(&query, &mut io)
+            );
+        }
+
+        // The recovered deployment keeps working to the full database.
+        for t in &db.transactions()[rows as usize..] {
+            dep.append(t).expect("append after recovery");
+        }
+        dep.flush().expect("flush after recovery");
+        let full = dep.db.load().expect("reload heap");
+        prop_assert_eq!(full.transactions(), db.transactions());
+        let mem = memory_index(&db, db.len(), width);
+        let mut io = IoStats::new();
+        prop_assert_eq!(
+            dep.index.count_itemset(&query).expect("count"),
+            mem.est_count(&query, &mut io)
+        );
+    }
+}

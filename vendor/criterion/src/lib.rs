@@ -1,0 +1,213 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! surface its benches use: [`Criterion::bench_function`], benchmark groups
+//! with throughput annotations, [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.  Measurement is a plain
+//! warm-up + timed-batch loop reporting mean ns/iter — adequate for the
+//! relative comparisons the benches make, with none of real criterion's
+//! statistics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Runs one benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and per-call cost probe.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().as_nanos().max(1) as u64;
+        // Aim for ~50 ms of measurement, capped to keep long benches usable.
+        let target_ns: u64 = 50_000_000;
+        let iters = (target_ns / probe).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        self.mean_ns = elapsed / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(group: Option<&str>, name: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / b.mean_ns * 1e9 / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            format!("  {:.1} elem/s", n as f64 / b.mean_ns * 1e9)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:50} {:>14.1} ns/iter ({} iters){rate}",
+        b.mean_ns, b.iters
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the simple
+    /// timing loop sizes itself).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(Some(&self.name), name, self.throughput, &b);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.name, self.throughput, &b);
+        self
+    }
+
+    /// Ends the group (reports are printed as benches run).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(None, name, None, &b);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("mul", |b| b.iter(|| 3u64 * 7));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &x| {
+            b.iter(|| x ^ 0xFF)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_runs_every_target() {
+        benches();
+    }
+}

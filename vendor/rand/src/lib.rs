@@ -1,0 +1,189 @@
+//! Offline drop-in subset of the `rand` 0.9 API.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! exact surface its code uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] methods `random::<f64>()`, `random::<bool>()`, and
+//! `random_range(a..b)` for `u32`/`u64`/`usize`.  The generator is
+//! xoshiro256++ seeded through splitmix64 — deterministic per seed, which is
+//! all the datagen and test code relies on.
+
+#![forbid(unsafe_code)]
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from raw generator output (the subset of
+/// rand's `StandardUniform` distribution the workspace uses).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Sample;
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> Self::Sample;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Sample = $t;
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift keeps the modulo bias negligible for the
+                // test/datagen spans used here (all far below 2^32).
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + r as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize);
+
+/// User-facing convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Sample {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore + ?Sized> Rng for G {}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let u = rng.random_range(5u32..17);
+            assert!((5..17).contains(&u));
+            let n = rng.random_range(0usize..3);
+            assert!(n < 3);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
