@@ -1,8 +1,13 @@
 #!/bin/sh
-# Full local CI: release build, every test in the workspace, and a
-# warning-free clippy pass.  Run from the repository root.
+# Full local CI: release build, every test in the workspace, a compile
+# check of the benchmarks, the kernel property tests re-run with the
+# native instruction set (exercising the AVX2 dispatch tier where the
+# host has it), and a warning-free clippy pass.  Run from the repository
+# root.
 set -eux
 
 cargo build --release
 cargo test -q
+cargo bench --no-run
+RUSTFLAGS="-C target-cpu=native" cargo test -q -p bbs-bitslice --test kernel_props
 cargo clippy --all-targets -- -D warnings

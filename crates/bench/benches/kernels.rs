@@ -2,6 +2,7 @@
 //! multi-way AND+popcount, signature construction, index insertion, and
 //! `CountItemSet` end to end.
 
+use bbs_bitslice::ops_simd::{self, Tier};
 use bbs_bitslice::{ops, BitVec, Signature, SliceMatrix};
 use bbs_core::Bbs;
 use bbs_hash::{ItemHasher, Md5BloomHasher};
@@ -34,6 +35,36 @@ fn bench_and_all_count(c: &mut Criterion) {
         group.throughput(Throughput::Bytes((words * 8 * 4) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
             b.iter(|| ops::and_all_count(black_box(&refs), black_box(words)))
+        });
+    }
+    group.finish();
+}
+
+/// The three dispatch tiers head to head on the same fused multi-way
+/// AND+popcount: portable word loop (baseline), cache-blocked
+/// autovectorizable scalar, and (where available) explicit AVX2.
+fn bench_kernel_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_tiers");
+    // 4 operands of 32 blocks x 512 words each (1 Mibit per operand).
+    let words = 32 * ops_simd::BLOCK_WORDS;
+    let slices: Vec<Vec<u64>> = (0..4)
+        .map(|i| deterministic_words(words, 0xC0FF_EE00 + i as u64))
+        .collect();
+    let refs: Vec<&[u64]> = slices.iter().map(|s| s.as_slice()).collect();
+    group.throughput(Throughput::Bytes((words * 8 * 4) as u64));
+    group.bench_function("portable", |b| {
+        b.iter(|| ops_simd::and_all_count_portable(black_box(&refs), black_box(words)))
+    });
+    group.bench_function("blocked_scalar", |b| {
+        b.iter(|| {
+            ops_simd::and_all_count_tier(Tier::Scalar, black_box(&refs), black_box(words), None)
+        })
+    });
+    if ops_simd::avx2_available() {
+        group.bench_function("blocked_avx2", |b| {
+            b.iter(|| {
+                ops_simd::and_all_count_tier(Tier::Avx2, black_box(&refs), black_box(words), None)
+            })
         });
     }
     group.finish();
@@ -119,6 +150,7 @@ fn bench_bitvec_ops(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_and_all_count,
+    bench_kernel_tiers,
     bench_signature_build,
     bench_insert_throughput,
     bench_count_itemset,

@@ -1,0 +1,230 @@
+//! `bench_kernels` — machine-readable performance snapshot of the counting
+//! path, written to `BENCH_2.json`.
+//!
+//! Two experiments:
+//!
+//! 1. **Kernel tiers**: the fused multi-way AND+popcount at each dispatch
+//!    tier (portable word loop, cache-blocked autovectorized scalar,
+//!    explicit AVX2 where the CPU has it), reported as ops/s (one op = one
+//!    full k-operand count) and effective GiB/s.
+//! 2. **Disk counts, cold vs warm**: `CountItemSet` against a real
+//!    deployment's slice file through a fresh page cache (cold) and again
+//!    once the selected pages and hot slices are resident (warm).
+//!
+//! Usage: `bench_kernels [OUT.json]` (default `BENCH_2.json`).
+
+use bbs_bitslice::ops_simd::{self, Tier};
+use bbs_hash::Md5BloomHasher;
+use bbs_storage::DiskDeployment;
+use bbs_tdb::{Itemset, Transaction};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn deterministic_words(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        })
+        .collect()
+}
+
+/// Times `f` repeatedly until ~`budget_ms` of wall clock is spent and
+/// returns (iterations, seconds).
+fn measure(budget_ms: u64, mut f: impl FnMut() -> u64) -> (u64, f64) {
+    // Warm-up.
+    let mut sink = 0u64;
+    for _ in 0..3 {
+        sink = sink.wrapping_add(f());
+    }
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        sink = sink.wrapping_add(f());
+        iters += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    (iters, secs)
+}
+
+struct TierResult {
+    name: &'static str,
+    ops_per_s: f64,
+    gib_per_s: f64,
+}
+
+fn bench_tiers(operands: usize, words: usize) -> Vec<TierResult> {
+    let slices: Vec<Vec<u64>> = (0..operands)
+        .map(|i| deterministic_words(words, 0xC0FF_EE00 + i as u64))
+        .collect();
+    let refs: Vec<&[u64]> = slices.iter().map(|s| s.as_slice()).collect();
+    let bytes = (operands * words * 8) as f64;
+
+    let mut results = Vec::new();
+    let mut run = |name: &'static str, f: &mut dyn FnMut() -> u64| {
+        let (iters, secs) = measure(300, f);
+        let ops_per_s = iters as f64 / secs;
+        results.push(TierResult {
+            name,
+            ops_per_s,
+            gib_per_s: ops_per_s * bytes / (1024.0 * 1024.0 * 1024.0),
+        });
+    };
+    run("scalar", &mut || {
+        ops_simd::and_all_count_portable(&refs, words) as u64
+    });
+    run("blocked", &mut || {
+        ops_simd::and_all_count_tier(Tier::Scalar, &refs, words, None) as u64
+    });
+    if ops_simd::avx2_available() {
+        run("avx2", &mut || {
+            ops_simd::and_all_count_tier(Tier::Avx2, &refs, words, None) as u64
+        });
+    }
+    results
+}
+
+struct DiskResult {
+    rows: u64,
+    cold_us: f64,
+    warm_us: f64,
+    cold_misses: u64,
+    warm_hits: u64,
+    warm_hit_rate: f64,
+    hot_decodes: u64,
+}
+
+fn bench_disk() -> std::io::Result<DiskResult> {
+    let mut base = std::env::temp_dir();
+    base.push(format!("bbs_bench2_{}", std::process::id()));
+    DiskDeployment::remove_files(&base).ok();
+    let hasher = Arc::new(Md5BloomHasher::new(4));
+    let mut dep = DiskDeployment::open(&base, 512, hasher, 4096)?;
+    for i in 0..40_000u64 {
+        let items: Vec<u32> = vec![
+            (i % 100) as u32,
+            (100 + i % 50) as u32,
+            (200 + i % 20) as u32,
+        ];
+        dep.append(&Transaction::new(i, Itemset::from_values(&items)))?;
+    }
+    dep.flush()?;
+    let rows = dep.db.len();
+
+    let queries: Vec<Itemset> = (0..20u32)
+        .map(|v| Itemset::from_values(&[v, 100 + v % 50]))
+        .collect();
+
+    // Cold: a fresh reader, empty page cache, first pass over the queries.
+    let mut cold_reader = dep.index.counter()?;
+    let cold_start = Instant::now();
+    for q in &queries {
+        std::hint::black_box(cold_reader.count(q, None)?);
+    }
+    let cold_us = cold_start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+    let cold_misses = cold_reader.cache_stats().misses;
+
+    // Warm: same reader, pages resident and hot slices pinned; average
+    // over many passes.
+    let mut passes = 0u32;
+    let warm_start = Instant::now();
+    while warm_start.elapsed().as_millis() < 300 {
+        for q in &queries {
+            std::hint::black_box(cold_reader.count(q, None)?);
+        }
+        passes += 1;
+    }
+    let warm_us =
+        warm_start.elapsed().as_secs_f64() * 1e6 / (queries.len() as f64 * passes as f64);
+    let warm = cold_reader.cache_stats();
+    let warm_hit_rate = warm.hits as f64 / (warm.hits + warm.misses) as f64;
+    let hot_decodes = cold_reader.hot_stats().decodes;
+    drop(cold_reader);
+    drop(dep);
+    DiskDeployment::remove_files(&base).ok();
+    Ok(DiskResult {
+        rows,
+        cold_us,
+        warm_us,
+        cold_misses,
+        warm_hits: warm.hits,
+        warm_hit_rate,
+        hot_decodes,
+    })
+}
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_2.json".to_string());
+    let operands = 4;
+    let words = 32 * ops_simd::BLOCK_WORDS; // 512-word blocks, 1 Mibit/operand
+    eprintln!("# kernel tiers: {operands} operands x {words} words (active tier: {})",
+        ops_simd::active_tier().name());
+    let tiers = bench_tiers(operands, words);
+    for t in &tiers {
+        eprintln!("#   {:<8} {:>12.0} ops/s  {:>7.2} GiB/s", t.name, t.ops_per_s, t.gib_per_s);
+    }
+    let scalar = tiers.iter().find(|t| t.name == "scalar").map(|t| t.ops_per_s);
+    let speedup = |name: &str| -> Option<f64> {
+        match (scalar, tiers.iter().find(|t| t.name == name)) {
+            (Some(s), Some(t)) if s > 0.0 => Some(t.ops_per_s / s),
+            _ => None,
+        }
+    };
+
+    eprintln!("# disk counts (cold vs warm)...");
+    let disk = bench_disk()?;
+    eprintln!(
+        "#   rows {}: cold {:.1} us/count ({} misses), warm {:.2} us/count (hit rate {:.3}, {} hot decodes)",
+        disk.rows, disk.cold_us, disk.cold_misses, disk.warm_us, disk.warm_hit_rate, disk.hot_decodes
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": 2,\n");
+    json.push_str(&format!(
+        "  \"active_tier\": \"{}\",\n",
+        ops_simd::active_tier().name()
+    ));
+    json.push_str("  \"kernel\": {\n");
+    json.push_str(&format!("    \"operands\": {operands},\n"));
+    json.push_str(&format!("    \"words_per_operand\": {words},\n"));
+    json.push_str(&format!("    \"block_words\": {},\n", ops_simd::BLOCK_WORDS));
+    json.push_str("    \"tiers\": {\n");
+    for (i, t) in tiers.iter().enumerate() {
+        json.push_str(&format!(
+            "      \"{}\": {{ \"ops_per_s\": {:.1}, \"gib_per_s\": {:.3} }}{}\n",
+            t.name,
+            t.ops_per_s,
+            t.gib_per_s,
+            if i + 1 < tiers.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    },\n");
+    json.push_str(&format!(
+        "    \"speedup_blocked_vs_scalar\": {},\n",
+        speedup("blocked").map_or("null".to_string(), |s| format!("{s:.2}"))
+    ));
+    json.push_str(&format!(
+        "    \"speedup_avx2_vs_scalar\": {}\n",
+        speedup("avx2").map_or("null".to_string(), |s| format!("{s:.2}"))
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"disk\": {\n");
+    json.push_str(&format!("    \"rows\": {},\n", disk.rows));
+    json.push_str(&format!("    \"cold_us_per_count\": {:.2},\n", disk.cold_us));
+    json.push_str(&format!("    \"warm_us_per_count\": {:.3},\n", disk.warm_us));
+    json.push_str(&format!("    \"cold_misses\": {},\n", disk.cold_misses));
+    json.push_str(&format!("    \"warm_hits\": {},\n", disk.warm_hits));
+    json.push_str(&format!("    \"warm_hit_rate\": {:.4},\n", disk.warm_hit_rate));
+    json.push_str(&format!("    \"hot_slice_decodes\": {}\n", disk.hot_decodes));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+    std::fs::write(&out, &json)?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -16,13 +16,21 @@
 //!
 //! All heavy loops run over `u64` words (see [`ops`]), and the multi-way
 //! AND-and-count kernels avoid materialising intermediates where possible.
+//! The hot kernels are tiered (see [`ops_simd`]): an explicit AVX2 path
+//! behind runtime feature detection, an autovectorizable blocked scalar
+//! path, and a straight-line portable reference.
+//!
+//! `unsafe` is denied crate-wide and allowed only inside [`ops_simd`],
+//! where it is confined to `std::arch` intrinsics guarded by
+//! `is_x86_feature_detected!`.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod bitvec;
 pub mod matrix;
 pub mod ops;
+pub mod ops_simd;
 pub mod signature;
 
 pub use bitvec::BitVec;

@@ -5,6 +5,13 @@
 //! lengths are handled by implicit zero-extension — a missing word behaves
 //! as `0u64` — which matches the semantics of a lazily grown bit-slice where
 //! trailing rows simply have not had any bit set yet.
+//!
+//! The heavy entry points (`and_assign`, `count_ones`, `and_all_count`,
+//! `and_count_many`) delegate to the tiered blocked kernels in
+//! [`crate::ops_simd`]; this module owns the zero-extension contract and
+//! the small helpers.
+
+use crate::ops_simd;
 
 /// Returns the `i`-th word of `words`, or `0` if the slice is too short.
 #[inline(always)]
@@ -15,18 +22,15 @@ pub fn word_or_zero(words: &[u64], i: usize) -> u64 {
 /// Counts the set bits in `words`.
 #[inline]
 pub fn count_ones(words: &[u64]) -> usize {
-    words.iter().map(|w| w.count_ones() as usize).sum()
+    ops_simd::popcount(words)
 }
 
 /// `dst &= src`, zero-extending `src` if it is shorter than `dst`.
 pub fn and_assign(dst: &mut [u64], src: &[u64]) {
     let n = src.len().min(dst.len());
-    for i in 0..n {
-        dst[i] &= src[i];
-    }
-    for w in dst[n..].iter_mut() {
-        *w = 0;
-    }
+    let (head, tail) = dst.split_at_mut(n);
+    ops_simd::and_words(head, &src[..n]);
+    tail.fill(0);
 }
 
 /// `dst |= src`. `src` longer than `dst` is a caller bug; the excess is
@@ -48,12 +52,7 @@ pub fn and_not_assign(dst: &mut [u64], src: &[u64]) {
 
 /// Popcount of `a & b` without materialising the intermediate.
 pub fn and_count(a: &[u64], b: &[u64]) -> usize {
-    let n = a.len().min(b.len());
-    let mut acc = 0usize;
-    for i in 0..n {
-        acc += (a[i] & b[i]).count_ones() as usize;
-    }
-    acc
+    ops_simd::and_all_count_bounded(&[a, b], a.len().min(b.len()), None)
 }
 
 /// ANDs every slice in `srcs` into `dst` (which must be pre-filled, e.g. with
@@ -71,36 +70,23 @@ pub fn and_all_into(dst: &mut [u64], srcs: &[&[u64]]) {
 /// universe, i.e. `words * 64`; callers that need "count of rows" semantics
 /// should special-case the empty query before calling in.
 pub fn and_all_count(srcs: &[&[u64]], words: usize) -> usize {
-    match srcs {
-        [] => words * 64,
-        [a] => a.iter().take(words).map(|w| w.count_ones() as usize).sum(),
-        [a, b] => {
-            let n = words.min(a.len()).min(b.len());
-            let mut acc = 0usize;
-            for i in 0..n {
-                acc += (a[i] & b[i]).count_ones() as usize;
-            }
-            acc
-        }
-        _ => {
-            // Sort-free general case: walk word-by-word across all operands.
-            // A word position missing from any operand contributes zero.
-            let shortest = srcs.iter().map(|s| s.len()).min().unwrap_or(0);
-            let n = words.min(shortest);
-            let mut acc = 0usize;
-            for i in 0..n {
-                let mut w = srcs[0][i];
-                for s in &srcs[1..] {
-                    w &= s[i];
-                    if w == 0 {
-                        break;
-                    }
-                }
-                acc += w.count_ones() as usize;
-            }
-            acc
-        }
-    }
+    ops_simd::and_all_count_bounded(srcs, words, None)
+}
+
+/// Fused multi-way AND + popcount with early exit against a threshold `tau`.
+///
+/// Identical to [`and_all_count`] except that counting stops as soon as the
+/// running upper bound (bits counted so far plus one bit per remaining row)
+/// provably drops below `tau`.  The return value is:
+///
+/// * exact whenever it is `≥ tau`;
+/// * otherwise an **upper bound** on `and_all_count(srcs, words)` — it
+///   never undercounts, so a caller that only tests `count < tau` (the
+///   BBS filter step, whose estimates already only overcount by Lemmas
+///   1–4) gets exactly the same accept/prune decisions as with the exact
+///   kernel.
+pub fn and_count_many(srcs: &[&[u64]], words: usize, tau: usize) -> usize {
+    ops_simd::and_all_count_bounded(srcs, words, Some(tau))
 }
 
 /// Iterator over the indices of set bits in a word slice.
@@ -230,6 +216,29 @@ mod tests {
         // The second word of b is implicitly 0, so only word 0 contributes.
         assert_eq!(and_all_count(&[&a, &b], 2), 64);
         assert_eq!(and_all_count(&[&a, &b, &a], 2), 64);
+    }
+
+    #[test]
+    fn and_count_many_exact_at_or_above_tau() {
+        let a = [u64::MAX; 40];
+        let b = [0xAAAA_AAAA_AAAA_AAAAu64; 40];
+        let exact = and_all_count(&[&a, &b], 40);
+        assert_eq!(exact, 40 * 32);
+        // tau below the exact count: result must be the exact value.
+        assert_eq!(and_count_many(&[&a, &b], 40, exact), exact);
+        assert_eq!(and_count_many(&[&a, &b], 40, 1), exact);
+        // Unreachable tau: any early exit must still be an upper bound.
+        let est = and_count_many(&[&a, &b], 40, usize::MAX);
+        assert!(est >= exact);
+    }
+
+    #[test]
+    fn and_count_many_zero_extends_like_exact() {
+        let a = [u64::MAX, u64::MAX, u64::MAX];
+        let b = [u64::MAX];
+        let got = and_count_many(&[&a, &b], 3, 1);
+        // Exact count is 64; tau=1 is below it, so the result is exact.
+        assert_eq!(got, 64);
     }
 
     #[test]

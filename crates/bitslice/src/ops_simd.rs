@@ -1,0 +1,404 @@
+//! Tiered, cache-blocked multi-way AND + popcount kernels.
+//!
+//! `CountItemSet` is "AND k long bit columns, popcount the result".  The
+//! naive shape — k-1 pairwise passes, or a word-at-a-time loop across all
+//! operands — is latency-bound and reads the accumulator from memory k
+//! times.  The kernels here instead process the operands **one cache block
+//! at a time**: a [`BLOCK_WORDS`]-word (4 KiB) stack buffer is seeded from
+//! the first operand, every remaining operand is ANDed into it while it is
+//! L1-resident, and the block is popcounted before moving on.  Each operand
+//! is still streamed from memory exactly once, but the intermediate never
+//! leaves the top of the cache hierarchy.
+//!
+//! Three tiers share that structure and are selected once at runtime:
+//!
+//! 1. **AVX2** (`x86_64` only) — explicit `std::arch` intrinsics, 256-bit
+//!    ANDs plus hardware `POPCNT`, gated on `is_x86_feature_detected!`.
+//! 2. **Blocked scalar** — `chunks_exact(4)` loops the compiler can
+//!    autovectorize on any target (and does, with SSE2 on baseline x86-64).
+//! 3. **Portable reference** — the straight-line word loop; never selected
+//!    by dispatch but kept public as the correctness oracle for tests and
+//!    as the bench baseline.
+//!
+//! All entry points preserve the zero-extension semantics of [`crate::ops`]:
+//! a missing trailing word behaves as `0u64`, so the fused count only walks
+//! the prefix every operand covers.
+//!
+//! This module is the only place in the crate allowed to use `unsafe`; it
+//! is confined to the feature-gated intrinsic paths below.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Words per cache block: 512 × 8 B = 4 KiB, small enough to stay
+/// L1-resident alongside one streaming operand block.
+pub const BLOCK_WORDS: usize = 512;
+
+/// Which kernel implementation dispatch selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Straight-line portable loop (reference/baseline; never auto-selected).
+    Portable,
+    /// Cache-blocked `chunks_exact` scalar code (autovectorizable).
+    Scalar,
+    /// Explicit AVX2 + hardware POPCNT intrinsics.
+    Avx2,
+}
+
+impl Tier {
+    /// Short human-readable name (used in bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Portable => "portable",
+            Tier::Scalar => "scalar",
+            Tier::Avx2 => "avx2",
+        }
+    }
+}
+
+const TIER_UNKNOWN: u8 = 0;
+const TIER_SCALAR: u8 = 1;
+const TIER_AVX2: u8 = 2;
+
+static TIER: AtomicU8 = AtomicU8::new(TIER_UNKNOWN);
+
+/// The tier runtime dispatch resolved to on this machine (cached after the
+/// first call).
+#[inline]
+pub fn active_tier() -> Tier {
+    match TIER.load(Ordering::Relaxed) {
+        TIER_AVX2 => Tier::Avx2,
+        TIER_SCALAR => Tier::Scalar,
+        _ => detect_tier(),
+    }
+}
+
+#[cold]
+fn detect_tier() -> Tier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt") {
+            TIER.store(TIER_AVX2, Ordering::Relaxed);
+            return Tier::Avx2;
+        }
+    }
+    TIER.store(TIER_SCALAR, Ordering::Relaxed);
+    Tier::Scalar
+}
+
+/// True if the explicit AVX2 tier is available on this machine.
+#[inline]
+pub fn avx2_available() -> bool {
+    active_tier() == Tier::Avx2
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched primitive ops (equal-length word runs).
+// ---------------------------------------------------------------------------
+
+/// `dst &= src` over `min(dst.len(), src.len())` words, dispatched.
+///
+/// Unlike [`crate::ops::and_assign`] this does **not** zero the tail of a
+/// longer `dst`; it is the raw equal-run primitive the public op wraps.
+#[inline]
+pub fn and_words(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == Tier::Avx2 {
+        // SAFETY: dispatch verified avx2 support at runtime.
+        unsafe { and_words_avx2(&mut dst[..n], &src[..n]) };
+        return;
+    }
+    and_words_scalar(&mut dst[..n], &src[..n]);
+}
+
+/// Popcount of `words`, dispatched.
+#[inline]
+pub fn popcount(words: &[u64]) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == Tier::Avx2 {
+        // SAFETY: dispatch verified avx2+popcnt support at runtime.
+        return unsafe { popcount_avx2(words) };
+    }
+    popcount_scalar(words)
+}
+
+/// `chunks_exact(4)` AND the compiler can autovectorize on any target.
+pub fn and_words_scalar(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&mut dst[..n], &src[..n]);
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        dw[0] &= sw[0];
+        dw[1] &= sw[1];
+        dw[2] &= sw[2];
+        dw[3] &= sw[3];
+    }
+    for (dw, sw) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dw &= *sw;
+    }
+}
+
+/// `chunks_exact(4)` popcount with four independent accumulators.
+pub fn popcount_scalar(words: &[u64]) -> usize {
+    let mut c = words.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0usize, 0usize, 0usize, 0usize);
+    for w in &mut c {
+        a0 += w[0].count_ones() as usize;
+        a1 += w[1].count_ones() as usize;
+        a2 += w[2].count_ones() as usize;
+        a3 += w[3].count_ones() as usize;
+    }
+    let tail: usize = c.remainder().iter().map(|w| w.count_ones() as usize).sum();
+    a0 + a1 + a2 + a3 + tail
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn and_words_avx2(dst: &mut [u64], src: &[u64]) {
+    use std::arch::x86_64::{_mm256_and_si256, _mm256_loadu_si256, _mm256_storeu_si256};
+    let n = dst.len().min(src.len());
+    let mut i = 0;
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n bounds both slices; loadu/storeu tolerate any
+        // alignment.
+        unsafe {
+            let d = dst.as_mut_ptr().add(i).cast();
+            let s = src.as_ptr().add(i).cast();
+            _mm256_storeu_si256(d, _mm256_and_si256(_mm256_loadu_si256(d), _mm256_loadu_si256(s)));
+        }
+        i += 4;
+    }
+    while i < n {
+        dst[i] &= src[i];
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "popcnt")]
+unsafe fn popcount_avx2(words: &[u64]) -> usize {
+    // With the `popcnt` feature enabled, `u64::count_ones` lowers to the
+    // hardware POPCNT instruction; four accumulators hide its latency.
+    let mut c = words.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0usize, 0usize, 0usize, 0usize);
+    for w in &mut c {
+        a0 += w[0].count_ones() as usize;
+        a1 += w[1].count_ones() as usize;
+        a2 += w[2].count_ones() as usize;
+        a3 += w[3].count_ones() as usize;
+    }
+    let tail: usize = c.remainder().iter().map(|w| w.count_ones() as usize).sum();
+    a0 + a1 + a2 + a3 + tail
+}
+
+// ---------------------------------------------------------------------------
+// Fused blocked multi-way AND + popcount.
+// ---------------------------------------------------------------------------
+
+/// Fused blocked multi-way AND + popcount with optional early exit.
+///
+/// Counts `popcount(srcs[0] & … & srcs[k-1])` over the first `words` words,
+/// zero-extending short operands.  With `tau = Some(τ)`, counting stops as
+/// soon as the running upper bound `acc + 64·words_left` drops below `τ`
+/// and returns that bound.  The result is therefore:
+///
+/// * **exact** when it is `≥ τ` (or when `tau` is `None`), and
+/// * an **upper bound** on the true count when it is `< τ`.
+///
+/// Since BBS estimates never undercount (Lemmas 1–4) and the filter only
+/// ever compares the estimate against `τ`, a `< τ` upper bound is as good
+/// as the exact value: the itemset is pruned either way, and no frequent
+/// itemset can be lost.
+pub fn and_all_count_bounded(srcs: &[&[u64]], words: usize, tau: Option<usize>) -> usize {
+    and_all_count_tier(active_tier(), srcs, words, tau)
+}
+
+/// Like [`and_all_count_bounded`] but with the tier forced by the caller —
+/// for benches and tests that compare implementations.  Forcing
+/// [`Tier::Avx2`] on a machine without AVX2 falls back to scalar.
+pub fn and_all_count_tier(tier: Tier, srcs: &[&[u64]], words: usize, tau: Option<usize>) -> usize {
+    if srcs.is_empty() {
+        return words * 64;
+    }
+    // Beyond the shortest operand the AND is identically zero, so only the
+    // common prefix can contribute to the count.
+    let shortest = srcs.iter().map(|s| s.len()).min().unwrap_or(0);
+    let n = words.min(shortest);
+    if tier == Tier::Portable {
+        return and_all_count_portable_prefix(srcs, n, tau);
+    }
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = tier == Tier::Avx2 && avx2_available();
+    #[cfg(not(target_arch = "x86_64"))]
+    let use_avx2 = false;
+
+    let mut buf = [0u64; BLOCK_WORDS];
+    let mut acc = 0usize;
+    let mut i = 0;
+    while i < n {
+        let b = (n - i).min(BLOCK_WORDS);
+        let blk = &mut buf[..b];
+        blk.copy_from_slice(&srcs[0][i..i + b]);
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2 {
+            // SAFETY: `use_avx2` implies runtime avx2+popcnt detection.
+            acc += unsafe { block_pass_avx2(blk, &srcs[1..], i) };
+            i += b;
+            if let Some(tau) = tau {
+                let bound = acc + (n - i) * 64;
+                if bound < tau {
+                    return bound;
+                }
+            }
+            continue;
+        }
+        let _ = use_avx2;
+        for s in &srcs[1..] {
+            and_words_scalar(blk, &s[i..i + b]);
+        }
+        acc += popcount_scalar(blk);
+        i += b;
+        if let Some(tau) = tau {
+            let bound = acc + (n - i) * 64;
+            if bound < tau {
+                return bound;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "popcnt")]
+unsafe fn block_pass_avx2(blk: &mut [u64], rest: &[&[u64]], offset: usize) -> usize {
+    for s in rest {
+        // SAFETY: callers sliced every operand to cover offset + blk.len().
+        unsafe { and_words_avx2(blk, &s[offset..offset + blk.len()]) };
+    }
+    // SAFETY: same feature set as this function.
+    unsafe { popcount_avx2(blk) }
+}
+
+/// Straight-line portable multi-way AND + popcount: the pre-blocking
+/// word-at-a-time kernel, kept as the correctness oracle and the bench
+/// baseline ("scalar seed kernel").
+pub fn and_all_count_portable(srcs: &[&[u64]], words: usize) -> usize {
+    if srcs.is_empty() {
+        return words * 64;
+    }
+    let shortest = srcs.iter().map(|s| s.len()).min().unwrap_or(0);
+    and_all_count_portable_prefix(srcs, words.min(shortest), None)
+}
+
+fn and_all_count_portable_prefix(srcs: &[&[u64]], n: usize, tau: Option<usize>) -> usize {
+    let mut acc = 0usize;
+    for i in 0..n {
+        let mut w = srcs[0][i];
+        for s in &srcs[1..] {
+            w &= s[i];
+            if w == 0 {
+                break;
+            }
+        }
+        acc += w.count_ones() as usize;
+        if let Some(tau) = tau {
+            // Early exit at word granularity for the reference tier.
+            let bound = acc + (n - i - 1) * 64;
+            if bound < tau {
+                return bound;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(seed: u64, words: usize, density_shift: u32) -> Vec<u64> {
+        // xorshift64* stream, ANDed down to the requested density.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..words)
+            .map(|_| {
+                let mut w = u64::MAX;
+                for _ in 0..density_shift {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    w &= x;
+                }
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiers_agree_on_random_operands() {
+        let a = fill(1, 1600, 1);
+        let b = fill(2, 1600, 2);
+        let c = fill(3, 1500, 1); // shorter: zero-extension path
+        let d = fill(4, 1601, 3);
+        let srcs: Vec<&[u64]> = vec![&a, &b, &c, &d];
+        for words in [0, 1, 3, 4, 511, 512, 513, 1024, 1499, 1500, 1600, 2000] {
+            let want = and_all_count_portable(&srcs, words);
+            assert_eq!(and_all_count_tier(Tier::Scalar, &srcs, words, None), want);
+            assert_eq!(and_all_count_tier(Tier::Avx2, &srcs, words, None), want);
+            assert_eq!(and_all_count_bounded(&srcs, words, None), want);
+        }
+    }
+
+    #[test]
+    fn single_and_empty_operands() {
+        let a = fill(9, 100, 1);
+        let srcs: Vec<&[u64]> = vec![&a];
+        let want: usize = a.iter().map(|w| w.count_ones() as usize).sum();
+        assert_eq!(and_all_count_bounded(&srcs, 100, None), want);
+        assert_eq!(and_all_count_bounded(&[], 7, None), 7 * 64);
+        let empty: &[u64] = &[];
+        assert_eq!(and_all_count_bounded(&[&a, empty], 100, None), 0);
+    }
+
+    #[test]
+    fn early_exit_is_tau_consistent() {
+        let a = fill(5, 2048, 3);
+        let b = fill(6, 2048, 3);
+        let srcs: Vec<&[u64]> = vec![&a, &b];
+        let exact = and_all_count_bounded(&srcs, 2048, None);
+        for tau in [0, 1, exact / 2, exact, exact + 1, exact * 2 + 10, usize::MAX] {
+            for tier in [Tier::Portable, Tier::Scalar, Tier::Avx2] {
+                let got = and_all_count_tier(tier, &srcs, 2048, Some(tau));
+                if got >= tau {
+                    assert_eq!(got, exact, "tier {tier:?} tau {tau}");
+                } else {
+                    assert!(got >= exact, "tier {tier:?} tau {tau}: {got} undercounts {exact}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_words_matches_scalar_on_all_lengths() {
+        for len in 0..70 {
+            let a = fill(11, len, 1);
+            let b = fill(12, len, 1);
+            let mut d1 = a.clone();
+            and_words(&mut d1, &b);
+            let mut d2 = a.clone();
+            and_words_scalar(&mut d2, &b);
+            assert_eq!(d1, d2);
+            let want: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x & y).collect();
+            assert_eq!(d1, want);
+            assert_eq!(popcount(&d1), popcount_scalar(&d1));
+        }
+    }
+
+    #[test]
+    fn dispatch_resolves_to_a_real_tier() {
+        let t = active_tier();
+        assert!(t == Tier::Scalar || t == Tier::Avx2);
+        assert_eq!(t.name().is_empty(), false);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the blocked/tiered AND+popcount kernels.
+//!
+//! The blocked kernels in `ops_simd` must preserve the zero-extension
+//! contract of the straight-line seed kernels exactly: operands of mixed
+//! lengths behave as if padded with zero words, the fused count equals the
+//! naive materialise-then-popcount result, and the early-exit variant is
+//! τ-consistent (exact at or above τ, an upper bound below it).
+
+use bbs_bitslice::ops;
+use bbs_bitslice::ops_simd::{self, Tier};
+use proptest::prelude::*;
+
+/// Naive oracle: materialise the AND with explicit zero-extension over
+/// `words` words, then popcount.
+fn naive_and_popcount(srcs: &[Vec<u64>], words: usize) -> usize {
+    if srcs.is_empty() {
+        return words * 64;
+    }
+    let mut out = vec![u64::MAX; words];
+    for s in srcs {
+        for (i, w) in out.iter_mut().enumerate() {
+            *w &= s.get(i).copied().unwrap_or(0);
+        }
+    }
+    out.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Builds operand word vectors of the given mixed lengths; the word stream
+/// of operand `k` is a pure function of `(seed, k)`.
+fn operands(seed: u64, lens: &[usize]) -> Vec<Vec<u64>> {
+    lens.iter()
+        .enumerate()
+        .map(|(k, &len)| {
+            let mut x = seed.wrapping_add(k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn prop_fused_equals_naive_mixed_lengths(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(0usize..700, 0..6),
+        words in 0usize..700,
+    ) {
+        let ops_vec = operands(seed, &lens);
+        let srcs: Vec<&[u64]> = ops_vec.iter().map(|v| v.as_slice()).collect();
+        let want = naive_and_popcount(&ops_vec, words);
+        prop_assert_eq!(ops::and_all_count(&srcs, words), want);
+        prop_assert_eq!(ops_simd::and_all_count_tier(Tier::Portable, &srcs, words, None), want);
+        prop_assert_eq!(ops_simd::and_all_count_tier(Tier::Scalar, &srcs, words, None), want);
+        prop_assert_eq!(ops_simd::and_all_count_tier(Tier::Avx2, &srcs, words, None), want);
+    }
+
+    #[test]
+    fn prop_and_assign_zero_extends(
+        seed in any::<u64>(),
+        len_a in 1usize..200,
+        len_b in 0usize..200,
+    ) {
+        let ops_vec = operands(seed, &[len_a, len_b]);
+        let (va, vb) = (&ops_vec[0], &ops_vec[1]);
+        let mut dst = va.clone();
+        ops::and_assign(&mut dst, vb);
+        for (i, w) in dst.iter().enumerate() {
+            let expect = va[i] & vb.get(i).copied().unwrap_or(0);
+            prop_assert_eq!(*w, expect, "word {}", i);
+        }
+        // and_count must agree with the materialised result.
+        let want: usize = dst.iter().map(|w| w.count_ones() as usize).sum();
+        prop_assert_eq!(ops::and_count(va, vb), want);
+    }
+
+    #[test]
+    fn prop_early_exit_tau_consistent(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(0usize..600, 1..5),
+        words in 0usize..600,
+        tau_raw in 0usize..40_000,
+    ) {
+        let ops_vec = operands(seed, &lens);
+        let srcs: Vec<&[u64]> = ops_vec.iter().map(|v| v.as_slice()).collect();
+        let exact = naive_and_popcount(&ops_vec, words);
+        for tier in [Tier::Portable, Tier::Scalar, Tier::Avx2] {
+            let got = ops_simd::and_all_count_tier(tier, &srcs, words, Some(tau_raw));
+            if got >= tau_raw {
+                prop_assert_eq!(got, exact, "tier {:?}", tier);
+            } else {
+                // Below tau the kernel may stop early, but must never
+                // undercount: the decision `est < tau` stays identical.
+                prop_assert!(got >= exact, "tier {:?}: {} undercounts {}", tier, got, exact);
+                prop_assert!(exact < tau_raw, "tier {:?}: early exit on frequent set", tier);
+            }
+        }
+        prop_assert_eq!(ops::and_count_many(&srcs, words, tau_raw) >= tau_raw, exact >= tau_raw);
+    }
+}

@@ -231,7 +231,14 @@ pub fn ingest(flags: &Flags) -> CmdResult {
 }
 
 /// `bbs mine-deployment` — mine a durable deployment directly from its
-/// files (one-pass index load, then in-memory DFP or another scheme).
+/// files.
+///
+/// Without `--threads` the index is loaded to memory once and mined there
+/// (the paper's memory-resident mode).  With `--threads N` the run stays
+/// **in place**: the filter phase counts straight off the slice file on N
+/// worker threads (one independent reader each) and uncertain candidates
+/// are refined by one streaming heap-file scan — the database is never
+/// materialised in memory, and the patterns are identical either way.
 pub fn mine_deployment(flags: &Flags) -> CmdResult {
     let base = flags.require("base")?;
     let width: usize = flags.get_parsed_or("width", 1600usize)?;
@@ -241,6 +248,10 @@ pub fn mine_deployment(flags: &Flags) -> CmdResult {
     let Some(scheme) = parse_scheme(&scheme_raw)? else {
         return Err("mine-deployment supports the BBS schemes only (sfs|sfp|dfs|dfp)".into());
     };
+    let threads: Option<usize> = match flags.get("threads") {
+        Some(raw) => Some(raw.parse().map_err(|e| format!("bad --threads {raw:?}: {e}"))?),
+        None => None,
+    };
 
     let start = Instant::now();
     let mut dep = bbs_storage::DiskDeployment::open(
@@ -249,30 +260,74 @@ pub fn mine_deployment(flags: &Flags) -> CmdResult {
         hasher(flags)?,
         cache_pages,
     )?;
-    let db = dep.db.load()?;
-    let bbs = dep.index.load()?;
-    let load_secs = start.elapsed().as_secs_f64();
+    let open_secs = start.elapsed().as_secs_f64();
 
     let mine_start = Instant::now();
-    let result = BbsMiner::with_index(scheme, bbs).mine(&db, threshold);
+    let (result, disk_stats, rows) = match threads {
+        Some(threads) => {
+            let rows = dep.db.len();
+            let (result, stats) = bbs_storage::mine_in_place(&mut dep, scheme, threshold, threads)?;
+            (result, Some(stats), rows)
+        }
+        None => {
+            let db = dep.db.load()?;
+            let bbs = dep.index.load()?;
+            let rows = db.len() as u64;
+            (BbsMiner::with_index(scheme, bbs).mine(&db, threshold), None, rows)
+        }
+    };
     let mine_secs = mine_start.elapsed().as_secs_f64();
 
     let mut patterns = result.patterns.sorted();
     patterns.sort_by_key(|p| std::cmp::Reverse(p.support));
     let top: usize = flags.get_parsed_or("top", usize::MAX)?;
     for p in patterns.iter().take(top) {
+        let mark = if result.approx_supports.contains(&p.items) {
+            " (upper bound)"
+        } else {
+            ""
+        };
         let ids: Vec<String> = p.items.items().iter().map(|i| i.to_string()).collect();
-        println!("{}\t{}", p.support, ids.join(" "));
+        println!("{}\t{}{}", p.support, ids.join(" "), mark);
     }
     eprintln!(
-        "# {} patterns over {} rows (load {:.3}s, mine {:.3}s, scheme {})",
+        "# {} patterns over {} rows (open {:.3}s, mine {:.3}s, scheme {}{})",
         result.patterns.len(),
-        db.len(),
-        load_secs,
+        rows,
+        open_secs,
         mine_secs,
         scheme.name(),
+        match threads {
+            Some(t) => format!(", in place on {t} thread(s)"),
+            None => ", memory-resident".to_string(),
+        },
     );
+    if let Some(stats) = disk_stats {
+        print_disk_stats(&stats);
+    }
     Ok(())
+}
+
+/// Prints the aggregated read-side counters of an in-place mining run.
+fn print_disk_stats(stats: &bbs_storage::DiskMineStats) {
+    eprintln!(
+        "# cache: {} hits, {} misses, {} evictions, hit rate {}",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        match stats.hit_rate() {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "n/a".to_string(),
+        },
+    );
+    eprintln!(
+        "# pager: {} page reads, {} checksum-page reads, {} pages checksum-verified",
+        stats.pager.reads, stats.pager.checksum_reads, stats.pager.verified,
+    );
+    eprintln!(
+        "# hot slices: {} hits, {} decoded, {} invalidations ({} reader(s))",
+        stats.hot.hits, stats.hot.decodes, stats.hot.invalidations, stats.readers,
+    );
 }
 
 /// `bbs fsck` — read-only integrity check of a durable deployment.
@@ -298,8 +353,12 @@ pub fn fsck(flags: &Flags) -> CmdResult {
     }
 }
 
-/// `bbs stats` — dataset summary.
+/// `bbs stats` — dataset summary (`--db`), or a cache/pager profile of an
+/// in-place mining run over a deployment (`--base`).
 pub fn stats(flags: &Flags) -> CmdResult {
+    if let Some(base) = flags.get("base") {
+        return deployment_stats(flags, &base.to_string());
+    }
     let db = load_db(flags)?;
     let vocab = db.vocabulary();
     let total_items: usize = db.transactions().iter().map(|t| t.items.len()).sum();
@@ -318,6 +377,63 @@ pub fn stats(flags: &Flags) -> CmdResult {
     println!("longest txn       : {longest}");
     println!("flat-file bytes   : {}", db.total_bytes());
     println!("pages (4 KiB)     : {}", db.total_pages());
+    Ok(())
+}
+
+/// `bbs stats --base PATH` — run one in-place mining pass over a durable
+/// deployment and report the read-side counters (cache hits/misses/hit
+/// rate, physical reads, checksum-verified pages, hot-slice activity).
+fn deployment_stats(flags: &Flags, base: &str) -> CmdResult {
+    let width: usize = flags.get_parsed_or("width", 1600usize)?;
+    let cache_pages: usize = flags.get_parsed_or("cache-pages", 4096usize)?;
+    let threads: usize = flags.get_parsed_or("threads", 1usize)?;
+    let threshold = parse_threshold(flags.get("min-support").unwrap_or("1%"))?;
+    let scheme_raw = flags.get("scheme").unwrap_or("dfs").to_string();
+    let Some(scheme) = parse_scheme(&scheme_raw)? else {
+        return Err("stats --base supports the BBS schemes only (sfs|sfp|dfs|dfp)".into());
+    };
+
+    let mut dep = bbs_storage::DiskDeployment::open(
+        Path::new(base),
+        width,
+        hasher(flags)?,
+        cache_pages,
+    )?;
+    println!("deployment        : {base}.*");
+    println!("rows              : {}", dep.db.len());
+    println!("committed rows    : {}", dep.committed_rows());
+    println!("slices (width m)  : {}", dep.index.width());
+    println!("slice cache pages : {cache_pages}");
+
+    let start = Instant::now();
+    let (result, stats) = bbs_storage::mine_in_place(&mut dep, scheme, threshold, threads)?;
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "mining run        : scheme {}, {} pattern(s), {} CountItemSet call(s), {:.3}s on {} thread(s)",
+        scheme.name(),
+        result.patterns.len(),
+        result.stats.bbs_counts,
+        secs,
+        threads,
+    );
+    println!(
+        "cache             : {} hits, {} misses, {} evictions, hit rate {}",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        match stats.hit_rate() {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "n/a".to_string(),
+        },
+    );
+    println!(
+        "pager             : {} page reads, {} checksum-page reads, {} pages checksum-verified",
+        stats.pager.reads, stats.pager.checksum_reads, stats.pager.verified,
+    );
+    println!(
+        "hot slices        : {} hits, {} decoded, {} invalidations across {} reader(s)",
+        stats.hot.hits, stats.hot.decodes, stats.hot.invalidations, stats.readers,
+    );
     Ok(())
 }
 
@@ -346,6 +462,45 @@ mod tests {
         let err = fsck(&flags(&[("base", base.to_str().expect("utf8"))]))
             .expect_err("missing deployment must fail");
         assert!(err.to_string().contains("commit record"), "{err}");
+    }
+
+    #[test]
+    fn mine_deployment_in_place_and_stats_profile_run() {
+        let db_path = temp("inplace_db.txt");
+        let base = temp("inplace_dep");
+        let mut lines = String::new();
+        for i in 0..60 {
+            lines.push_str(&format!("{} {} 7 8\n", i % 5, 5 + (i % 2)));
+        }
+        std::fs::write(&db_path, lines).expect("write db");
+        let base_s = base.to_str().expect("utf8").to_string();
+        ingest(&flags(&[
+            ("db", db_path.to_str().expect("utf8")),
+            ("base", &base_s),
+            ("width", "64"),
+        ]))
+        .expect("ingest");
+
+        // In-place threaded mining and the stats profile both succeed on
+        // the same deployment.
+        mine_deployment(&flags(&[
+            ("base", &base_s),
+            ("width", "64"),
+            ("min-support", "50%"),
+            ("scheme", "dfs"),
+            ("threads", "2"),
+        ]))
+        .expect("mine in place");
+        stats(&flags(&[
+            ("base", &base_s),
+            ("width", "64"),
+            ("min-support", "50%"),
+            ("threads", "2"),
+        ]))
+        .expect("deployment stats");
+
+        bbs_storage::DiskDeployment::remove_files(&base).ok();
+        std::fs::remove_file(&db_path).ok();
     }
 
     #[test]

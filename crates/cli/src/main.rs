@@ -6,6 +6,7 @@
 //! bbs mine     --db data.txt --min-support 0.3% [--index data.bbs] [--scheme dfp]
 //! bbs count    --db data.txt --items "1 2 3" [--index data.bbs] [--mod 7]
 //! bbs stats    --db data.txt
+//! bbs stats    --base deploy [--threads 4]
 //! ```
 
 use bbs_cli::args::Flags;
@@ -27,8 +28,11 @@ USAGE:
   bbs ingest   --base PATH --db FILE [--width M] [--cache-pages N]
   bbs mine-deployment --base PATH --min-support N|P%
                [--scheme sfs|sfp|dfs|dfp] [--width M] [--top N]
+               [--threads N]   (mine in place off the files, N workers)
   bbs fsck     --base PATH
   bbs stats    --db FILE
+  bbs stats    --base PATH [--min-support N|P%] [--scheme sfs|sfp|dfs|dfp]
+               [--threads N]   (cache/pager profile of an in-place run)
 
 The transaction file format is one transaction per line: whitespace-
 separated item ids, optionally prefixed with an explicit `TID:`.  Lines

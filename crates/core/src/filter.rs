@@ -16,6 +16,7 @@ use crate::bbs::Bbs;
 use bbs_bitslice::BitVec;
 use bbs_tdb::{BufferPool, IoStats, ItemId, Itemset, MineStats, PatternSet, TransactionDb};
 use std::collections::HashMap;
+use std::io;
 
 /// Which filtering algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -468,6 +469,252 @@ pub fn run_filter_threaded(
     merged
 }
 
+/// A fallible `CountItemSet` provider for the source-generic filter engine
+/// — how the enumeration of Figs. 2/4 runs against an index that is not
+/// memory-resident (e.g. a disk-backed BBS counting cached pages in place).
+///
+/// Implementations may exploit the early-exit contract of
+/// [`bbs_bitslice::ops::and_count_many`]: the returned value must be exact
+/// whenever it is `≥ tau`, and may be any **upper bound** on the true
+/// estimate when it is `< tau`.  BBS estimates never undercount (Lemmas
+/// 1–4) and the engine only ever compares the value against `tau` — or
+/// uses it in CheckCount, which it reaches only when the value is `≥ tau`
+/// and therefore exact — so the accept/prune/certify decisions are
+/// identical to those made with exact estimates.
+pub trait CountSource {
+    /// Estimated support of `itemset` (`CountItemSet`), fallible.
+    fn count_itemset(&mut self, itemset: &Itemset, tau: u64) -> io::Result<u64>;
+}
+
+/// One worker's walk over the enumeration tree, counting through a
+/// [`CountSource`].  Unlike [`FilterRun`] there are no per-depth AND-result
+/// buffers: the source counts whole itemsets, so the recursion threads only
+/// the candidate itemset and the parent's [`NodeState`].
+struct SourceRun<'a, C: CountSource> {
+    src: &'a mut C,
+    kind: FilterKind,
+    tau: u64,
+    est_singleton: &'a HashMap<ItemId, u64>,
+    /// Exact 1-itemset supports (DualFilter's CheckCount input).
+    actuals: &'a HashMap<ItemId, u64>,
+    out: FilterOutput,
+}
+
+impl<C: CountSource> SourceRun<'_, C> {
+    fn visit(
+        &mut self,
+        items: &[ItemId],
+        idx: usize,
+        itemset: &Itemset,
+        state: NodeState,
+    ) -> io::Result<()> {
+        let item = items[idx];
+        let candidate = itemset.with_item(item);
+        let union_est = if itemset.is_empty() {
+            *self
+                .est_singleton
+                .get(&item)
+                .expect("singleton estimates are precomputed")
+        } else {
+            self.out.stats.bbs_counts += 1;
+            self.src.count_itemset(&candidate, self.tau)?
+        };
+        if union_est < self.tau {
+            return Ok(()); // rejected outright by the filter
+        }
+        self.out.stats.candidates += 1;
+        let (flag, count) = match self.kind {
+            FilterKind::Single => (Flag::Uncertain, union_est),
+            FilterKind::Dual => {
+                let act1 = self.actuals.get(&item).copied().unwrap_or(0);
+                let est1 = *self
+                    .est_singleton
+                    .get(&item)
+                    .expect("singleton estimates are precomputed");
+                check_count(itemset.is_empty(), state, act1, est1, union_est, self.tau)
+            }
+        };
+        match flag {
+            Flag::Infrequent => {
+                self.out.stats.false_drops += 1;
+                return Ok(());
+            }
+            Flag::CertainExact => {
+                self.out.stats.certified += 1;
+                self.out.frequent.insert(candidate.clone(), count);
+            }
+            Flag::CertainEstimated => {
+                self.out.stats.certified += 1;
+                self.out.approx.insert(candidate.clone(), count);
+            }
+            Flag::Uncertain => {
+                self.out.uncertain.push((candidate.clone(), union_est));
+            }
+        }
+        let child = NodeState {
+            est: union_est,
+            count,
+            flag,
+        };
+        for next in idx + 1..items.len() {
+            self.visit(items, next, &candidate, child)?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the singleton estimates and live alphabet for a source run.
+fn source_prep<C: CountSource>(
+    src: &mut C,
+    vocab: &[ItemId],
+    tau: u64,
+) -> io::Result<(HashMap<ItemId, u64>, Vec<ItemId>, u64)> {
+    let mut est_singleton = HashMap::with_capacity(vocab.len());
+    for &item in vocab {
+        let est = src.count_itemset(&Itemset::empty().with_item(item), tau)?;
+        est_singleton.insert(item, est);
+    }
+    let live: Vec<ItemId> = vocab
+        .iter()
+        .copied()
+        .filter(|item| est_singleton[item] >= tau)
+        .collect();
+    Ok((est_singleton, live, vocab.len() as u64))
+}
+
+/// [`run_filter`] over an arbitrary [`CountSource`]: same SingleFilter /
+/// DualFilter semantics, but every `CountItemSet` goes through `src` and
+/// I/O failures propagate instead of panicking.
+///
+/// `vocab` is the enumeration alphabet (typically every item the index has
+/// seen, sorted), `actuals` the exact 1-itemset supports, and `rows` the
+/// number of indexed transactions.
+pub fn run_filter_source<C: CountSource>(
+    src: &mut C,
+    vocab: &[ItemId],
+    actuals: &HashMap<ItemId, u64>,
+    rows: u64,
+    kind: FilterKind,
+    tau: u64,
+) -> io::Result<FilterOutput> {
+    let (est_singleton, live, prep_counts) = source_prep(src, vocab, tau)?;
+    let root = NodeState {
+        est: rows,
+        count: rows,
+        flag: Flag::CertainExact,
+    };
+    let mut run = SourceRun {
+        src,
+        kind,
+        tau,
+        est_singleton: &est_singleton,
+        actuals,
+        out: FilterOutput::default(),
+    };
+    let empty = Itemset::empty();
+    for idx in 0..live.len() {
+        run.visit(&live, idx, &empty, root)?;
+    }
+    let mut out = run.out;
+    out.stats.bbs_counts += prep_counts;
+    Ok(out)
+}
+
+/// Multi-threaded [`run_filter_source`]: the top-level live items are dealt
+/// round-robin to `threads` workers exactly as in [`run_filter_threaded`],
+/// and each worker counts through its **own** source (`make_source` is
+/// called once per worker — e.g. an independent reader with its own page
+/// cache over the same slice file).
+///
+/// Pattern buckets and candidate/false-drop/certified counts are identical
+/// to the serial run; only the order of `uncertain` differs.
+pub fn run_filter_source_threaded<C, F>(
+    make_source: F,
+    vocab: &[ItemId],
+    actuals: &HashMap<ItemId, u64>,
+    rows: u64,
+    kind: FilterKind,
+    tau: u64,
+    threads: usize,
+) -> io::Result<FilterOutput>
+where
+    C: CountSource + Send,
+    F: Fn() -> io::Result<C> + Sync,
+{
+    let mut prep_src = make_source()?;
+    let (est_singleton, live, prep_counts) = source_prep(&mut prep_src, vocab, tau)?;
+    let root = NodeState {
+        est: rows,
+        count: rows,
+        flag: Flag::CertainExact,
+    };
+    let empty = Itemset::empty();
+    let workers = threads.max(1).min(live.len().max(1));
+    if workers <= 1 {
+        let mut run = SourceRun {
+            src: &mut prep_src,
+            kind,
+            tau,
+            est_singleton: &est_singleton,
+            actuals,
+            out: FilterOutput::default(),
+        };
+        for idx in 0..live.len() {
+            run.visit(&live, idx, &empty, root)?;
+        }
+        let mut out = run.out;
+        out.stats.bbs_counts += prep_counts;
+        return Ok(out);
+    }
+    drop(prep_src);
+
+    let outputs: Vec<io::Result<FilterOutput>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for t in 0..workers {
+            let live = &live;
+            let est_singleton = &est_singleton;
+            let make_source = &make_source;
+            let empty = &empty;
+            handles.push(scope.spawn(move || -> io::Result<FilterOutput> {
+                let mut src = make_source()?;
+                let mut run = SourceRun {
+                    src: &mut src,
+                    kind,
+                    tau,
+                    est_singleton,
+                    actuals,
+                    out: FilterOutput::default(),
+                };
+                let mut idx = t;
+                while idx < live.len() {
+                    run.visit(live, idx, empty, root)?;
+                    idx += workers;
+                }
+                Ok(run.out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("source filter worker panicked"))
+            .collect()
+    });
+
+    let mut merged = FilterOutput::default();
+    merged.stats.bbs_counts = prep_counts;
+    for out in outputs {
+        let out = out?;
+        merged.frequent.extend_from(&out.frequent);
+        merged.approx.extend_from(&out.approx);
+        merged.uncertain.extend(out.uncertain);
+        merged.stats.candidates += out.stats.candidates;
+        merged.stats.false_drops += out.stats.false_drops;
+        merged.stats.certified += out.stats.certified;
+        merged.stats.bbs_counts += out.stats.bbs_counts;
+        merged.stats.io.merge(&out.stats.io);
+    }
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +906,80 @@ mod tests {
         let (bbs, db) = paper_fixture();
         let par = run_filter_threaded(&bbs, FilterKind::Dual, Some(&db), 3, 64);
         assert_eq!(par.certain_len(), 11);
+    }
+
+    /// A [`CountSource`] over the in-memory index: counts whole itemsets,
+    /// which for the incremental engine's AND chain is the same value.
+    struct MemSource<'a>(&'a Bbs);
+
+    impl CountSource for MemSource<'_> {
+        fn count_itemset(&mut self, itemset: &Itemset, _tau: u64) -> io::Result<u64> {
+            let mut io = IoStats::new();
+            Ok(self.0.est_count(itemset, &mut io))
+        }
+    }
+
+    fn fixture_actuals(bbs: &Bbs) -> HashMap<ItemId, u64> {
+        bbs.vocabulary()
+            .into_iter()
+            .map(|i| (i, bbs.actual_singleton_count(i)))
+            .collect()
+    }
+
+    #[test]
+    fn source_engine_matches_memory_engine() {
+        let (bbs, _) = paper_fixture();
+        let vocab = bbs.vocabulary();
+        let actuals = fixture_actuals(&bbs);
+        for kind in [FilterKind::Single, FilterKind::Dual] {
+            let mem = run_filter(&bbs, kind, None, 3);
+            let mut src = MemSource(&bbs);
+            let out = run_filter_source(&mut src, &vocab, &actuals, bbs.rows() as u64, kind, 3)
+                .expect("source run");
+            assert_eq!(out.frequent, mem.frequent, "{kind:?}");
+            assert_eq!(out.approx, mem.approx, "{kind:?}");
+            let mut a: Vec<_> = out.uncertain.clone();
+            let mut b: Vec<_> = mem.uncertain.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{kind:?}");
+            assert_eq!(out.stats.candidates, mem.stats.candidates, "{kind:?}");
+            assert_eq!(out.stats.false_drops, mem.stats.false_drops, "{kind:?}");
+            assert_eq!(out.stats.certified, mem.stats.certified, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_source_engine_matches_serial() {
+        let (bbs, _) = paper_fixture();
+        let vocab = bbs.vocabulary();
+        let actuals = fixture_actuals(&bbs);
+        for kind in [FilterKind::Single, FilterKind::Dual] {
+            let mut src = MemSource(&bbs);
+            let serial = run_filter_source(&mut src, &vocab, &actuals, bbs.rows() as u64, kind, 3)
+                .expect("serial");
+            for threads in [1usize, 2, 4, 9] {
+                let par = run_filter_source_threaded(
+                    || Ok(MemSource(&bbs)),
+                    &vocab,
+                    &actuals,
+                    bbs.rows() as u64,
+                    kind,
+                    3,
+                    threads,
+                )
+                .expect("threaded");
+                assert_eq!(par.frequent, serial.frequent, "{kind:?} x{threads}");
+                assert_eq!(par.approx, serial.approx, "{kind:?} x{threads}");
+                let mut a: Vec<_> = par.uncertain.clone();
+                let mut b: Vec<_> = serial.uncertain.clone();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "{kind:?} x{threads}");
+                assert_eq!(par.stats.candidates, serial.stats.candidates);
+                assert_eq!(par.stats.certified, serial.stats.certified);
+            }
+        }
     }
 
     #[test]

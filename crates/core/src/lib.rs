@@ -53,7 +53,10 @@ pub use adaptive::{adaptive_filter, slices_for_budget};
 pub use adhoc::AdhocEngine;
 pub use approx::{mine_approximate, ApproxPattern, ApproxResult};
 pub use bbs::Bbs;
-pub use filter::{run_filter, run_filter_threaded, FilterKind, FilterOutput, Flag};
+pub use filter::{
+    run_filter, run_filter_source, run_filter_source_threaded, run_filter_threaded, CountSource,
+    FilterKind, FilterOutput, Flag,
+};
 pub use miners::{BbsMiner, RefineKind, Scheme};
 pub use persist::{load_from_path, save_to_path, PersistError};
 pub use refine::{probe_candidates, probe_support, sequential_scan, RefineOutput};

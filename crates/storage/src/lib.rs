@@ -45,6 +45,7 @@ pub mod cache;
 mod commit;
 pub mod diskbbs;
 pub mod heapfile;
+pub mod mine;
 pub mod pager;
 pub mod slicefile;
 
@@ -55,11 +56,12 @@ pub use backend::{
 };
 pub use cache::{CacheStats, PageCache};
 pub use diskbbs::{
-    deployment_paths, DeploymentBackends, DeploymentPaths, DiskBbs, DiskDeployment,
+    deployment_paths, DeploymentBackends, DeploymentPaths, DiskBbs, DiskCounter, DiskDeployment,
     PageCorruption, VerifyReport,
 };
 pub use heapfile::HeapFile;
+pub use mine::{mine_in_place, DiskMineStats};
 pub use pager::{
     checksum_mismatch, fnv1a64, ChecksumMismatch, PageId, Pager, PagerStats, PAGE_SIZE,
 };
-pub use slicefile::{SliceFile, CHUNK_ROWS};
+pub use slicefile::{HotStats, SliceFile, CHUNK_ROWS};

@@ -1,0 +1,286 @@
+//! Mining a [`DiskDeployment`] **in place**, on all cores.
+//!
+//! The memory-resident miners load the whole index first; this driver
+//! instead runs the filter phase directly against the slice file through
+//! [`bbs_core::CountSource`], with one independent [`DiskCounter`] reader
+//! per worker thread (its own page cache, hot-slice cache and position
+//! cache — no shared lock on the read path).  The enumeration tree is
+//! partitioned by the same dealt-subtree scheme as the in-memory threaded
+//! filter, so the result is *identical* to a serial run.
+//!
+//! Refinement of uncertain candidates is one streaming sequential pass
+//! over the heap file (subset-count every candidate per transaction),
+//! which never materialises the `TransactionDb` in memory.
+
+use crate::cache::CacheStats;
+use crate::diskbbs::{DiskCounter, DiskDeployment};
+use crate::pager::PagerStats;
+use crate::slicefile::HotStats;
+use bbs_core::{run_filter_source_threaded, CountSource, Scheme};
+use bbs_tdb::{Itemset, MineResult, SupportThreshold};
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Aggregated read-side counters of one in-place mining run, summed over
+/// every reader the run opened (the prep reader plus one per worker).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskMineStats {
+    /// Page-cache counters, summed across readers.
+    pub cache: CacheStats,
+    /// Physical I/O counters, summed across readers.
+    pub pager: PagerStats,
+    /// Hot-slice cache counters, summed across readers.
+    pub hot: HotStats,
+    /// Readers opened (1 for a serial run; prep + workers when threaded).
+    pub readers: usize,
+}
+
+impl DiskMineStats {
+    /// Cache hit rate over all readers, if any page was requested.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.cache.hits + self.cache.misses;
+        (total > 0).then(|| self.cache.hits as f64 / total as f64)
+    }
+}
+
+/// A [`DiskCounter`] that folds its cache/pager/hot counters into a shared
+/// accumulator when dropped — how worker readers report their I/O back to
+/// the driver after `run_filter_source_threaded` consumes them.
+struct TrackedCounter {
+    inner: DiskCounter,
+    sink: Arc<Mutex<DiskMineStats>>,
+}
+
+impl CountSource for TrackedCounter {
+    fn count_itemset(&mut self, itemset: &Itemset, tau: u64) -> io::Result<u64> {
+        self.inner.count(itemset, Some(tau))
+    }
+}
+
+impl Drop for TrackedCounter {
+    fn drop(&mut self) {
+        let mut s = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let c = self.inner.cache_stats();
+        s.cache.hits += c.hits;
+        s.cache.misses += c.misses;
+        s.cache.evictions += c.evictions;
+        let p = self.inner.pager_stats();
+        s.pager.reads += p.reads;
+        s.pager.writes += p.writes;
+        s.pager.checksum_reads += p.checksum_reads;
+        s.pager.checksum_writes += p.checksum_writes;
+        s.pager.verified += p.verified;
+        let h = self.inner.hot_stats();
+        s.hot.pinned += h.pinned;
+        s.hot.hits += h.hits;
+        s.hot.decodes += h.decodes;
+        s.hot.invalidations += h.invalidations;
+        s.readers += 1;
+    }
+}
+
+/// Mines every frequent pattern of a deployment straight off its files.
+///
+/// The deployment is flushed first (readers open the file independently
+/// and see only committed-to-cache flushed state), the filter phase runs
+/// on `threads` workers over clone-per-worker [`DiskCounter`] readers, and
+/// uncertain candidates are refined by one streaming scan of the heap
+/// file.  The frequent patterns are identical to what the corresponding
+/// in-memory [`bbs_core::BbsMiner`] scheme produces, and to a serial
+/// (`threads = 1`) run of this driver.
+///
+/// Both Scan and Probe schemes refine by the streaming scan here: an
+/// in-place run never loads the `TransactionDb`, and the scan is the
+/// refinement that preserves exactness without it.
+pub fn mine_in_place(
+    dep: &mut DiskDeployment,
+    scheme: Scheme,
+    min_support: SupportThreshold,
+    threads: usize,
+) -> io::Result<(MineResult, DiskMineStats)> {
+    dep.flush()?;
+    let rows = dep.db.len();
+    let tau = min_support.resolve(rows as usize);
+    let vocab = dep.index.vocabulary();
+    let actuals = dep.index.item_counts();
+    let sink = Arc::new(Mutex::new(DiskMineStats::default()));
+    let make_source = || -> io::Result<TrackedCounter> {
+        Ok(TrackedCounter {
+            inner: dep.index.counter()?,
+            sink: Arc::clone(&sink),
+        })
+    };
+    let filter_out = run_filter_source_threaded(
+        make_source,
+        &vocab,
+        actuals,
+        rows,
+        scheme.filter(),
+        tau,
+        threads,
+    )?;
+
+    let mut result = MineResult::default();
+    result.stats.candidates = filter_out.stats.candidates;
+    result.stats.false_drops = filter_out.stats.false_drops;
+    result.stats.certified = filter_out.stats.certified;
+    result.stats.bbs_counts = filter_out.stats.bbs_counts;
+    result.stats.io.merge(&filter_out.stats.io);
+
+    result.patterns.extend_from(&filter_out.frequent);
+    for (items, count) in filter_out.approx.iter() {
+        result.patterns.insert(items.clone(), count);
+        result.approx_supports.insert(items.clone());
+    }
+
+    if !filter_out.uncertain.is_empty() {
+        // Streaming refinement: one pass over the heap file, counting every
+        // uncertain candidate's exact support by subset test.
+        let mut cands: Vec<(Itemset, u64)> = filter_out
+            .uncertain
+            .iter()
+            .map(|(items, _)| (items.clone(), 0))
+            .collect();
+        dep.db.for_each(|_, txn| {
+            for (items, count) in cands.iter_mut() {
+                if items.is_subset_of(&txn.items) {
+                    *count += 1;
+                }
+            }
+        })?;
+        for (items, count) in cands {
+            if count >= tau {
+                result.patterns.insert(items, count);
+            } else {
+                result.stats.false_drops += 1;
+            }
+        }
+    }
+
+    let stats = *sink.lock().unwrap_or_else(|e| e.into_inner());
+    Ok((result, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_core::BbsMiner;
+    use bbs_hash::{ItemHasher, Md5BloomHasher};
+    use bbs_tdb::{FrequentPatternMiner, Transaction};
+    use std::path::PathBuf;
+
+    fn base(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_mine_{}_{}", std::process::id(), name));
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            DiskDeployment::remove_files(&self.0).ok();
+        }
+    }
+
+    fn hasher() -> std::sync::Arc<dyn ItemHasher> {
+        std::sync::Arc::new(Md5BloomHasher::new(4))
+    }
+
+    /// A deterministic 400-transaction database with planted co-occurring
+    /// groups so every scheme has frequent k-itemsets to find.
+    fn planted(dep: &mut DiskDeployment) {
+        for i in 0..400u64 {
+            let mut items: Vec<u32> = vec![(i % 25) as u32];
+            if i % 3 == 0 {
+                items.extend([50, 51]);
+            }
+            if i % 5 == 0 {
+                items.extend([60, 61, 62]);
+            }
+            if i % 2 == 0 {
+                items.push(70 + (i % 4) as u32);
+            }
+            dep.append(&Transaction::new(i, Itemset::from_values(&items)))
+                .expect("append");
+        }
+    }
+
+    fn canon(r: &MineResult) -> Vec<(Itemset, u64)> {
+        let mut v: Vec<(Itemset, u64)> = r.patterns.iter().map(|(k, s)| (k.clone(), s)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn in_place_matches_memory_miner_for_all_schemes() {
+        let b = base("schemes");
+        let _g = Cleanup(b.clone());
+        let mut dep = DiskDeployment::open(&b, 128, hasher(), 1024).expect("open");
+        planted(&mut dep);
+        dep.flush().expect("flush");
+        let db = dep.db.load().expect("load db");
+        let threshold = SupportThreshold::Count(40);
+        for scheme in [Scheme::Sfs, Scheme::Sfp, Scheme::Dfs, Scheme::Dfp] {
+            let bbs = dep.index.load().expect("load index");
+            let mem = BbsMiner::with_index(scheme, bbs).mine(&db, threshold);
+            let (disk, stats) =
+                mine_in_place(&mut dep, scheme, threshold, 1).expect("mine in place");
+            assert_eq!(canon(&disk), canon(&mem), "{scheme:?}");
+            assert_eq!(disk.approx_supports, mem.approx_supports, "{scheme:?}");
+            assert!(stats.readers >= 1);
+            assert!(stats.cache.hits + stats.cache.misses > 0);
+        }
+    }
+
+    #[test]
+    fn threaded_matches_serial_after_crash_recovery_round_trip() {
+        let b = base("crash_round_trip");
+        let _g = Cleanup(b.clone());
+        {
+            let mut dep = DiskDeployment::open(&b, 128, hasher(), 1024).expect("open");
+            planted(&mut dep);
+            dep.flush().expect("flush");
+            // Crash with un-flushed extra rows: they must not influence any
+            // later mining run.
+            for i in 0..37u64 {
+                dep.append(&Transaction::new(1000 + i, Itemset::from_values(&[50, 51, 60])))
+                    .expect("append");
+            }
+            // Dropped without flush — the commit record still says 400 rows.
+        }
+        let mut dep = DiskDeployment::open(&b, 128, hasher(), 1024).expect("reopen");
+        assert_eq!(dep.db.len(), 400, "recovery rolled back to the commit");
+        let threshold = SupportThreshold::percent(8.0);
+        let (serial, _) = mine_in_place(&mut dep, Scheme::Dfs, threshold, 1).expect("serial");
+        for threads in [2, 4, 9] {
+            let (threaded, stats) =
+                mine_in_place(&mut dep, Scheme::Dfs, threshold, threads).expect("threaded");
+            assert_eq!(canon(&threaded), canon(&serial), "threads={threads}");
+            assert_eq!(threaded.approx_supports, serial.approx_supports);
+            assert!(stats.readers > 1, "threads={threads} used {} readers", stats.readers);
+        }
+        // And the refined output agrees with the in-memory miner too.
+        let db = dep.db.load().expect("load db");
+        let bbs = dep.index.load().expect("load index");
+        let mem = BbsMiner::with_index(Scheme::Dfs, bbs).mine(&db, threshold);
+        assert_eq!(canon(&serial), canon(&mem));
+    }
+
+    #[test]
+    fn stats_accumulate_and_hot_cache_engages() {
+        let b = base("stats");
+        let _g = Cleanup(b.clone());
+        let mut dep = DiskDeployment::open(&b, 64, hasher(), 256).expect("open");
+        planted(&mut dep);
+        let (_, stats) =
+            mine_in_place(&mut dep, Scheme::Sfs, SupportThreshold::Count(30), 2).expect("mine");
+        assert!(stats.cache.misses > 0, "cold reads happened: {stats:?}");
+        assert!(stats.pager.reads > 0);
+        assert!(stats.pager.verified > 0, "checksums were verified: {stats:?}");
+        assert!(stats.hit_rate().is_some());
+        assert!(
+            stats.hot.decodes > 0,
+            "repeatedly selected slices got pinned: {stats:?}"
+        );
+    }
+}

@@ -154,6 +154,8 @@ pub struct PagerStats {
     pub checksum_reads: u64,
     /// Checksum pages physically written.
     pub checksum_writes: u64,
+    /// Data pages whose digest was checked and found valid on read.
+    pub verified: u64,
 }
 
 struct ChecksumFrame {
@@ -260,6 +262,7 @@ impl<B: StorageBackend> Pager<B> {
                 }
                 .into_io());
             }
+            self.stats.verified += 1;
         }
         Ok(buf)
     }

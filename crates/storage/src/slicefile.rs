@@ -15,23 +15,250 @@
 //! Reading slice `j` touches `ceil(rows / 32768)` pages at stride `m`;
 //! appending a transaction performs one read-modify-write per set bit, all
 //! within the current chunk's pages (which stay hot in the cache).
+//!
+//! # Counting path
+//!
+//! `count_selected` walks the selected slices chunk-by-chunk in row order:
+//! each chunk's cold pages are prefetched as a batch, ANDed **in place**
+//! (64-bit words decoded straight out of the cache-resident page bytes
+//! into a reused one-page accumulator — no per-slice `BitVec` is ever
+//! materialised), and popcounted with the tiered kernels of
+//! `bbs_bitslice::ops`.  Slices that keep being selected are promoted into
+//! a pinned **hot-slice cache** of decoded `u64` words (invalidated on
+//! append), and `count_selected_bounded` stops early once the running
+//! upper bound drops below the caller's threshold.
+//!
+//! All read-side state (page cache, hot slices, scratch buffers) lives
+//! behind a `Mutex`, so counting needs only `&self` — shared references
+//! can count concurrently, and independent readers over the same file get
+//! genuine parallelism (see `DiskBbs::counter`).
 
 use crate::backend::{FileBackend, StorageBackend};
 use crate::cache::{CacheStats, PageCache};
 use crate::pager::{
-    fnv1a64_extend, zeroed_page, ChecksumMismatch, PageId, Pager, FNV_OFFSET, PAGE_SIZE,
+    fnv1a64_extend, zeroed_page, ChecksumMismatch, PageId, Pager, PagerStats, FNV_OFFSET,
+    PAGE_SIZE,
 };
-use bbs_bitslice::BitVec;
+use bbs_bitslice::{ops, BitVec};
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
 
 const MAGIC: u64 = 0x4242_5353_4c49_4345; // "BBSSLICE"
 /// Rows per chunk: one page of bits.
 pub const CHUNK_ROWS: usize = PAGE_SIZE * 8;
+/// `u64` words per page.
+pub const PAGE_WORDS: usize = PAGE_SIZE / 8;
+
+/// How many times a slice must be selected before it is pinned.
+const PROMOTE_AFTER: u32 = 3;
+/// Maximum number of pinned (fully decoded) hot slices.
+const HOT_SLICE_LIMIT: usize = 16;
+
+/// Counters of the pinned hot-slice cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotStats {
+    /// Slices currently pinned (decoded to words).
+    pub pinned: usize,
+    /// Selected-slice lookups served from pinned words.
+    pub hits: u64,
+    /// Slices decoded for pinning.
+    pub decodes: u64,
+    /// Times the pinned set was invalidated by an append.
+    pub invalidations: u64,
+}
+
+/// The pinned hot-slice cache: decoded `u64` words for the most-selected
+/// slices.  Appends invalidate the pinned words (a pinned slice would
+/// otherwise go stale); selection counts survive, so the working set is
+/// re-promoted quickly once counting resumes.
+struct HotSlices {
+    capacity: usize,
+    select_counts: HashMap<usize, u32>,
+    pinned: HashMap<usize, Vec<u64>>,
+    hits: u64,
+    decodes: u64,
+    invalidations: u64,
+}
+
+impl HotSlices {
+    fn new(capacity: usize) -> Self {
+        HotSlices {
+            capacity,
+            select_counts: HashMap::new(),
+            pinned: HashMap::new(),
+            hits: 0,
+            decodes: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn invalidate(&mut self) {
+        if !self.pinned.is_empty() {
+            self.pinned.clear();
+            self.invalidations += 1;
+        }
+    }
+
+    fn stats(&self) -> HotStats {
+        HotStats {
+            pinned: self.pinned.len(),
+            hits: self.hits,
+            decodes: self.decodes,
+            invalidations: self.invalidations,
+        }
+    }
+}
+
+/// All mutable read-side state: the page cache plus the hot-slice cache and
+/// the reusable counting scratch.  Guarded by one mutex in [`SliceFile`] so
+/// that counting works on `&self`.
+struct ReadState<B: StorageBackend> {
+    cache: PageCache<B>,
+    hot: HotSlices,
+    /// One-page `u64` accumulator, reused across chunks and calls.
+    acc: Vec<u64>,
+    /// Scratch list of the current chunk's cold page ids.
+    cold_ids: Vec<PageId>,
+}
+
+impl<B: StorageBackend> ReadState<B> {
+    /// Decodes a whole slice into little-endian `u64` words (`words_for(rows)`
+    /// of them) through the page cache.
+    fn decode_slice(&mut self, width: usize, rows: u64, slice: usize) -> io::Result<Vec<u64>> {
+        let rows = rows as usize;
+        let chunks = rows.div_ceil(CHUNK_ROWS);
+        let mut words: Vec<u64> = Vec::with_capacity(chunks * PAGE_WORDS);
+        for c in 0..chunks {
+            let page = page_of(width, c as u64, slice);
+            self.cache.with_page(page, |buf| {
+                for w in buf.chunks_exact(8) {
+                    words.push(u64::from_le_bytes(w.try_into().expect("8 bytes")));
+                }
+            })?;
+        }
+        words.truncate(bbs_bitslice::words_for(rows));
+        Ok(words)
+    }
+
+    /// Bumps selection counts and pins newly hot slices (decoding them).
+    fn promote(&mut self, width: usize, rows: u64, slices: &[usize]) -> io::Result<()> {
+        for &s in slices {
+            let n = self.hot.select_counts.entry(s).or_insert(0);
+            *n += 1;
+            if *n >= PROMOTE_AFTER
+                && self.hot.pinned.len() < self.hot.capacity
+                && !self.hot.pinned.contains_key(&s)
+            {
+                let words = self.decode_slice(width, rows, s)?;
+                self.hot.pinned.insert(s, words);
+                self.hot.decodes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The zero-copy fused count: AND the selected slices chunk-by-chunk in
+    /// row order, popcount as we go, and optionally stop once the running
+    /// upper bound falls below `tau`.
+    fn count_selected(
+        &mut self,
+        width: usize,
+        rows: u64,
+        slices: &[usize],
+        tau: Option<u64>,
+    ) -> io::Result<u64> {
+        if slices.is_empty() {
+            return Ok(rows);
+        }
+        let chunks = (rows as usize).div_ceil(CHUNK_ROWS) as u64;
+        if chunks == 0 {
+            return Ok(0);
+        }
+        self.promote(width, rows, slices)?;
+        let ReadState {
+            cache,
+            hot,
+            acc,
+            cold_ids,
+        } = self;
+        acc.resize(PAGE_WORDS, 0);
+        let mut total = 0u64;
+        for c in 0..chunks {
+            // Bits beyond `rows` in the last chunk are zero by construction
+            // (pages start zeroed and only appended rows set bits), so full
+            // pages can be counted without masking.
+            let mut seeded = false;
+            cold_ids.clear();
+            for &s in slices {
+                match hot.pinned.get(&s) {
+                    Some(words) => {
+                        hot.hits += 1;
+                        let lo = (c as usize) * PAGE_WORDS;
+                        let hi = words.len().min(lo + PAGE_WORDS);
+                        let seg: &[u64] = if lo < hi { &words[lo..hi] } else { &[] };
+                        if seeded {
+                            ops::and_assign(acc, seg);
+                        } else {
+                            acc[..seg.len()].copy_from_slice(seg);
+                            acc[seg.len()..].fill(0);
+                            seeded = true;
+                        }
+                    }
+                    None => cold_ids.push(page_of(width, c, s)),
+                }
+            }
+            // Batched fetch: make this chunk's cold pages resident in one
+            // row-order pass before ANDing them (all hits below when the
+            // cache can hold the whole batch).
+            if cold_ids.len() < cache.capacity() {
+                cache.prefetch(cold_ids)?;
+            }
+            for &id in cold_ids.iter() {
+                if seeded {
+                    cache.with_page(id, |buf| {
+                        for (a, b) in acc.iter_mut().zip(buf.chunks_exact(8)) {
+                            *a &= u64::from_le_bytes(b.try_into().expect("8 bytes"));
+                        }
+                    })?;
+                } else {
+                    cache.with_page(id, |buf| {
+                        for (a, b) in acc.iter_mut().zip(buf.chunks_exact(8)) {
+                            *a = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+                        }
+                    })?;
+                    seeded = true;
+                }
+            }
+            total += ops::count_ones(acc) as u64;
+            if let Some(tau) = tau {
+                // Every remaining chunk can contribute at most CHUNK_ROWS
+                // bits; once even that cannot reach tau, the exact count
+                // cannot either.  The returned bound never undercounts.
+                let bound = total + (chunks - 1 - c) * CHUNK_ROWS as u64;
+                if bound < tau {
+                    return Ok(bound);
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+fn page_of(width: usize, chunk: u64, slice: usize) -> PageId {
+    PageId(1 + chunk * width as u64 + slice as u64)
+}
 
 /// A durable, chunk-major bit-slice file.
+///
+/// Writes (`append_row`, `flush`) take `&mut self`; the counting path takes
+/// `&self` and synchronises internally, so a shared reference suffices to
+/// run `CountItemSet` queries (including from multiple threads, serialised
+/// on this file's cache — use independent `SliceFile`s over the same path
+/// for parallel reads).
 pub struct SliceFile<B: StorageBackend = FileBackend> {
-    cache: PageCache<B>,
+    read: Mutex<ReadState<B>>,
     width: usize,
     rows: u64,
 }
@@ -179,7 +406,24 @@ impl<B: StorageBackend> SliceFile<B> {
                 format!("slice file width {stored_width} != requested {width}"),
             ));
         }
-        Ok(SliceFile { cache, width, rows })
+        Ok(SliceFile {
+            read: Mutex::new(ReadState {
+                cache,
+                hot: HotSlices::new(HOT_SLICE_LIMIT),
+                acc: Vec::new(),
+                cold_ids: Vec::new(),
+            }),
+            width,
+            rows,
+        })
+    }
+
+    fn state(&self) -> MutexGuard<'_, ReadState<B>> {
+        self.read.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn state_mut(&mut self) -> &mut ReadState<B> {
+        self.read.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Signature width `m`.
@@ -194,11 +438,17 @@ impl<B: StorageBackend> SliceFile<B> {
 
     /// Cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.state().cache.stats()
     }
 
-    fn page_of(&self, chunk: u64, slice: usize) -> PageId {
-        PageId(1 + chunk * self.width as u64 + slice as u64)
+    /// Physical I/O counters of the underlying pager.
+    pub fn pager_stats(&self) -> PagerStats {
+        self.state().cache.pager_stats()
+    }
+
+    /// Hot-slice cache counters.
+    pub fn hot_stats(&self) -> HotStats {
+        self.state().hot.stats()
     }
 
     /// Appends one row whose set bit positions are `positions` (each `<
@@ -209,68 +459,48 @@ impl<B: StorageBackend> SliceFile<B> {
         let within = (row % CHUNK_ROWS as u64) as usize;
         let byte = within / 8;
         let bit = within % 8;
+        let width = self.width;
+        let state = self.read.get_mut().unwrap_or_else(|e| e.into_inner());
+        // Pinned word decodes would go stale; drop them (selection counts
+        // survive, so the hot set re-forms once counting resumes).
+        state.hot.invalidate();
         for &p in positions {
-            assert!(p < self.width, "position {p} out of range");
-            let page = self.page_of(chunk, p);
+            assert!(p < width, "position {p} out of range");
+            let page = page_of(width, chunk, p);
             let mut b = [0u8; 1];
-            self.cache.read_at(page, byte, &mut b)?;
+            state.cache.read_at(page, byte, &mut b)?;
             b[0] |= 1 << bit;
-            self.cache.write_at(page, byte, &b)?;
+            state.cache.write_at(page, byte, &b)?;
         }
         self.rows += 1;
-        crate::bytes::write_u64(&mut self.cache, 16, self.rows)?;
+        crate::bytes::write_u64(&mut state.cache, 16, self.rows)?;
         Ok(row)
     }
 
     /// Loads one slice as an in-memory bit vector of `rows` bits.
-    pub fn load_slice(&mut self, slice: usize) -> io::Result<BitVec> {
+    pub fn load_slice(&self, slice: usize) -> io::Result<BitVec> {
         assert!(slice < self.width, "slice {slice} out of range");
-        let rows = self.rows as usize;
-        let chunks = rows.div_ceil(CHUNK_ROWS);
-        let mut words: Vec<u64> = Vec::with_capacity(bbs_bitslice::words_for(rows));
-        for c in 0..chunks {
-            let page = self.page_of(c as u64, slice);
-            self.cache.with_page(page, |buf| {
-                for w in buf.chunks_exact(8) {
-                    words.push(u64::from_le_bytes(w.try_into().expect("8 bytes")));
-                }
-            })?;
-        }
-        words.truncate(bbs_bitslice::words_for(rows));
-        Ok(BitVec::from_words(words, rows))
+        let words = self.state().decode_slice(self.width, self.rows, slice)?;
+        Ok(BitVec::from_words(words, self.rows as usize))
     }
 
     /// ANDs the selected slices together and popcounts, reading only those
     /// slices' pages — `CountItemSet` straight off the disk layout.
-    pub fn count_selected(&mut self, slices: &[usize]) -> io::Result<u64> {
-        if slices.is_empty() {
-            return Ok(self.rows);
-        }
-        let rows = self.rows as usize;
-        let chunks = rows.div_ceil(CHUNK_ROWS);
-        let mut total = 0u64;
-        let mut acc = vec![0u8; PAGE_SIZE];
-        for c in 0..chunks {
-            // Bits beyond `rows` in the last chunk are zero by construction
-            // (pages start zeroed and only appended rows set bits).
-            let first = self.page_of(c as u64, slices[0]);
-            self.cache.with_page(first, |buf| acc.copy_from_slice(&buf[..]))?;
-            for &s in &slices[1..] {
-                let page = self.page_of(c as u64, s);
-                self.cache.with_page(page, |buf| {
-                    for (a, b) in acc.iter_mut().zip(buf.iter()) {
-                        *a &= b;
-                    }
-                })?;
-            }
-            total += acc.iter().map(|b| b.count_ones() as u64).sum::<u64>();
-        }
-        Ok(total)
+    pub fn count_selected(&self, slices: &[usize]) -> io::Result<u64> {
+        self.count_selected_bounded(slices, None)
+    }
+
+    /// [`SliceFile::count_selected`] with an early exit: with
+    /// `tau = Some(τ)` the result is exact whenever it is `≥ τ`, and an
+    /// upper bound on the exact count when it is `< τ` (counting stops as
+    /// soon as even all-ones remaining chunks could not reach `τ`).
+    pub fn count_selected_bounded(&self, slices: &[usize], tau: Option<u64>) -> io::Result<u64> {
+        self.state().count_selected(self.width, self.rows, slices, tau)
     }
 
     /// Flushes dirty pages and syncs.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.cache.flush()
+        self.state_mut().cache.flush()
     }
 
     /// Chained digest of the boundary-chunk slice pages as they stand
@@ -282,10 +512,12 @@ impl<B: StorageBackend> SliceFile<B> {
             return Ok(0);
         }
         let chunk = self.rows / CHUNK_ROWS as u64;
+        let width = self.width;
+        let state = self.read.get_mut().unwrap_or_else(|e| e.into_inner());
         let mut digest = FNV_OFFSET;
-        for slice in 0..self.width {
-            let page = self.page_of(chunk, slice);
-            digest = self.cache.with_page(page, |p| fnv1a64_extend(digest, p))?;
+        for slice in 0..width {
+            let page = page_of(width, chunk, slice);
+            digest = state.cache.with_page(page, |p| fnv1a64_extend(digest, p))?;
         }
         Ok(digest)
     }
@@ -359,7 +591,7 @@ mod tests {
             }
             f.flush().expect("flush");
         }
-        let mut f = SliceFile::open(&p, 32, 64).expect("reopen");
+        let f = SliceFile::open(&p, 32, 64).expect("reopen");
         assert_eq!(f.rows(), 10);
         assert_eq!(f.load_slice(0).expect("slice").count_ones(), 1);
         // Wrong width is rejected.
@@ -398,5 +630,81 @@ mod tests {
             .sum();
         assert_eq!(total, 200, "every set bit accounted for");
         assert!(f.cache_stats().evictions > 0, "pressure actually occurred");
+    }
+
+    #[test]
+    fn bounded_count_is_tau_consistent() {
+        let p = path("bounded");
+        let _g = Cleanup(p.clone());
+        let mut f = SliceFile::open(&p, 4, 64).expect("open");
+        // Two chunks; slice 0∩1 is rare and confined to the first chunk, so
+        // a large tau can exit after chunk 0.
+        let n = CHUNK_ROWS + 100;
+        for i in 0..n {
+            if i < 10 {
+                f.append_row(&[0, 1]).expect("append");
+            } else {
+                f.append_row(&[i % 2]).expect("append");
+            }
+        }
+        let exact = f.count_selected(&[0, 1]).expect("exact");
+        assert_eq!(exact, 10);
+        // tau below the count: result must be exact.
+        assert_eq!(f.count_selected_bounded(&[0, 1], Some(5)).expect("b"), 10);
+        // tau far above: an early exit may fire, but never undercounts and
+        // never crosses tau from below.
+        let big_tau = 2 * CHUNK_ROWS as u64;
+        let est = f.count_selected_bounded(&[0, 1], Some(big_tau)).expect("b");
+        assert!(est >= exact);
+        assert!(est < big_tau);
+        // Unbounded agrees with the naive per-slice AND.
+        let s0 = f.load_slice(0).expect("s0");
+        let s1 = f.load_slice(1).expect("s1");
+        assert_eq!(s0.and_count(&s1) as u64, exact);
+    }
+
+    #[test]
+    fn hot_slices_promote_and_invalidate() {
+        let p = path("hot");
+        let _g = Cleanup(p.clone());
+        let mut f = SliceFile::open(&p, 8, 64).expect("open");
+        for i in 0..200u64 {
+            f.append_row(&[(i % 8) as usize]).expect("append");
+        }
+        for _ in 0..5 {
+            f.count_selected(&[0, 1]).expect("count");
+        }
+        let hs = f.hot_stats();
+        assert!(hs.pinned >= 2, "repeatedly selected slices get pinned: {hs:?}");
+        assert!(hs.hits > 0);
+        let before = f.count_selected(&[0]).expect("count");
+        // Append invalidates the pinned words; counting still agrees.
+        f.append_row(&[0]).expect("append");
+        assert_eq!(f.hot_stats().pinned, 0);
+        assert!(f.hot_stats().invalidations >= 1);
+        assert_eq!(f.count_selected(&[0]).expect("count"), before + 1);
+    }
+
+    #[test]
+    fn shared_reference_counting() {
+        let p = path("shared");
+        let _g = Cleanup(p.clone());
+        let mut f = SliceFile::open(&p, 8, 64).expect("open");
+        for i in 0..50u64 {
+            f.append_row(&[(i % 8) as usize, ((i + 1) % 8) as usize])
+                .expect("append");
+        }
+        let shared = &f;
+        let a = shared.count_selected(&[0]).expect("a");
+        let b = shared.count_selected(&[0]).expect("b");
+        assert_eq!(a, b);
+        // And across scoped threads on the same shared reference.
+        let (x, y) = std::thread::scope(|s| {
+            let h1 = s.spawn(|| shared.count_selected(&[0, 1]).expect("t1"));
+            let h2 = s.spawn(|| shared.count_selected(&[0, 1]).expect("t2"));
+            (h1.join().expect("join1"), h2.join().expect("join2"))
+        });
+        assert_eq!(x, y);
+        assert_eq!(x, shared.count_selected(&[0, 1]).expect("serial"));
     }
 }
