@@ -2,12 +2,18 @@
 # Full local CI: release build, every test in the workspace, a compile
 # check of the benchmarks, the kernel property tests re-run with the
 # native instruction set (exercising the AVX2 dispatch tier where the
-# host has it), and a warning-free clippy pass.  Run from the repository
-# root.
+# host has it), the server's end-to-end suites (wire-protocol clients
+# against a live server, and the subprocess kill/fsck recovery test),
+# and a warning-free clippy pass.  Run from the repository root.
 set -eux
 
 cargo build --release
 cargo test -q
 cargo bench --no-run
 RUSTFLAGS="-C target-cpu=native" cargo test -q -p bbs-bitslice --test kernel_props
+# The server suites run as part of `cargo test -q` above; run them again
+# by name so a failure here is unambiguous in CI logs.
+cargo test -q -p bbs-server --test integration
+cargo test -q -p bbs-cli --test server_proc
+cargo clippy -p bbs-server --all-targets -- -D warnings
 cargo clippy --all-targets -- -D warnings

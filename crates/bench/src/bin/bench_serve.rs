@@ -1,0 +1,317 @@
+//! `bench_serve` — machine-readable performance snapshot of the
+//! query/ingest server, written to `BENCH_4.json`.
+//!
+//! Spins up an in-process `bbs-server` on a TCP loopback socket and
+//! drives it the way a deployment would be driven:
+//!
+//! 1. **Ingest throughput**: W writer clients stream fixed-size insert
+//!    batches for a wall-clock window; group commit coalesces them, so
+//!    the interesting numbers are transactions/s, per-insert latency
+//!    quantiles, and how many producer batches each fsync absorbed.
+//! 2. **Concurrent count latency**: R reader clients issue `count`
+//!    queries against live snapshots *while* the writers run, then again
+//!    on the quiesced server (warm pages, no commit contention).
+//! 3. **Mine**: one full `mine` round-trip over the final snapshot.
+//!
+//! Usage: `bench_serve [OUT.json]` (default `BENCH_4.json`).
+
+use bbs_server::{Bind, Client, ClientError, Engine, ServerConfig};
+use bbs_storage::DiskDeployment;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WRITERS: usize = 4;
+const READERS: usize = 2;
+const BATCH: u64 = 64;
+const INGEST_MS: u64 = 1500;
+const QUIESCED_MS: u64 = 500;
+
+/// Latency quantile over a sorted sample, reported in microseconds.
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+struct LatencySummary {
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+fn summarize(mut samples_us: Vec<u64>) -> LatencySummary {
+    samples_us.sort_unstable();
+    LatencySummary {
+        p50_us: quantile(&samples_us, 0.50),
+        p99_us: quantile(&samples_us, 0.99),
+        max_us: samples_us.last().copied().unwrap_or(0),
+    }
+}
+
+fn items_of(i: u64) -> Vec<u32> {
+    vec![1, 2 + (i % 64) as u32, 100 + (i % 7) as u32]
+}
+
+struct IngestResult {
+    txns: u64,
+    inserts: u64,
+    overloaded: u64,
+    secs: f64,
+    latency: LatencySummary,
+}
+
+fn run_ingest(addr: &str, rows_base: u64) -> std::io::Result<IngestResult> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let next_row = Arc::new(AtomicU64::new(rows_base));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            let addr = addr.to_string();
+            let stop = Arc::clone(&stop);
+            let next_row = Arc::clone(&next_row);
+            std::thread::spawn(move || -> std::io::Result<(u64, u64, u64, Vec<u64>)> {
+                let mut client = Client::connect_tcp(&addr)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                let mut samples = Vec::new();
+                let (mut txns, mut inserts, mut overloaded) = (0u64, 0u64, 0u64);
+                while !stop.load(Ordering::Acquire) {
+                    let first = next_row.fetch_add(BATCH, Ordering::AcqRel);
+                    let batch: Vec<(u64, Vec<u32>)> =
+                        (first..first + BATCH).map(|i| (i, items_of(i))).collect();
+                    loop {
+                        let t0 = Instant::now();
+                        match client.insert(&batch) {
+                            Ok(_) => {
+                                samples.push(t0.elapsed().as_micros() as u64);
+                                txns += BATCH;
+                                inserts += 1;
+                                break;
+                            }
+                            Err(ClientError::Overloaded) => {
+                                overloaded += 1;
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => return Err(std::io::Error::other(e.to_string())),
+                        }
+                    }
+                }
+                Ok((txns, inserts, overloaded, samples))
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(INGEST_MS));
+    stop.store(true, Ordering::Release);
+    let mut all = Vec::new();
+    let (mut txns, mut inserts, mut overloaded) = (0u64, 0u64, 0u64);
+    for w in workers {
+        let (t, i, o, samples) = w.join().expect("writer thread")?;
+        txns += t;
+        inserts += i;
+        overloaded += o;
+        all.extend(samples);
+    }
+    Ok(IngestResult {
+        txns,
+        inserts,
+        overloaded,
+        secs: start.elapsed().as_secs_f64(),
+        latency: summarize(all),
+    })
+}
+
+fn run_counts(
+    addr: &str,
+    window_ms: u64,
+    readers: usize,
+) -> std::io::Result<(LatencySummary, f64)> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..readers)
+        .map(|r| {
+            let addr = addr.to_string();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> std::io::Result<Vec<u64>> {
+                let mut client = Client::connect_tcp(&addr)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                let mut samples = Vec::new();
+                let mut i = r as u64;
+                while !stop.load(Ordering::Acquire) {
+                    let items = [1u32, 2 + (i % 64) as u32];
+                    let t0 = Instant::now();
+                    client
+                        .count(&items)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?;
+                    samples.push(t0.elapsed().as_micros() as u64);
+                    i += 1;
+                }
+                Ok(samples)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(window_ms));
+    stop.store(true, Ordering::Release);
+    let mut all = Vec::new();
+    for w in workers {
+        all.extend(w.join().expect("reader thread")?);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let per_s = all.len() as f64 / secs;
+    Ok((summarize(all), per_s))
+}
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
+    let mut base = std::env::temp_dir();
+    base.push(format!("bbs_bench4_{}", std::process::id()));
+    DiskDeployment::remove_files(&base).ok();
+
+    let cfg = ServerConfig {
+        width: 1024,
+        cache_pages: 4096,
+        ..ServerConfig::default()
+    };
+    let queue_capacity = cfg.queue_capacity;
+    let batch_max = cfg.batch_max;
+    let engine = Engine::open(&base, cfg)?;
+    let handle = bbs_server::serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )?;
+    let addr = handle.tcp_addr().expect("tcp bound").to_string();
+    eprintln!("# serving on {addr}: {WRITERS} writers x {BATCH}-txn batches, {READERS} readers, {INGEST_MS} ms window");
+
+    // Phase 1+2: ingest under load with concurrent counters.
+    let counter = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_counts(&addr, INGEST_MS, READERS))
+    };
+    let ingest = run_ingest(&addr, 0)?;
+    let (count_live, count_live_per_s) = counter.join().expect("counter thread")?;
+    eprintln!(
+        "#   ingest: {:.0} txns/s ({} inserts, {} overloaded), insert p50 {} us p99 {} us",
+        ingest.txns as f64 / ingest.secs,
+        ingest.inserts,
+        ingest.overloaded,
+        ingest.latency.p50_us,
+        ingest.latency.p99_us
+    );
+    eprintln!(
+        "#   count (during ingest): {:.0}/s, p50 {} us p99 {} us",
+        count_live_per_s, count_live.p50_us, count_live.p99_us
+    );
+
+    // Phase 3: counts on the quiesced server — warm cache, no commits.
+    let (count_quiet, count_quiet_per_s) = run_counts(&addr, QUIESCED_MS, READERS)?;
+    eprintln!(
+        "#   count (quiesced): {:.0}/s, p50 {} us p99 {} us",
+        count_quiet_per_s, count_quiet.p50_us, count_quiet.p99_us
+    );
+
+    // Phase 4: one mine round-trip over everything ingested.
+    let mut client = Client::connect_tcp(&addr).map_err(|e| std::io::Error::other(e.to_string()))?;
+    client.set_timeout(Some(Duration::from_secs(120))).ok();
+    let t0 = Instant::now();
+    let mine = client
+        .mine(
+            bbs_core::Scheme::Dfp,
+            bbs_tdb::SupportThreshold::Fraction(0.05),
+            0,
+        )
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mine_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "#   mine dfp @5%: {} patterns over {} rows in {:.1} ms",
+        mine.patterns.len(),
+        mine.rows,
+        mine_ms
+    );
+
+    let stats = client
+        .stats()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    client
+        .shutdown_server()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    handle.join();
+    DiskDeployment::remove_files(&base).ok();
+
+    // Group-commit coalescing factor, from the server's own counter: how
+    // many producer batches each commit (one fsync) absorbed on average.
+    let commits = stats
+        .split("\"commits\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse::<u64>()
+                .ok()
+        })
+        .unwrap_or(ingest.inserts)
+        .max(1);
+    let coalesce = ingest.inserts as f64 / commits as f64;
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": 4,\n");
+    json.push_str("  \"config\": {\n");
+    json.push_str(&format!("    \"writers\": {WRITERS},\n"));
+    json.push_str(&format!("    \"readers\": {READERS},\n"));
+    json.push_str(&format!("    \"batch\": {BATCH},\n"));
+    json.push_str(&format!("    \"ingest_window_ms\": {INGEST_MS},\n"));
+    json.push_str(&format!("    \"queue_capacity\": {queue_capacity},\n"));
+    json.push_str(&format!("    \"batch_max\": {batch_max}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"ingest\": {\n");
+    json.push_str(&format!("    \"transactions\": {},\n", ingest.txns));
+    json.push_str(&format!(
+        "    \"txns_per_s\": {:.1},\n",
+        ingest.txns as f64 / ingest.secs
+    ));
+    json.push_str(&format!("    \"inserts\": {},\n", ingest.inserts));
+    json.push_str(&format!("    \"overloaded_retries\": {},\n", ingest.overloaded));
+    json.push_str(&format!("    \"commits\": {commits},\n"));
+    json.push_str(&format!("    \"batches_per_commit\": {coalesce:.2},\n"));
+    json.push_str(&format!(
+        "    \"insert_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }}\n",
+        ingest.latency.p50_us, ingest.latency.p99_us, ingest.latency.max_us
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"count_during_ingest\": {\n");
+    json.push_str(&format!("    \"counts_per_s\": {count_live_per_s:.1},\n"));
+    json.push_str(&format!(
+        "    \"count_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }}\n",
+        count_live.p50_us, count_live.p99_us, count_live.max_us
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"count_quiesced\": {\n");
+    json.push_str(&format!("    \"counts_per_s\": {count_quiet_per_s:.1},\n"));
+    json.push_str(&format!(
+        "    \"count_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }}\n",
+        count_quiet.p50_us, count_quiet.p99_us, count_quiet.max_us
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"mine\": {\n");
+    json.push_str("    \"scheme\": \"dfp\",\n");
+    json.push_str(&format!("    \"rows\": {},\n", mine.rows));
+    json.push_str(&format!("    \"patterns\": {},\n", mine.patterns.len()));
+    json.push_str(&format!("    \"latency_ms\": {mine_ms:.1}\n"));
+    json.push_str("  },\n");
+    // The server's own view, verbatim: per-endpoint latency histograms,
+    // queue depths, batch sizes, commit times.
+    json.push_str("  \"server_stats\": ");
+    json.push_str(stats.trim());
+    json.push('\n');
+    json.push_str("}\n");
+    std::fs::write(&out, &json)?;
+    println!("wrote {out}");
+    Ok(())
+}

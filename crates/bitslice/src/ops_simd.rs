@@ -399,6 +399,6 @@ mod tests {
     fn dispatch_resolves_to_a_real_tier() {
         let t = active_tier();
         assert!(t == Tier::Scalar || t == Tier::Avx2);
-        assert_eq!(t.name().is_empty(), false);
+        assert!(!t.name().is_empty());
     }
 }

@@ -230,15 +230,28 @@ pub fn ingest(flags: &Flags) -> CmdResult {
     Ok(())
 }
 
+/// Parses `--threads`: absent or `0` resolve to all available cores, any
+/// other value is taken literally.  Rejects junk with a clear message.
+pub fn parse_threads(flags: &Flags) -> Result<usize, Box<dyn Error>> {
+    let requested: usize = match flags.get("threads") {
+        Some(raw) => raw.parse().map_err(|e| {
+            format!("bad --threads {raw:?}: {e} (expected 0 for all cores, or a positive count)")
+        })?,
+        None => 0,
+    };
+    Ok(bbs_server::resolve_threads(requested))
+}
+
 /// `bbs mine-deployment` — mine a durable deployment directly from its
 /// files.
 ///
-/// Without `--threads` the index is loaded to memory once and mined there
-/// (the paper's memory-resident mode).  With `--threads N` the run stays
-/// **in place**: the filter phase counts straight off the slice file on N
-/// worker threads (one independent reader each) and uncertain candidates
-/// are refined by one streaming heap-file scan — the database is never
-/// materialised in memory, and the patterns are identical either way.
+/// By default the run stays **in place**: the filter phase counts
+/// straight off the slice file on `--threads N` worker threads (one
+/// independent reader each; `0` or absent = all cores) and uncertain
+/// candidates are refined by one streaming heap-file scan — the database
+/// is never materialised in memory.  With `--in-memory` the index is
+/// loaded once and mined there (the paper's memory-resident mode); the
+/// patterns are identical either way.
 pub fn mine_deployment(flags: &Flags) -> CmdResult {
     let base = flags.require("base")?;
     let width: usize = flags.get_parsed_or("width", 1600usize)?;
@@ -248,9 +261,17 @@ pub fn mine_deployment(flags: &Flags) -> CmdResult {
     let Some(scheme) = parse_scheme(&scheme_raw)? else {
         return Err("mine-deployment supports the BBS schemes only (sfs|sfp|dfs|dfp)".into());
     };
-    let threads: Option<usize> = match flags.get("threads") {
-        Some(raw) => Some(raw.parse().map_err(|e| format!("bad --threads {raw:?}: {e}"))?),
-        None => None,
+    let threads: Option<usize> = if flags.has("in-memory") {
+        if flags.get("threads").is_some() {
+            return Err(
+                "--in-memory and --threads conflict: thread workers apply to in-place \
+                 mining only (drop --in-memory, or drop --threads)"
+                    .into(),
+            );
+        }
+        None
+    } else {
+        Some(parse_threads(flags)?)
     };
 
     let start = Instant::now();
@@ -357,7 +378,7 @@ pub fn fsck(flags: &Flags) -> CmdResult {
 /// in-place mining run over a deployment (`--base`).
 pub fn stats(flags: &Flags) -> CmdResult {
     if let Some(base) = flags.get("base") {
-        return deployment_stats(flags, &base.to_string());
+        return deployment_stats(flags, base);
     }
     let db = load_db(flags)?;
     let vocab = db.vocabulary();
@@ -386,7 +407,12 @@ pub fn stats(flags: &Flags) -> CmdResult {
 fn deployment_stats(flags: &Flags, base: &str) -> CmdResult {
     let width: usize = flags.get_parsed_or("width", 1600usize)?;
     let cache_pages: usize = flags.get_parsed_or("cache-pages", 4096usize)?;
-    let threads: usize = flags.get_parsed_or("threads", 1usize)?;
+    // Default stays serial (a deterministic profile); explicit `0` asks
+    // for all cores, like everywhere else.
+    let threads: usize = match flags.get("threads") {
+        Some(_) => parse_threads(flags)?,
+        None => 1,
+    };
     let threshold = parse_threshold(flags.get("min-support").unwrap_or("1%"))?;
     let scheme_raw = flags.get("scheme").unwrap_or("dfs").to_string();
     let Some(scheme) = parse_scheme(&scheme_raw)? else {

@@ -28,7 +28,16 @@ USAGE:
   bbs ingest   --base PATH --db FILE [--width M] [--cache-pages N]
   bbs mine-deployment --base PATH --min-support N|P%
                [--scheme sfs|sfp|dfs|dfp] [--width M] [--top N]
-               [--threads N]   (mine in place off the files, N workers)
+               [--threads N]   (in-place workers; 0 or absent = all cores)
+               [--in-memory]   (load once and mine memory-resident instead)
+  bbs serve    --base PATH [--tcp HOST:PORT] [--unix PATH] [--width M]
+               [--cache-pages N] [--queue N] [--batch-max N]
+               [--insert-timeout-ms T]
+  bbs client   ping|count|insert|mine|probe|stats|shutdown
+               --tcp HOST:PORT | --unix PATH [--timeout-ms T]
+               (count: --items \"I1 I2 …\"; insert: --db FILE [--batch N];
+                mine: --min-support N|P% [--scheme …] [--threads N];
+                probe: --row N)
   bbs fsck     --base PATH
   bbs stats    --db FILE
   bbs stats    --base PATH [--min-support N|P%] [--scheme sfs|sfp|dfs|dfp]
@@ -57,6 +66,8 @@ fn main() -> ExitCode {
         "count" => commands::count(&flags),
         "ingest" => commands::ingest(&flags),
         "mine-deployment" => commands::mine_deployment(&flags),
+        "serve" => bbs_cli::server_cmd::serve(&flags),
+        "client" => bbs_cli::server_cmd::client(&flags),
         "fsck" => commands::fsck(&flags),
         "stats" => commands::stats(&flags),
         "help" | "--help" | "-h" => {

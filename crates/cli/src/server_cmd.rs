@@ -1,0 +1,294 @@
+//! The `bbs serve` and `bbs client` subcommands: the daemon side and the
+//! wire-protocol side of the deployment server.
+
+use crate::args::{parse_threshold, Flags};
+use crate::commands::parse_threads;
+use bbs_core::Scheme;
+use bbs_server::{Bind, Client, ClientError, Engine, ServerConfig};
+use bbs_tdb::read_transactions_path;
+use std::error::Error;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// `bbs serve` — run the query/ingest daemon over a deployment.
+///
+/// Prints one `listening <transport> <address>` line per bound listener
+/// (tests and scripts parse these to discover a port picked with `:0`),
+/// then serves until a client sends `shutdown` or the process receives a
+/// signal.  Shutdown is a graceful drain: in-flight requests are
+/// answered and every queued ingest batch is committed before exit.
+pub fn serve(flags: &Flags) -> CmdResult {
+    let base = flags.require("base")?;
+    let cfg = ServerConfig {
+        width: flags.get_parsed_or("width", 1600usize)?,
+        cache_pages: flags.get_parsed_or("cache-pages", 4096usize)?,
+        queue_capacity: flags.get_parsed_or("queue", 256usize)?,
+        batch_max: flags.get_parsed_or("batch-max", 4096usize)?,
+        mine_threads: flags.get_parsed_or("threads", 0usize)?,
+        insert_timeout: Duration::from_millis(flags.get_parsed_or("insert-timeout-ms", 30_000u64)?),
+    };
+    let bind = Bind {
+        tcp: flags.get("tcp").map(str::to_string),
+        unix: flags.get("unix").map(PathBuf::from),
+    };
+    if bind.tcp.is_none() && bind.unix.is_none() {
+        return Err("serve needs a listener: --tcp HOST:PORT and/or --unix PATH".into());
+    }
+
+    let engine = Engine::open(Path::new(base), cfg)?;
+    let rows = engine.snapshot().rows();
+    let handle = bbs_server::serve(engine, &bind)?;
+    if let Some(addr) = handle.tcp_addr() {
+        println!("listening tcp {addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("listening unix {}", path.display());
+    }
+    println!("serving {base}.* ({rows} committed rows)");
+    // The line-buffered stdout must reach a parent that spawned us before
+    // it tries to connect.
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    handle.wait();
+    eprintln!("bbs serve: drained and stopped");
+    Ok(())
+}
+
+fn connect(flags: &Flags) -> Result<Client, Box<dyn Error>> {
+    let mut client = match (flags.get("tcp"), flags.get("unix")) {
+        (Some(addr), None) => Client::connect_tcp(addr)?,
+        (None, Some(path)) => Client::connect_unix(path)?,
+        (Some(_), Some(_)) => return Err("give --tcp or --unix, not both".into()),
+        (None, None) => return Err("client needs --tcp HOST:PORT or --unix PATH".into()),
+    };
+    let timeout_ms: u64 = flags.get_parsed_or("timeout-ms", 120_000u64)?;
+    if timeout_ms > 0 {
+        client.set_timeout(Some(Duration::from_millis(timeout_ms)))?;
+    }
+    Ok(client)
+}
+
+fn parse_items(raw: &str) -> Result<Vec<u32>, Box<dyn Error>> {
+    let mut values = Vec::new();
+    for tok in raw.split_whitespace() {
+        values.push(
+            tok.parse::<u32>()
+                .map_err(|e| format!("bad item {tok:?}: {e}"))?,
+        );
+    }
+    if values.is_empty() {
+        return Err("--items must name at least one item".into());
+    }
+    Ok(values)
+}
+
+/// `bbs client ACTION` — one request against a running server.
+///
+/// Actions: `ping`, `count --items "…"`, `insert --db FILE [--batch N]`,
+/// `mine --min-support N|P% [--scheme …] [--threads N]`, `probe --row N`,
+/// `stats`, `shutdown`.
+pub fn client(flags: &Flags) -> CmdResult {
+    let action = flags
+        .positional()
+        .first()
+        .map(String::as_str)
+        .ok_or("client needs an action: ping|count|insert|mine|probe|stats|shutdown")?;
+    let mut client = connect(flags)?;
+    match action {
+        "ping" => {
+            client.ping()?;
+            println!("pong");
+        }
+        "count" => {
+            let items = parse_items(flags.require("items")?)?;
+            let reply = client.count(&items)?;
+            println!("{}", reply.support);
+            eprintln!(
+                "# BBS estimate at epoch {} ({} rows visible)",
+                reply.epoch, reply.rows
+            );
+        }
+        "insert" => {
+            let path = flags.require("db")?;
+            let db = read_transactions_path(Path::new(path))?;
+            let batch: usize = flags.get_parsed_or("batch", 512usize)?;
+            let batch = batch.max(1);
+            let mut sent = 0u64;
+            let mut first_row = None;
+            let mut last_epoch = 0;
+            let txns: Vec<(u64, Vec<u32>)> = db
+                .transactions()
+                .iter()
+                .map(|t| (t.tid.0, t.items.items().iter().map(|i| i.0).collect()))
+                .collect();
+            for chunk in txns.chunks(batch) {
+                // Bounded admission control answers `Overloaded` under
+                // pressure; back off and retry rather than fail the load.
+                loop {
+                    match client.insert(chunk) {
+                        Ok(reply) => {
+                            first_row.get_or_insert(reply.first_row);
+                            last_epoch = reply.epoch;
+                            sent += reply.appended;
+                            break;
+                        }
+                        Err(ClientError::Overloaded) => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            println!(
+                "inserted {sent} transactions (rows {}..{}, epoch {last_epoch})",
+                first_row.unwrap_or(0),
+                first_row.unwrap_or(0) + sent
+            );
+        }
+        "mine" => {
+            let threshold = parse_threshold(flags.require("min-support")?)?;
+            let scheme: Scheme = flags
+                .get("scheme")
+                .unwrap_or("dfp")
+                .parse()
+                .map_err(|e: String| e)?;
+            let threads = u16::try_from(parse_threads(flags)?).unwrap_or(u16::MAX);
+            let reply = client.mine(scheme, threshold, threads)?;
+            let top: usize = flags.get_parsed_or("top", usize::MAX)?;
+            let mut patterns = reply.patterns;
+            patterns.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (items, support, approx) in patterns.iter().take(top) {
+                let ids: Vec<String> = items.iter().map(u32::to_string).collect();
+                let mark = if *approx { " (upper bound)" } else { "" };
+                println!("{}\t{}{}", support, ids.join(" "), mark);
+            }
+            eprintln!(
+                "# {} patterns over {} rows at epoch {} (scheme {})",
+                patterns.len(),
+                reply.rows,
+                reply.epoch,
+                scheme.name()
+            );
+        }
+        "probe" => {
+            let row: u64 = flags.require_parsed("row")?;
+            match client.probe(row)? {
+                Some((tid, items)) => {
+                    let ids: Vec<String> = items.iter().map(u32::to_string).collect();
+                    println!("{tid}: {}", ids.join(" "));
+                }
+                None => {
+                    println!("row {row}: past the end");
+                }
+            }
+        }
+        "stats" => {
+            println!("{}", client.stats()?);
+        }
+        "shutdown" => {
+            client.shutdown_server()?;
+            println!("server draining");
+        }
+        other => {
+            return Err(format!(
+                "unknown client action {other:?} (expected ping|count|insert|mine|probe|stats|shutdown)"
+            )
+            .into())
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_storage::DiskDeployment;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    fn temp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_srvcmd_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn serve_requires_a_listener() {
+        let base = temp("nolisten");
+        let err = serve(&flags(&["--base", base.to_str().expect("utf8")]))
+            .expect_err("must demand a listener");
+        assert!(err.to_string().contains("--tcp"), "{err}");
+    }
+
+    #[test]
+    fn client_validates_transport_and_action() {
+        let err = client(&flags(&["ping"])).expect_err("no transport");
+        assert!(err.to_string().contains("--tcp"), "{err}");
+        let err = client(&flags(&["ping", "--tcp", "127.0.0.1:1", "--unix", "/tmp/x"]))
+            .expect_err("both transports");
+        assert!(err.to_string().contains("not both"), "{err}");
+        let err = client(&flags(&["--tcp", "127.0.0.1:1"])).expect_err("no action");
+        assert!(err.to_string().contains("needs an action"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_client_roundtrip_in_process() {
+        let base = temp("roundtrip");
+        let db_path = temp("roundtrip_db.txt");
+        std::fs::write(&db_path, "1 2 3\n1 2\n1 4\n1 2 5\n").expect("write db");
+
+        let engine = Engine::open(
+            &base,
+            ServerConfig {
+                width: 64,
+                cache_pages: 64,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("open engine");
+        let handle = bbs_server::serve(
+            engine,
+            &Bind {
+                tcp: Some("127.0.0.1:0".into()),
+                unix: None,
+            },
+        )
+        .expect("serve");
+        let addr = handle.tcp_addr().expect("addr").to_string();
+
+        client(&flags(&["ping", "--tcp", &addr])).expect("ping");
+        client(&flags(&[
+            "insert",
+            "--tcp",
+            &addr,
+            "--db",
+            db_path.to_str().expect("utf8"),
+            "--batch",
+            "2",
+        ]))
+        .expect("insert");
+        client(&flags(&["count", "--tcp", &addr, "--items", "1 2"])).expect("count");
+        client(&flags(&[
+            "mine",
+            "--tcp",
+            &addr,
+            "--min-support",
+            "2",
+            "--scheme",
+            "dfp",
+        ]))
+        .expect("mine");
+        client(&flags(&["probe", "--tcp", &addr, "--row", "0"])).expect("probe");
+        client(&flags(&["stats", "--tcp", &addr])).expect("stats");
+        client(&flags(&["shutdown", "--tcp", &addr])).expect("shutdown");
+        handle.join();
+
+        DiskDeployment::remove_files(&base).ok();
+        std::fs::remove_file(&db_path).ok();
+    }
+}

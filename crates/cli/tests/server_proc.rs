@@ -1,0 +1,180 @@
+//! Subprocess test of `bbs serve`: spawn the real binary, ingest through
+//! the wire protocol, kill the process mid-ingest (SIGKILL — no chance
+//! to flush), and verify that `bbs fsck` passes and a reopened
+//! deployment serves a whole-batch, prefix-consistent state.
+
+use bbs_server::{Client, ClientError};
+use bbs_storage::DiskDeployment;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_proc_{}_{}", std::process::id(), name));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+    }
+}
+
+const BATCH: u64 = 8;
+
+fn spawn_server(base: &std::path::Path) -> (std::process::Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bbs"))
+        .args([
+            "serve",
+            "--base",
+            base.to_str().expect("utf8"),
+            "--tcp",
+            "127.0.0.1:0",
+            "--width",
+            "64",
+            "--cache-pages",
+            "128",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bbs serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read stdout");
+        if let Some(rest) = line.strip_prefix("listening tcp ") {
+            break rest.trim().to_string();
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr)
+}
+
+fn fsck(base: &std::path::Path) -> bool {
+    Command::new(env!("CARGO_BIN_EXE_bbs"))
+        .args(["fsck", "--base", base.to_str().expect("utf8")])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run bbs fsck")
+        .success()
+}
+
+#[test]
+fn kill_mid_ingest_recovers_to_a_consistent_prefix() {
+    let base = temp("kill");
+    let _g = Cleanup(base.clone());
+    let (mut child, addr) = spawn_server(&base);
+
+    // Hammer inserts from a writer thread; every transaction carries
+    // item 1 and batches have a fixed size, so any committed prefix must
+    // satisfy rows % BATCH == 0 and count({1}) == rows.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = match Client::connect_tcp(&addr) {
+                Ok(c) => c,
+                Err(_) => return 0u64,
+            };
+            client.set_timeout(Some(Duration::from_secs(5))).ok();
+            let mut confirmed = 0u64;
+            let mut next = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let txns: Vec<(u64, Vec<u32>)> = (next..next + BATCH)
+                    .map(|i| (i, vec![1, 2 + (i % 4) as u32]))
+                    .collect();
+                match client.insert(&txns) {
+                    Ok(reply) => {
+                        confirmed = reply.first_row + reply.appended;
+                        next += BATCH;
+                    }
+                    Err(ClientError::Overloaded) => continue,
+                    // The kill lands mid-call eventually; that's the point.
+                    Err(_) => break,
+                }
+            }
+            confirmed
+        })
+    };
+
+    // Let some batches land, then SIGKILL the server mid-stream.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let mut probe = Client::connect_tcp(&addr).expect("probe connect");
+        let rows = probe.count(&[1]).expect("probe count").rows;
+        if rows >= 5 * BATCH {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ingest made no progress");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill server");
+    child.wait().expect("reap server");
+    stop.store(true, Ordering::Release);
+    let confirmed = writer.join().expect("writer");
+    assert!(confirmed >= 5 * BATCH, "some batches must have been confirmed");
+
+    // The committed state must verify clean before anyone recovers it...
+    assert!(fsck(&base), "fsck must pass on the killed deployment");
+
+    // ...and a reopen recovers to a whole-batch prefix covering at least
+    // every confirmed receipt.
+    let hasher: Arc<dyn bbs_hash::ItemHasher> = Arc::new(bbs_hash::Md5BloomHasher::new(4));
+    let mut dep = DiskDeployment::open(&base, 64, hasher, 128).expect("recovering reopen");
+    let rows = dep.db.len();
+    assert_eq!(rows % BATCH, 0, "no torn batch survives recovery");
+    assert!(rows >= confirmed, "confirmed receipts are durable");
+    let support = dep
+        .index
+        .count_itemset(&bbs_tdb::Itemset::from_values(&[1]))
+        .expect("count");
+    assert_eq!(support, rows, "count({{1}}) equals recovered rows");
+    dep.flush().expect("flush");
+    drop(dep);
+    assert!(fsck(&base), "fsck must pass after recovery too");
+
+    // A fresh server over the recovered files serves it all again.
+    let (mut child, addr) = spawn_server(&base);
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let reply = client.count(&[1]).expect("count");
+    assert_eq!(reply.support, rows);
+    client.shutdown_server().expect("shutdown");
+    child.wait().expect("clean exit");
+}
+
+#[test]
+fn graceful_shutdown_exits_zero_and_preserves_data() {
+    let base = temp("graceful");
+    let _g = Cleanup(base.clone());
+    let (mut child, addr) = spawn_server(&base);
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let txns: Vec<(u64, Vec<u32>)> = (0..30).map(|i| (i, vec![9, 10 + (i % 3) as u32])).collect();
+    let reply = client.insert(&txns).expect("insert");
+    assert_eq!(reply.appended, 30);
+    client.shutdown_server().expect("shutdown");
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "graceful drain exits zero");
+
+    assert!(fsck(&base), "fsck passes after graceful shutdown");
+    let hasher: Arc<dyn bbs_hash::ItemHasher> = Arc::new(bbs_hash::Md5BloomHasher::new(4));
+    let dep = DiskDeployment::open(&base, 64, hasher, 128).expect("reopen");
+    assert_eq!(dep.db.len(), 30);
+    let support = dep
+        .index
+        .count_itemset(&bbs_tdb::Itemset::from_values(&[9]))
+        .expect("count");
+    assert_eq!(support, 30);
+}

@@ -65,6 +65,34 @@ impl Scheme {
             Scheme::Dfp => "DFP",
         }
     }
+
+    /// Stable single-byte identifier for wire protocols and file formats.
+    pub fn id(self) -> u8 {
+        match self {
+            Scheme::Sfs => 0,
+            Scheme::Sfp => 1,
+            Scheme::Dfs => 2,
+            Scheme::Dfp => 3,
+        }
+    }
+
+    /// Inverse of [`Scheme::id`]; `None` for unknown identifiers.
+    pub fn from_id(id: u8) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|s| s.id() == id)
+    }
+}
+
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    /// Parses a scheme by its paper name, case-insensitively
+    /// (`sfs`/`SFP`/`dfs`/`DFP`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scheme::ALL
+            .into_iter()
+            .find(|sc| sc.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown scheme `{s}` (expected SFS, SFP, DFS, or DFP)"))
+    }
 }
 
 /// A BBS-backed frequent-pattern miner.

@@ -1,0 +1,265 @@
+//! Client library for the `bbs-server` wire protocol.
+//!
+//! One [`Client`] wraps one connection (TCP or Unix socket) and offers a
+//! typed method per endpoint.  Requests are synchronous: send one frame,
+//! read one frame.  Server-side overload surfaces as the typed
+//! [`ClientError::Overloaded`] so callers can implement retry/backoff
+//! without string-matching error messages.
+
+use crate::proto::{self, Reply, Request, Response};
+use bbs_core::Scheme;
+use bbs_tdb::SupportThreshold;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write, framing).
+    Io(io::Error),
+    /// The server's admission control rejected the request; retry later.
+    Overloaded,
+    /// The server executed the request and reported an error.
+    Server(String),
+    /// The server answered with a reply that does not match the request.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Overloaded => write!(f, "server overloaded; retry later"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The `count` reply: a support estimate stamped with its snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountReply {
+    /// The BBS support estimate.
+    pub support: u64,
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Rows visible to that snapshot.
+    pub rows: u64,
+}
+
+/// The `insert` reply: where the batch landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertReply {
+    /// First row of the batch.
+    pub first_row: u64,
+    /// Rows appended.
+    pub appended: u64,
+    /// Epoch whose snapshot first shows the batch.
+    pub epoch: u64,
+}
+
+/// The `mine` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MineReply {
+    /// Epoch of the mined snapshot.
+    pub epoch: u64,
+    /// Rows the mine covered.
+    pub rows: u64,
+    /// `(items, support, approximate)` per frequent pattern, sorted.
+    pub patterns: Vec<(Vec<u32>, u64, bool)>,
+}
+
+/// One connection to a `bbs-server`.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream: Stream::Tcp(stream),
+        })
+    }
+
+    /// Connects over a Unix socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> ClientResult<Client> {
+        Ok(Client {
+            stream: Stream::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Bounds how long any single call waits for its response frame
+    /// (`None` = wait forever).
+    pub fn set_timeout(&mut self, t: Option<Duration>) -> ClientResult<()> {
+        match &self.stream {
+            Stream::Tcp(s) => s.set_read_timeout(t)?,
+            Stream::Unix(s) => s.set_read_timeout(t)?,
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, req: &Request) -> ClientResult<Reply> {
+        proto::write_frame(&mut self.stream, &req.encode())?;
+        let payload = proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        match Response::decode(&payload)? {
+            Response::Ok(reply) => Ok(reply),
+            Response::Overloaded => Err(ClientError::Overloaded),
+            Response::Err(msg) => Err(ClientError::Server(msg)),
+        }
+    }
+
+    fn mismatch<T>(reply: Reply) -> ClientResult<T> {
+        Err(ClientError::Protocol(format!(
+            "reply does not match request: {reply:?}"
+        )))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// `CountItemSet` for `items` against the latest snapshot.
+    pub fn count(&mut self, items: &[u32]) -> ClientResult<CountReply> {
+        let req = Request::Count {
+            items: items.to_vec(),
+        };
+        match self.call(&req)? {
+            Reply::Count {
+                support,
+                epoch,
+                rows,
+            } => Ok(CountReply {
+                support,
+                epoch,
+                rows,
+            }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Appends transactions through the server's group-commit queue.
+    pub fn insert(&mut self, txns: &[(u64, Vec<u32>)]) -> ClientResult<InsertReply> {
+        let req = Request::Insert {
+            txns: txns.to_vec(),
+        };
+        match self.call(&req)? {
+            Reply::Insert {
+                first_row,
+                appended,
+                epoch,
+            } => Ok(InsertReply {
+                first_row,
+                appended,
+                epoch,
+            }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Mines every frequent pattern of the latest snapshot.
+    pub fn mine(
+        &mut self,
+        scheme: Scheme,
+        threshold: SupportThreshold,
+        threads: u16,
+    ) -> ClientResult<MineReply> {
+        let req = Request::Mine {
+            scheme,
+            threshold,
+            threads,
+        };
+        match self.call(&req)? {
+            Reply::Mine {
+                epoch,
+                rows,
+                patterns,
+            } => Ok(MineReply {
+                epoch,
+                rows,
+                patterns,
+            }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Fetches the transaction at `row` (`None` past the snapshot's end).
+    pub fn probe(&mut self, row: u64) -> ClientResult<Option<(u64, Vec<u32>)>> {
+        match self.call(&Request::Probe { row })? {
+            Reply::Probe { txn } => Ok(txn),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Fetches the server's metrics document (JSON).
+    pub fn stats(&mut self) -> ClientResult<String> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats { json } => Ok(json),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            other => Self::mismatch(other),
+        }
+    }
+}

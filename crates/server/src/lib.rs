@@ -1,0 +1,39 @@
+//! `bbs-server` — a concurrent query/ingest daemon over a BBS deployment.
+//!
+//! The paper's deployment scenario (§5) is an index that keeps serving
+//! `CountItemSet` and mining queries while the transaction stream grows.
+//! This crate is that scenario as a running system:
+//!
+//! * [`engine`] — the request engine: snapshot-isolated reads over
+//!   `bbs_storage::snapshot`, and a **group-commit** write path where a
+//!   bounded MPSC queue feeds one committer thread that coalesces every
+//!   waiting producer into a single append + fsync + commit record.
+//! * [`proto`] — the length-prefixed binary wire protocol (one `u32 LE`
+//!   length, one opcode byte, little-endian bodies) with typed
+//!   `Ok / Overloaded / Err` responses.
+//! * [`net`] — TCP and Unix-socket listeners with per-connection handler
+//!   threads, interruptible frame reads, request deadlines, and graceful
+//!   drain (in-flight requests answered, queued ingest committed).
+//! * [`metrics`] — lock-free per-endpoint counters and log2 latency
+//!   histograms, served as JSON by the `stats` endpoint.
+//! * [`client`] — the matching client library ([`Client`]), one typed
+//!   method per endpoint.
+//!
+//! A query never observes a half-appended batch: reads run against
+//! epoch-stamped snapshots that are published only after their commit
+//! record is durable (see `bbs_storage::snapshot` for the protocol).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod net;
+pub mod proto;
+
+pub use client::{Client, ClientError, ClientResult, CountReply, InsertReply, MineReply};
+pub use engine::{resolve_threads, Engine, InsertOutcome, ServerConfig};
+pub use metrics::{Endpoint, Histogram, ServerMetrics};
+pub use net::{serve, Bind, ServerHandle};
+pub use proto::{Reply, Request, Response};

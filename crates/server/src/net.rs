@@ -1,0 +1,396 @@
+//! The transport layer: TCP and Unix-socket listeners over one [`Engine`].
+//!
+//! Accept loops run non-blocking and poll a shutdown flag between accept
+//! attempts; connection handlers run blocking with a short read timeout
+//! that doubles as their shutdown poll tick.  Frame reads are
+//! *interruptible but not lossy*: a timeout mid-frame keeps the partial
+//! bytes and resumes, so a slow client never desyncs the stream — the
+//! handler only gives up between frames (or when the deadline for one
+//! frame's remainder passes [`REQUEST_DEADLINE`]).
+//!
+//! **Graceful drain**: [`ServerHandle::shutdown`] (or a client's
+//! `shutdown` request) flips the flag; accept loops stop admitting,
+//! handlers finish their in-flight request and close after answering, the
+//! engine's committer flushes every queued batch, and
+//! [`ServerHandle::join`] returns once all of that has happened.  Nothing
+//! in flight is dropped: every accepted request gets its response before
+//! its connection closes.
+
+use crate::engine::Engine;
+use crate::proto::{self, Request, Response};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poll tick for accept loops and idle connection reads.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Once a frame has *started* arriving, its remainder must land within
+/// this deadline or the connection is dropped (a stalled or malicious
+/// client cannot pin a handler thread forever).
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Where a server listens.
+#[derive(Debug, Clone, Default)]
+pub struct Bind {
+    /// TCP address (`host:port`; port 0 picks a free port).
+    pub tcp: Option<String>,
+    /// Unix socket path (removed and re-created on bind).
+    pub unix: Option<PathBuf>,
+}
+
+/// A running server: its listeners, handler threads, and shutdown flag.
+pub struct ServerHandle {
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    accepters: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address, when a TCP listener was requested.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path, when one was requested.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Signals shutdown: stop accepting, drain ingest, finish in-flight
+    /// requests.  Returns immediately; pair with [`ServerHandle::join`].
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.engine.begin_drain();
+    }
+
+    /// Blocks until every accept loop, handler, and the committer have
+    /// exited.  Implies [`ServerHandle::shutdown`].
+    pub fn join(mut self) {
+        self.shutdown();
+        for h in self.accepters.drain(..) {
+            h.join().ok();
+        }
+        self.engine.join();
+        if let Some(path) = &self.unix_path {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    /// True once shutdown has been signalled (by this handle or by a
+    /// client's `shutdown` request).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) || self.engine.is_draining()
+    }
+
+    /// Runs until shutdown is signalled, polling at the accept tick.
+    /// Convenience for `bbs serve`, which has nothing else to do on its
+    /// main thread.
+    pub fn wait(self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(POLL_TICK);
+        }
+        self.join();
+    }
+}
+
+/// Binds the requested listeners and starts serving `engine`.
+///
+/// At least one of `bind.tcp` / `bind.unix` must be set.
+pub fn serve(engine: Arc<Engine>, bind: &Bind) -> io::Result<ServerHandle> {
+    if bind.tcp.is_none() && bind.unix.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no listener requested: set a TCP address or a Unix socket path",
+        ));
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut accepters = Vec::new();
+    let mut tcp_addr = None;
+
+    if let Some(addr) = &bind.tcp {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        tcp_addr = Some(listener.local_addr()?);
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        accepters.push(
+            std::thread::Builder::new()
+                .name("bbs-accept-tcp".into())
+                .spawn(move || {
+                    accept_loop(&shutdown, &engine, || match listener.accept() {
+                        Ok((s, _)) => {
+                            // Replies are small frames; without NODELAY the
+                            // Nagle/delayed-ACK interaction adds ~40 ms to
+                            // every request round-trip.
+                            s.set_nodelay(true).ok();
+                            Some(Ok(Conn::Tcp(s)))
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                        Err(e) => Some(Err(e)),
+                    })
+                })?,
+        );
+    }
+
+    let mut unix_path = None;
+    if let Some(path) = &bind.unix {
+        // A stale socket file from a previous run refuses to bind.
+        std::fs::remove_file(path).ok();
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        unix_path = Some(path.clone());
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        accepters.push(
+            std::thread::Builder::new()
+                .name("bbs-accept-unix".into())
+                .spawn(move || {
+                    accept_loop(&shutdown, &engine, || match listener.accept() {
+                        Ok((s, _)) => Some(Ok(Conn::Unix(s))),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                        Err(e) => Some(Err(e)),
+                    })
+                })?,
+        );
+    }
+
+    Ok(ServerHandle {
+        engine,
+        shutdown,
+        tcp_addr,
+        unix_path,
+        accepters,
+    })
+}
+
+/// A connected client stream, TCP or Unix.
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(t),
+            Conn::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Generic accept loop: polls `try_accept` until shutdown, spawning one
+/// handler thread per connection and joining them all before returning.
+fn accept_loop(
+    shutdown: &Arc<AtomicBool>,
+    engine: &Arc<Engine>,
+    try_accept: impl Fn() -> Option<io::Result<Conn>>,
+) {
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    while !shutdown.load(Ordering::Acquire) && !engine.is_draining() {
+        match try_accept() {
+            None => std::thread::sleep(POLL_TICK),
+            Some(Err(_)) => std::thread::sleep(POLL_TICK),
+            Some(Ok(conn)) => {
+                engine
+                    .metrics()
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let engine = Arc::clone(engine);
+                let shutdown = Arc::clone(shutdown);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("bbs-conn".into())
+                    .spawn(move || handle_connection(conn, &engine, &shutdown))
+                {
+                    let mut hs = handlers.lock().unwrap_or_else(|e| e.into_inner());
+                    // Reap finished handlers opportunistically so a
+                    // long-lived server doesn't accumulate join handles.
+                    hs.retain(|h| !h.is_finished());
+                    hs.push(h);
+                }
+            }
+        }
+    }
+    let hs: Vec<_> = handlers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+        .collect();
+    for h in hs {
+        h.join().ok();
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating read-timeout ticks.
+///
+/// Returns `Ok(false)` on clean EOF *before the first byte*; an EOF or a
+/// blown deadline mid-buffer is an error.  `give_up` is consulted at
+/// every tick — but only **between** frames (`deadline == None`); once a
+/// frame has started we finish reading it regardless, so a shutdown never
+/// truncates a request mid-parse.
+fn read_full(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    give_up: &dyn Fn() -> bool,
+    started: Option<Instant>,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && started.is_none() {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                match started {
+                    // Between frames: idle tick — bail if shutting down.
+                    None if filled == 0 => {
+                        if give_up() {
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionAborted,
+                                "server shutting down",
+                            ));
+                        }
+                    }
+                    // Mid-frame: enforce the per-request deadline.
+                    _ => {
+                        let t0 = started.unwrap_or_else(Instant::now);
+                        if t0.elapsed() > REQUEST_DEADLINE {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "request frame did not arrive within the deadline",
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        if filled > 0 && started.is_none() {
+            // The frame has started; switch to deadline accounting.
+            return read_full_rest(conn, buf, filled);
+        }
+    }
+    Ok(true)
+}
+
+fn read_full_rest(conn: &mut Conn, buf: &mut [u8], mut filled: usize) -> io::Result<bool> {
+    let started = Instant::now();
+    while filled < buf.len() {
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if started.elapsed() > REQUEST_DEADLINE {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request frame did not arrive within the deadline",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Serves one connection until EOF, error, or shutdown.
+fn handle_connection(mut conn: Conn, engine: &Arc<Engine>, shutdown: &Arc<AtomicBool>) {
+    if conn.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+    let give_up = || shutdown.load(Ordering::Acquire) || engine.is_draining();
+    loop {
+        // Frame header (interruptible while idle).
+        let mut len = [0u8; 4];
+        match read_full(&mut conn, &mut len, &give_up, None) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let n = u32::from_le_bytes(len) as usize;
+        if n > proto::MAX_FRAME {
+            let resp = Response::Err(format!("frame too large: {n} bytes"));
+            proto::write_frame(&mut conn, &resp.encode()).ok();
+            return;
+        }
+        let mut payload = vec![0u8; n];
+        if read_full(&mut conn, &mut payload, &give_up, Some(Instant::now())).is_err() {
+            return;
+        }
+        let resp = match Request::decode(&payload) {
+            Ok(req) => {
+                let was_shutdown = matches!(req, Request::Shutdown);
+                let resp = engine.handle(&req);
+                if was_shutdown {
+                    shutdown.store(true, Ordering::Release);
+                }
+                resp
+            }
+            Err(e) => Response::Err(format!("bad request: {e}")),
+        };
+        if proto::write_frame(&mut conn, &resp.encode()).is_err() {
+            return;
+        }
+        if give_up() {
+            // Drain semantics: the in-flight request was answered; no new
+            // requests are read on this connection.
+            return;
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! [ len: u32 LE ][ payload: len bytes ]
+//! ```
+//!
+//! `len` counts the payload only.  Frames larger than [`MAX_FRAME`] are
+//! rejected before allocation (a malformed peer cannot make the server
+//! allocate gigabytes from four bytes of garbage).
+//!
+//! # Payloads
+//!
+//! A request payload is an opcode byte followed by an op-specific body; a
+//! response payload is a status byte (`0` ok, `1` overloaded, `2` error),
+//! then for ok the opcode it answers and its body, for error a UTF-8
+//! message.  All integers are little-endian; itemsets are `u16` counts
+//! followed by `u32` item values.  See [`Request`] and [`Response`] for
+//! the exact bodies — `encode`/`decode` on each are the single source of
+//! truth, exercised by the round-trip tests below.
+//!
+//! The protocol is deliberately version-stamped: byte 0 of every request
+//! is the opcode, and unknown opcodes decode to a typed error rather than
+//! a desync, so a newer client degrades cleanly against an older server.
+
+use bbs_core::Scheme;
+use bbs_tdb::SupportThreshold;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (64 MiB) — generous for mine results,
+/// small enough to bound a malicious length prefix.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Opcode values (request byte 0; echoed in ok responses).
+pub mod op {
+    /// Liveness check.
+    pub const PING: u8 = 0;
+    /// `CountItemSet` against the latest snapshot.
+    pub const COUNT: u8 = 1;
+    /// Group-committed transaction ingest.
+    pub const INSERT: u8 = 2;
+    /// Full frequent-pattern mine of a snapshot.
+    pub const MINE: u8 = 3;
+    /// Fetch one transaction by row position.
+    pub const PROBE: u8 = 4;
+    /// Server metrics as a JSON document.
+    pub const STATS: u8 = 5;
+    /// Ask the server to drain and exit.
+    pub const SHUTDOWN: u8 = 6;
+}
+
+/// Response status values (response byte 0).
+pub mod status {
+    /// Request executed; body follows.
+    pub const OK: u8 = 0;
+    /// Admission control rejected the request; retry later.
+    pub const OVERLOADED: u8 = 1;
+    /// Request failed; UTF-8 message follows.
+    pub const ERR: u8 = 2;
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; answered with [`Reply::Pong`].
+    Ping,
+    /// Support query for one itemset (item values, unsorted is fine).
+    Count {
+        /// Item values of the query itemset.
+        items: Vec<u32>,
+    },
+    /// Append transactions `(tid, items)` through the group-commit queue.
+    Insert {
+        /// The transactions to append, in order.
+        txns: Vec<(u64, Vec<u32>)>,
+    },
+    /// Mine every frequent pattern of the latest snapshot.
+    Mine {
+        /// Filter/refine scheme to run.
+        scheme: Scheme,
+        /// Minimum support.
+        threshold: SupportThreshold,
+        /// Worker threads for the filter phase (0 = server default).
+        threads: u16,
+    },
+    /// Fetch the transaction stored at `row`.
+    Probe {
+        /// Row position (0-based append order).
+        row: u64,
+    },
+    /// Server metrics snapshot.
+    Stats,
+    /// Drain queued ingest, then stop serving.
+    Shutdown,
+}
+
+/// The body of an ok response (tagged with the opcode it answers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Count`].
+    Count {
+        /// The BBS support estimate (exact for singletons; an upper bound
+        /// with false positives possible for larger sets).
+        support: u64,
+        /// Epoch of the snapshot that answered.
+        epoch: u64,
+        /// Rows visible to that snapshot.
+        rows: u64,
+    },
+    /// Answer to [`Request::Insert`].
+    Insert {
+        /// First row the batch occupies.
+        first_row: u64,
+        /// Number of rows appended.
+        appended: u64,
+        /// Epoch whose snapshot first shows the batch.
+        epoch: u64,
+    },
+    /// Answer to [`Request::Mine`].
+    Mine {
+        /// Epoch of the mined snapshot.
+        epoch: u64,
+        /// Rows the mine covered.
+        rows: u64,
+        /// `(items, support, approximate)` per frequent pattern.
+        patterns: Vec<(Vec<u32>, u64, bool)>,
+    },
+    /// Answer to [`Request::Probe`].
+    Probe {
+        /// The `(tid, items)` at the requested row, or `None` past the end.
+        txn: Option<(u64, Vec<u32>)>,
+    },
+    /// Answer to [`Request::Stats`]: a JSON document.
+    Stats {
+        /// The metrics document.
+        json: String,
+    },
+    /// Answer to [`Request::Shutdown`]: the server is draining.
+    ShuttingDown,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request executed.
+    Ok(Reply),
+    /// Admission control rejected the request (bounded ingest queue full
+    /// or the server is draining) — the typed retry-later signal.
+    Overloaded,
+    /// The request failed server-side.
+    Err(String),
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A little-endian byte-slice reader with bounds-checked primitives.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(bad("truncated payload"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn items(&mut self) -> io::Result<Vec<u32>> {
+        let n = self.u16()? as usize;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in payload"))
+        }
+    }
+}
+
+fn put_items(out: &mut Vec<u8>, items: &[u32]) {
+    debug_assert!(items.len() <= u16::MAX as usize, "itemset too large");
+    out.extend_from_slice(&(items.len() as u16).to_le_bytes());
+    for &v in items {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader) -> io::Result<String> {
+    let n = r.u32()? as usize;
+    String::from_utf8(r.take(n)?.to_vec()).map_err(|_| bad("invalid UTF-8"))
+}
+
+fn put_threshold(out: &mut Vec<u8>, t: SupportThreshold) {
+    match t {
+        SupportThreshold::Count(c) => {
+            out.push(0);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        SupportThreshold::Fraction(f) => {
+            out.push(1);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn get_threshold(r: &mut Reader) -> io::Result<SupportThreshold> {
+    match r.u8()? {
+        0 => Ok(SupportThreshold::Count(r.u64()?)),
+        1 => {
+            let f = f64::from_bits(r.u64()?);
+            if !(0.0..=1.0).contains(&f) {
+                return Err(bad(format!("support fraction out of range: {f}")));
+            }
+            Ok(SupportThreshold::Fraction(f))
+        }
+        k => Err(bad(format!("unknown threshold kind {k}"))),
+    }
+}
+
+impl Request {
+    /// Serialises this request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(op::PING),
+            Request::Count { items } => {
+                out.push(op::COUNT);
+                put_items(&mut out, items);
+            }
+            Request::Insert { txns } => {
+                out.push(op::INSERT);
+                out.extend_from_slice(&(txns.len() as u32).to_le_bytes());
+                for (tid, items) in txns {
+                    out.extend_from_slice(&tid.to_le_bytes());
+                    put_items(&mut out, items);
+                }
+            }
+            Request::Mine {
+                scheme,
+                threshold,
+                threads,
+            } => {
+                out.push(op::MINE);
+                out.push(scheme.id());
+                put_threshold(&mut out, *threshold);
+                out.extend_from_slice(&threads.to_le_bytes());
+            }
+            Request::Probe { row } => {
+                out.push(op::PROBE);
+                out.extend_from_slice(&row.to_le_bytes());
+            }
+            Request::Stats => out.push(op::STATS),
+            Request::Shutdown => out.push(op::SHUTDOWN),
+        }
+        out
+    }
+
+    /// Parses a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            op::PING => Request::Ping,
+            op::COUNT => Request::Count { items: r.items()? },
+            op::INSERT => {
+                let n = r.u32()? as usize;
+                let mut txns = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let tid = r.u64()?;
+                    txns.push((tid, r.items()?));
+                }
+                Request::Insert { txns }
+            }
+            op::MINE => {
+                let scheme = Scheme::from_id(r.u8()?)
+                    .ok_or_else(|| bad("unknown scheme id"))?;
+                let threshold = get_threshold(&mut r)?;
+                let threads = r.u16()?;
+                Request::Mine {
+                    scheme,
+                    threshold,
+                    threads,
+                }
+            }
+            op::PROBE => Request::Probe { row: r.u64()? },
+            op::STATS => Request::Stats,
+            op::SHUTDOWN => Request::Shutdown,
+            k => return Err(bad(format!("unknown opcode {k}"))),
+        };
+        r.done()?;
+        Ok(req)
+    }
+
+    /// The opcode this request carries (used for per-endpoint metrics).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Ping => op::PING,
+            Request::Count { .. } => op::COUNT,
+            Request::Insert { .. } => op::INSERT,
+            Request::Mine { .. } => op::MINE,
+            Request::Probe { .. } => op::PROBE,
+            Request::Stats => op::STATS,
+            Request::Shutdown => op::SHUTDOWN,
+        }
+    }
+}
+
+impl Reply {
+    fn opcode(&self) -> u8 {
+        match self {
+            Reply::Pong => op::PING,
+            Reply::Count { .. } => op::COUNT,
+            Reply::Insert { .. } => op::INSERT,
+            Reply::Mine { .. } => op::MINE,
+            Reply::Probe { .. } => op::PROBE,
+            Reply::Stats { .. } => op::STATS,
+            Reply::ShuttingDown => op::SHUTDOWN,
+        }
+    }
+}
+
+impl Response {
+    /// Serialises this response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Overloaded => out.push(status::OVERLOADED),
+            Response::Err(msg) => {
+                out.push(status::ERR);
+                put_str(&mut out, msg);
+            }
+            Response::Ok(reply) => {
+                out.push(status::OK);
+                out.push(reply.opcode());
+                match reply {
+                    Reply::Pong | Reply::ShuttingDown => {}
+                    Reply::Count {
+                        support,
+                        epoch,
+                        rows,
+                    } => {
+                        out.extend_from_slice(&support.to_le_bytes());
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                        out.extend_from_slice(&rows.to_le_bytes());
+                    }
+                    Reply::Insert {
+                        first_row,
+                        appended,
+                        epoch,
+                    } => {
+                        out.extend_from_slice(&first_row.to_le_bytes());
+                        out.extend_from_slice(&appended.to_le_bytes());
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                    }
+                    Reply::Mine {
+                        epoch,
+                        rows,
+                        patterns,
+                    } => {
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                        out.extend_from_slice(&rows.to_le_bytes());
+                        out.extend_from_slice(&(patterns.len() as u32).to_le_bytes());
+                        for (items, support, approx) in patterns {
+                            put_items(&mut out, items);
+                            out.extend_from_slice(&support.to_le_bytes());
+                            out.push(u8::from(*approx));
+                        }
+                    }
+                    Reply::Probe { txn } => match txn {
+                        None => out.push(0),
+                        Some((tid, items)) => {
+                            out.push(1);
+                            out.extend_from_slice(&tid.to_le_bytes());
+                            put_items(&mut out, items);
+                        }
+                    },
+                    Reply::Stats { json } => put_str(&mut out, json),
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            status::OVERLOADED => Response::Overloaded,
+            status::ERR => Response::Err(get_str(&mut r)?),
+            status::OK => Response::Ok(match r.u8()? {
+                op::PING => Reply::Pong,
+                op::SHUTDOWN => Reply::ShuttingDown,
+                op::COUNT => Reply::Count {
+                    support: r.u64()?,
+                    epoch: r.u64()?,
+                    rows: r.u64()?,
+                },
+                op::INSERT => Reply::Insert {
+                    first_row: r.u64()?,
+                    appended: r.u64()?,
+                    epoch: r.u64()?,
+                },
+                op::MINE => {
+                    let epoch = r.u64()?;
+                    let rows = r.u64()?;
+                    let n = r.u32()? as usize;
+                    let mut patterns = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        let items = r.items()?;
+                        let support = r.u64()?;
+                        let approx = r.u8()? != 0;
+                        patterns.push((items, support, approx));
+                    }
+                    Reply::Mine {
+                        epoch,
+                        rows,
+                        patterns,
+                    }
+                }
+                op::PROBE => match r.u8()? {
+                    0 => Reply::Probe { txn: None },
+                    1 => {
+                        let tid = r.u64()?;
+                        let items = r.items()?;
+                        Reply::Probe {
+                            txn: Some((tid, items)),
+                        }
+                    }
+                    k => return Err(bad(format!("bad probe presence byte {k}"))),
+                },
+                op::STATS => Reply::Stats {
+                    json: get_str(&mut r)?,
+                },
+                k => return Err(bad(format!("unknown reply opcode {k}"))),
+            }),
+            k => return Err(bad(format!("unknown status byte {k}"))),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(bad(format!("frame too large: {} bytes", payload.len())));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// Blocking variant for clients.  The server reads frames through its own
+/// interruptible loop (see `net`) so it can poll a shutdown flag.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len)? {
+        0 => return Ok(None),
+        n if n < 4 => r.read_exact(&mut len[n..])?,
+        _ => {}
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(bad(format!("frame too large: {n} bytes")));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = req.encode();
+        assert_eq!(Request::decode(&bytes).expect("decode"), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).expect("decode"), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Count {
+            items: vec![3, 1, 2],
+        });
+        roundtrip_request(Request::Insert {
+            txns: vec![(7, vec![1, 2, 3]), (8, vec![]), (u64::MAX, vec![u32::MAX])],
+        });
+        for scheme in Scheme::ALL {
+            roundtrip_request(Request::Mine {
+                scheme,
+                threshold: SupportThreshold::Count(42),
+                threads: 4,
+            });
+        }
+        roundtrip_request(Request::Mine {
+            scheme: Scheme::Dfp,
+            threshold: SupportThreshold::Fraction(0.003),
+            threads: 0,
+        });
+        roundtrip_request(Request::Probe { row: 123_456 });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Ok(Reply::Pong));
+        roundtrip_response(Response::Ok(Reply::Count {
+            support: 10,
+            epoch: 3,
+            rows: 1000,
+        }));
+        roundtrip_response(Response::Ok(Reply::Insert {
+            first_row: 5,
+            appended: 2,
+            epoch: 9,
+        }));
+        roundtrip_response(Response::Ok(Reply::Mine {
+            epoch: 2,
+            rows: 50,
+            patterns: vec![(vec![1], 30, false), (vec![1, 2], 11, true)],
+        }));
+        roundtrip_response(Response::Ok(Reply::Probe { txn: None }));
+        roundtrip_response(Response::Ok(Reply::Probe {
+            txn: Some((99, vec![4, 5])),
+        }));
+        roundtrip_response(Response::Ok(Reply::Stats {
+            json: "{\"ok\":true}".into(),
+        }));
+        roundtrip_response(Response::Ok(Reply::ShuttingDown));
+        roundtrip_response(Response::Overloaded);
+        roundtrip_response(Response::Err("boom".into()));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xFF]).is_err());
+        // COUNT claiming 2 items but carrying 1.
+        let mut bytes = vec![op::COUNT, 2, 0];
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        assert!(Request::decode(&bytes).is_err());
+        // Trailing garbage after a valid request.
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        // Mine with an out-of-range fraction.
+        let mut bytes = vec![op::MINE, 0, 1];
+        bytes.extend_from_slice(&2.5f64.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        assert!(Request::decode(&bytes).is_err());
+        assert!(Response::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end server test: a live server on a temp deployment, hammered
+//! by concurrent insert / count / mine clients over TCP and a Unix
+//! socket, then cross-validated against a serial offline re-mine of the
+//! files it left behind.
+//!
+//! The consistency argument this test enforces:
+//!
+//! * every transaction carries item 1, and every insert batch has a fixed
+//!   size — so any snapshot-consistent `count({1})` must equal that
+//!   snapshot's row count, and every observed row count must be a whole
+//!   number of batches (a torn batch would break one or the other);
+//! * counts stamped with a later epoch can never shrink;
+//! * after the drain, a fresh offline mine of the raw files must produce
+//!   exactly the patterns the live server's last `mine` reported.
+
+use bbs_core::Scheme;
+use bbs_server::{serve, Bind, Client, ClientError, Engine, ServerConfig};
+use bbs_storage::diskbbs::DiskDeployment;
+use bbs_storage::mine_in_place;
+use bbs_tdb::{Itemset, SupportThreshold};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn base(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_e2e_{}_{}", std::process::id(), name));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+    }
+}
+
+/// Items of the `i`-th transaction: always item 1, plus a rotating tail
+/// that gives the miner real 2- and 3-itemsets to find.
+fn items_of(i: u64) -> Vec<u32> {
+    let mut items = vec![1, 2 + (i % 5) as u32];
+    if i.is_multiple_of(3) {
+        items.push(20);
+    }
+    items
+}
+
+const BATCH: u64 = 16;
+const BATCHES_PER_WRITER: u64 = 12;
+const WRITERS: u64 = 4;
+const TOTAL: u64 = BATCH * BATCHES_PER_WRITER * WRITERS;
+
+#[test]
+fn concurrent_clients_match_offline_remine() {
+    let b = base("full");
+    let _g = Cleanup(b.clone());
+    let sock = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_e2e_{}.sock", std::process::id()));
+        p
+    };
+
+    let engine = Engine::open(
+        &b,
+        ServerConfig {
+            cache_pages: 256,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("open engine");
+    let handle = serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: Some(sock.clone()),
+        },
+    )
+    .expect("serve");
+    let addr = handle.tcp_addr().expect("tcp addr");
+
+    let writers_done = Arc::new(AtomicBool::new(false));
+
+    // Insert workers: each commits fixed-size batches over TCP, retrying
+    // on the typed Overloaded response.
+    let mut writer_handles = Vec::new();
+    for w in 0..WRITERS {
+        writer_handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(addr).expect("connect");
+            for batch in 0..BATCHES_PER_WRITER {
+                let start = w * BATCHES_PER_WRITER * BATCH + batch * BATCH;
+                let txns: Vec<(u64, Vec<u32>)> = (start..start + BATCH)
+                    .map(|i| (i, items_of(i)))
+                    .collect();
+                loop {
+                    match client.insert(&txns) {
+                        Ok(reply) => {
+                            assert_eq!(reply.appended, BATCH);
+                            assert_eq!(reply.first_row % BATCH, 0, "batches tile rows");
+                            break;
+                        }
+                        Err(ClientError::Overloaded) => {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Err(e) => panic!("insert failed: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+
+    // Count workers: one on TCP, one on the Unix socket.  Every reply
+    // must be prefix-consistent and epochs must never run backwards.
+    let mut reader_handles = Vec::new();
+    for unix in [false, true] {
+        let done = Arc::clone(&writers_done);
+        let sock = sock.clone();
+        reader_handles.push(std::thread::spawn(move || {
+            let mut client = if unix {
+                Client::connect_unix(&sock).expect("connect unix")
+            } else {
+                Client::connect_tcp(addr).expect("connect tcp")
+            };
+            let mut last_rows = 0u64;
+            let mut observations = 0u64;
+            while !done.load(Ordering::Acquire) || observations < 3 {
+                let reply = client.count(&[1]).expect("count");
+                // Item 1 is in every transaction: a snapshot-consistent
+                // count equals the snapshot's rows, exactly.
+                assert_eq!(
+                    reply.support, reply.rows,
+                    "count({{1}}) must equal visible rows"
+                );
+                assert_eq!(reply.rows % BATCH, 0, "no torn batch is ever visible");
+                assert!(reply.rows >= last_rows, "snapshots never run backwards");
+                last_rows = reply.rows;
+                observations += 1;
+            }
+            observations
+        }));
+    }
+
+    // A mine client that runs concurrently with ingest: its patterns must
+    // be internally consistent with the snapshot it was stamped with.
+    {
+        let mut client = Client::connect_tcp(addr).expect("connect");
+        let reply = client
+            .mine(Scheme::Dfp, SupportThreshold::Count(1), 2)
+            .expect("mid-ingest mine");
+        assert_eq!(reply.rows % BATCH, 0, "mine sees whole batches only");
+        for (items, support, _approx) in &reply.patterns {
+            assert!(*support <= reply.rows, "support bounded by snapshot rows");
+            if items == &[1] {
+                assert_eq!(*support, reply.rows, "item 1 is in every row");
+            }
+        }
+    }
+
+    for h in writer_handles {
+        h.join().expect("writer");
+    }
+    writers_done.store(true, Ordering::Release);
+    for h in reader_handles {
+        let observations = h.join().expect("reader");
+        assert!(observations >= 3);
+    }
+
+    // Final state over the Unix socket: stats + a full mine.
+    let threshold = SupportThreshold::Count(TOTAL / 5);
+    let mut client = Client::connect_unix(&sock).expect("connect unix");
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains(&format!("\"committed_rows\":{TOTAL}")));
+    assert!(stats.contains("\"insert\":{\"requests\":"));
+    let final_count = client.count(&[1]).expect("final count");
+    assert_eq!(final_count.support, TOTAL);
+    let mined = client
+        .mine(Scheme::Dfp, threshold, 0)
+        .expect("final mine");
+    assert_eq!(mined.rows, TOTAL);
+    assert!(
+        mined.patterns.iter().any(|(items, _, _)| items == &[1]),
+        "item 1 must be frequent"
+    );
+
+    // Graceful drain through the wire protocol.
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+
+    // Offline serial re-mine of the raw files the server left behind.
+    let hasher: Arc<dyn bbs_hash::ItemHasher> = Arc::new(bbs_hash::Md5BloomHasher::new(4));
+    let mut dep = DiskDeployment::open(&b, 64, hasher, 256).expect("reopen");
+    assert_eq!(dep.db.len(), TOTAL);
+    let (offline, _stats) = mine_in_place(&mut dep, Scheme::Dfp, threshold, 1).expect("re-mine");
+    assert_eq!(
+        offline.patterns.len(),
+        mined.patterns.len(),
+        "live mine and offline re-mine must agree on the pattern count"
+    );
+    for (items, support, _approx) in &mined.patterns {
+        let set = Itemset::from_values(items);
+        assert_eq!(
+            offline.patterns.support(&set),
+            Some(*support),
+            "support mismatch for {items:?}"
+        );
+    }
+}
+
+#[test]
+fn server_restart_resumes_from_committed_state() {
+    let b = base("restart");
+    let _g = Cleanup(b.clone());
+
+    let total = {
+        let engine = Engine::open(&b, ServerConfig::default()).expect("open");
+        let handle = serve(
+            engine,
+            &Bind {
+                tcp: Some("127.0.0.1:0".into()),
+                unix: None,
+            },
+        )
+        .expect("serve");
+        let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).expect("connect");
+        let txns: Vec<(u64, Vec<u32>)> = (0..50).map(|i| (i, items_of(i))).collect();
+        let reply = client.insert(&txns).expect("insert");
+        client.shutdown_server().expect("shutdown");
+        handle.join();
+        reply.first_row + reply.appended
+    };
+
+    // A second server over the same files serves the committed prefix.
+    let engine = Engine::open(&b, ServerConfig::default()).expect("reopen");
+    let handle = serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )
+    .expect("serve again");
+    let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).expect("connect");
+    let reply = client.count(&[1]).expect("count");
+    assert_eq!(reply.support, total);
+    let probe = client.probe(7).expect("probe").expect("present");
+    assert_eq!(probe.0, 7);
+    assert_eq!(probe.1, items_of(7));
+    assert_eq!(client.probe(total).expect("past end"), None);
+    handle.join();
+}

@@ -270,9 +270,24 @@ impl<B: StorageBackend> HeapFile<B> {
     }
 
     /// Sequentially scans every record in file order.
-    pub fn for_each(&mut self, mut f: impl FnMut(u64, &Transaction)) -> io::Result<()> {
+    pub fn for_each(&mut self, f: impl FnMut(u64, &Transaction)) -> io::Result<()> {
+        self.for_each_prefix(self.count, f)
+    }
+
+    /// Sequentially scans the first `rows` records in file order — the
+    /// snapshot-clamped scan: records are append-only and immutable, so the
+    /// prefix is exactly the database as of the moment it was `rows` long.
+    ///
+    /// # Panics
+    /// Panics if `rows > len()`.
+    pub fn for_each_prefix(
+        &mut self,
+        rows: u64,
+        mut f: impl FnMut(u64, &Transaction),
+    ) -> io::Result<()> {
+        assert!(rows <= self.count, "prefix {rows} > {} rows", self.count);
         let mut offset = 0u64;
-        for row in 0..self.count {
+        for row in 0..rows {
             let (txn, next) = self.read_record_at(offset)?;
             f(row, &txn);
             offset = next;
@@ -283,8 +298,14 @@ impl<B: StorageBackend> HeapFile<B> {
     /// Loads the full contents into an in-memory [`bbs_tdb::TransactionDb`]
     /// (the substrate the miners run against).
     pub fn load(&mut self) -> io::Result<bbs_tdb::TransactionDb> {
+        self.load_prefix(self.count)
+    }
+
+    /// Loads the first `rows` records into an in-memory
+    /// [`bbs_tdb::TransactionDb`] (see [`HeapFile::for_each_prefix`]).
+    pub fn load_prefix(&mut self, rows: u64) -> io::Result<bbs_tdb::TransactionDb> {
         let mut db = bbs_tdb::TransactionDb::new();
-        self.for_each(|_, txn| {
+        self.for_each_prefix(rows, |_, txn| {
             db.push(txn.clone());
         })?;
         Ok(db)

@@ -17,6 +17,9 @@
 //!   the cache;
 //! * [`adhoc`] — §4.9's ad-hoc queries answered entirely from the files
 //!   (slice-page estimates + heap-file probes, no load phase).
+//! * [`snapshot`] — epoch-stamped snapshot isolation over a deployment:
+//!   one group-committing writer, any number of immutable read snapshots
+//!   (the storage substrate of the `bbs-server` daemon).
 //! * [`backend`] — the physical-I/O abstraction ([`StorageBackend`]) every
 //!   structure above is generic over, including the fault-injection
 //!   backend the crash tests drive.
@@ -48,6 +51,7 @@ pub mod heapfile;
 pub mod mine;
 pub mod pager;
 pub mod slicefile;
+pub mod snapshot;
 
 pub use adhoc::{DiskAdhocEngine, DiskQueryStats};
 pub use backend::{
@@ -65,3 +69,4 @@ pub use pager::{
     checksum_mismatch, fnv1a64, ChecksumMismatch, PageId, Pager, PagerStats, PAGE_SIZE,
 };
 pub use slicefile::{HotStats, SliceFile, CHUNK_ROWS};
+pub use snapshot::{CommitReceipt, SharedDeployment, Snapshot, WriterProfile};

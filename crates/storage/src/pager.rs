@@ -235,6 +235,28 @@ impl<B: StorageBackend> Pager<B> {
         Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
     }
 
+    /// Drops the cached checksum page of `logical`'s group so the next
+    /// [`Pager::stored_digest`] re-reads it from disk — but only when the
+    /// cached frame is **clean**.  A dirty frame belongs to this handle's
+    /// own un-synced writes and is authoritative; discarding it would lose
+    /// digests.  Returns whether a cached frame was actually dropped.
+    ///
+    /// Read-only handles use this to recover from *stale* digests: another
+    /// handle of the same file may have rewritten a data page and its
+    /// checksum page after we cached the group.  Re-reading resolves
+    /// staleness while leaving genuine corruption detectable (the digest on
+    /// disk still mismatches corrupt bytes).
+    fn evict_clean_checksum_frame(&mut self, logical: u64) -> bool {
+        let group = logical / GROUP_DATA_PAGES;
+        match self.checksums.get(&group) {
+            Some(frame) if !frame.dirty => {
+                self.checksums.remove(&group);
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn record_digest(&mut self, logical: u64, digest: u64) -> io::Result<()> {
         let group = logical / GROUP_DATA_PAGES;
         let slot = (logical % GROUP_DATA_PAGES) as usize;
@@ -252,15 +274,26 @@ impl<B: StorageBackend> Pager<B> {
     pub fn read_page(&mut self, id: PageId) -> io::Result<PageBuf> {
         let buf = self.read_page_raw(id)?;
         if id.0 < self.logical {
-            let expected = self.stored_digest(id.0)?;
+            let mut expected = self.stored_digest(id.0)?;
             let actual = fnv1a64(&buf[..]);
             if actual != expected {
-                return Err(ChecksumMismatch {
-                    page: id.0,
-                    expected,
-                    actual,
+                // The mismatch may be a *stale* cached digest rather than
+                // corrupt data: another handle of this file (the snapshot
+                // writer) can rewrite a data page and its checksum page
+                // after we cached the group.  Re-read the checksum page
+                // from disk once and re-verify; genuine corruption still
+                // mismatches against the on-disk digest.
+                if self.evict_clean_checksum_frame(id.0) {
+                    expected = self.stored_digest(id.0)?;
                 }
-                .into_io());
+                if actual != expected {
+                    return Err(ChecksumMismatch {
+                        page: id.0,
+                        expected,
+                        actual,
+                    }
+                    .into_io());
+                }
             }
             self.stats.verified += 1;
         }

@@ -73,6 +73,20 @@ pub struct HotStats {
 /// slices.  Appends invalidate the pinned words (a pinned slice would
 /// otherwise go stale); selection counts survive, so the working set is
 /// re-promoted quickly once counting resumes.
+///
+/// # Invalidation contract
+///
+/// * Every [`SliceFile::append_row`] call invalidates the pinned set
+///   **before** any bit of the new row is written, and it does so **at
+///   most once**: `invalidations` increments by exactly 1 when anything
+///   was pinned and by 0 when the set was already empty (consecutive
+///   appends with no interleaved counting pay a single invalidation).
+/// * Counting never observes a pinned slice that predates an append:
+///   within one `SliceFile`, appends take `&mut self`, so no count can
+///   interleave with the invalidate-then-write sequence; across
+///   independent readers over the same path, pinned words are decoded at
+///   the reader's own row count and the snapshot clamp (see
+///   [`mask_from`]) discards any newer bits.
 struct HotSlices {
     capacity: usize,
     select_counts: HashMap<usize, u32>,
@@ -123,9 +137,25 @@ struct ReadState<B: StorageBackend> {
     cold_ids: Vec<PageId>,
 }
 
+/// Zeroes every bit at position `>= rows` in a word buffer (the snapshot
+/// clamp): a reader whose header said `rows = N` must never count bits a
+/// newer append OR'd into the shared boundary pages after it opened.
+fn mask_from(words: &mut [u64], rows: usize) {
+    let whole = rows / 64;
+    if whole < words.len() {
+        let rem = rows % 64;
+        if rem != 0 {
+            words[whole] &= (1u64 << rem) - 1;
+            words[whole + 1..].fill(0);
+        } else {
+            words[whole..].fill(0);
+        }
+    }
+}
+
 impl<B: StorageBackend> ReadState<B> {
     /// Decodes a whole slice into little-endian `u64` words (`words_for(rows)`
-    /// of them) through the page cache.
+    /// of them) through the page cache, with bits `>= rows` masked off.
     fn decode_slice(&mut self, width: usize, rows: u64, slice: usize) -> io::Result<Vec<u64>> {
         let rows = rows as usize;
         let chunks = rows.div_ceil(CHUNK_ROWS);
@@ -139,6 +169,7 @@ impl<B: StorageBackend> ReadState<B> {
             })?;
         }
         words.truncate(bbs_bitslice::words_for(rows));
+        mask_from(&mut words, rows);
         Ok(words)
     }
 
@@ -186,9 +217,6 @@ impl<B: StorageBackend> ReadState<B> {
         acc.resize(PAGE_WORDS, 0);
         let mut total = 0u64;
         for c in 0..chunks {
-            // Bits beyond `rows` in the last chunk are zero by construction
-            // (pages start zeroed and only appended rows set bits), so full
-            // pages can be counted without masking.
             let mut seeded = false;
             cold_ids.clear();
             for &s in slices {
@@ -229,6 +257,19 @@ impl<B: StorageBackend> ReadState<B> {
                         }
                     })?;
                     seeded = true;
+                }
+            }
+            // Snapshot clamp: in the boundary chunk, bits at row positions
+            // `>= rows` are discarded before counting.  In the single-owner
+            // case those bits are zero anyway (pages start zeroed); for a
+            // reader that opened at `rows = N` while a writer keeps
+            // appending to the same file, this is what guarantees the count
+            // reflects exactly the first N rows — never a half-appended
+            // newer batch.
+            if c == chunks - 1 {
+                let within = rows as usize - (c as usize) * CHUNK_ROWS;
+                if within < CHUNK_ROWS {
+                    mask_from(acc, within);
                 }
             }
             total += ops::count_ones(acc) as u64;
@@ -453,6 +494,14 @@ impl<B: StorageBackend> SliceFile<B> {
 
     /// Appends one row whose set bit positions are `positions` (each `<
     /// width`).  Returns the row index.
+    ///
+    /// The pinned hot-slice cache is invalidated exactly once per append
+    /// (and only when something was pinned), *before* the first bit is
+    /// written — see the invalidation contract on [`HotSlices`].  The row
+    /// becomes visible to this handle immediately and to independent
+    /// readers only after [`SliceFile::flush`] (readers clamp counting to
+    /// the row count their header said at open, so a concurrently
+    /// appending writer can never make them observe a torn batch).
     pub fn append_row(&mut self, positions: &[usize]) -> io::Result<u64> {
         let row = self.rows;
         let chunk = row / CHUNK_ROWS as u64;
@@ -683,6 +732,70 @@ mod tests {
         assert_eq!(f.hot_stats().pinned, 0);
         assert!(f.hot_stats().invalidations >= 1);
         assert_eq!(f.count_selected(&[0]).expect("count"), before + 1);
+    }
+
+    #[test]
+    fn hot_invalidation_is_exactly_once_per_append() {
+        let p = path("hot_exact");
+        let _g = Cleanup(p.clone());
+        let mut f = SliceFile::open(&p, 8, 64).expect("open");
+        for i in 0..100u64 {
+            f.append_row(&[(i % 8) as usize]).expect("append");
+        }
+        // Nothing pinned yet: those 100 appends cost zero invalidations.
+        assert_eq!(f.hot_stats().invalidations, 0);
+        for _ in 0..PROMOTE_AFTER {
+            f.count_selected(&[0, 1]).expect("count");
+        }
+        assert!(f.hot_stats().pinned >= 2);
+        // One append over a pinned set: exactly one invalidation.
+        f.append_row(&[0]).expect("append");
+        assert_eq!(f.hot_stats().invalidations, 1);
+        assert_eq!(f.hot_stats().pinned, 0);
+        // Further appends with the set already empty add none.
+        f.append_row(&[1]).expect("append");
+        f.append_row(&[2]).expect("append");
+        assert_eq!(f.hot_stats().invalidations, 1);
+        // Counting re-promotes (selection counts survived), and the next
+        // append invalidates exactly once again.
+        f.count_selected(&[0, 1]).expect("count");
+        assert!(f.hot_stats().pinned >= 2, "{:?}", f.hot_stats());
+        f.append_row(&[3]).expect("append");
+        assert_eq!(f.hot_stats().invalidations, 2);
+    }
+
+    #[test]
+    fn reader_clamps_counts_to_its_snapshot_rows() {
+        let p = path("snapclamp");
+        let _g = Cleanup(p.clone());
+        let mut writer = SliceFile::open(&p, 8, 64).expect("open");
+        for _ in 0..100u64 {
+            writer.append_row(&[0, 1]).expect("append");
+        }
+        writer.flush().expect("flush");
+        // A reader opened now is pinned to 100 rows.
+        let reader = SliceFile::open(&p, 8, 64).expect("reader");
+        assert_eq!(reader.rows(), 100);
+        // The writer keeps appending into the *same* boundary-chunk pages
+        // and flushes; the reader's counts must not move.
+        for _ in 0..50u64 {
+            writer.append_row(&[0, 1]).expect("append");
+        }
+        writer.flush().expect("flush");
+        assert_eq!(reader.count_selected(&[0]).expect("count"), 100);
+        assert_eq!(reader.count_selected(&[0, 1]).expect("count"), 100);
+        assert_eq!(reader.load_slice(1).expect("slice").count_ones(), 100);
+        // Repeat counting so the reader pins hot slices (decoded from pages
+        // that now contain newer bits) — the clamp must hold there too.
+        for _ in 0..5 {
+            assert_eq!(reader.count_selected(&[0, 1]).expect("count"), 100);
+        }
+        assert!(reader.hot_stats().pinned > 0);
+        assert_eq!(reader.count_selected(&[0, 1]).expect("count"), 100);
+        // A freshly opened reader sees the newer flushed state.
+        let fresh = SliceFile::open(&p, 8, 64).expect("fresh");
+        assert_eq!(fresh.rows(), 150);
+        assert_eq!(fresh.count_selected(&[0, 1]).expect("count"), 150);
     }
 
     #[test]
