@@ -32,10 +32,12 @@ USAGE:
                [--in-memory]   (load once and mine memory-resident instead)
   bbs serve    --base PATH [--tcp HOST:PORT] [--unix PATH] [--width M]
                [--cache-pages N] [--queue N] [--batch-max N]
-               [--insert-timeout-ms T]
+               [--insert-timeout-ms T] [--commit-window-ms T]
+               (0 = commit each batch immediately) [--dedup-window N]
   bbs client   ping|count|insert|mine|probe|stats|shutdown
                --tcp HOST:PORT | --unix PATH [--timeout-ms T]
-               (count: --items \"I1 I2 …\"; insert: --db FILE [--batch N];
+               (count: --items \"I1 I2 …\"; insert: --db FILE [--batch N]
+                [--retries N] [--retry-base-ms T];
                 mine: --min-support N|P% [--scheme …] [--threads N];
                 probe: --row N)
   bbs fsck     --base PATH

@@ -4,7 +4,7 @@
 use crate::args::{parse_threshold, Flags};
 use crate::commands::parse_threads;
 use bbs_core::Scheme;
-use bbs_server::{Bind, Client, ClientError, Engine, ServerConfig};
+use bbs_server::{Bind, Client, Engine, RetryClient, RetryPolicy, ServerAddr, ServerConfig};
 use bbs_tdb::read_transactions_path;
 use std::error::Error;
 use std::path::{Path, PathBuf};
@@ -28,6 +28,8 @@ pub fn serve(flags: &Flags) -> CmdResult {
         batch_max: flags.get_parsed_or("batch-max", 4096usize)?,
         mine_threads: flags.get_parsed_or("threads", 0usize)?,
         insert_timeout: Duration::from_millis(flags.get_parsed_or("insert-timeout-ms", 30_000u64)?),
+        commit_window: Duration::from_millis(flags.get_parsed_or("commit-window-ms", 50u64)?),
+        dedup_window: flags.get_parsed_or("dedup-window", ServerConfig::default().dedup_window)?,
     };
     let bind = Bind {
         tcp: flags.get("tcp").map(str::to_string),
@@ -57,16 +59,42 @@ pub fn serve(flags: &Flags) -> CmdResult {
     Ok(())
 }
 
+fn server_addr(flags: &Flags) -> Result<ServerAddr, Box<dyn Error>> {
+    match (flags.get("tcp"), flags.get("unix")) {
+        (Some(addr), None) => Ok(ServerAddr::Tcp(addr.to_string())),
+        (None, Some(path)) => Ok(ServerAddr::Unix(PathBuf::from(path))),
+        (Some(_), Some(_)) => Err("give --tcp or --unix, not both".into()),
+        (None, None) => Err("client needs --tcp HOST:PORT or --unix PATH".into()),
+    }
+}
+
 fn connect(flags: &Flags) -> Result<Client, Box<dyn Error>> {
-    let mut client = match (flags.get("tcp"), flags.get("unix")) {
-        (Some(addr), None) => Client::connect_tcp(addr)?,
-        (None, Some(path)) => Client::connect_unix(path)?,
-        (Some(_), Some(_)) => return Err("give --tcp or --unix, not both".into()),
-        (None, None) => return Err("client needs --tcp HOST:PORT or --unix PATH".into()),
+    let mut client = match server_addr(flags)? {
+        ServerAddr::Tcp(addr) => Client::connect_tcp(addr.as_str())?,
+        ServerAddr::Unix(path) => Client::connect_unix(path)?,
     };
     let timeout_ms: u64 = flags.get_parsed_or("timeout-ms", 120_000u64)?;
     if timeout_ms > 0 {
         client.set_timeout(Some(Duration::from_millis(timeout_ms)))?;
+    }
+    Ok(client)
+}
+
+/// Builds the retrying client `bbs client insert` uses: `--retries` is
+/// the total attempt budget per batch, `--retry-base-ms` the backoff
+/// before the first retry (it doubles per retry, with jitter).
+fn retry_client(flags: &Flags) -> Result<RetryClient, Box<dyn Error>> {
+    let addr = server_addr(flags)?;
+    let defaults = RetryPolicy::default();
+    let policy = RetryPolicy {
+        attempts: flags.get_parsed_or("retries", defaults.attempts)?,
+        base: Duration::from_millis(flags.get_parsed_or("retry-base-ms", 10u64)?),
+        cap: defaults.cap,
+    };
+    let mut client = RetryClient::with_policy(addr, policy);
+    let timeout_ms: u64 = flags.get_parsed_or("timeout-ms", 120_000u64)?;
+    if timeout_ms > 0 {
+        client.set_timeout(Some(Duration::from_millis(timeout_ms)));
     }
     Ok(client)
 }
@@ -96,6 +124,11 @@ pub fn client(flags: &Flags) -> CmdResult {
         .first()
         .map(String::as_str)
         .ok_or("client needs an action: ping|count|insert|mine|probe|stats|shutdown")?;
+    if action == "insert" {
+        // Insert connects through the retrying client (lazily, so a
+        // server that is still starting up is retried, not failed).
+        return client_insert(flags);
+    }
     let mut client = connect(flags)?;
     match action {
         "ping" => {
@@ -109,43 +142,6 @@ pub fn client(flags: &Flags) -> CmdResult {
             eprintln!(
                 "# BBS estimate at epoch {} ({} rows visible)",
                 reply.epoch, reply.rows
-            );
-        }
-        "insert" => {
-            let path = flags.require("db")?;
-            let db = read_transactions_path(Path::new(path))?;
-            let batch: usize = flags.get_parsed_or("batch", 512usize)?;
-            let batch = batch.max(1);
-            let mut sent = 0u64;
-            let mut first_row = None;
-            let mut last_epoch = 0;
-            let txns: Vec<(u64, Vec<u32>)> = db
-                .transactions()
-                .iter()
-                .map(|t| (t.tid.0, t.items.items().iter().map(|i| i.0).collect()))
-                .collect();
-            for chunk in txns.chunks(batch) {
-                // Bounded admission control answers `Overloaded` under
-                // pressure; back off and retry rather than fail the load.
-                loop {
-                    match client.insert(chunk) {
-                        Ok(reply) => {
-                            first_row.get_or_insert(reply.first_row);
-                            last_epoch = reply.epoch;
-                            sent += reply.appended;
-                            break;
-                        }
-                        Err(ClientError::Overloaded) => {
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        Err(e) => return Err(e.into()),
-                    }
-                }
-            }
-            println!(
-                "inserted {sent} transactions (rows {}..{}, epoch {last_epoch})",
-                first_row.unwrap_or(0),
-                first_row.unwrap_or(0) + sent
             );
         }
         "mine" => {
@@ -199,6 +195,43 @@ pub fn client(flags: &Flags) -> CmdResult {
             .into())
         }
     }
+    Ok(())
+}
+
+/// `bbs client insert`: bulk-load a transaction file through the
+/// retrying client — backoff on overload, reconnect on transport
+/// failures, and one request ID per batch so a retried batch is never
+/// appended twice.
+fn client_insert(flags: &Flags) -> CmdResult {
+    let path = flags.require("db")?;
+    let db = read_transactions_path(Path::new(path))?;
+    let batch: usize = flags.get_parsed_or("batch", 512usize)?;
+    let batch = batch.max(1);
+    let mut sent = 0u64;
+    let mut first_row = None;
+    let mut last_epoch = 0;
+    let txns: Vec<(u64, Vec<u32>)> = db
+        .transactions()
+        .iter()
+        .map(|t| (t.tid.0, t.items.items().iter().map(|i| i.0).collect()))
+        .collect();
+    let mut retrying = retry_client(flags)?;
+    for chunk in txns.chunks(batch) {
+        let reply = retrying.insert(chunk)?;
+        first_row.get_or_insert(reply.first_row);
+        last_epoch = reply.epoch;
+        sent += reply.appended;
+    }
+    println!(
+        "inserted {sent} transactions (rows {}..{}, epoch {last_epoch})",
+        first_row.unwrap_or(0),
+        first_row.unwrap_or(0) + sent
+    );
+    let stats = retrying.stats();
+    eprintln!(
+        "# {} attempts, {} retries, {} reconnects, {} deduped",
+        stats.attempts, stats.retries, stats.reconnects, stats.deduped
+    );
     Ok(())
 }
 

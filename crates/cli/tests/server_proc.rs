@@ -154,6 +154,64 @@ fn kill_mid_ingest_recovers_to_a_consistent_prefix() {
     child.wait().expect("clean exit");
 }
 
+/// The exactly-once window survives a process crash: a client that
+/// committed a batch, lost the server to SIGKILL, and retries the same
+/// request ID against a *restarted* process gets the original receipt —
+/// not a second append.
+#[test]
+fn retry_with_same_request_id_across_kill_and_restart_never_duplicates() {
+    let base = temp("retrydup");
+    let _g = Cleanup(base.clone());
+    let (mut child, addr) = spawn_server(&base);
+
+    let txns: Vec<(u64, Vec<u32>)> = (0..BATCH).map(|i| (i, vec![1, 7])).collect();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let first = client.insert_with_id(777, &txns).expect("insert");
+    assert_eq!(
+        (first.first_row, first.appended, first.deduped),
+        (0, BATCH, false)
+    );
+
+    // The server dies without warning; as far as a client with a lost
+    // reply knows, the batch may or may not have committed.
+    child.kill().expect("kill server");
+    child.wait().expect("reap server");
+    assert!(fsck(&base), "fsck after the kill");
+
+    // A new process over the same files answers the retry from the
+    // recovered dedup window.
+    let (mut child, addr) = spawn_server(&base);
+    let mut client = Client::connect_tcp(&addr).expect("reconnect");
+    client.set_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let retried = client.insert_with_id(777, &txns).expect("retry");
+    assert!(retried.deduped, "retry must be answered from the window");
+    assert_eq!(
+        (retried.first_row, retried.appended),
+        (first.first_row, first.appended),
+        "the receipt is the original one"
+    );
+    let count = client.count(&[1]).expect("count");
+    assert_eq!(
+        (count.support, count.rows),
+        (BATCH, BATCH),
+        "the batch exists exactly once"
+    );
+
+    // A *different* request ID is new work, not a window hit.
+    let more: Vec<(u64, Vec<u32>)> = (BATCH..2 * BATCH).map(|i| (i, vec![1, 8])).collect();
+    let fresh = client.insert_with_id(778, &more).expect("fresh insert");
+    assert_eq!(
+        (fresh.first_row, fresh.appended, fresh.deduped),
+        (BATCH, BATCH, false)
+    );
+
+    client.shutdown_server().expect("shutdown");
+    let status = child.wait().expect("wait");
+    assert!(status.success());
+    assert!(fsck(&base), "fsck after the whole dance");
+}
+
 #[test]
 fn graceful_shutdown_exits_zero_and_preserves_data() {
     let base = temp("graceful");

@@ -2,9 +2,22 @@
 //!
 //! One [`Client`] wraps one connection (TCP or Unix socket) and offers a
 //! typed method per endpoint.  Requests are synchronous: send one frame,
-//! read one frame.  Server-side overload surfaces as the typed
-//! [`ClientError::Overloaded`] so callers can implement retry/backoff
+//! read one frame.  Server-side conditions surface as typed
+//! [`ClientError`] variants so callers can implement retry/backoff
 //! without string-matching error messages.
+//!
+//! # Retrying safely
+//!
+//! [`RetryClient`] layers a real retry policy on top: exponential
+//! backoff with jitter, a bounded attempt budget, and automatic
+//! reconnect after transport failures.  Every insert is stamped with a
+//! process-unique nonzero request ID that is **reused across retries of
+//! that insert** — the server's exactly-once window turns a retry of an
+//! already-committed batch into a dedup hit (the original receipt comes
+//! back with `deduped = true`) instead of a duplicate append.  That is
+//! what makes it safe for the policy to retry after a timeout or a
+//! dropped connection, where the client cannot know whether the commit
+//! landed.
 
 use crate::proto::{self, Reply, Request, Response};
 use bbs_core::Scheme;
@@ -13,7 +26,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Why a client call failed.
@@ -23,6 +36,12 @@ pub enum ClientError {
     Io(io::Error),
     /// The server's admission control rejected the request; retry later.
     Overloaded,
+    /// The server's disk is out of space; nothing was appended.  Safe to
+    /// retry with the same request ID once space returns.
+    DiskFull,
+    /// The server could not parse the frame it received (corrupted in
+    /// transit) and is closing the connection.
+    BadFrame(String),
     /// The server executed the request and reported an error.
     Server(String),
     /// The server answered with a reply that does not match the request.
@@ -34,6 +53,8 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Overloaded => write!(f, "server overloaded; retry later"),
+            ClientError::DiskFull => write!(f, "server disk full; retry once space returns"),
+            ClientError::BadFrame(msg) => write!(f, "server rejected frame: {msg}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
@@ -45,6 +66,34 @@ impl std::error::Error for ClientError {}
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True when retrying the same request may succeed.
+    ///
+    /// Transport failures (`Io`), admission rejections (`Overloaded`),
+    /// out-of-space commits (`DiskFull`) and frames garbled in transit
+    /// (`BadFrame`) are all transient: the request itself is fine, and —
+    /// because inserts carry request IDs — retrying one that secretly
+    /// committed is answered from the exactly-once window, not appended
+    /// again.  `Server` and `Protocol` errors are terminal: the server
+    /// understood the request and definitively failed it, or the
+    /// conversation itself is broken in a way reconnecting won't fix.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_)
+            | ClientError::Overloaded
+            | ClientError::DiskFull
+            | ClientError::BadFrame(_) => true,
+            ClientError::Server(_) | ClientError::Protocol(_) => false,
+        }
+    }
+
+    /// True when the connection should be dropped and re-dialed before
+    /// the next attempt (the stream state can no longer be trusted).
+    fn poisons_connection(&self) -> bool {
+        matches!(self, ClientError::Io(_) | ClientError::BadFrame(_))
     }
 }
 
@@ -99,8 +148,11 @@ pub struct InsertReply {
     pub first_row: u64,
     /// Rows appended.
     pub appended: u64,
-    /// Epoch whose snapshot first shows the batch.
+    /// Epoch whose snapshot shows the batch.
     pub epoch: u64,
+    /// True when the server answered from its exactly-once window: the
+    /// batch was already durable from an earlier attempt.
+    pub deduped: bool,
 }
 
 /// The `mine` reply.
@@ -157,6 +209,8 @@ impl Client {
         match Response::decode(&payload)? {
             Response::Ok(reply) => Ok(reply),
             Response::Overloaded => Err(ClientError::Overloaded),
+            Response::DiskFull => Err(ClientError::DiskFull),
+            Response::BadFrame(msg) => Err(ClientError::BadFrame(msg)),
             Response::Err(msg) => Err(ClientError::Server(msg)),
         }
     }
@@ -194,9 +248,22 @@ impl Client {
         }
     }
 
-    /// Appends transactions through the server's group-commit queue.
+    /// Appends transactions through the server's group-commit queue,
+    /// without enrolling in the exactly-once window (request ID 0).
     pub fn insert(&mut self, txns: &[(u64, Vec<u32>)]) -> ClientResult<InsertReply> {
+        self.insert_with_id(0, txns)
+    }
+
+    /// [`Client::insert`] with an explicit request ID (`0` opts out of
+    /// dedup).  Reusing the same nonzero ID on a retry is what makes the
+    /// retry safe.
+    pub fn insert_with_id(
+        &mut self,
+        req_id: u64,
+        txns: &[(u64, Vec<u32>)],
+    ) -> ClientResult<InsertReply> {
         let req = Request::Insert {
+            req_id,
             txns: txns.to_vec(),
         };
         match self.call(&req)? {
@@ -204,10 +271,12 @@ impl Client {
                 first_row,
                 appended,
                 epoch,
+                deduped,
             } => Ok(InsertReply {
                 first_row,
                 appended,
                 epoch,
+                deduped,
             }),
             other => Self::mismatch(other),
         }
@@ -261,5 +330,343 @@ impl Client {
             Reply::ShuttingDown => Ok(()),
             other => Self::mismatch(other),
         }
+    }
+}
+
+/// Where a [`RetryClient`] dials.
+#[derive(Debug, Clone)]
+pub enum ServerAddr {
+    /// A TCP `host:port` address.
+    Tcp(String),
+    /// A Unix socket path.
+    Unix(PathBuf),
+}
+
+impl ServerAddr {
+    fn connect(&self) -> ClientResult<Client> {
+        match self {
+            ServerAddr::Tcp(addr) => Client::connect_tcp(addr.as_str()),
+            ServerAddr::Unix(path) => Client::connect_unix(path),
+        }
+    }
+}
+
+/// Backoff schedule for [`RetryClient`]: exponential with jitter.
+///
+/// Attempt `n` (1-based retry count) sleeps
+/// `min(cap, base · 2^(n-1))` scaled by a jitter factor in `[0.5, 1.5)`,
+/// so a thundering herd of clients spreads out instead of re-arriving in
+/// lockstep.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries).  At least 1.
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `retry` (1-based).
+    fn backoff(&self, retry: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(20));
+        let capped = exp.min(self.cap);
+        // Jitter in [0.5, 1.5): xorshift64* is plenty for spreading
+        // wake-ups, and keeps this crate dependency-free.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let jitter = 0.5 + (*rng >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(jitter)
+    }
+}
+
+/// Counters a [`RetryClient`] keeps about its own behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Wire attempts made (first tries + retries).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed call.
+    pub retries: u64,
+    /// Times the connection was dropped and re-dialed.
+    pub reconnects: u64,
+    /// Insert replies answered from the server's exactly-once window.
+    pub deduped: u64,
+    /// Calls that exhausted the retry budget.
+    pub gave_up: u64,
+}
+
+/// A reconnecting client with retry/backoff and exactly-once inserts.
+///
+/// Connections are (re-)established lazily, so constructing one is
+/// infallible even while the server is down — the first call simply
+/// retries the dial under the policy.
+pub struct RetryClient {
+    addr: ServerAddr,
+    timeout: Option<Duration>,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    stats: RetryStats,
+    rng: u64,
+    next_req_id: u64,
+}
+
+/// SplitMix64: mixes a seed into a well-distributed nonzero stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryClient {
+    /// Builds a retrying client for `addr` with the default policy.
+    pub fn new(addr: ServerAddr) -> RetryClient {
+        RetryClient::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// Builds a retrying client with an explicit policy.
+    pub fn with_policy(addr: ServerAddr, policy: RetryPolicy) -> RetryClient {
+        // Seed request IDs from wall clock + pid so concurrent processes
+        // (and successive runs) never collide in the server's window.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let mut seed = nanos ^ (u64::from(std::process::id()) << 32);
+        let rng = splitmix64(&mut seed).max(1);
+        let next_req_id = splitmix64(&mut seed);
+        RetryClient {
+            addr,
+            timeout: None,
+            policy,
+            conn: None,
+            stats: RetryStats::default(),
+            rng,
+            next_req_id,
+        }
+    }
+
+    /// Bounds how long any single attempt waits for its response frame.
+    pub fn set_timeout(&mut self, t: Option<Duration>) {
+        self.timeout = t;
+        self.conn = None;
+    }
+
+    /// The retry counters accumulated so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// The next request ID this client would stamp (nonzero, unique to
+    /// this client instance).
+    fn fresh_req_id(&mut self) -> u64 {
+        let id = splitmix64(&mut self.next_req_id);
+        id.max(1)
+    }
+
+    fn conn_or_dial(&mut self) -> ClientResult<&mut Client> {
+        if self.conn.is_none() {
+            let mut c = self.addr.connect()?;
+            c.set_timeout(self.timeout)?;
+            self.conn = Some(c);
+        }
+        Ok(self.conn.as_mut().expect("connection established"))
+    }
+
+    fn retry<T>(&mut self, mut f: impl FnMut(&mut Client) -> ClientResult<T>) -> ClientResult<T> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let backoff = self.policy.backoff(attempt, &mut self.rng);
+                std::thread::sleep(backoff);
+                self.stats.retries += 1;
+            }
+            self.stats.attempts += 1;
+            let outcome = match self.conn_or_dial() {
+                Ok(conn) => f(conn),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if e.poisons_connection() && self.conn.take().is_some() {
+                        self.stats.reconnects += 1;
+                    }
+                    if !e.is_retryable() {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        self.stats.gave_up += 1;
+        Err(last.unwrap_or_else(|| {
+            ClientError::Protocol("retry budget exhausted before any attempt".into())
+        }))
+    }
+
+    /// Inserts with retries: one request ID is minted up front and
+    /// reused across every attempt, so an attempt whose commit landed
+    /// but whose reply was lost is answered from the exactly-once
+    /// window on the next try.
+    pub fn insert(&mut self, txns: &[(u64, Vec<u32>)]) -> ClientResult<InsertReply> {
+        let req_id = self.fresh_req_id();
+        self.insert_with_id(req_id, txns)
+    }
+
+    /// [`RetryClient::insert`] with a caller-chosen request ID.
+    pub fn insert_with_id(
+        &mut self,
+        req_id: u64,
+        txns: &[(u64, Vec<u32>)],
+    ) -> ClientResult<InsertReply> {
+        let reply = self.retry(|c| c.insert_with_id(req_id, txns))?;
+        if reply.deduped {
+            self.stats.deduped += 1;
+        }
+        Ok(reply)
+    }
+
+    /// `count` with retries.
+    pub fn count(&mut self, items: &[u32]) -> ClientResult<CountReply> {
+        self.retry(|c| c.count(items))
+    }
+
+    /// `probe` with retries.
+    pub fn probe(&mut self, row: u64) -> ClientResult<Option<(u64, Vec<u32>)>> {
+        self.retry(|c| c.probe(row))
+    }
+
+    /// `mine` with retries.
+    pub fn mine(
+        &mut self,
+        scheme: Scheme,
+        threshold: SupportThreshold,
+        threads: u16,
+    ) -> ClientResult<MineReply> {
+        self.retry(|c| c.mine(scheme, threshold, threads))
+    }
+
+    /// `stats` with retries.
+    pub fn server_stats(&mut self) -> ClientResult<String> {
+        self.retry(|c| c.stats())
+    }
+
+    /// `ping` with retries.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.retry(|c| c.ping())
+    }
+
+    /// Asks the server to drain and exit (no retries: a shutdown that
+    /// raced the socket closing already did its job).
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        self.conn_or_dial()?.shutdown_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_classification_is_exact() {
+        // Table-driven: every variant, its retryability, and whether it
+        // poisons the connection.
+        let cases: Vec<(ClientError, bool, bool)> = vec![
+            (
+                ClientError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "reset")),
+                true,
+                true,
+            ),
+            (
+                ClientError::Io(io::Error::new(io::ErrorKind::TimedOut, "timeout")),
+                true,
+                true,
+            ),
+            (
+                ClientError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
+                true,
+                true,
+            ),
+            (ClientError::Overloaded, true, false),
+            (ClientError::DiskFull, true, false),
+            (ClientError::BadFrame("torn".into()), true, true),
+            (ClientError::Server("mine failed".into()), false, false),
+            (ClientError::Protocol("mismatched reply".into()), false, false),
+        ];
+        for (err, retryable, poisons) in cases {
+            assert_eq!(err.is_retryable(), retryable, "{err}");
+            assert_eq!(err.poisons_connection(), poisons, "{err}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_the_cap() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+        };
+        let mut rng = 0xDEAD_BEEFu64;
+        let mut prev_nominal = Duration::ZERO;
+        for retry in 1..=8 {
+            let d = policy.backoff(retry, &mut rng);
+            let nominal = policy
+                .base
+                .saturating_mul(1u32 << (retry - 1).min(20))
+                .min(policy.cap);
+            // Jitter stays within [0.5, 1.5) of the nominal value.
+            assert!(d >= nominal.mul_f64(0.5), "retry {retry}: {d:?}");
+            assert!(d < nominal.mul_f64(1.5), "retry {retry}: {d:?}");
+            assert!(d < policy.cap.mul_f64(1.5));
+            assert!(nominal >= prev_nominal, "nominal schedule is monotone");
+            prev_nominal = nominal;
+        }
+    }
+
+    #[test]
+    fn request_ids_are_nonzero_and_distinct() {
+        let mut c = RetryClient::new(ServerAddr::Tcp("127.0.0.1:1".into()));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = c.fresh_req_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate request id {id}");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_reports_the_last_error() {
+        // Nothing listens on this address: every dial fails fast.
+        let mut c = RetryClient::with_policy(
+            ServerAddr::Tcp("127.0.0.1:1".into()),
+            RetryPolicy {
+                attempts: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            },
+        );
+        let err = c.ping().expect_err("no server");
+        assert!(matches!(err, ClientError::Io(_)));
+        let stats = c.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.gave_up, 1);
     }
 }

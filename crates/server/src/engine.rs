@@ -3,10 +3,11 @@
 //! An [`Engine`] wraps a [`SharedDeployment`] with the server's two data
 //! paths:
 //!
-//! * **Write path** — [`Engine::insert`] does not touch the files.  It
-//!   enqueues the batch on a **bounded** MPSC queue ([`ServerConfig::
-//!   queue_capacity`]) and waits for a receipt.  A dedicated *committer*
-//!   thread drains the queue, coalescing everything waiting (up to
+//! * **Write path** — [`Engine::insert_with_id`] does not touch the
+//!   files.  It enqueues the batch on a **bounded** MPSC queue
+//!   ([`ServerConfig::queue_capacity`]) and waits for a receipt.  A
+//!   dedicated *committer* thread drains the queue, coalescing jobs that
+//!   arrive within [`ServerConfig::commit_window`] of the first (up to
 //!   [`ServerConfig::batch_max`] transactions) into **one** group commit:
 //!   one slice/heap append pass, one fsync set, one commit record —
 //!   however many producers are blocked on it.  A full queue is answered
@@ -21,6 +22,18 @@
 //!   materialises the snapshot in memory first and mines offline, so a
 //!   long mine never delays commits.
 //!
+//! # Exactly-once ingest
+//!
+//! Every insert carries a client-chosen request ID (`0` opts out).  The
+//! committer consults the deployment's durable dedup window *before*
+//! appending: a request ID whose batch already committed — in a previous
+//! run of the process, or earlier in this very group commit — is answered
+//! with the **original** row receipt and `deduped = true` instead of
+//! appending again.  This is what makes client retries safe: a reply lost
+//! to a timeout, a dropped connection, or a server crash *after* the
+//! commit record hit disk turns into a dedup hit on retry, never a
+//! duplicate batch.
+//!
 //! [`Engine::handle`] is the single dispatcher the transport layer calls:
 //! request in, response out, metrics recorded — it is transport-agnostic
 //! and unit-testable without a socket.
@@ -29,8 +42,11 @@ use crate::metrics::ServerMetrics;
 use crate::proto::{Reply, Request, Response};
 use bbs_core::Scheme;
 use bbs_hash::{ItemHasher, Md5BloomHasher};
+use bbs_storage::is_disk_full;
 use bbs_storage::snapshot::{SharedDeployment, Snapshot};
+use bbs_storage::DEFAULT_DEDUP_WINDOW;
 use bbs_tdb::{FrequentPatternMiner, Itemset, SupportThreshold, Transaction};
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,6 +84,13 @@ pub struct ServerConfig {
     /// How long an insert waits for its commit receipt before reporting a
     /// timeout (the commit itself still lands).
     pub insert_timeout: Duration,
+    /// How long the committer keeps gathering jobs after the first one
+    /// before committing the batch.  `Duration::ZERO` commits every job
+    /// on its own — one batch per commit, no coalescing.
+    pub commit_window: Duration,
+    /// Request IDs remembered for exactly-once ingest (per deployment,
+    /// persisted across restarts).
+    pub dedup_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,30 +102,41 @@ impl Default for ServerConfig {
             batch_max: 4096,
             mine_threads: 0,
             insert_timeout: Duration::from_secs(30),
+            commit_window: Duration::from_millis(50),
+            dedup_window: DEFAULT_DEDUP_WINDOW,
         }
     }
 }
 
-/// One queued ingest batch and the channel its receipt goes back on.
+/// One queued ingest batch and the channel its outcome goes back on.
 struct IngestJob {
+    req_id: u64,
     txns: Vec<Transaction>,
-    reply: SyncSender<Result<(u64, u64, u64), String>>,
+    reply: SyncSender<InsertOutcome>,
 }
 
-/// The outcome of [`Engine::insert`].
+/// The outcome of [`Engine::insert_with_id`].
 #[derive(Debug, PartialEq, Eq)]
 pub enum InsertOutcome {
-    /// Batch is durable: `(first_row, appended, epoch)`.
+    /// Batch is durable (now, or — when `deduped` — in some earlier
+    /// commit this request ID already landed in).
     Committed {
         /// First row the batch occupies.
         first_row: u64,
         /// Rows appended.
         appended: u64,
-        /// Epoch whose snapshot first shows the batch.
+        /// Epoch whose snapshot shows the batch.
         epoch: u64,
+        /// True when the receipt came from the exactly-once window
+        /// instead of a fresh append (the batch was already durable).
+        deduped: bool,
     },
     /// The bounded queue was full (or the server is draining).
     Overloaded,
+    /// The disk is out of space: nothing was appended.  Reads keep
+    /// serving; retrying with the same request ID once space returns is
+    /// safe.
+    DiskFull,
     /// The commit failed or its receipt did not arrive in time.
     Failed(String),
 }
@@ -132,6 +166,14 @@ impl Engine {
         hasher: Arc<dyn ItemHasher>,
     ) -> io::Result<Arc<Engine>> {
         let shared = SharedDeployment::open(base, cfg.width, hasher, cfg.cache_pages)?;
+        Engine::with_shared(shared, cfg)
+    }
+
+    /// Builds an engine over an already-open [`SharedDeployment`] (the
+    /// fault-injection tests open theirs with
+    /// [`SharedDeployment::open_faulty`]).
+    pub fn with_shared(shared: Arc<SharedDeployment>, cfg: ServerConfig) -> io::Result<Arc<Engine>> {
+        shared.set_dedup_window(cfg.dedup_window);
         let metrics = Arc::new(ServerMetrics::new());
         let (tx, rx) = mpsc::sync_channel::<IngestJob>(cfg.queue_capacity);
         let draining = Arc::new(AtomicBool::new(false));
@@ -140,9 +182,10 @@ impl Engine {
             let metrics = Arc::clone(&metrics);
             let draining = Arc::clone(&draining);
             let batch_max = cfg.batch_max.max(1);
+            let window = cfg.commit_window;
             std::thread::Builder::new()
                 .name("bbs-committer".into())
-                .spawn(move || committer_loop(&shared, &metrics, &draining, &rx, batch_max))?
+                .spawn(move || committer_loop(&shared, &metrics, &draining, &rx, batch_max, window))?
         };
         Ok(Arc::new(Engine {
             shared,
@@ -193,9 +236,16 @@ impl Engine {
         }
     }
 
-    /// Submits a batch through the bounded queue and waits for its group
-    /// commit receipt.
+    /// [`Engine::insert_with_id`] without a request ID (no dedup).
     pub fn insert(&self, txns: Vec<Transaction>) -> InsertOutcome {
+        self.insert_with_id(0, txns)
+    }
+
+    /// Submits a batch through the bounded queue and waits for its group
+    /// commit receipt.  `req_id != 0` enrolls the batch in the
+    /// exactly-once window: retrying the same ID after a lost reply
+    /// returns the original receipt instead of appending again.
+    pub fn insert_with_id(&self, req_id: u64, txns: Vec<Transaction>) -> InsertOutcome {
         if txns.is_empty() {
             // Nothing to commit; answer from the current epoch.
             let snap = self.shared.snapshot();
@@ -203,6 +253,7 @@ impl Engine {
                 first_row: snap.rows(),
                 appended: 0,
                 epoch: snap.epoch(),
+                deduped: false,
             };
         }
         if self.is_draining() {
@@ -211,6 +262,7 @@ impl Engine {
         }
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         let job = IngestJob {
+            req_id,
             txns,
             reply: reply_tx,
         };
@@ -224,12 +276,7 @@ impl Engine {
             }
         }
         match reply_rx.recv_timeout(self.cfg.insert_timeout) {
-            Ok(Ok((first_row, appended, epoch))) => InsertOutcome::Committed {
-                first_row,
-                appended,
-                epoch,
-            },
-            Ok(Err(msg)) => InsertOutcome::Failed(msg),
+            Ok(outcome) => outcome,
             Err(_) => InsertOutcome::Failed(format!(
                 "commit receipt not received within {:?} (the batch may still commit)",
                 self.cfg.insert_timeout
@@ -278,7 +325,14 @@ impl Engine {
             format!("\"rows\":{}", snap.rows()),
             format!("\"queue_capacity\":{}", self.cfg.queue_capacity),
             format!("\"batch_max\":{}", self.cfg.batch_max),
+            format!(
+                "\"commit_window_ms\":{}",
+                self.cfg.commit_window.as_millis()
+            ),
+            format!("\"dedup_window\":{}", self.cfg.dedup_window),
             format!("\"draining\":{}", self.is_draining()),
+            format!("\"writer_poisoned\":{}", self.shared.writer_poisoned()),
+            format!("\"writer_heals\":{}", self.shared.writer_heals()),
             format!("\"commits\":{}", profile.commits),
             format!("\"appended\":{}", profile.appended),
             format!("\"committed_rows\":{}", profile.committed_rows),
@@ -333,22 +387,25 @@ impl Engine {
                 }),
                 Err(e) => Response::Err(format!("count failed: {e}")),
             },
-            Request::Insert { txns } => {
+            Request::Insert { req_id, txns } => {
                 let txns: Vec<Transaction> = txns
                     .iter()
                     .map(|(tid, items)| Transaction::new(*tid, Itemset::from_values(items)))
                     .collect();
-                match self.insert(txns) {
+                match self.insert_with_id(*req_id, txns) {
                     InsertOutcome::Committed {
                         first_row,
                         appended,
                         epoch,
+                        deduped,
                     } => Response::Ok(Reply::Insert {
                         first_row,
                         appended,
                         epoch,
+                        deduped,
                     }),
                     InsertOutcome::Overloaded => Response::Overloaded,
+                    InsertOutcome::DiskFull => Response::DiskFull,
                     InsertOutcome::Failed(msg) => Response::Err(msg),
                 }
             }
@@ -400,14 +457,28 @@ impl Drop for Engine {
     }
 }
 
-/// The committer thread: drain → coalesce → one group commit → fan
-/// receipts back out.
+/// How the committer decided to answer one job of a batch.
+enum Disposition {
+    /// Freshly appended at `offset..offset+len` within this batch.
+    Append { offset: u64, len: u64 },
+    /// Already durable from an earlier commit: reply the stored receipt.
+    Window { first_row: u64, appended: u64 },
+    /// Duplicate of a job appended earlier in this same batch: reply that
+    /// twin's rows.
+    SameBatch { offset: u64, len: u64 },
+    /// The dedup lookup itself failed; the job was not appended.
+    LookupFailed(String),
+}
+
+/// The committer thread: drain → dedup → coalesce → one group commit →
+/// fan receipts back out.
 fn committer_loop(
     shared: &SharedDeployment,
     metrics: &ServerMetrics,
     draining: &AtomicBool,
     rx: &mpsc::Receiver<IngestJob>,
     batch_max: usize,
+    window: Duration,
 ) {
     loop {
         let first = match rx.recv_timeout(Duration::from_millis(50)) {
@@ -423,43 +494,160 @@ fn committer_loop(
         };
         let mut jobs = vec![first];
         let mut total = jobs[0].txns.len();
-        while total < batch_max {
-            match rx.try_recv() {
-                Ok(job) => {
-                    total += job.txns.len();
-                    jobs.push(job);
+        if !window.is_zero() {
+            // Keep gathering until the window closes or the batch fills.
+            let deadline = Instant::now() + window;
+            while total < batch_max {
+                match rx.try_recv() {
+                    Ok(job) => {
+                        total += job.txns.len();
+                        jobs.push(job);
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => break,
+                    Err(mpsc::TryRecvError::Empty) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(job) => {
+                                total += job.txns.len();
+                                jobs.push(job);
+                            }
+                            Err(_) => break,
+                        }
+                    }
                 }
-                Err(_) => break,
             }
         }
         metrics
             .queue_depth
             .fetch_sub(jobs.len() as u64, Ordering::Relaxed);
 
+        // Classify every job against the exactly-once window before
+        // touching the files: retries are answered with their original
+        // receipt, duplicates inside one batch collapse to a single
+        // append.
         let mut txns = Vec::with_capacity(total);
+        let mut receipts: Vec<(u64, u64, u64)> = Vec::new();
+        let mut dispositions: Vec<Disposition> = Vec::with_capacity(jobs.len());
+        let mut in_batch: HashMap<u64, (u64, u64)> = HashMap::new();
         for job in &jobs {
+            if job.req_id != 0 {
+                match shared.dedup_lookup(job.req_id) {
+                    Ok(Some(r)) => {
+                        metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        dispositions.push(Disposition::Window {
+                            first_row: r.first_row,
+                            appended: r.appended,
+                        });
+                        continue;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        dispositions
+                            .push(Disposition::LookupFailed(format!("dedup lookup failed: {e}")));
+                        continue;
+                    }
+                }
+                if let Some(&(offset, len)) = in_batch.get(&job.req_id) {
+                    metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    dispositions.push(Disposition::SameBatch { offset, len });
+                    continue;
+                }
+            }
+            let offset = txns.len() as u64;
+            let len = job.txns.len() as u64;
             txns.extend(job.txns.iter().cloned());
+            if job.req_id != 0 {
+                in_batch.insert(job.req_id, (offset, len));
+                receipts.push((job.req_id, offset, len));
+            }
+            dispositions.push(Disposition::Append { offset, len });
         }
+
+        if txns.is_empty() {
+            // Every job was answered from the window; nothing to commit.
+            let epoch = shared.epoch();
+            for (job, disp) in jobs.into_iter().zip(dispositions) {
+                job.reply.try_send(outcome_without_commit(disp, epoch)).ok();
+            }
+            continue;
+        }
+
         let start = Instant::now();
-        match shared.commit(&txns) {
+        match shared.commit_with(&txns, &receipts) {
             Ok(receipt) => {
                 let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 metrics.commit_us.record(us);
                 metrics.batch_size.record(txns.len() as u64);
-                let mut row = receipt.rows.start;
-                for job in jobs {
-                    let n = job.txns.len() as u64;
+                for (job, disp) in jobs.into_iter().zip(dispositions) {
+                    let outcome = match disp {
+                        Disposition::Append { offset, len }
+                        | Disposition::SameBatch { offset, len } => {
+                            let deduped = matches!(disp, Disposition::SameBatch { .. });
+                            InsertOutcome::Committed {
+                                first_row: receipt.rows.start + offset,
+                                appended: len,
+                                epoch: receipt.epoch,
+                                deduped,
+                            }
+                        }
+                        Disposition::Window {
+                            first_row,
+                            appended,
+                        } => InsertOutcome::Committed {
+                            first_row,
+                            appended,
+                            epoch: receipt.epoch,
+                            deduped: true,
+                        },
+                        Disposition::LookupFailed(msg) => InsertOutcome::Failed(msg),
+                    };
                     // The producer may have timed out and gone; ignore.
-                    job.reply.try_send(Ok((row, n, receipt.epoch))).ok();
-                    row += n;
+                    job.reply.try_send(outcome).ok();
                 }
             }
             Err(e) => {
+                let disk_full = is_disk_full(&e);
+                if disk_full {
+                    metrics.disk_full.fetch_add(1, Ordering::Relaxed);
+                }
                 let msg = format!("group commit failed: {e}");
-                for job in jobs {
-                    job.reply.try_send(Err(msg.clone())).ok();
+                let epoch = shared.epoch();
+                for (job, disp) in jobs.into_iter().zip(dispositions) {
+                    let outcome = match disp {
+                        // Window hits were durable before this commit ever
+                        // started: answer them regardless of its failure.
+                        Disposition::Window { .. } | Disposition::LookupFailed(_) => {
+                            outcome_without_commit(disp, epoch)
+                        }
+                        _ if disk_full => InsertOutcome::DiskFull,
+                        _ => InsertOutcome::Failed(msg.clone()),
+                    };
+                    job.reply.try_send(outcome).ok();
                 }
             }
+        }
+    }
+}
+
+/// The outcome for a job that needed no append of its own (`Window` or
+/// `LookupFailed`), stamped with the current epoch.
+fn outcome_without_commit(disp: Disposition, epoch: u64) -> InsertOutcome {
+    match disp {
+        Disposition::Window {
+            first_row,
+            appended,
+        } => InsertOutcome::Committed {
+            first_row,
+            appended,
+            epoch,
+            deduped: true,
+        },
+        Disposition::LookupFailed(msg) => InsertOutcome::Failed(msg),
+        Disposition::Append { .. } | Disposition::SameBatch { .. } => {
+            unreachable!("append dispositions always ride a commit")
         }
     }
 }
@@ -468,6 +656,7 @@ fn committer_loop(
 mod tests {
     use super::*;
     use bbs_storage::diskbbs::DiskDeployment;
+    use bbs_storage::{FaultPlan, SharedFaultPlan};
     use std::path::PathBuf;
 
     fn base(name: &str) -> PathBuf {
@@ -491,6 +680,18 @@ mod tests {
         }
     }
 
+    fn committed(outcome: InsertOutcome) -> (u64, u64, u64, bool) {
+        match outcome {
+            InsertOutcome::Committed {
+                first_row,
+                appended,
+                epoch,
+                deduped,
+            } => (first_row, appended, epoch, deduped),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
     #[test]
     fn insert_then_count_probe_mine() {
         let b = base("basic");
@@ -505,17 +706,9 @@ mod tests {
                 )
             })
             .collect();
-        match engine.insert(txns) {
-            InsertOutcome::Committed {
-                first_row,
-                appended,
-                epoch,
-            } => {
-                assert_eq!((first_row, appended), (0, 20));
-                assert!(epoch >= 1);
-            }
-            other => panic!("unexpected outcome: {other:?}"),
-        }
+        let (first_row, appended, epoch, deduped) = committed(engine.insert(txns));
+        assert_eq!((first_row, appended, deduped), (0, 20, false));
+        assert!(epoch >= 1);
 
         let (support, snap) = engine.count(&[1]).expect("count");
         assert_eq!(support, 20);
@@ -540,6 +733,7 @@ mod tests {
 
         assert_eq!(engine.handle(&Request::Ping), Response::Ok(Reply::Pong));
         let resp = engine.handle(&Request::Insert {
+            req_id: 0,
             txns: vec![(0, vec![4, 5]), (1, vec![4])],
         });
         assert!(matches!(resp, Response::Ok(Reply::Insert { appended: 2, .. })));
@@ -560,6 +754,9 @@ mod tests {
             Response::Ok(Reply::Stats { json }) => {
                 assert!(json.contains("\"rows\":2"));
                 assert!(json.contains("\"commits\":1"));
+                assert!(json.contains("\"dedup_hits\":0"));
+                assert!(json.contains("\"disk_full\":0"));
+                assert!(json.contains("\"commit_window_ms\":50"));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -601,17 +798,9 @@ mod tests {
         }
         let mut rows_seen = Vec::new();
         for h in handles {
-            match h.join().expect("join") {
-                InsertOutcome::Committed {
-                    first_row,
-                    appended,
-                    ..
-                } => {
-                    assert_eq!(appended, per);
-                    rows_seen.push(first_row);
-                }
-                other => panic!("unexpected: {other:?}"),
-            }
+            let (first_row, appended, _, _) = committed(h.join().expect("join"));
+            assert_eq!(appended, per);
+            rows_seen.push(first_row);
         }
         // Receipts tile the row space exactly: disjoint consecutive ranges.
         rows_seen.sort_unstable();
@@ -625,5 +814,136 @@ mod tests {
         // worst equal, when the committer never found a second job waiting.
         let profile_commits = engine.metrics().batch_size.count();
         assert!(profile_commits <= n_threads);
+    }
+
+    #[test]
+    fn commit_window_zero_gives_one_batch_per_commit() {
+        let b = base("window0");
+        let _g = Cleanup(b.clone());
+        let engine = Engine::open(
+            &b,
+            ServerConfig {
+                commit_window: Duration::ZERO,
+                ..cfg()
+            },
+        )
+        .expect("open");
+        let n_threads = 6u64;
+        let per = 4u64;
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                let txns: Vec<Transaction> = (0..per)
+                    .map(|i| Transaction::new(t * per + i, Itemset::from_values(&[3])))
+                    .collect();
+                engine.insert(txns)
+            }));
+        }
+        for h in handles {
+            let (_, appended, _, _) = committed(h.join().expect("join"));
+            assert_eq!(appended, per);
+        }
+        // Window 0 never coalesces: exactly one commit per producer batch,
+        // and every commit is exactly one batch wide.
+        let batches = &engine.metrics().batch_size;
+        assert_eq!(batches.count(), n_threads);
+        assert_eq!(batches.max(), per);
+        assert_eq!(batches.sum(), n_threads * per);
+    }
+
+    #[test]
+    fn duplicate_request_id_returns_original_receipt() {
+        let b = base("dedup");
+        let _g = Cleanup(b.clone());
+        let engine = Engine::open(&b, cfg()).expect("open");
+        let txns: Vec<Transaction> = (0..3)
+            .map(|i| Transaction::new(i, Itemset::from_values(&[8])))
+            .collect();
+
+        let (first_row, appended, _, deduped) = committed(engine.insert_with_id(42, txns.clone()));
+        assert_eq!((first_row, appended, deduped), (0, 3, false));
+
+        // Same request ID again — e.g. a client retry after a lost reply.
+        let (first_row, appended, _, deduped) = committed(engine.insert_with_id(42, txns));
+        assert_eq!((first_row, appended, deduped), (0, 3, true));
+
+        // Nothing was appended twice.
+        let (support, snap) = engine.count(&[8]).expect("count");
+        assert_eq!((support, snap.rows()), (3, 3));
+        assert_eq!(engine.metrics().dedup_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn retry_after_timeout_and_restart_is_answered_from_window() {
+        let b = base("retry");
+        let _g = Cleanup(b.clone());
+        let txns: Vec<Transaction> = (0..5)
+            .map(|i| Transaction::new(i, Itemset::from_values(&[6])))
+            .collect();
+        {
+            // A receipt timeout so short the reply is (almost always)
+            // lost — the wire-level analogue of a dropped connection or a
+            // crash between commit and reply.  The commit itself lands.
+            let engine = Engine::open(
+                &b,
+                ServerConfig {
+                    insert_timeout: Duration::from_nanos(1),
+                    commit_window: Duration::ZERO,
+                    ..cfg()
+                },
+            )
+            .expect("open");
+            let _ = engine.insert_with_id(7, txns.clone());
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while engine.snapshot().rows() < 5 {
+                assert!(Instant::now() < deadline, "commit never landed");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            engine.join();
+        }
+        // New process, same deployment: the window was persisted with the
+        // commit record, so the retry is a dedup hit, not a second append.
+        let engine = Engine::open(&b, cfg()).expect("reopen");
+        let (first_row, appended, _, deduped) = committed(engine.insert_with_id(7, txns));
+        assert_eq!((first_row, appended, deduped), (0, 5, true));
+        let (support, snap) = engine.count(&[6]).expect("count");
+        assert_eq!((support, snap.rows()), (5, 5));
+    }
+
+    #[test]
+    fn disk_full_is_typed_and_recoverable() {
+        let b = base("diskfull");
+        let _g = Cleanup(b.clone());
+        let plan: SharedFaultPlan = FaultPlan::counting();
+        let hasher: Arc<dyn ItemHasher> = Arc::new(Md5BloomHasher::new(4));
+        let shared =
+            SharedDeployment::open_faulty(&b, 64, hasher, 128, plan.clone()).expect("open");
+        let engine = Engine::with_shared(shared, cfg()).expect("engine");
+
+        let txn = |i: u64| vec![Transaction::new(i, Itemset::from_values(&[2]))];
+        assert!(matches!(
+            engine.insert_with_id(1, txn(0)),
+            InsertOutcome::Committed { deduped: false, .. }
+        ));
+
+        plan.set_disk_full(true);
+        assert_eq!(engine.insert_with_id(2, txn(1)), InsertOutcome::DiskFull);
+        assert!(engine.metrics().disk_full.load(Ordering::Relaxed) >= 1);
+        // Reads keep serving the committed prefix.
+        let (support, snap) = engine.count(&[2]).expect("count");
+        assert_eq!((support, snap.rows()), (1, 1));
+        // A retry of the *committed* request is still answered from the
+        // window even while the disk is full.
+        let (first_row, appended, _, deduped) = committed(engine.insert_with_id(1, txn(0)));
+        assert_eq!((first_row, appended, deduped), (0, 1, true));
+
+        plan.set_disk_full(false);
+        let (first_row, appended, _, deduped) = committed(engine.insert_with_id(2, txn(1)));
+        assert_eq!((first_row, appended, deduped), (1, 1, false));
+        let (support, snap) = engine.count(&[2]).expect("count");
+        assert_eq!((support, snap.rows()), (2, 2));
+        let json = engine.stats_json();
+        assert!(json.contains("\"writer_heals\":1"));
     }
 }

@@ -10,18 +10,24 @@
 //!   waiting producer into a single append + fsync + commit record.
 //! * [`proto`] — the length-prefixed binary wire protocol (one `u32 LE`
 //!   length, one opcode byte, little-endian bodies) with typed
-//!   `Ok / Overloaded / Err` responses.
+//!   `Ok / Overloaded / DiskFull / BadFrame / Err` responses.
 //! * [`net`] — TCP and Unix-socket listeners with per-connection handler
 //!   threads, interruptible frame reads, request deadlines, and graceful
 //!   drain (in-flight requests answered, queued ingest committed).
 //! * [`metrics`] — lock-free per-endpoint counters and log2 latency
 //!   histograms, served as JSON by the `stats` endpoint.
 //! * [`client`] — the matching client library ([`Client`]), one typed
-//!   method per endpoint.
+//!   method per endpoint, plus [`RetryClient`]: reconnect + exponential
+//!   backoff with jitter, and exactly-once inserts via stable request
+//!   IDs reused across retries.
 //!
 //! A query never observes a half-appended batch: reads run against
 //! epoch-stamped snapshots that are published only after their commit
 //! record is durable (see `bbs_storage::snapshot` for the protocol).
+//! Every insert may carry a request ID; the engine's durable dedup
+//! window turns retries of already-committed batches into their original
+//! receipts, so a reply lost to a crash, timeout, or dropped connection
+//! never becomes a duplicate append.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,7 +38,10 @@ pub mod metrics;
 pub mod net;
 pub mod proto;
 
-pub use client::{Client, ClientError, ClientResult, CountReply, InsertReply, MineReply};
+pub use client::{
+    Client, ClientError, ClientResult, CountReply, InsertReply, MineReply, RetryClient,
+    RetryPolicy, RetryStats, ServerAddr,
+};
 pub use engine::{resolve_threads, Engine, InsertOutcome, ServerConfig};
 pub use metrics::{Endpoint, Histogram, ServerMetrics};
 pub use net::{serve, Bind, ServerHandle};

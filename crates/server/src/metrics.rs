@@ -147,6 +147,13 @@ pub struct ServerMetrics {
     pub stats: Endpoint,
     /// Requests rejected by admission control.
     pub overloaded: AtomicU64,
+    /// Inserts answered from the exactly-once window instead of appending
+    /// (each one is a detected client retry).
+    pub dedup_hits: AtomicU64,
+    /// Group commits rejected because the disk was out of space.
+    pub disk_full: AtomicU64,
+    /// Frames that failed to parse (torn, truncated, or corrupted).
+    pub frame_errors: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
     /// Current depth of the ingest queue (gauge).
@@ -190,6 +197,12 @@ impl ServerMetrics {
             format!("\"probe\":{}", self.probe.to_json()),
             format!("\"stats\":{}", self.stats.to_json()),
             format!("\"overloaded\":{}", self.overloaded.load(Ordering::Relaxed)),
+            format!("\"dedup_hits\":{}", self.dedup_hits.load(Ordering::Relaxed)),
+            format!("\"disk_full\":{}", self.disk_full.load(Ordering::Relaxed)),
+            format!(
+                "\"frame_errors\":{}",
+                self.frame_errors.load(Ordering::Relaxed)
+            ),
             format!(
                 "\"connections\":{}",
                 self.connections.load(Ordering::Relaxed)

@@ -8,6 +8,13 @@
 //! handler only gives up between frames (or when the deadline for one
 //! frame's remainder passes [`REQUEST_DEADLINE`]).
 //!
+//! A frame that *arrives* but does not parse — oversized length prefix,
+//! truncated payload, flipped bits — gets the typed `BadFrame` response
+//! and then the connection is **closed**: once a length-prefixed stream
+//! has produced garbage there is no trustworthy way to find the next
+//! frame boundary, so the server never tries to re-sync past corruption.
+//! Other connections (and the server itself) are unaffected.
+//!
 //! **Graceful drain**: [`ServerHandle::shutdown`] (or a client's
 //! `shutdown` request) flips the flag; accept loops stop admitting,
 //! handlers finish their in-flight request and close after answering, the
@@ -365,7 +372,15 @@ fn handle_connection(mut conn: Conn, engine: &Arc<Engine>, shutdown: &Arc<Atomic
         }
         let n = u32::from_le_bytes(len) as usize;
         if n > proto::MAX_FRAME {
-            let resp = Response::Err(format!("frame too large: {n} bytes"));
+            // An oversized header usually means the stream is desynced or
+            // the bytes were corrupted in transit.  Answer with the typed
+            // rejection and close: there is no way to re-synchronise a
+            // length-prefixed stream whose lengths can't be trusted.
+            engine
+                .metrics()
+                .frame_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let resp = Response::BadFrame(format!("frame too large: {n} bytes"));
             proto::write_frame(&mut conn, &resp.encode()).ok();
             return;
         }
@@ -373,17 +388,26 @@ fn handle_connection(mut conn: Conn, engine: &Arc<Engine>, shutdown: &Arc<Atomic
         if read_full(&mut conn, &mut payload, &give_up, Some(Instant::now())).is_err() {
             return;
         }
-        let resp = match Request::decode(&payload) {
-            Ok(req) => {
-                let was_shutdown = matches!(req, Request::Shutdown);
-                let resp = engine.handle(&req);
-                if was_shutdown {
-                    shutdown.store(true, Ordering::Release);
-                }
-                resp
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Same reasoning as above: a payload that doesn't parse
+                // means framing can no longer be trusted — reply typed,
+                // then close rather than guess at the next boundary.
+                engine
+                    .metrics()
+                    .frame_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::BadFrame(format!("bad request: {e}"));
+                proto::write_frame(&mut conn, &resp.encode()).ok();
+                return;
             }
-            Err(e) => Response::Err(format!("bad request: {e}")),
         };
+        let was_shutdown = matches!(req, Request::Shutdown);
+        let resp = engine.handle(&req);
+        if was_shutdown {
+            shutdown.store(true, Ordering::Release);
+        }
         if proto::write_frame(&mut conn, &resp.encode()).is_err() {
             return;
         }

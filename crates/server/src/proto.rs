@@ -60,6 +60,13 @@ pub mod status {
     pub const OVERLOADED: u8 = 1;
     /// Request failed; UTF-8 message follows.
     pub const ERR: u8 = 2;
+    /// The commit path is out of disk space; reads still serve, and the
+    /// request is safe to retry (with the same request ID) once space
+    /// returns.
+    pub const DISK_FULL: u8 = 3;
+    /// The request frame did not parse; the server closes the connection
+    /// after sending this (a garbled stream cannot be re-synchronised).
+    pub const BAD_FRAME: u8 = 4;
 }
 
 /// A decoded client request.
@@ -74,6 +81,11 @@ pub enum Request {
     },
     /// Append transactions `(tid, items)` through the group-commit queue.
     Insert {
+        /// Client-supplied request ID for exactly-once ingest: a retry
+        /// carrying the ID of a batch that already committed is answered
+        /// with the original receipt instead of re-appending.  0 opts out
+        /// of deduplication.
+        req_id: u64,
         /// The transactions to append, in order.
         txns: Vec<(u64, Vec<u32>)>,
     },
@@ -120,6 +132,10 @@ pub enum Reply {
         appended: u64,
         /// Epoch whose snapshot first shows the batch.
         epoch: u64,
+        /// True when this receipt was answered from the exactly-once
+        /// dedup window (the batch had already committed; nothing was
+        /// appended by *this* request).
+        deduped: bool,
     },
     /// Answer to [`Request::Mine`].
     Mine {
@@ -154,6 +170,12 @@ pub enum Response {
     Overloaded,
     /// The request failed server-side.
     Err(String),
+    /// The commit path has no disk space; retry with the same request ID
+    /// once space returns (reads keep serving meanwhile).
+    DiskFull,
+    /// The request frame did not parse; the connection is closed after
+    /// this response.
+    BadFrame(String),
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -264,8 +286,9 @@ impl Request {
                 out.push(op::COUNT);
                 put_items(&mut out, items);
             }
-            Request::Insert { txns } => {
+            Request::Insert { req_id, txns } => {
                 out.push(op::INSERT);
+                out.extend_from_slice(&req_id.to_le_bytes());
                 out.extend_from_slice(&(txns.len() as u32).to_le_bytes());
                 for (tid, items) in txns {
                     out.extend_from_slice(&tid.to_le_bytes());
@@ -299,13 +322,14 @@ impl Request {
             op::PING => Request::Ping,
             op::COUNT => Request::Count { items: r.items()? },
             op::INSERT => {
+                let req_id = r.u64()?;
                 let n = r.u32()? as usize;
                 let mut txns = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
                     let tid = r.u64()?;
                     txns.push((tid, r.items()?));
                 }
-                Request::Insert { txns }
+                Request::Insert { req_id, txns }
             }
             op::MINE => {
                 let scheme = Scheme::from_id(r.u8()?)
@@ -365,6 +389,11 @@ impl Response {
                 out.push(status::ERR);
                 put_str(&mut out, msg);
             }
+            Response::DiskFull => out.push(status::DISK_FULL),
+            Response::BadFrame(msg) => {
+                out.push(status::BAD_FRAME);
+                put_str(&mut out, msg);
+            }
             Response::Ok(reply) => {
                 out.push(status::OK);
                 out.push(reply.opcode());
@@ -383,10 +412,12 @@ impl Response {
                         first_row,
                         appended,
                         epoch,
+                        deduped,
                     } => {
                         out.extend_from_slice(&first_row.to_le_bytes());
                         out.extend_from_slice(&appended.to_le_bytes());
                         out.extend_from_slice(&epoch.to_le_bytes());
+                        out.push(u8::from(*deduped));
                     }
                     Reply::Mine {
                         epoch,
@@ -423,6 +454,8 @@ impl Response {
         let resp = match r.u8()? {
             status::OVERLOADED => Response::Overloaded,
             status::ERR => Response::Err(get_str(&mut r)?),
+            status::DISK_FULL => Response::DiskFull,
+            status::BAD_FRAME => Response::BadFrame(get_str(&mut r)?),
             status::OK => Response::Ok(match r.u8()? {
                 op::PING => Reply::Pong,
                 op::SHUTDOWN => Reply::ShuttingDown,
@@ -435,6 +468,11 @@ impl Response {
                     first_row: r.u64()?,
                     appended: r.u64()?,
                     epoch: r.u64()?,
+                    deduped: match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        k => return Err(bad(format!("bad dedup flag {k}"))),
+                    },
                 },
                 op::MINE => {
                     let epoch = r.u64()?;
@@ -527,7 +565,12 @@ mod tests {
             items: vec![3, 1, 2],
         });
         roundtrip_request(Request::Insert {
+            req_id: 0,
             txns: vec![(7, vec![1, 2, 3]), (8, vec![]), (u64::MAX, vec![u32::MAX])],
+        });
+        roundtrip_request(Request::Insert {
+            req_id: u64::MAX,
+            txns: vec![(1, vec![9])],
         });
         for scheme in Scheme::ALL {
             roundtrip_request(Request::Mine {
@@ -558,6 +601,13 @@ mod tests {
             first_row: 5,
             appended: 2,
             epoch: 9,
+            deduped: false,
+        }));
+        roundtrip_response(Response::Ok(Reply::Insert {
+            first_row: 5,
+            appended: 2,
+            epoch: 11,
+            deduped: true,
         }));
         roundtrip_response(Response::Ok(Reply::Mine {
             epoch: 2,
@@ -574,6 +624,8 @@ mod tests {
         roundtrip_response(Response::Ok(Reply::ShuttingDown));
         roundtrip_response(Response::Overloaded);
         roundtrip_response(Response::Err("boom".into()));
+        roundtrip_response(Response::DiskFull);
+        roundtrip_response(Response::BadFrame("len 12 is not a frame".into()));
     }
 
     #[test]
@@ -594,6 +646,82 @@ mod tests {
         bytes.extend_from_slice(&0u16.to_le_bytes());
         assert!(Request::decode(&bytes).is_err());
         assert!(Response::decode(&[9]).is_err());
+    }
+
+    /// Seeded decode fuzz: bit-flipped, truncated, and extended mutations
+    /// of every canonical encoding must decode to `Ok` or a typed error —
+    /// never a panic.  (The socket-level variant, torn frames against a
+    /// live server, lives in `tests/net_faults.rs`.)
+    #[test]
+    fn mutated_payloads_never_panic_the_decoders() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBB5_FA22);
+        let requests = vec![
+            Request::Ping.encode(),
+            Request::Count { items: vec![1, 2, 3] }.encode(),
+            Request::Insert {
+                req_id: 42,
+                txns: vec![(1, vec![4, 5]), (2, vec![6])],
+            }
+            .encode(),
+            Request::Mine {
+                scheme: Scheme::Dfp,
+                threshold: SupportThreshold::Count(3),
+                threads: 2,
+            }
+            .encode(),
+            Request::Probe { row: 9 }.encode(),
+        ];
+        let responses = vec![
+            Response::Ok(Reply::Insert {
+                first_row: 1,
+                appended: 2,
+                epoch: 3,
+                deduped: false,
+            })
+            .encode(),
+            Response::Ok(Reply::Mine {
+                epoch: 1,
+                rows: 4,
+                patterns: vec![(vec![1, 2], 3, false)],
+            })
+            .encode(),
+            Response::Ok(Reply::Stats {
+                json: "{\"a\":1}".into(),
+            })
+            .encode(),
+            Response::Err("x".into()).encode(),
+        ];
+        for _ in 0..2000 {
+            let pool = if rng.random::<bool>() { &requests } else { &responses };
+            let mut bytes = pool[rng.random_range(0..pool.len())].clone();
+            match rng.random_range(0..4u32) {
+                0 if !bytes.is_empty() => {
+                    // Flip a random bit.
+                    let at = rng.random_range(0..bytes.len());
+                    bytes[at] ^= 1 << rng.random_range(0..8u32);
+                }
+                1 => {
+                    // Truncate.
+                    bytes.truncate(rng.random_range(0..bytes.len() + 1));
+                }
+                2 => {
+                    // Extend with garbage.
+                    for _ in 0..rng.random_range(1..16usize) {
+                        bytes.push((rng.random::<u32>() & 0xFF) as u8);
+                    }
+                }
+                _ => {
+                    // Pure garbage of random length.
+                    bytes = (0..rng.random_range(0..64usize))
+                        .map(|_| (rng.random::<u32>() & 0xFF) as u8)
+                        .collect();
+                }
+            }
+            // Ok or Err both fine; panicking or looping forever is not.
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
     }
 
     #[test]

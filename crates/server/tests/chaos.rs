@@ -1,0 +1,385 @@
+//! Randomized chaos harness: concurrent inserters-with-retries and
+//! counters drive a live server through a fault-injecting TCP proxy
+//! (connection resets, mid-stream stalls) while a background thread
+//! opens and closes disk-full windows under the committer.  The run is
+//! seeded — the schedule prints its seed and honours a `CHAOS_SEED` env
+//! override for reproduction.
+//!
+//! The proxy injects faults the protocol is *designed* to survive:
+//! resets (ambiguous outcomes — did the insert commit before the reply
+//! died?) and stalls (timeouts that turn into retries).  Payload bit
+//! corruption is deliberately not in the schedule: the wire format
+//! carries no payload checksum (TCP's own checksum covers the real
+//! network), so a flipped bit in a well-formed frame is silently wrong
+//! by design — `net_faults.rs` covers what framing *can* reject.
+//!
+//! Invariants at the end of the storm:
+//!
+//! * every writer's every batch was acknowledged exactly once — the
+//!   final row count equals the number of *distinct* batches, however
+//!   many times each was retried (request IDs + the durable dedup
+//!   window are what make this hold);
+//! * the heap holds exactly the expected transaction IDs, each once;
+//! * `fsck` is clean;
+//! * a serial offline re-mine of the raw files agrees with the live
+//!   server's final `mine` answer.
+
+use bbs_core::Scheme;
+use bbs_server::{
+    serve, Bind, Client, Engine, RetryClient, RetryPolicy, ServerAddr, ServerConfig,
+};
+use bbs_storage::{
+    mine_in_place, DiskDeployment, FaultPlan, SharedDeployment, SharedFaultPlan,
+};
+use bbs_tdb::{Itemset, SupportThreshold};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DEFAULT_SEED: u64 = 0xB0B5_CA05;
+const WRITERS: u64 = 4;
+const BATCHES: u64 = 25;
+const BATCH: u64 = 8;
+const TOTAL: u64 = WRITERS * BATCHES * BATCH;
+
+fn seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_chaos_{}_{}", std::process::id(), name));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+    }
+}
+
+/// One direction of a proxied connection: forward chunks, rolling the
+/// dice on each one — reset the whole connection, or stall mid-stream.
+fn pump(mut from: TcpStream, mut to: TcpStream, mut rng: StdRng) {
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let roll = rng.random::<f64>();
+        if roll < 0.015 {
+            // Connection reset: both directions die abruptly.  Tearing
+            // the link between a commit and its reply is exactly the
+            // ambiguity the request-ID window exists to resolve.
+            from.shutdown(Shutdown::Both).ok();
+            to.shutdown(Shutdown::Both).ok();
+            return;
+        } else if roll < 0.045 {
+            // Mid-stream stall, long enough to trip short client
+            // timeouts into retries.
+            std::thread::sleep(Duration::from_millis(rng.random_range(20..80u64)));
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            from.shutdown(Shutdown::Both).ok();
+            to.shutdown(Shutdown::Both).ok();
+            return;
+        }
+    }
+    // Clean EOF on this side: half-close towards the peer.
+    to.shutdown(Shutdown::Write).ok();
+}
+
+/// A chaos TCP proxy in front of `upstream`.  Every accepted connection
+/// gets its own deterministic fault schedule derived from the run seed
+/// and a connection counter.
+fn chaos_proxy(upstream: String, seed: u64, stop: Arc<AtomicBool>) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let mut conn_no = 0u64;
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((client, _)) => {
+                    conn_no += 1;
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ conn_no.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let upstream = upstream.clone();
+                    std::thread::spawn(move || {
+                        let Ok(server) = TcpStream::connect(&upstream) else {
+                            client.shutdown(Shutdown::Both).ok();
+                            return;
+                        };
+                        client.set_nodelay(true).ok();
+                        server.set_nodelay(true).ok();
+                        let up_rng = StdRng::seed_from_u64(rng.random::<u64>());
+                        let down_rng = StdRng::seed_from_u64(rng.random::<u64>());
+                        let (c2, s2) = (
+                            client.try_clone().expect("clone"),
+                            server.try_clone().expect("clone"),
+                        );
+                        let up = std::thread::spawn(move || pump(client, server, up_rng));
+                        pump(s2, c2, down_rng);
+                        up.join().ok();
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    (addr, handle)
+}
+
+fn retry_client(addr: &str) -> RetryClient {
+    let mut c = RetryClient::with_policy(
+        ServerAddr::Tcp(addr.to_string()),
+        RetryPolicy {
+            attempts: 60,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+        },
+    );
+    // Short per-attempt timeout: a stalled or desynced attempt becomes a
+    // retry quickly instead of pinning the writer.
+    c.set_timeout(Some(Duration::from_secs(1)));
+    c
+}
+
+#[test]
+fn chaos_storm_preserves_exactly_once_and_matches_offline_remine() {
+    let seed = seed();
+    println!("chaos seed: {seed} (override with CHAOS_SEED=<u64>)");
+    let b = temp("storm");
+    let _g = Cleanup(b.clone());
+
+    // Engine over fault-injectable backends: the proxy attacks the wire,
+    // the plan attacks the disk.
+    let plan: SharedFaultPlan = FaultPlan::counting();
+    let hasher: Arc<dyn bbs_hash::ItemHasher> = Arc::new(bbs_hash::Md5BloomHasher::new(4));
+    let shared =
+        SharedDeployment::open_faulty(&b, 64, hasher, 256, plan.clone()).expect("open shared");
+    let engine = Engine::with_shared(
+        shared,
+        ServerConfig {
+            width: 64,
+            cache_pages: 256,
+            commit_window: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("engine");
+    let handle = serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )
+    .expect("serve");
+    let direct = handle.tcp_addr().expect("addr").to_string();
+
+    let proxy_stop = Arc::new(AtomicBool::new(false));
+    let (proxied, proxy_handle) = chaos_proxy(direct.clone(), seed, Arc::clone(&proxy_stop));
+
+    // Disk chaos: open and close out-of-space windows while writers run.
+    let writers_done = Arc::new(AtomicBool::new(false));
+    let disk_chaos = {
+        let plan = plan.clone();
+        let done = Arc::clone(&writers_done);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD15C));
+        std::thread::spawn(move || {
+            let mut windows = 0u32;
+            while !done.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(rng.random_range(40..120u64)));
+                plan.set_disk_full(true);
+                windows += 1;
+                std::thread::sleep(Duration::from_millis(rng.random_range(20..60u64)));
+                plan.set_disk_full(false);
+            }
+            windows
+        })
+    };
+
+    // Writers: every batch through the retrying client, over the chaos
+    // proxy.  Request IDs make retries of committed batches dedup hits.
+    let mut writer_handles = Vec::new();
+    for w in 0..WRITERS {
+        let proxied = proxied.clone();
+        writer_handles.push(std::thread::spawn(move || {
+            let mut client = retry_client(&proxied);
+            for batch_no in 0..BATCHES {
+                let first_tid = (w * BATCHES + batch_no) * BATCH;
+                let txns: Vec<(u64, Vec<u32>)> = (first_tid..first_tid + BATCH)
+                    .map(|tid| (tid, vec![1, 2 + (tid % 5) as u32]))
+                    .collect();
+                let reply = client
+                    .insert(&txns)
+                    .unwrap_or_else(|e| panic!("writer {w} batch {batch_no}: {e}"));
+                assert_eq!(
+                    reply.appended, BATCH,
+                    "writer {w} batch {batch_no}: wrong receipt"
+                );
+            }
+            client.stats()
+        }));
+    }
+
+    // Counters: snapshot consistency must hold mid-storm — count({1})
+    // equals the answering snapshot's rows, and rows never shrink.
+    let mut counter_handles = Vec::new();
+    for _ in 0..2 {
+        let proxied = proxied.clone();
+        let done = Arc::clone(&writers_done);
+        counter_handles.push(std::thread::spawn(move || {
+            let mut client = retry_client(&proxied);
+            let mut last_rows = 0u64;
+            let mut observations = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let reply = match client.count(&[1]) {
+                    Ok(r) => r,
+                    // Budget exhausted under a hostile stretch: fine,
+                    // reconnect on the next loop.
+                    Err(_) => continue,
+                };
+                assert_eq!(
+                    reply.support, reply.rows,
+                    "count({{1}}) must equal visible rows"
+                );
+                assert!(reply.rows >= last_rows, "row counts never shrink");
+                last_rows = reply.rows;
+                observations += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            observations
+        }));
+    }
+
+    let mut retry_totals = bbs_server::RetryStats::default();
+    for h in writer_handles {
+        let stats = h.join().expect("writer");
+        retry_totals.attempts += stats.attempts;
+        retry_totals.retries += stats.retries;
+        retry_totals.reconnects += stats.reconnects;
+        retry_totals.deduped += stats.deduped;
+        retry_totals.gave_up += stats.gave_up;
+    }
+    writers_done.store(true, Ordering::Release);
+    let disk_windows = disk_chaos.join().expect("disk chaos");
+    plan.set_disk_full(false);
+    for h in counter_handles {
+        let obs = h.join().expect("counter");
+        assert!(obs > 0, "counters observed the run");
+    }
+    proxy_stop.store(true, Ordering::Release);
+
+    println!(
+        "client totals: {} attempts, {} retries, {} reconnects, {} deduped, {} gave up; {} disk-full windows",
+        retry_totals.attempts,
+        retry_totals.retries,
+        retry_totals.reconnects,
+        retry_totals.deduped,
+        retry_totals.gave_up,
+        disk_windows
+    );
+    assert_eq!(retry_totals.gave_up, 0, "no writer exhausted its budget");
+    assert!(retry_totals.attempts >= WRITERS * BATCHES);
+
+    // Final state through the *direct* connection: the storm is over.
+    let mut client = Client::connect_tcp(&direct).expect("connect direct");
+    client.set_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let final_count = client.count(&[1]).expect("final count");
+    assert_eq!(
+        (final_count.support, final_count.rows),
+        (TOTAL, TOTAL),
+        "exactly-once: every distinct batch appended exactly once"
+    );
+    let threshold = SupportThreshold::Count(TOTAL / 5);
+    let mined = client.mine(Scheme::Dfp, threshold, 0).expect("live mine");
+    assert_eq!(mined.rows, TOTAL);
+
+    // The stats document carries the chaos counters.
+    let stats_json = client.stats().expect("stats");
+    for key in [
+        "\"dedup_hits\":",
+        "\"disk_full\":",
+        "\"frame_errors\":",
+        "\"writer_heals\":",
+        "\"overloaded\":",
+    ] {
+        assert!(stats_json.contains(key), "stats missing {key}");
+    }
+    println!("server stats: {stats_json}");
+    if seed == DEFAULT_SEED {
+        // The default schedule provably injects faults; a tame override
+        // seed is allowed to dodge them.
+        assert!(
+            retry_totals.retries > 0,
+            "default seed must force client retries"
+        );
+        // Every deduped reply a client *saw* was a server window hit;
+        // the server may have more (a deduped reply can itself be lost
+        // to a reset and the next retry hits the window again).
+        assert!(
+            dedup_hits(&stats_json) >= retry_totals.deduped,
+            "server dedup hits must cover every client-observed dedup"
+        );
+    }
+
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+    proxy_handle.join().expect("proxy");
+
+    // fsck must be clean after the storm.
+    let report = DiskDeployment::verify(&b).expect("verify");
+    assert!(report.is_clean(), "fsck after chaos:\n{report}");
+
+    // Offline: exactly the expected transactions, each exactly once.
+    let hasher: Arc<dyn bbs_hash::ItemHasher> = Arc::new(bbs_hash::Md5BloomHasher::new(4));
+    let mut dep = DiskDeployment::open(&b, 64, hasher, 256).expect("reopen");
+    assert_eq!(dep.db.len(), TOTAL);
+    let loaded = dep.db.load().expect("load heap");
+    let mut tids: Vec<u64> = loaded.transactions().iter().map(|t| t.tid.0).collect();
+    tids.sort_unstable();
+    let expected: Vec<u64> = (0..TOTAL).collect();
+    assert_eq!(tids, expected, "no duplicate and no missing transaction");
+
+    // Serial offline re-mine agrees with the live server's last answer.
+    let (offline, _stats) = mine_in_place(&mut dep, Scheme::Dfp, threshold, 1).expect("re-mine");
+    assert_eq!(
+        offline.patterns.len(),
+        mined.patterns.len(),
+        "live mine and offline re-mine must agree on the pattern count"
+    );
+    for (items, support, _approx) in &mined.patterns {
+        let set = Itemset::from_values(items);
+        assert_eq!(
+            offline.patterns.support(&set),
+            Some(*support),
+            "support mismatch for {items:?}"
+        );
+    }
+}
+
+fn dedup_hits(stats_json: &str) -> u64 {
+    let key = "\"dedup_hits\":";
+    let at = stats_json.find(key).expect("dedup_hits in stats") + key.len();
+    stats_json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter")
+}

@@ -1,0 +1,253 @@
+//! Network-fault injection against a live server: torn frames, garbage
+//! bytes, oversized length prefixes, bit-corrupted payloads, and
+//! mid-frame stalls, all over real sockets.
+//!
+//! The invariants under test: a bad frame gets the typed `BadFrame`
+//! response and its connection is closed; the server never panics,
+//! never wedges, and keeps serving well-formed clients throughout; and
+//! every parse failure is counted in the `frame_errors` metric.
+
+use bbs_server::proto::{self, Reply, Request, Response, MAX_FRAME};
+use bbs_server::{serve, Bind, Client, ClientError, Engine, ServerConfig, ServerHandle};
+use bbs_storage::DiskDeployment;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_netfault_{}_{}", std::process::id(), name));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+    }
+}
+
+fn start(name: &str) -> (ServerHandle, String, Cleanup) {
+    let base = temp(name);
+    let guard = Cleanup(base.clone());
+    let engine = Engine::open(
+        &base,
+        ServerConfig {
+            width: 64,
+            cache_pages: 128,
+            commit_window: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("open engine");
+    let handle = serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )
+    .expect("serve");
+    let addr = handle.tcp_addr().expect("tcp addr").to_string();
+    (handle, addr, guard)
+}
+
+/// Sends `payload` as one frame and returns the decoded response, plus
+/// whether the server closed the connection afterwards.
+fn send_raw(addr: &str, payload: &[u8]) -> (Option<Response>, bool) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    proto::write_frame(&mut s, payload).expect("write frame");
+    let resp = proto::read_frame(&mut s)
+        .ok()
+        .flatten()
+        .and_then(|p| Response::decode(&p).ok());
+    // After the response, a closed connection reads as EOF.
+    let mut probe = [0u8; 1];
+    let closed = matches!(s.read(&mut probe), Ok(0));
+    (resp, closed)
+}
+
+/// The server still answers a well-formed client.
+fn assert_still_serving(addr: &str) {
+    let mut c = Client::connect_tcp(addr).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    c.ping().expect("ping after fault");
+}
+
+fn frame_errors(addr: &str) -> u64 {
+    let mut c = Client::connect_tcp(addr).expect("connect");
+    let json = c.stats().expect("stats");
+    let key = "\"frame_errors\":";
+    let at = json.find(key).expect("frame_errors in stats") + key.len();
+    json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter")
+}
+
+#[test]
+fn garbage_payload_gets_bad_frame_then_close() {
+    let (handle, addr, _g) = start("garbage");
+    let (resp, closed) = send_raw(&addr, &[0xDE, 0xAD, 0xBE, 0xEF, 0x42]);
+    assert!(
+        matches!(resp, Some(Response::BadFrame(_))),
+        "got {resp:?}"
+    );
+    assert!(closed, "connection must close after a bad frame");
+    assert_still_serving(&addr);
+    assert_eq!(frame_errors(&addr), 1);
+    handle.join();
+}
+
+#[test]
+fn truncated_request_gets_bad_frame_then_close() {
+    let (handle, addr, _g) = start("truncated");
+    // A valid count request with its tail cut off: the frame itself is
+    // complete (length prefix matches), but the body no longer parses.
+    let good = Request::Count {
+        items: vec![1, 2, 3],
+    }
+    .encode();
+    let (resp, closed) = send_raw(&addr, &good[..good.len() - 3]);
+    assert!(matches!(resp, Some(Response::BadFrame(_))), "got {resp:?}");
+    assert!(closed);
+    assert_still_serving(&addr);
+    handle.join();
+}
+
+#[test]
+fn bit_flipped_opcode_gets_bad_frame_then_close() {
+    let (handle, addr, _g) = start("bitflip");
+    let mut bad = Request::Insert {
+        req_id: 9,
+        txns: vec![(0, vec![1, 2])],
+    }
+    .encode();
+    bad[0] ^= 0x80; // no opcode lives up there
+    let (resp, closed) = send_raw(&addr, &bad);
+    assert!(matches!(resp, Some(Response::BadFrame(_))), "got {resp:?}");
+    assert!(closed);
+    assert_still_serving(&addr);
+    handle.join();
+}
+
+#[test]
+fn oversized_length_prefix_gets_bad_frame_then_close() {
+    let (handle, addr, _g) = start("oversize");
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    // Claim a frame bigger than the protocol allows; never send it.
+    let len = (MAX_FRAME as u32) + 1;
+    s.write_all(&len.to_le_bytes()).expect("header");
+    let resp = proto::read_frame(&mut s)
+        .ok()
+        .flatten()
+        .and_then(|p| Response::decode(&p).ok());
+    assert!(matches!(resp, Some(Response::BadFrame(_))), "got {resp:?}");
+    let mut probe = [0u8; 1];
+    assert!(matches!(s.read(&mut probe), Ok(0)), "connection closed");
+    assert_still_serving(&addr);
+    assert!(frame_errors(&addr) >= 1);
+    handle.join();
+}
+
+#[test]
+fn torn_frame_mid_payload_does_not_wedge_the_server() {
+    let (handle, addr, _g) = start("torn");
+    {
+        // Announce 64 bytes, deliver 10, vanish.  The handler is pinned
+        // until its request deadline, but the server keeps serving
+        // everyone else meanwhile.
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.write_all(&64u32.to_le_bytes()).expect("header");
+        s.write_all(&[7u8; 10]).expect("partial payload");
+        // Dropping the stream here resets the connection mid-frame.
+    }
+    assert_still_serving(&addr);
+    handle.join();
+}
+
+#[test]
+fn mid_frame_stall_is_tolerated_not_truncated() {
+    let (handle, addr, _g) = start("stall");
+    // Trickle a valid ping frame byte by byte with pauses much longer
+    // than the server's poll tick: timeouts mid-frame must keep the
+    // partial bytes, not desync or drop the request.
+    let payload = Request::Ping.encode();
+    let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    s.set_nodelay(true).ok();
+    for b in framed {
+        s.write_all(&[b]).expect("write byte");
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    let resp = proto::read_frame(&mut s)
+        .ok()
+        .flatten()
+        .and_then(|p| Response::decode(&p).ok());
+    assert!(
+        matches!(resp, Some(Response::Ok(Reply::Pong))),
+        "stalled-but-complete frame still answers: {resp:?}"
+    );
+    handle.join();
+}
+
+#[test]
+fn a_storm_of_bad_frames_never_starves_good_clients() {
+    let (handle, addr, _g) = start("storm");
+    let mut good = Client::connect_tcp(&addr).expect("connect");
+    good.set_timeout(Some(Duration::from_secs(10))).expect("timeout");
+
+    for i in 0..20u8 {
+        // Alternate corruption styles.
+        let payload: Vec<u8> = match i % 4 {
+            0 => vec![0xFF, i, i, i],
+            1 => Request::Ping.encode()[..0].to_vec(), // empty payload
+            2 => {
+                let mut p = Request::Probe { row: u64::from(i) }.encode();
+                p.truncate(p.len() - 1);
+                p
+            }
+            _ => vec![i; 33],
+        };
+        let (resp, _) = send_raw(&addr, &payload);
+        assert!(
+            matches!(resp, Some(Response::BadFrame(_))),
+            "iteration {i}: {resp:?}"
+        );
+        // The long-lived good connection is unaffected in between.
+        good.ping().expect("good client survives the storm");
+    }
+    assert_eq!(frame_errors(&addr), 20);
+
+    // And the data path still works end to end.
+    let reply = good
+        .insert_with_id(1234, &[(0, vec![5, 6]), (1, vec![5])])
+        .expect("insert");
+    assert_eq!((reply.first_row, reply.appended, reply.deduped), (0, 2, false));
+    let reply = good.insert_with_id(1234, &[(0, vec![5, 6]), (1, vec![5])]).expect("retry");
+    assert!(reply.deduped, "retry answered from the window");
+    assert_eq!(good.count(&[5]).expect("count").support, 2);
+    handle.join();
+}
+
+#[test]
+fn client_typed_error_for_bad_frame_is_retryable() {
+    // When the *client's* bytes arrive garbled (simulated here by
+    // sending the garbage ourselves on a raw socket and decoding with
+    // the client error mapping), the error classifies as retryable.
+    let (handle, addr, _g) = start("retryable");
+    let (resp, _) = send_raw(&addr, &[0xBA, 0xD0]);
+    let err = match resp {
+        Some(Response::BadFrame(msg)) => ClientError::BadFrame(msg),
+        other => panic!("expected BadFrame, got {other:?}"),
+    };
+    assert!(err.is_retryable());
+    handle.join();
+}

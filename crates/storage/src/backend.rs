@@ -55,6 +55,43 @@ impl<B: StorageBackend + ?Sized> StorageBackend for &mut B {
     }
 }
 
+impl<B: StorageBackend + ?Sized> StorageBackend for Box<B> {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_at(offset, buf)
+    }
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        (**self).write_at(offset, data)
+    }
+    fn len(&mut self) -> io::Result<u64> {
+        (**self).len()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        (**self).set_len(len)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
+/// A backend erased to a trait object — what [`crate::snapshot`] threads
+/// through the writer deployment so production (plain files) and chaos
+/// tests (fault injectors) share one code path.
+pub type DynBackend = Box<dyn StorageBackend + Send>;
+
+/// The error an exhausted disk produces ([`io::ErrorKind::StorageFull`],
+/// the kind `ENOSPC` maps to).  Injected faults and real kernel errors
+/// classify identically through [`is_disk_full`].
+pub fn disk_full_error() -> io::Error {
+    io::Error::new(io::ErrorKind::StorageFull, "no space left on device")
+}
+
+/// Whether an I/O error means the disk is out of space — the condition the
+/// server degrades on (typed `DiskFull` response, reads keep serving)
+/// rather than treating as corruption.
+pub fn is_disk_full(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::StorageFull
+}
+
 /// The production backend: a plain file.
 #[derive(Debug)]
 pub struct FileBackend {
@@ -172,12 +209,36 @@ pub struct BitFlip {
     pub bit: u8,
 }
 
+/// A *transient* write fault: the targeted operation fails, but — unlike
+/// a [`CrashMode`] crash — the backend stays alive afterwards, modelling
+/// a disk that hiccups rather than a process that dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The write fails with [`disk_full_error`]; nothing reaches the media.
+    DiskFull,
+    /// The write lands only its first sector (512 bytes) then fails with
+    /// an I/O error — a short write the caller must recover from.
+    Short,
+}
+
 /// Shared fault schedule across every file of a deployment.
 ///
 /// Physical operations are counted globally (in the order the storage
 /// stack issues them); `crash_at = Some(n)` makes the `n`-th operation
 /// (0-based) the fatal one, after which every further operation on every
 /// tagged file fails — the process-death model.
+///
+/// Orthogonally, the plan carries two *recoverable* fault sources:
+///
+/// * a **disk-full toggle** ([`SharedFaultPlan::set_disk_full`]) — while
+///   set, any write that would *extend* a file (and any extending
+///   truncate) fails with [`disk_full_error`], while overwrites of
+///   existing bytes, shrinking truncates, reads and syncs proceed:
+///   the shape of a genuinely full filesystem, under which crash
+///   recovery (rollback to the commit point) still works;
+/// * **one-shot transient faults** ([`SharedFaultPlan::fail_write_at`]) —
+///   the scheduled operation fails (short write or spurious ENOSPC) but
+///   the backend keeps working afterwards.
 #[derive(Debug)]
 pub struct FaultPlan {
     ops: u64,
@@ -185,28 +246,34 @@ pub struct FaultPlan {
     mode: CrashMode,
     crashed: bool,
     flips: Vec<BitFlip>,
+    disk_full: bool,
+    transient: Vec<(u64, WriteFault)>,
 }
 
 impl FaultPlan {
-    /// A plan with no scheduled faults (pure operation counting).
-    pub fn counting() -> SharedFaultPlan {
-        SharedFaultPlan(Arc::new(Mutex::new(FaultPlan {
+    fn empty() -> FaultPlan {
+        FaultPlan {
             ops: 0,
             crash_at: None,
             mode: CrashMode::Fail,
             crashed: false,
             flips: Vec::new(),
-        })))
+            disk_full: false,
+            transient: Vec::new(),
+        }
+    }
+
+    /// A plan with no scheduled faults (pure operation counting).
+    pub fn counting() -> SharedFaultPlan {
+        SharedFaultPlan(Arc::new(Mutex::new(FaultPlan::empty())))
     }
 
     /// A plan that crashes at physical operation `n` (0-based) with `mode`.
     pub fn crash_at(n: u64, mode: CrashMode) -> SharedFaultPlan {
         SharedFaultPlan(Arc::new(Mutex::new(FaultPlan {
-            ops: 0,
             crash_at: Some(n),
             mode,
-            crashed: false,
-            flips: Vec::new(),
+            ..FaultPlan::empty()
         })))
     }
 }
@@ -233,6 +300,31 @@ impl SharedFaultPlan {
     /// Whether the scheduled crash has fired.
     pub fn crashed(&self) -> bool {
         self.0.lock().expect("fault plan lock").crashed
+    }
+
+    /// Turns the disk-full condition on or off.  While on, extending
+    /// writes and extending truncates fail with [`disk_full_error`];
+    /// everything else proceeds.  Turning it off models space being
+    /// freed — subsequent writes succeed again.
+    pub fn set_disk_full(&self, full: bool) {
+        self.0.lock().expect("fault plan lock").disk_full = full;
+    }
+
+    /// Whether the disk-full toggle is currently on.
+    pub fn is_disk_full(&self) -> bool {
+        self.0.lock().expect("fault plan lock").disk_full
+    }
+
+    /// Schedules a one-shot transient fault at physical operation `op`
+    /// (0-based, global across all tagged files).  Only writes are
+    /// affected; if operation `op` turns out to be a read/sync/truncate
+    /// it proceeds normally and the fault is consumed.
+    pub fn fail_write_at(&self, op: u64, fault: WriteFault) {
+        self.0
+            .lock()
+            .expect("fault plan lock")
+            .transient
+            .push((op, fault));
     }
 
     /// Wraps a backend in an injector bound to this plan.
@@ -264,6 +356,8 @@ enum Verdict {
     Proceed,
     /// Crash now; for writes, land only this many bytes first.
     CrashAfter(usize),
+    /// A scheduled one-shot fault: fail this write, stay alive after.
+    Transient(WriteFault),
 }
 
 impl<B: StorageBackend> FaultInjector<B> {
@@ -285,7 +379,23 @@ impl<B: StorageBackend> FaultInjector<B> {
             };
             return Ok(Verdict::CrashAfter(landed));
         }
+        if let Some(i) = plan.transient.iter().position(|&(at, _)| at == op) {
+            let (_, fault) = plan.transient.swap_remove(i);
+            return Ok(Verdict::Transient(fault));
+        }
         Ok(Verdict::Proceed)
+    }
+
+    /// The disk-full gate for operations that would grow the file to
+    /// `new_end` bytes: errors while the toggle is on and the file would
+    /// actually extend.
+    fn check_space(&mut self, new_end: u64) -> io::Result<()> {
+        if self.plan.0.lock().expect("fault plan lock").disk_full
+            && new_end > self.inner.len()?
+        {
+            return Err(disk_full_error());
+        }
+        Ok(())
     }
 
     fn apply_flips(&mut self, offset: u64, buf: &mut [u8]) {
@@ -304,7 +414,9 @@ impl<B: StorageBackend> FaultInjector<B> {
 impl<B: StorageBackend> StorageBackend for FaultInjector<B> {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         match self.gate(0)? {
-            Verdict::Proceed => {
+            // Transient faults target writes; on a read the slot is
+            // consumed and the read proceeds.
+            Verdict::Proceed | Verdict::Transient(_) => {
                 self.inner.read_at(offset, buf)?;
                 self.apply_flips(offset, buf);
                 Ok(())
@@ -315,7 +427,21 @@ impl<B: StorageBackend> StorageBackend for FaultInjector<B> {
 
     fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
         match self.gate(data.len())? {
-            Verdict::Proceed => self.inner.write_at(offset, data),
+            Verdict::Proceed => {
+                self.check_space(offset + data.len() as u64)?;
+                self.inner.write_at(offset, data)
+            }
+            Verdict::Transient(WriteFault::DiskFull) => Err(disk_full_error()),
+            Verdict::Transient(WriteFault::Short) => {
+                let landed = data.len().min(512);
+                if landed > 0 {
+                    self.inner.write_at(offset, &data[..landed])?;
+                }
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected transient fault: short write",
+                ))
+            }
             Verdict::CrashAfter(landed) => {
                 if landed > 0 {
                     // The tear: a prefix reaches the media, the rest never does.
@@ -337,14 +463,19 @@ impl<B: StorageBackend> StorageBackend for FaultInjector<B> {
 
     fn set_len(&mut self, len: u64) -> io::Result<()> {
         match self.gate(0)? {
-            Verdict::Proceed => self.inner.set_len(len),
+            Verdict::Proceed | Verdict::Transient(_) => {
+                // Growing a file allocates blocks; shrinking frees them.
+                // Under disk-full only the former fails.
+                self.check_space(len)?;
+                self.inner.set_len(len)
+            }
             Verdict::CrashAfter(_) => Err(injected("truncate failed")),
         }
     }
 
     fn sync(&mut self) -> io::Result<()> {
         match self.gate(0)? {
-            Verdict::Proceed => self.inner.sync(),
+            Verdict::Proceed | Verdict::Transient(_) => self.inner.sync(),
             Verdict::CrashAfter(_) => Err(injected("sync failed")),
         }
     }
@@ -419,5 +550,85 @@ mod tests {
         b.write_at(0, b"y").expect("write");
         a.sync().expect("sync");
         assert_eq!(plan.ops(), 3);
+    }
+
+    #[test]
+    fn disk_full_blocks_extension_only_and_clears() {
+        let plan = FaultPlan::counting();
+        let mut b = plan.wrap("f", MemBackend::new());
+        b.write_at(0, &[0xAAu8; 16]).expect("prefill");
+
+        plan.set_disk_full(true);
+        assert!(plan.is_disk_full());
+        let err = b.write_at(8, &[0u8; 16]).expect_err("extension blocked");
+        assert!(is_disk_full(&err), "typed StorageFull, got {err}");
+        assert!(is_disk_full(&b.set_len(64).expect_err("growth blocked")));
+
+        // Overwrites, shrinks, reads, and syncs all proceed while full —
+        // that is what lets recovery roll a deployment back in place.
+        b.write_at(0, &[0x55u8; 16]).expect("overwrite in place");
+        b.set_len(8).expect("shrink");
+        let mut buf = [0u8; 8];
+        b.read_at(0, &mut buf).expect("read");
+        assert_eq!(buf, [0x55; 8]);
+        b.sync().expect("sync");
+
+        plan.set_disk_full(false);
+        b.write_at(0, &[0u8; 64]).expect("space came back");
+        assert_eq!(b.len().expect("len"), 64);
+    }
+
+    #[test]
+    fn transient_short_write_lands_prefix_and_backend_survives() {
+        let plan = FaultPlan::counting();
+        let mut b = plan.wrap("f", MemBackend::new());
+        b.write_at(0, &[0xAAu8; 1024]).expect("op 0: prefill");
+        plan.fail_write_at(1, WriteFault::Short);
+        let err = b.write_at(0, &[0x55u8; 1024]).expect_err("op 1 short");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert!(!plan.crashed(), "transient faults never latch the crash");
+
+        let mut buf = [0u8; 1024];
+        b.read_at(0, &mut buf).expect("still readable");
+        assert_eq!(&buf[..512], &[0x55; 512], "512-byte prefix landed");
+        assert_eq!(&buf[512..], &[0xAA; 512], "tail never arrived");
+
+        // The very next write succeeds: the fault was one-shot.
+        b.write_at(0, &[0x11u8; 1024]).expect("recovered");
+    }
+
+    #[test]
+    fn transient_disk_full_lands_nothing() {
+        let plan = FaultPlan::counting();
+        let mut b = plan.wrap("f", MemBackend::new());
+        b.write_at(0, &[0xAAu8; 8]).expect("prefill");
+        plan.fail_write_at(1, WriteFault::DiskFull);
+        let err = b.write_at(0, &[0x55u8; 8]).expect_err("enospc");
+        assert!(is_disk_full(&err));
+        let mut buf = [0u8; 8];
+        b.read_at(0, &mut buf).expect("read");
+        assert_eq!(buf, [0xAA; 8], "failed write left no trace");
+        b.write_at(0, &[0x55u8; 8]).expect("one-shot: next write fine");
+    }
+
+    #[test]
+    fn transient_slot_on_non_write_is_consumed_harmlessly() {
+        let plan = FaultPlan::counting();
+        let mut b = plan.wrap("f", MemBackend::new());
+        plan.fail_write_at(0, WriteFault::DiskFull);
+        b.sync().expect("op 0 is a sync: proceeds, consumes the slot");
+        b.write_at(0, b"x").expect("op 1 unaffected");
+    }
+
+    #[test]
+    fn boxed_dyn_backend_delegates() {
+        let mut b: DynBackend = Box::new(MemBackend::new());
+        b.write_at(0, b"dyn").expect("write");
+        assert_eq!(b.len().expect("len"), 3);
+        let mut buf = [0u8; 3];
+        b.read_at(0, &mut buf).expect("read");
+        assert_eq!(&buf, b"dyn");
+        b.set_len(1).expect("truncate");
+        b.sync().expect("sync");
     }
 }

@@ -115,6 +115,11 @@ impl<B: StorageBackend> CommitFile<B> {
         self.last
     }
 
+    /// The sequence number the next successful commit will take.
+    pub fn next_seq(&self) -> u64 {
+        self.last.map_or(0, |c| c.seq) + 1
+    }
+
     /// Durably records a new commit point.
     ///
     /// Must only be called after the data files have been flushed and

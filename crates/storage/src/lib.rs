@@ -46,6 +46,7 @@ pub mod backend;
 pub mod bytes;
 pub mod cache;
 mod commit;
+pub mod dedup;
 pub mod diskbbs;
 pub mod heapfile;
 pub mod mine;
@@ -55,13 +56,14 @@ pub mod snapshot;
 
 pub use adhoc::{DiskAdhocEngine, DiskQueryStats};
 pub use backend::{
-    BitFlip, CrashMode, FaultInjector, FaultPlan, FileBackend, MemBackend, SharedFaultPlan,
-    StorageBackend,
+    disk_full_error, is_disk_full, BitFlip, CrashMode, DynBackend, FaultInjector, FaultPlan,
+    FileBackend, MemBackend, SharedFaultPlan, StorageBackend, WriteFault,
 };
 pub use cache::{CacheStats, PageCache};
+pub use dedup::{DedupLog, DedupReceipt};
 pub use diskbbs::{
     deployment_paths, DeploymentBackends, DeploymentPaths, DiskBbs, DiskCounter, DiskDeployment,
-    PageCorruption, VerifyReport,
+    PageCorruption, VerifyReport, DEFAULT_DEDUP_WINDOW,
 };
 pub use heapfile::HeapFile;
 pub use mine::{mine_in_place, DiskMineStats};
@@ -69,4 +71,4 @@ pub use pager::{
     checksum_mismatch, fnv1a64, ChecksumMismatch, PageId, Pager, PagerStats, PAGE_SIZE,
 };
 pub use slicefile::{HotStats, SliceFile, CHUNK_ROWS};
-pub use snapshot::{CommitReceipt, SharedDeployment, Snapshot, WriterProfile};
+pub use snapshot::{BackendFactory, CommitReceipt, SharedDeployment, Snapshot, WriterProfile};

@@ -38,8 +38,12 @@
 //! while new commits land — the paper's "dynamic index" claim, made
 //! mechanically checkable (see `tests/concurrent.rs`).
 
+use crate::backend::{DynBackend, FileBackend, SharedFaultPlan, StorageBackend};
 use crate::cache::CacheStats;
-use crate::diskbbs::{DiskBbs, DiskDeployment};
+use crate::dedup::DedupReceipt;
+use crate::diskbbs::{
+    deployment_paths, DeploymentBackends, DiskBbs, DiskDeployment, DEFAULT_DEDUP_WINDOW,
+};
 use crate::heapfile::HeapFile;
 use crate::pager::PagerStats;
 use crate::slicefile::HotStats;
@@ -49,8 +53,15 @@ use bbs_tdb::{Itemset, Transaction, TransactionDb};
 use std::io;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Opens one physical backend of the writer deployment: called once per
+/// file (`tag` is `commit`/`dat`/`idx`/`slices`/`counts`/`dedup`) at open
+/// and again whenever a poisoned writer is healed.  This is how the chaos
+/// tests interpose a [`crate::FaultInjector`] under a live server.
+pub type BackendFactory =
+    Arc<dyn Fn(&'static str, &Path) -> io::Result<DynBackend> + Send + Sync>;
 
 /// An immutable, epoch-stamped read view of a deployment.
 ///
@@ -166,8 +177,17 @@ pub struct CommitReceipt {
 
 /// A deployment shared between one committing writer and any number of
 /// snapshot readers (see the module docs for the isolation protocol).
+///
+/// The writer slot is `None` while **poisoned**: a failed commit (torn
+/// I/O, injected fault, disk full) discards the writer outright rather
+/// than trusting its in-memory state, and the next write-side operation
+/// *heals* it by reopening through the [`BackendFactory`] — which runs
+/// the ordinary crash recovery, rolling the files back to the last
+/// commit.  Snapshot readers never notice: they hold their own handles
+/// and the committed prefix on disk is untouched by a failed commit.
 pub struct SharedDeployment {
-    writer: Mutex<DiskDeployment>,
+    writer: Mutex<Option<DiskDeployment<DynBackend>>>,
+    factory: BackendFactory,
     io: Arc<RwLock<()>>,
     current: Mutex<Arc<Snapshot>>,
     epoch: AtomicU64,
@@ -176,6 +196,13 @@ pub struct SharedDeployment {
     width: usize,
     hasher: Arc<dyn ItemHasher>,
     cache_pages: usize,
+    dedup_window: AtomicUsize,
+    writer_heals: AtomicU64,
+}
+
+/// The default factory: plain [`FileBackend`]s, boxed.
+fn file_factory() -> BackendFactory {
+    Arc::new(|_tag, path| Ok(Box::new(FileBackend::open(path)?) as DynBackend))
 }
 
 impl SharedDeployment {
@@ -190,7 +217,42 @@ impl SharedDeployment {
         hasher: Arc<dyn ItemHasher>,
         cache_pages: usize,
     ) -> io::Result<Arc<Self>> {
-        let mut dep = DiskDeployment::open(base, width, Arc::clone(&hasher), cache_pages)?;
+        Self::open_with_factory(base, width, hasher, cache_pages, file_factory())
+    }
+
+    /// [`SharedDeployment::open`] with every *writer* backend wrapped in a
+    /// [`crate::FaultInjector`] driven by `plan` — the chaos harness's
+    /// entry point.  Snapshot readers keep using plain file backends: the
+    /// faults model a failing write path, and reads must keep serving.
+    pub fn open_faulty(
+        base: &Path,
+        width: usize,
+        hasher: Arc<dyn ItemHasher>,
+        cache_pages: usize,
+        plan: SharedFaultPlan,
+    ) -> io::Result<Arc<Self>> {
+        let factory: BackendFactory = Arc::new(move |tag, path| {
+            Ok(Box::new(plan.wrap(tag, FileBackend::open(path)?)) as DynBackend)
+        });
+        Self::open_with_factory(base, width, hasher, cache_pages, factory)
+    }
+
+    /// [`SharedDeployment::open`] over an arbitrary [`BackendFactory`].
+    pub fn open_with_factory(
+        base: &Path,
+        width: usize,
+        hasher: Arc<dyn ItemHasher>,
+        cache_pages: usize,
+        factory: BackendFactory,
+    ) -> io::Result<Arc<Self>> {
+        let mut dep = open_writer(
+            base,
+            width,
+            &hasher,
+            cache_pages,
+            &factory,
+            DEFAULT_DEDUP_WINDOW,
+        )?;
         dep.flush()?;
         let io = Arc::new(RwLock::new(()));
         let rows = dep.db.len();
@@ -200,7 +262,8 @@ impl SharedDeployment {
         };
         copy_writer_stats(&dep, &mut profile);
         let shared = SharedDeployment {
-            writer: Mutex::new(dep),
+            writer: Mutex::new(Some(dep)),
+            factory,
             io: Arc::clone(&io),
             // Placeholder replaced two lines down; open_snapshot needs the
             // struct's config fields.
@@ -217,6 +280,8 @@ impl SharedDeployment {
             width,
             hasher,
             cache_pages,
+            dedup_window: AtomicUsize::new(DEFAULT_DEDUP_WINDOW),
+            writer_heals: AtomicU64::new(0),
         };
         Ok(Arc::new(shared))
     }
@@ -246,10 +311,60 @@ impl SharedDeployment {
     /// and no other commit can interleave because the writer mutex is
     /// still held.
     pub fn commit(&self, txns: &[Transaction]) -> io::Result<CommitReceipt> {
-        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        self.commit_with(txns, &[])
+    }
+
+    /// [`SharedDeployment::commit`] that also records exactly-once
+    /// receipts: each `(req_id, offset, len)` names the sub-batch of
+    /// `txns` one producer contributed (`offset`/`len` in transactions,
+    /// relative to the start of the batch).  The receipts become durable
+    /// dedup-window entries atomically with the commit record; a retry of
+    /// `req_id` is answered by [`SharedDeployment::dedup_lookup`].
+    ///
+    /// On any I/O failure the writer is poisoned and the error returned;
+    /// nothing is published, already-committed rows stay served, and the
+    /// next write-side call heals the writer by reopening (= rolling the
+    /// files back to the last commit).
+    pub fn commit_with(
+        &self,
+        txns: &[Transaction],
+        receipts: &[(u64, u64, u64)],
+    ) -> io::Result<CommitReceipt> {
+        let mut guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         let rows = {
             let _fence = self.io.write().unwrap_or_else(|e| e.into_inner());
-            writer.append_batch(txns)?
+            let writer = self.writer_or_heal(&mut guard)?;
+            let attempt = (|| -> io::Result<Range<u64>> {
+                let first = writer.db.len();
+                for t in txns {
+                    writer.append(t)?;
+                }
+                let entries: Vec<(u64, DedupReceipt)> = receipts
+                    .iter()
+                    .filter(|&&(req_id, _, _)| req_id != 0)
+                    .map(|&(req_id, offset, len)| {
+                        (
+                            req_id,
+                            DedupReceipt {
+                                first_row: first + offset,
+                                appended: len,
+                            },
+                        )
+                    })
+                    .collect();
+                writer.flush_with_receipts(&entries)?;
+                Ok(first..writer.db.len())
+            })();
+            match attempt {
+                Ok(rows) => rows,
+                Err(e) => {
+                    // The in-memory writer may hold half a batch; drop it.
+                    // Reopening later re-runs crash recovery against the
+                    // commit record, which this failed commit never moved.
+                    *guard = None;
+                    return Err(e);
+                }
+            }
         };
         let epoch = self.epoch.load(Ordering::Acquire) + 1;
         let snapshot = Arc::new(Snapshot {
@@ -267,7 +382,7 @@ impl SharedDeployment {
         debug_assert_eq!(snapshot.index.rows(), rows.end);
         {
             let mut p = self.profile.lock().unwrap_or_else(|e| e.into_inner());
-            copy_writer_stats(&writer, &mut p);
+            copy_writer_stats(guard.as_ref().expect("writer alive"), &mut p);
             p.commits += 1;
             p.appended += txns.len() as u64;
             p.committed_rows = rows.end;
@@ -282,13 +397,107 @@ impl SharedDeployment {
             snapshot,
         })
     }
+
+    /// The receipt a previous commit recorded for `req_id` (0 = never
+    /// deduplicated), if it is still inside the dedup window.  Heals a
+    /// poisoned writer first — the window lives in the writer.
+    pub fn dedup_lookup(&self, req_id: u64) -> io::Result<Option<DedupReceipt>> {
+        if req_id == 0 {
+            return Ok(None);
+        }
+        let mut guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            let _fence = self.io.write().unwrap_or_else(|e| e.into_inner());
+            self.writer_or_heal(&mut guard)?;
+        }
+        Ok(guard.as_ref().expect("writer alive").dedup_lookup(req_id))
+    }
+
+    /// Resizes the writer's dedup window (applied again after each heal).
+    pub fn set_dedup_window(&self, window: usize) {
+        let window = window.max(1);
+        self.dedup_window.store(window, Ordering::Release);
+        let mut guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(writer) = guard.as_mut() {
+            writer.set_dedup_window(window);
+        }
+    }
+
+    /// True while the writer is poisoned (the last commit failed and no
+    /// write-side call has healed it yet).  Reads are unaffected.
+    pub fn writer_poisoned(&self) -> bool {
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_none()
+    }
+
+    /// Times the writer has been healed after a poisoning failure.
+    pub fn writer_heals(&self) -> u64 {
+        self.writer_heals.load(Ordering::Relaxed)
+    }
+
+    /// Reopens a poisoned writer through the factory.  Caller must hold
+    /// the writer lock *and* the I/O write fence (recovery rolls files
+    /// back in place, which must not race snapshot reads).
+    #[allow(clippy::mut_mut)]
+    fn writer_or_heal<'g>(
+        &self,
+        guard: &'g mut MutexGuard<'_, Option<DiskDeployment<DynBackend>>>,
+    ) -> io::Result<&'g mut DiskDeployment<DynBackend>> {
+        if guard.is_none() {
+            let dep = open_writer(
+                &self.base,
+                self.width,
+                &self.hasher,
+                self.cache_pages,
+                &self.factory,
+                self.dedup_window.load(Ordering::Acquire),
+            )?;
+            **guard = Some(dep);
+            self.writer_heals.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(guard.as_mut().expect("writer alive"))
+    }
+}
+
+fn open_writer(
+    base: &Path,
+    width: usize,
+    hasher: &Arc<dyn ItemHasher>,
+    cache_pages: usize,
+    factory: &BackendFactory,
+    dedup_window: usize,
+) -> io::Result<DiskDeployment<DynBackend>> {
+    let paths = deployment_paths(base);
+    let has_data = [&paths.dat, &paths.idx, &paths.slices]
+        .iter()
+        .any(|p| std::fs::metadata(p).map(|m| m.len() > 0).unwrap_or(false));
+    if has_data && !paths.commit.exists() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "deployment has data files but no commit record \
+             (created by a pre-durability version?)",
+        ));
+    }
+    let backends = DeploymentBackends {
+        commit: factory("commit", &paths.commit)?,
+        dat: factory("dat", &paths.dat)?,
+        idx: factory("idx", &paths.idx)?,
+        slices: factory("slices", &paths.slices)?,
+        counts: factory("counts", &paths.counts)?,
+        dedup: factory("dedup", &paths.dedup)?,
+    };
+    let mut dep = DiskDeployment::open_with(backends, width, Arc::clone(hasher), cache_pages)?;
+    dep.set_dedup_window(dedup_window);
+    Ok(dep)
 }
 
 fn open_heap(base: &Path, cache_pages: usize) -> io::Result<HeapFile> {
     HeapFile::open(base, cache_pages, cache_pages.div_ceil(4).max(2))
 }
 
-fn copy_writer_stats(dep: &DiskDeployment, p: &mut WriterProfile) {
+fn copy_writer_stats<B: StorageBackend>(dep: &DiskDeployment<B>, p: &mut WriterProfile) {
     p.cache = dep.index.cache_stats();
     p.pager = dep.index.pager_stats();
     p.hot = dep.index.hot_stats();
@@ -373,6 +582,75 @@ mod tests {
         // The newest snapshot loads the full 25.
         let (db2, bbs2) = shared.snapshot().load().expect("load 2");
         assert_eq!((db2.len(), bbs2.rows()), (25, 25));
+    }
+
+    #[test]
+    fn commit_with_records_receipts_that_survive_reopen() {
+        let b = base("receipts");
+        let _g = Cleanup(b.clone());
+        {
+            let shared = SharedDeployment::open(&b, 64, hasher(), 256).expect("open");
+            let r = shared
+                .commit_with(
+                    &[txn(0, &[1]), txn(1, &[2]), txn(2, &[3])],
+                    &[(77, 0, 2), (78, 2, 1), (0, 0, 3)],
+                )
+                .expect("commit");
+            assert_eq!(r.rows, 0..3);
+            let d = shared.dedup_lookup(77).expect("lookup").expect("hit");
+            assert_eq!((d.first_row, d.appended), (0, 2));
+            let d = shared.dedup_lookup(78).expect("lookup").expect("hit");
+            assert_eq!((d.first_row, d.appended), (2, 1));
+            assert_eq!(shared.dedup_lookup(0).expect("lookup"), None, "0 = no id");
+            assert_eq!(shared.dedup_lookup(99).expect("lookup"), None);
+        }
+        // The window is durable: a fresh process answers the retry too.
+        let shared = SharedDeployment::open(&b, 64, hasher(), 256).expect("reopen");
+        let d = shared.dedup_lookup(77).expect("lookup").expect("hit");
+        assert_eq!((d.first_row, d.appended), (0, 2));
+        assert_eq!(shared.snapshot().rows(), 3);
+    }
+
+    #[test]
+    fn disk_full_commit_poisons_writer_then_heals_without_duplicates() {
+        let b = base("diskfull");
+        let _g = Cleanup(b.clone());
+        let plan = crate::FaultPlan::counting();
+        let shared =
+            SharedDeployment::open_faulty(&b, 64, hasher(), 256, plan.clone()).expect("open");
+        shared
+            .commit_with(&[txn(0, &[1]), txn(1, &[1])], &[(5, 0, 2)])
+            .expect("commit 1");
+
+        plan.set_disk_full(true);
+        let err = match shared.commit_with(&[txn(2, &[1])], &[(6, 0, 1)]) {
+            Ok(_) => panic!("commit must fail with the disk full"),
+            Err(e) => e,
+        };
+        assert!(crate::is_disk_full(&err), "typed StorageFull, got {err}");
+        assert!(shared.writer_poisoned());
+
+        // Reads keep serving the committed prefix while the writer is
+        // down, and the published epoch never moved.
+        let snap = shared.snapshot();
+        assert_eq!(snap.rows(), 2);
+        assert_eq!(snap.count(&Itemset::from_values(&[1])).expect("count"), 2);
+        assert_eq!(shared.epoch(), 1);
+
+        // The dedup window healed along with the writer: the receipt of
+        // the *successful* commit is still there, the failed one is not.
+        let d = shared.dedup_lookup(5).expect("lookup").expect("hit");
+        assert_eq!((d.first_row, d.appended), (0, 2));
+        assert_eq!(shared.dedup_lookup(6).expect("lookup"), None);
+
+        plan.set_disk_full(false);
+        let r = shared
+            .commit_with(&[txn(2, &[1])], &[(6, 0, 1)])
+            .expect("space came back");
+        assert_eq!(r.rows, 2..3, "failed attempt left no rows behind");
+        assert!(!shared.writer_poisoned());
+        assert!(shared.writer_heals() >= 1);
+        assert_eq!(r.snapshot.count(&Itemset::from_values(&[1])).expect("count"), 3);
     }
 
     #[test]

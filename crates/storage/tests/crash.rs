@@ -79,6 +79,7 @@ fn run_workload(plan: &SharedFaultPlan, base: &Path, source: &[Transaction]) -> 
         idx: plan.wrap("idx", FileBackend::open(&paths.idx)?),
         slices: plan.wrap("slices", FileBackend::open(&paths.slices)?),
         counts: plan.wrap("counts", FileBackend::open(&paths.counts)?),
+        dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup)?),
     };
     let mut dep = DiskDeployment::open_with(backends, WIDTH, hasher(), CACHE)?;
     for batch in source.chunks(BATCH) {
@@ -277,6 +278,7 @@ fn bit_flip_on_read_surfaces_as_checksum_mismatch_not_data() {
         idx: plan.wrap("idx", FileBackend::open(&paths.idx).expect("open")),
         slices: plan.wrap("slices", FileBackend::open(&paths.slices).expect("open")),
         counts: plan.wrap("counts", FileBackend::open(&paths.counts).expect("open")),
+        dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup).expect("open")),
     };
     let mut dep = DiskDeployment::open_with(backends, WIDTH, hasher(), CACHE).expect("reopen");
 

@@ -129,6 +129,7 @@ proptest! {
                 idx: plan.wrap("idx", FileBackend::open(&paths.idx)?),
                 slices: plan.wrap("slices", FileBackend::open(&paths.slices)?),
                 counts: plan.wrap("counts", FileBackend::open(&paths.counts)?),
+                dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup)?),
             };
             let mut dep = DiskDeployment::open_with(backends, width, hasher(), CACHE)?;
             for t in &db.transactions()[..half] {
