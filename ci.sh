@@ -15,11 +15,13 @@ RUSTFLAGS="-C target-cpu=native" cargo test -q -p bbs-bitslice --test kernel_pro
 # by name so a failure here is unambiguous in CI logs.
 cargo test -q -p bbs-server --test integration
 cargo test -q -p bbs-server --test net_faults
+cargo test -q -p bbs-server --test replication
 cargo test -q -p bbs-cli --test server_proc
-# The randomized chaos harness runs on a fixed seed in CI so failures
+# The randomized chaos harnesses run on a fixed seed in CI so failures
 # reproduce; export CHAOS_SEED to try a different schedule.
 CHAOS_SEED="${CHAOS_SEED:-2964703749}"
 echo "chaos seed: ${CHAOS_SEED}"
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-server --test chaos -- --nocapture
+CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-cli --test failover -- --nocapture
 cargo clippy -p bbs-server --all-targets -- -D warnings
 cargo clippy --all-targets -- -D warnings

@@ -1,5 +1,5 @@
 //! `bench_serve` — machine-readable performance snapshot of the
-//! query/ingest server, written to `BENCH_4.json`.
+//! query/ingest server, written to `BENCH_6.json`.
 //!
 //! Spins up an in-process `bbs-server` on a TCP loopback socket and
 //! drives it the way a deployment would be driven:
@@ -12,8 +12,14 @@
 //!    queries against live snapshots *while* the writers run, then again
 //!    on the quiesced server (warm pages, no commit contention).
 //! 3. **Mine**: one full `mine` round-trip over the final snapshot.
+//! 4. **Replication**: a follower attaches over the wire protocol, a
+//!    second ingest window runs against the primary while a sampler
+//!    records the follower's steady-state replication lag (rows behind),
+//!    and reader clients measure count throughput *on the follower* —
+//!    first while it is applying the stream, then quiesced after it has
+//!    caught up.
 //!
-//! Usage: `bench_serve [OUT.json]` (default `BENCH_4.json`).
+//! Usage: `bench_serve [OUT.json]` (default `BENCH_6.json`).
 
 use bbs_server::{Bind, Client, ClientError, Engine, ServerConfig};
 use bbs_storage::DiskDeployment;
@@ -26,6 +32,19 @@ const READERS: usize = 2;
 const BATCH: u64 = 64;
 const INGEST_MS: u64 = 1500;
 const QUIESCED_MS: u64 = 500;
+const FOLLOWER_POLL_MS: u64 = 5;
+const LAG_SAMPLE_MS: u64 = 5;
+
+/// Pull the integer value of `"key":N` out of a stats JSON blob.
+fn stat_u64(stats: &str, key: &str) -> Option<u64> {
+    stats.split(&format!("\"{key}\":")).nth(1).and_then(|rest| {
+        rest.chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<u64>()
+            .ok()
+    })
+}
 
 /// Latency quantile over a sorted sample, reported in microseconds.
 fn quantile(sorted_us: &[u64], q: f64) -> u64 {
@@ -166,10 +185,13 @@ fn run_counts(
 fn main() -> std::io::Result<()> {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let mut base = std::env::temp_dir();
-    base.push(format!("bbs_bench4_{}", std::process::id()));
+    base.push(format!("bbs_bench6_{}", std::process::id()));
+    let mut follower_base = std::env::temp_dir();
+    follower_base.push(format!("bbs_bench6f_{}", std::process::id()));
     DiskDeployment::remove_files(&base).ok();
+    DiskDeployment::remove_files(&follower_base).ok();
 
     let cfg = ServerConfig {
         width: 1024,
@@ -235,6 +257,129 @@ fn main() -> std::io::Result<()> {
         mine_ms
     );
 
+    // Phase 5: replication.  A follower attaches to the live primary,
+    // bootstraps everything ingested so far, and then a second ingest
+    // window runs while we sample how far the follower trails the
+    // primary (rows behind, from its own lag gauge) and how fast it
+    // serves counts from its replicated snapshots.
+    let follower_cfg = ServerConfig {
+        width: 1024,
+        cache_pages: 4096,
+        follow: Some(addr.clone()),
+        poll_interval: Duration::from_millis(FOLLOWER_POLL_MS),
+        ..ServerConfig::default()
+    };
+    let follower_engine = Engine::open(&follower_base, follower_cfg)?;
+    let follower_handle = bbs_server::serve(
+        follower_engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )?;
+    let faddr = follower_handle.tcp_addr().expect("tcp bound").to_string();
+    eprintln!("# follower on {faddr} (poll {FOLLOWER_POLL_MS} ms), second {INGEST_MS} ms ingest window");
+
+    // Let the follower bootstrap the existing rows first, so the lag
+    // samples below measure the steady state, not the initial backlog.
+    let mut fclient =
+        Client::connect_tcp(&faddr).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let t0 = Instant::now();
+    loop {
+        let frows = fclient
+            .count(&[1])
+            .map_err(|e| std::io::Error::other(e.to_string()))?
+            .rows;
+        if frows == ingest.txns {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let bootstrap_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("#   bootstrap: {} rows replicated in {bootstrap_ms:.1} ms", ingest.txns);
+
+    // Steady-state lag, measured from the outside: how many committed
+    // rows the primary holds that the follower does not yet serve, at
+    // each sample instant.  (The follower's own lag gauge is refreshed
+    // after each applied pull, so it understates in-flight staleness.)
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let lag_sampler = {
+        let paddr = addr.clone();
+        let faddr = faddr.clone();
+        let stop = Arc::clone(&sampler_stop);
+        std::thread::spawn(move || -> std::io::Result<Vec<u64>> {
+            let mut p = Client::connect_tcp(&paddr)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let mut f = Client::connect_tcp(&faddr)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let mut samples = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                let prows = p
+                    .count(&[1])
+                    .map_err(|e| std::io::Error::other(e.to_string()))?
+                    .rows;
+                let frows = f
+                    .count(&[1])
+                    .map_err(|e| std::io::Error::other(e.to_string()))?
+                    .rows;
+                samples.push(prows.saturating_sub(frows));
+                std::thread::sleep(Duration::from_millis(LAG_SAMPLE_MS));
+            }
+            Ok(samples)
+        })
+    };
+    let follower_counter = {
+        let faddr = faddr.clone();
+        std::thread::spawn(move || run_counts(&faddr, INGEST_MS, READERS))
+    };
+    let repl_ingest = run_ingest(&addr, ingest.txns)?;
+    let (fcount_live, fcount_live_per_s) = follower_counter.join().expect("follower counter")?;
+
+    // Catch-up: wall-clock from end-of-ingest until the follower has
+    // applied every row the primary holds.
+    let primary_rows = ingest.txns + repl_ingest.txns;
+    let t0 = Instant::now();
+    loop {
+        let fstats = fclient
+            .stats()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        if stat_u64(&fstats, "rows") == Some(primary_rows) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let catch_up_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sampler_stop.store(true, Ordering::Release);
+    let lag_rows = summarize(lag_sampler.join().expect("lag sampler")?);
+    eprintln!(
+        "#   replication: ingest {:.0} txns/s, lag p50 {} p99 {} max {} rows, caught up in {:.1} ms",
+        repl_ingest.txns as f64 / repl_ingest.secs,
+        lag_rows.p50_us,
+        lag_rows.p99_us,
+        lag_rows.max_us,
+        catch_up_ms
+    );
+    eprintln!(
+        "#   follower count (during replication): {:.0}/s, p50 {} us p99 {} us",
+        fcount_live_per_s, fcount_live.p50_us, fcount_live.p99_us
+    );
+
+    // Follower reads after catch-up: no apply traffic, warm pages.
+    let (fcount_quiet, fcount_quiet_per_s) = run_counts(&faddr, QUIESCED_MS, READERS)?;
+    eprintln!(
+        "#   follower count (quiesced): {:.0}/s, p50 {} us p99 {} us",
+        fcount_quiet_per_s, fcount_quiet.p50_us, fcount_quiet.p99_us
+    );
+
+    let follower_stats = fclient
+        .stats()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    fclient
+        .shutdown_server()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    follower_handle.join();
+    DiskDeployment::remove_files(&follower_base).ok();
+
     let stats = client
         .stats()
         .map_err(|e| std::io::Error::other(e.to_string()))?;
@@ -246,22 +391,13 @@ fn main() -> std::io::Result<()> {
 
     // Group-commit coalescing factor, from the server's own counter: how
     // many producer batches each commit (one fsync) absorbed on average.
-    let commits = stats
-        .split("\"commits\":")
-        .nth(1)
-        .and_then(|rest| {
-            rest.chars()
-                .take_while(char::is_ascii_digit)
-                .collect::<String>()
-                .parse::<u64>()
-                .ok()
-        })
+    let commits = stat_u64(&stats, "commits")
         .unwrap_or(ingest.inserts)
         .max(1);
-    let coalesce = ingest.inserts as f64 / commits as f64;
+    let coalesce = (ingest.inserts + repl_ingest.inserts) as f64 / commits as f64;
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": 4,\n");
+    json.push_str("  \"bench\": 6,\n");
     json.push_str("  \"config\": {\n");
     json.push_str(&format!("    \"writers\": {WRITERS},\n"));
     json.push_str(&format!("    \"readers\": {READERS},\n"));
@@ -305,7 +441,41 @@ fn main() -> std::io::Result<()> {
     json.push_str(&format!("    \"patterns\": {},\n", mine.patterns.len()));
     json.push_str(&format!("    \"latency_ms\": {mine_ms:.1}\n"));
     json.push_str("  },\n");
-    // The server's own view, verbatim: per-endpoint latency histograms,
+    json.push_str("  \"replication\": {\n");
+    json.push_str(&format!("    \"follower_poll_ms\": {FOLLOWER_POLL_MS},\n"));
+    json.push_str(&format!("    \"lag_sample_ms\": {LAG_SAMPLE_MS},\n"));
+    json.push_str(&format!("    \"bootstrap_rows\": {},\n", ingest.txns));
+    json.push_str(&format!("    \"bootstrap_ms\": {bootstrap_ms:.1},\n"));
+    json.push_str(&format!(
+        "    \"primary_txns_per_s\": {:.1},\n",
+        repl_ingest.txns as f64 / repl_ingest.secs
+    ));
+    json.push_str(&format!(
+        "    \"lag_rows\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }},\n",
+        lag_rows.p50_us, lag_rows.p99_us, lag_rows.max_us
+    ));
+    json.push_str(&format!("    \"catch_up_ms\": {catch_up_ms:.1},\n"));
+    json.push_str("    \"follower_count_during_replication\": {\n");
+    json.push_str(&format!("      \"counts_per_s\": {fcount_live_per_s:.1},\n"));
+    json.push_str(&format!(
+        "      \"count_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }}\n",
+        fcount_live.p50_us, fcount_live.p99_us, fcount_live.max_us
+    ));
+    json.push_str("    },\n");
+    json.push_str("    \"follower_count_quiesced\": {\n");
+    json.push_str(&format!("      \"counts_per_s\": {fcount_quiet_per_s:.1},\n"));
+    json.push_str(&format!(
+        "      \"count_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }}\n",
+        fcount_quiet.p50_us, fcount_quiet.p99_us, fcount_quiet.max_us
+    ));
+    json.push_str("    },\n");
+    // The follower's own view: apply latency histogram, pull sizes,
+    // applied-batch counter, final lag gauge.
+    json.push_str("    \"follower_stats\": ");
+    json.push_str(follower_stats.trim());
+    json.push('\n');
+    json.push_str("  },\n");
+    // The primary's own view, verbatim: per-endpoint latency histograms,
     // queue depths, batch sizes, commit times.
     json.push_str("  \"server_stats\": ");
     json.push_str(stats.trim());

@@ -12,6 +12,34 @@
 use bbs_cli::args::Flags;
 use bbs_cli::commands;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Flipped by the signal handler; `bbs serve` polls it and drains.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    STOP.store(true, Ordering::Release);
+}
+
+extern "C" {
+    // signal(2), linked from the platform C library.  Declared locally
+    // (the workspace carries no libc crate); the previous handler the
+    // kernel returns is opaque to us, hence the untyped word.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// Routes SIGINT/SIGTERM into the [`STOP`] flag so `bbs serve` exits
+/// through the same graceful drain a client `shutdown` triggers.
+fn install_signal_handlers() {
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
 
 const USAGE: &str = "\
 bbs — Bit-Sliced Bloom-Filtered Signature File frequent-pattern miner
@@ -34,7 +62,10 @@ USAGE:
                [--cache-pages N] [--queue N] [--batch-max N]
                [--insert-timeout-ms T] [--commit-window-ms T]
                (0 = commit each batch immediately) [--dedup-window N]
-  bbs client   ping|count|insert|mine|probe|stats|shutdown
+               [--follow HOST:PORT] (replicate from that primary)
+               [--poll-ms T] [--auto-promote-ms T]
+               (follower promotes itself after T ms of primary loss)
+  bbs client   ping|count|insert|mine|probe|stats|promote|shutdown
                --tcp HOST:PORT | --unix PATH [--timeout-ms T]
                (count: --items \"I1 I2 …\"; insert: --db FILE [--batch N]
                 [--retries N] [--retry-base-ms T];
@@ -68,7 +99,10 @@ fn main() -> ExitCode {
         "count" => commands::count(&flags),
         "ingest" => commands::ingest(&flags),
         "mine-deployment" => commands::mine_deployment(&flags),
-        "serve" => bbs_cli::server_cmd::serve(&flags),
+        "serve" => {
+            install_signal_handlers();
+            bbs_cli::server_cmd::serve_with_stop(&flags, &STOP)
+        }
         "client" => bbs_cli::server_cmd::client(&flags),
         "fsck" => commands::fsck(&flags),
         "stats" => commands::stats(&flags),

@@ -4,10 +4,11 @@
 use crate::args::{parse_threshold, Flags};
 use crate::commands::parse_threads;
 use bbs_core::Scheme;
-use bbs_server::{Bind, Client, Engine, RetryClient, RetryPolicy, ServerAddr, ServerConfig};
+use bbs_server::{Bind, Client, Engine, RetryClient, RetryPolicy, Role, ServerAddr, ServerConfig};
 use bbs_tdb::read_transactions_path;
 use std::error::Error;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
 use std::time::Duration;
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -20,7 +21,20 @@ type CmdResult = Result<(), Box<dyn Error>>;
 /// signal.  Shutdown is a graceful drain: in-flight requests are
 /// answered and every queued ingest batch is committed before exit.
 pub fn serve(flags: &Flags) -> CmdResult {
+    serve_with_stop(flags, &AtomicBool::new(false))
+}
+
+/// [`serve`] with an external stop flag: the binary's signal handler
+/// flips it on SIGTERM/SIGINT, turning either into the same graceful
+/// drain a client `shutdown` performs (queued batches commit, files
+/// sync, exit 0).
+pub fn serve_with_stop(flags: &Flags, stop: &AtomicBool) -> CmdResult {
     let base = flags.require("base")?;
+    let follow = flags.get("follow").map(str::to_string);
+    let auto_promote_ms: u64 = flags.get_parsed_or("auto-promote-ms", 0u64)?;
+    if follow.is_none() && auto_promote_ms != 0 {
+        return Err("--auto-promote-ms only makes sense with --follow".into());
+    }
     let cfg = ServerConfig {
         width: flags.get_parsed_or("width", 1600usize)?,
         cache_pages: flags.get_parsed_or("cache-pages", 4096usize)?,
@@ -30,6 +44,9 @@ pub fn serve(flags: &Flags) -> CmdResult {
         insert_timeout: Duration::from_millis(flags.get_parsed_or("insert-timeout-ms", 30_000u64)?),
         commit_window: Duration::from_millis(flags.get_parsed_or("commit-window-ms", 50u64)?),
         dedup_window: flags.get_parsed_or("dedup-window", ServerConfig::default().dedup_window)?,
+        follow,
+        poll_interval: Duration::from_millis(flags.get_parsed_or("poll-ms", 50u64)?),
+        auto_promote: (auto_promote_ms != 0).then(|| Duration::from_millis(auto_promote_ms)),
     };
     let bind = Bind {
         tcp: flags.get("tcp").map(str::to_string),
@@ -41,6 +58,7 @@ pub fn serve(flags: &Flags) -> CmdResult {
 
     let engine = Engine::open(Path::new(base), cfg)?;
     let rows = engine.snapshot().rows();
+    let role = engine.role();
     let handle = bbs_server::serve(engine, &bind)?;
     if let Some(addr) = handle.tcp_addr() {
         println!("listening tcp {addr}");
@@ -48,13 +66,18 @@ pub fn serve(flags: &Flags) -> CmdResult {
     if let Some(path) = handle.unix_path() {
         println!("listening unix {}", path.display());
     }
-    println!("serving {base}.* ({rows} committed rows)");
+    match role {
+        Role::Primary => println!("serving {base}.* ({rows} committed rows, primary)"),
+        Role::Follower { primary } => {
+            println!("serving {base}.* ({rows} committed rows, following {primary})")
+        }
+    }
     // The line-buffered stdout must reach a parent that spawned us before
     // it tries to connect.
     use std::io::Write;
     std::io::stdout().flush().ok();
 
-    handle.wait();
+    handle.wait_with_stop(stop);
     eprintln!("bbs serve: drained and stopped");
     Ok(())
 }
@@ -123,7 +146,7 @@ pub fn client(flags: &Flags) -> CmdResult {
         .positional()
         .first()
         .map(String::as_str)
-        .ok_or("client needs an action: ping|count|insert|mine|probe|stats|shutdown")?;
+        .ok_or("client needs an action: ping|count|insert|mine|probe|stats|promote|shutdown")?;
     if action == "insert" {
         // Insert connects through the retrying client (lazily, so a
         // server that is still starting up is retried, not failed).
@@ -184,13 +207,20 @@ pub fn client(flags: &Flags) -> CmdResult {
         "stats" => {
             println!("{}", client.stats()?);
         }
+        "promote" => {
+            let reply = client.promote()?;
+            println!(
+                "promoted to primary (epoch {}, {} rows)",
+                reply.epoch, reply.rows
+            );
+        }
         "shutdown" => {
             client.shutdown_server()?;
             println!("server draining");
         }
         other => {
             return Err(format!(
-                "unknown client action {other:?} (expected ping|count|insert|mine|probe|stats|shutdown)"
+                "unknown client action {other:?} (expected ping|count|insert|mine|probe|stats|promote|shutdown)"
             )
             .into())
         }

@@ -212,6 +212,40 @@ fn retry_with_same_request_id_across_kill_and_restart_never_duplicates() {
     assert!(fsck(&base), "fsck after the whole dance");
 }
 
+/// SIGTERM (and SIGINT) are graceful: the server flushes its commit
+/// queue, syncs the files, and exits 0 — indistinguishable on disk from
+/// a client-requested shutdown.
+#[test]
+fn sigterm_drains_gracefully_and_exits_zero() {
+    let base = temp("sigterm");
+    let _g = Cleanup(base.clone());
+    let (mut child, addr) = spawn_server(&base);
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let txns: Vec<(u64, Vec<u32>)> = (0..24).map(|i| (i, vec![5, 6 + (i % 2) as u32])).collect();
+    let reply = client.insert(&txns).expect("insert");
+    assert_eq!(reply.appended, 24);
+
+    let delivered = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(delivered, "SIGTERM delivered");
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "SIGTERM drain exits zero, got {status:?}");
+
+    assert!(fsck(&base), "fsck passes after SIGTERM drain");
+    let hasher: Arc<dyn bbs_hash::ItemHasher> = Arc::new(bbs_hash::Md5BloomHasher::new(4));
+    let dep = DiskDeployment::open(&base, 64, hasher, 128).expect("reopen");
+    assert_eq!(dep.db.len(), 24, "every committed row survives the drain");
+    let support = dep
+        .index
+        .count_itemset(&bbs_tdb::Itemset::from_values(&[5]))
+        .expect("count");
+    assert_eq!(support, 24);
+}
+
 #[test]
 fn graceful_shutdown_exits_zero_and_preserves_data() {
     let base = temp("graceful");

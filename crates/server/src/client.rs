@@ -42,6 +42,9 @@ pub enum ClientError {
     /// The server could not parse the frame it received (corrupted in
     /// transit) and is closing the connection.
     BadFrame(String),
+    /// The server is a replication follower and rejected a write; the
+    /// string is the primary's address (may be empty when unknown).
+    NotPrimary(String),
     /// The server executed the request and reported an error.
     Server(String),
     /// The server answered with a reply that does not match the request.
@@ -55,6 +58,12 @@ impl fmt::Display for ClientError {
             ClientError::Overloaded => write!(f, "server overloaded; retry later"),
             ClientError::DiskFull => write!(f, "server disk full; retry once space returns"),
             ClientError::BadFrame(msg) => write!(f, "server rejected frame: {msg}"),
+            ClientError::NotPrimary(addr) if addr.is_empty() => {
+                write!(f, "server is a follower; writes go to the primary")
+            }
+            ClientError::NotPrimary(addr) => {
+                write!(f, "server is a follower; writes go to the primary at {addr}")
+            }
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
@@ -80,12 +89,18 @@ impl ClientError {
     /// again.  `Server` and `Protocol` errors are terminal: the server
     /// understood the request and definitively failed it, or the
     /// conversation itself is broken in a way reconnecting won't fix.
+    /// `NotPrimary` is retryable too: during a failover the rejecting
+    /// follower is often the node *about to be promoted*, so a client
+    /// that keeps re-sending (same request IDs) converges as soon as the
+    /// promotion lands — and the exactly-once window answers any batch
+    /// that already committed on the old primary.
     pub fn is_retryable(&self) -> bool {
         match self {
             ClientError::Io(_)
             | ClientError::Overloaded
             | ClientError::DiskFull
-            | ClientError::BadFrame(_) => true,
+            | ClientError::BadFrame(_)
+            | ClientError::NotPrimary(_) => true,
             ClientError::Server(_) | ClientError::Protocol(_) => false,
         }
     }
@@ -155,6 +170,27 @@ pub struct InsertReply {
     pub deduped: bool,
 }
 
+/// One `replicate` pull: the primary's row count plus the log entries
+/// covering the requested row onward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateReply {
+    /// Rows committed on the server at the time of the pull (the
+    /// follower's lag is `rows - locally_applied_rows`).
+    pub rows: u64,
+    /// Entries in row order: `(first_row, txns, receipts)` in the wire
+    /// shape (see [`crate::proto::LogEntry`]).
+    pub entries: Vec<proto::LogEntry>,
+}
+
+/// The `promote` reply: the epoch and rows the new primary serves from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromoteReply {
+    /// Epoch of the promoted server's latest snapshot.
+    pub epoch: u64,
+    /// Rows that snapshot serves.
+    pub rows: u64,
+}
+
 /// The `mine` reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MineReply {
@@ -211,6 +247,7 @@ impl Client {
             Response::Overloaded => Err(ClientError::Overloaded),
             Response::DiskFull => Err(ClientError::DiskFull),
             Response::BadFrame(msg) => Err(ClientError::BadFrame(msg)),
+            Response::NotPrimary(addr) => Err(ClientError::NotPrimary(addr)),
             Response::Err(msg) => Err(ClientError::Server(msg)),
         }
     }
@@ -320,6 +357,28 @@ impl Client {
     pub fn stats(&mut self) -> ClientResult<String> {
         match self.call(&Request::Stats)? {
             Reply::Stats { json } => Ok(json),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Pulls replication-log entries from `from_row` onward (the row
+    /// doubles as the puller's cumulative ACK: everything before it is
+    /// applied).  An empty reply means caught up.
+    pub fn replicate(&mut self, from_row: u64, max_entries: u32) -> ClientResult<ReplicateReply> {
+        let req = Request::Replicate {
+            from_row,
+            max_entries,
+        };
+        match self.call(&req)? {
+            Reply::LogEntries { rows, entries } => Ok(ReplicateReply { rows, entries }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Promotes the server to primary (idempotent on a primary).
+    pub fn promote(&mut self) -> ClientResult<PromoteReply> {
+        match self.call(&Request::Promote)? {
+            Reply::Promoted { epoch, rows } => Ok(PromoteReply { epoch, rows }),
             other => Self::mismatch(other),
         }
     }
@@ -573,6 +632,11 @@ impl RetryClient {
         self.retry(|c| c.ping())
     }
 
+    /// `promote` with retries (idempotent, so retrying is safe).
+    pub fn promote(&mut self) -> ClientResult<PromoteReply> {
+        self.retry(|c| c.promote())
+    }
+
     /// Asks the server to drain and exit (no retries: a shutdown that
     /// raced the socket closing already did its job).
     pub fn shutdown_server(&mut self) -> ClientResult<()> {
@@ -607,6 +671,11 @@ mod tests {
             (ClientError::Overloaded, true, false),
             (ClientError::DiskFull, true, false),
             (ClientError::BadFrame("torn".into()), true, true),
+            (
+                ClientError::NotPrimary("127.0.0.1:7777".into()),
+                true,
+                false,
+            ),
             (ClientError::Server("mine failed".into()), false, false),
             (ClientError::Protocol("mismatched reply".into()), false, false),
         ];
@@ -638,6 +707,118 @@ mod tests {
             assert!(nominal >= prev_nominal, "nominal schedule is monotone");
             prev_nominal = nominal;
         }
+    }
+
+    /// The backoff schedule is a pure function of (policy, retry, rng
+    /// state): the same seed replays the same delays, every delay sits in
+    /// the jitter envelope `[0.5, 1.5) ×` the capped-exponential nominal,
+    /// and deep retry counts saturate at the cap instead of overflowing.
+    #[test]
+    fn backoff_is_deterministic_and_stays_in_the_jitter_envelope() {
+        let policy = RetryPolicy {
+            attempts: 64,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+        };
+        let seed = 0x5EED_CAFE_F00D_u64;
+        let (mut a, mut b) = (seed, seed);
+        for retry in 1..=40 {
+            let da = policy.backoff(retry, &mut a);
+            let db = policy.backoff(retry, &mut b);
+            assert_eq!(da, db, "same seed must replay the same schedule");
+            let nominal = policy
+                .base
+                .saturating_mul(1u32 << (retry - 1).min(20))
+                .min(policy.cap);
+            assert!(da >= nominal.mul_f64(0.5), "retry {retry}: {da:?} too small");
+            assert!(da < nominal.mul_f64(1.5), "retry {retry}: {da:?} too large");
+            if retry >= 7 {
+                // 10ms · 2^6 = 640ms > cap: from here the nominal is the
+                // cap itself, jitter included.
+                assert!(da < policy.cap.mul_f64(1.5), "cap must bound deep retries");
+                assert!(da >= policy.cap.mul_f64(0.5));
+            }
+        }
+        // A different seed diverges (the jitter is doing something).
+        let (mut c, mut d) = (seed, seed ^ 1);
+        let diverged = (1..=10).any(|r| policy.backoff(r, &mut c) != policy.backoff(r, &mut d));
+        assert!(diverged, "distinct seeds must produce distinct schedules");
+    }
+
+    /// A poisoned connection (transport error) forces a reconnect, and
+    /// the attempt budget is **per call**: a call that burned retries on
+    /// the poisoned stream does not eat into the next call's budget.
+    #[test]
+    fn reconnect_on_poison_resets_the_attempt_counter() {
+        use std::io::Read as _;
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            // Connection 1: read the request, then hang up without
+            // replying — the client sees an EOF, a poisoning error.
+            {
+                let (mut s, _) = listener.accept().expect("accept 1");
+                let mut hdr = [0u8; 4];
+                s.read_exact(&mut hdr).expect("read len");
+                let mut body = vec![0u8; u32::from_le_bytes(hdr) as usize];
+                s.read_exact(&mut body).expect("read body");
+                // Drop: connection reset before any response.
+            }
+            // Connections 2 and 3: answer pings properly.
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().expect("accept");
+                while let Ok(Some(payload)) = crate::proto::read_frame(&mut s) {
+                    let req = Request::decode(&payload).expect("decode");
+                    assert!(matches!(req, Request::Ping));
+                    let resp = Response::Ok(Reply::Pong);
+                    crate::proto::write_frame(&mut s, &resp.encode()).expect("write");
+                }
+            }
+        });
+
+        let mut client = RetryClient::with_policy(
+            ServerAddr::Tcp(addr),
+            RetryPolicy {
+                attempts: 2,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            },
+        );
+
+        // Call 1: attempt 1 poisons, attempt 2 reconnects and succeeds —
+        // within one call's budget.
+        client.ping().expect("ping after reconnect");
+        let s1 = client.stats();
+        assert_eq!(
+            (s1.attempts, s1.retries, s1.reconnects, s1.gave_up),
+            (2, 1, 1, 0),
+            "poison consumed one retry and one reconnect"
+        );
+
+        // Call 2: the attempt counter restarted — a fresh call on the
+        // healthy connection needs exactly one attempt, proving the
+        // previous call's retries did not carry over.
+        client.ping().expect("second ping");
+        let s2 = client.stats();
+        assert_eq!(
+            (s2.attempts, s2.retries, s2.reconnects, s2.gave_up),
+            (3, 1, 1, 0),
+            "one fresh attempt, no inherited retries"
+        );
+
+        // Call 3: drop the connection client-side; the next call simply
+        // re-dials and still needs only one attempt of its fresh budget.
+        drop(client.conn.take());
+        client.ping().expect("third ping");
+        let s3 = client.stats();
+        assert_eq!(s3.gave_up, 0, "no call ever exhausted its budget");
+        assert_eq!(s3.attempts, 4, "third call also took a single attempt");
+
+        // Hang up so the server thread sees EOF and exits.
+        drop(client);
+        server.join().expect("server thread");
     }
 
     #[test]

@@ -38,12 +38,13 @@
 //! request in, response out, metrics recorded — it is transport-agnostic
 //! and unit-testable without a socket.
 
+use crate::client::Client;
 use crate::metrics::ServerMetrics;
-use crate::proto::{Reply, Request, Response};
+use crate::proto::{LogEntry, Reply, Request, Response};
 use bbs_core::Scheme;
 use bbs_hash::{ItemHasher, Md5BloomHasher};
-use bbs_storage::is_disk_full;
 use bbs_storage::snapshot::{SharedDeployment, Snapshot};
+use bbs_storage::{deployment_paths, is_disk_full, read_entries};
 use bbs_storage::DEFAULT_DEDUP_WINDOW;
 use bbs_tdb::{FrequentPatternMiner, Itemset, SupportThreshold, Transaction};
 use std::collections::HashMap;
@@ -51,9 +52,18 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Most log entries one `replicate` response carries, regardless of what
+/// the follower asked for.
+const REPLICATE_MAX_ENTRIES: usize = 512;
+
+/// Byte budget for the entries of one `replicate` response (the wire
+/// encoding adds a small constant per entry, so this stays comfortably
+/// under [`crate::proto::MAX_FRAME`]).
+const REPLICATE_MAX_BYTES: usize = 8 << 20;
 
 /// Resolves a requested thread count: `0` (or absent, mapped to `0` by
 /// callers) means "all available cores".
@@ -65,6 +75,20 @@ pub fn resolve_threads(requested: usize) -> usize {
     } else {
         requested
     }
+}
+
+/// Which side of replication this server is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes; its replication log is the source of truth.
+    Primary,
+    /// Pulls the primary's log and applies it through the normal commit
+    /// path; serves reads, rejects writes with `NotPrimary`.
+    Follower {
+        /// The primary's address, echoed in `NotPrimary` rejections so a
+        /// client knows where to go.
+        primary: String,
+    },
 }
 
 /// Tuning knobs for an [`Engine`].
@@ -91,6 +115,16 @@ pub struct ServerConfig {
     /// Request IDs remembered for exactly-once ingest (per deployment,
     /// persisted across restarts).
     pub dedup_window: usize,
+    /// When set, start as a follower of the primary at this TCP address:
+    /// pull its replication log, apply through the commit path, reject
+    /// writes with `NotPrimary`.
+    pub follow: Option<String>,
+    /// How often a follower polls the primary once caught up (also the
+    /// retry tick while the primary is unreachable).
+    pub poll_interval: Duration,
+    /// A follower that cannot reach its primary for this long promotes
+    /// itself.  `None` (the default) promotes only on request.
+    pub auto_promote: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +138,9 @@ impl Default for ServerConfig {
             insert_timeout: Duration::from_secs(30),
             commit_window: Duration::from_millis(50),
             dedup_window: DEFAULT_DEDUP_WINDOW,
+            follow: None,
+            poll_interval: Duration::from_millis(50),
+            auto_promote: None,
         }
     }
 }
@@ -137,6 +174,8 @@ pub enum InsertOutcome {
     /// serving; retrying with the same request ID once space returns is
     /// safe.
     DiskFull,
+    /// This server is a follower: writes go to the named primary.
+    NotPrimary(String),
     /// The commit failed or its receipt did not arrive in time.
     Failed(String),
 }
@@ -148,6 +187,9 @@ pub struct Engine {
     ingest: SyncSender<IngestJob>,
     committer: Mutex<Option<JoinHandle<()>>>,
     draining: Arc<AtomicBool>,
+    role: Arc<RwLock<Role>>,
+    applier: Mutex<Option<JoinHandle<()>>>,
+    applier_stop: Arc<AtomicBool>,
     cfg: ServerConfig,
 }
 
@@ -187,12 +229,41 @@ impl Engine {
                 .name("bbs-committer".into())
                 .spawn(move || committer_loop(&shared, &metrics, &draining, &rx, batch_max, window))?
         };
+        let role = Arc::new(RwLock::new(match &cfg.follow {
+            Some(primary) => Role::Follower {
+                primary: primary.clone(),
+            },
+            None => Role::Primary,
+        }));
+        let applier_stop = Arc::new(AtomicBool::new(false));
+        let applier = match &cfg.follow {
+            Some(primary) => {
+                let shared = Arc::clone(&shared);
+                let metrics = Arc::clone(&metrics);
+                let role = Arc::clone(&role);
+                let stop = Arc::clone(&applier_stop);
+                let primary = primary.clone();
+                let poll = cfg.poll_interval;
+                let auto = cfg.auto_promote;
+                Some(
+                    std::thread::Builder::new()
+                        .name("bbs-applier".into())
+                        .spawn(move || {
+                            follower_loop(&shared, &metrics, &role, &stop, &primary, poll, auto)
+                        })?,
+                )
+            }
+            None => None,
+        };
         Ok(Arc::new(Engine {
             shared,
             metrics,
             ingest: tx,
             committer: Mutex::new(Some(committer)),
             draining,
+            role,
+            applier: Mutex::new(applier),
+            applier_stop,
             cfg,
         }))
     }
@@ -222,10 +293,19 @@ impl Engine {
         self.draining.store(true, Ordering::Release);
     }
 
-    /// Waits for the committer to drain the queue and exit.  Idempotent;
-    /// implies [`Engine::begin_drain`].
+    /// Waits for the committer (and, on a follower, the applier) to
+    /// drain and exit.  Idempotent; implies [`Engine::begin_drain`].
     pub fn join(&self) {
         self.begin_drain();
+        self.applier_stop.store(true, Ordering::Release);
+        let handle = self
+            .applier
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = handle {
+            h.join().ok();
+        }
         let handle = self
             .committer
             .lock()
@@ -234,6 +314,43 @@ impl Engine {
         if let Some(h) = handle {
             h.join().ok();
         }
+    }
+
+    /// This server's current replication role.
+    pub fn role(&self) -> Role {
+        self.role.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Promotes this server to primary: stops the applier, flips the
+    /// role, and starts accepting writes.  Idempotent — promoting a
+    /// primary is a no-op.  Returns the epoch and row count the new
+    /// primary starts serving from.
+    pub fn promote(&self) -> (u64, u64) {
+        self.applier_stop.store(true, Ordering::Release);
+        let was_follower = {
+            let mut role = self.role.write().unwrap_or_else(|e| e.into_inner());
+            match &*role {
+                Role::Follower { .. } => {
+                    *role = Role::Primary;
+                    true
+                }
+                Role::Primary => false,
+            }
+        };
+        if was_follower {
+            self.metrics.promotions.fetch_add(1, Ordering::Relaxed);
+        }
+        // Join outside the role lock: the applier may be mid-poll.
+        let handle = self
+            .applier
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = handle {
+            h.join().ok();
+        }
+        let snap = self.shared.snapshot();
+        (snap.epoch(), snap.rows())
     }
 
     /// [`Engine::insert_with_id`] without a request ID (no dedup).
@@ -255,6 +372,10 @@ impl Engine {
                 epoch: snap.epoch(),
                 deduped: false,
             };
+        }
+        if let Role::Follower { primary } = &*self.role.read().unwrap_or_else(|e| e.into_inner()) {
+            self.metrics.not_primary.fetch_add(1, Ordering::Relaxed);
+            return InsertOutcome::NotPrimary(primary.clone());
         }
         if self.is_draining() {
             self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
@@ -320,9 +441,16 @@ impl Engine {
     pub fn stats_json(&self) -> String {
         let snap = self.shared.snapshot();
         let profile = self.shared.writer_profile();
+        let (role_name, primary_addr) = match self.role() {
+            Role::Primary => ("primary", String::new()),
+            Role::Follower { primary } => ("follower", primary),
+        };
         let extra = vec![
             format!("\"epoch\":{}", snap.epoch()),
             format!("\"rows\":{}", snap.rows()),
+            format!("\"role\":\"{role_name}\""),
+            format!("\"primary_addr\":\"{primary_addr}\""),
+            format!("\"committed_seq\":{}", self.shared.committed_seq()),
             format!("\"queue_capacity\":{}", self.cfg.queue_capacity),
             format!("\"batch_max\":{}", self.cfg.batch_max),
             format!(
@@ -406,6 +534,7 @@ impl Engine {
                     }),
                     InsertOutcome::Overloaded => Response::Overloaded,
                     InsertOutcome::DiskFull => Response::DiskFull,
+                    InsertOutcome::NotPrimary(primary) => Response::NotPrimary(primary),
                     InsertOutcome::Failed(msg) => Response::Err(msg),
                 }
             }
@@ -443,11 +572,66 @@ impl Engine {
             Request::Stats => Response::Ok(Reply::Stats {
                 json: self.stats_json(),
             }),
+            Request::Replicate {
+                from_row,
+                max_entries,
+            } => self.serve_replicate(*from_row, *max_entries),
+            Request::Promote => {
+                let (epoch, rows) = self.promote();
+                Response::Ok(Reply::Promoted { epoch, rows })
+            }
             Request::Shutdown => {
                 self.begin_drain();
                 Response::Ok(Reply::ShuttingDown)
             }
         }
+    }
+
+    /// Serves one `replicate` pull from the on-disk log: entries covering
+    /// `from_row` onward, capped by the server's entry/byte budgets and by
+    /// the committed sequence number (synced-but-uncommitted debris is
+    /// never streamed).
+    ///
+    /// Reading is stateless and lock-free with respect to the writer: the
+    /// row count is read *before* the committed-seq cap, so every entry
+    /// the cap admits is on disk by the time the file is scanned.
+    fn serve_replicate(&self, from_row: u64, max_entries: u32) -> Response {
+        let rows = self.shared.snapshot().rows();
+        let upto_seq = self.shared.committed_seq();
+        let paths = deployment_paths(self.shared.base());
+        let cap = (max_entries as usize).clamp(1, REPLICATE_MAX_ENTRIES);
+        let read = match read_entries(&paths.log, from_row, cap, REPLICATE_MAX_BYTES, upto_seq) {
+            Ok(read) => read,
+            Err(e) => return Response::Err(format!("replication log read failed: {e}")),
+        };
+        if let Some(first) = read.entries.first() {
+            if first.first_row != from_row {
+                return Response::Err(format!(
+                    "replication log cannot serve row {from_row}: next entry starts at row {} \
+                     (follower must resync from a fresh copy)",
+                    first.first_row
+                ));
+            }
+        } else if from_row < rows {
+            return Response::Err(format!(
+                "replication log no longer covers row {from_row} (log starts at row {}); \
+                 follower must resync from a fresh copy",
+                read.start_row
+            ));
+        }
+        let entries: Vec<LogEntry> = read
+            .entries
+            .into_iter()
+            .map(|e| {
+                let txns = e
+                    .txns
+                    .iter()
+                    .map(|t| (t.tid.0, t.items.items().iter().map(|i| i.0).collect()))
+                    .collect();
+                (e.first_row, txns, e.receipts)
+            })
+            .collect();
+        Response::Ok(Reply::LogEntries { rows, entries })
     }
 }
 
@@ -627,6 +811,123 @@ fn committer_loop(
                     };
                     job.reply.try_send(outcome).ok();
                 }
+            }
+        }
+    }
+}
+
+/// Sleeps for `total`, waking early (in ~10 ms ticks) if `stop` flips —
+/// so a promotion never waits out a full poll interval.
+fn sleep_unless_stopped(stop: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::Acquire) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(10)));
+    }
+}
+
+/// The follower's applier thread: pull the primary's replication log from
+/// the local row count forward, apply each entry through the normal
+/// commit path (receipts included, so the exactly-once window replicates
+/// too), and keep the lag gauge current.  On sustained primary loss with
+/// `auto_promote` set, flips the role to primary and exits.
+fn follower_loop(
+    shared: &SharedDeployment,
+    metrics: &ServerMetrics,
+    role: &RwLock<Role>,
+    stop: &AtomicBool,
+    primary: &str,
+    poll: Duration,
+    auto_promote: Option<Duration>,
+) {
+    let mut conn: Option<Client> = None;
+    let mut last_contact = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        if conn.is_none() {
+            if let Ok(mut c) = Client::connect_tcp(primary) {
+                c.set_timeout(Some(Duration::from_secs(5))).ok();
+                conn = Some(c);
+            }
+        }
+        let local_rows = shared.snapshot().rows();
+        let pulled = match conn.as_mut() {
+            Some(c) => c.replicate(local_rows, REPLICATE_MAX_ENTRIES as u32),
+            None => Err(crate::client::ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "primary unreachable",
+            ))),
+        };
+        match pulled {
+            Ok(reply) => {
+                last_contact = Instant::now();
+                let mut applied_rows = 0u64;
+                let mut healthy = true;
+                for (first_row, txns, receipts) in &reply.entries {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if *first_row != shared.snapshot().rows() {
+                        // A non-contiguous entry means this pull raced a
+                        // concurrent apply (or the stream desynced): drop
+                        // it and re-pull from the authoritative row count.
+                        healthy = false;
+                        break;
+                    }
+                    let txns: Vec<Transaction> = txns
+                        .iter()
+                        .map(|(tid, items)| Transaction::new(*tid, Itemset::from_values(items)))
+                        .collect();
+                    let n = txns.len() as u64;
+                    let t0 = Instant::now();
+                    match shared.commit_with(&txns, receipts) {
+                        Ok(_) => {
+                            metrics
+                                .follower_apply_us
+                                .record(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                            metrics
+                                .follower_applied_batches
+                                .fetch_add(1, Ordering::Relaxed);
+                            applied_rows += n;
+                        }
+                        Err(_) => {
+                            healthy = false;
+                            break;
+                        }
+                    }
+                }
+                if applied_rows > 0 {
+                    metrics.follower_pull_rows.record(applied_rows);
+                }
+                let lag = reply.rows.saturating_sub(shared.snapshot().rows());
+                metrics.replication_lag_rows.store(lag, Ordering::Relaxed);
+                if !healthy || lag == 0 {
+                    sleep_unless_stopped(stop, poll);
+                }
+                // else: still behind — pull the next chunk immediately.
+            }
+            Err(e) => {
+                conn = None;
+                if !matches!(e, crate::client::ClientError::Server(_)) {
+                    // Transport-level loss counts toward primary-loss; a
+                    // typed server error proves the primary is alive.
+                    if let Some(limit) = auto_promote {
+                        if last_contact.elapsed() >= limit {
+                            let mut r = role.write().unwrap_or_else(|p| p.into_inner());
+                            if matches!(*r, Role::Follower { .. }) {
+                                *r = Role::Primary;
+                                metrics.promotions.fetch_add(1, Ordering::Relaxed);
+                                metrics.replication_lag_rows.store(0, Ordering::Relaxed);
+                            }
+                            return;
+                        }
+                    }
+                } else {
+                    last_contact = Instant::now();
+                }
+                sleep_unless_stopped(stop, poll);
             }
         }
     }

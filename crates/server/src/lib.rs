@@ -39,10 +39,10 @@ pub mod net;
 pub mod proto;
 
 pub use client::{
-    Client, ClientError, ClientResult, CountReply, InsertReply, MineReply, RetryClient,
-    RetryPolicy, RetryStats, ServerAddr,
+    Client, ClientError, ClientResult, CountReply, InsertReply, MineReply, PromoteReply,
+    ReplicateReply, RetryClient, RetryPolicy, RetryStats, ServerAddr,
 };
-pub use engine::{resolve_threads, Engine, InsertOutcome, ServerConfig};
+pub use engine::{resolve_threads, Engine, InsertOutcome, Role, ServerConfig};
 pub use metrics::{Endpoint, Histogram, ServerMetrics};
 pub use net::{serve, Bind, ServerHandle};
-pub use proto::{Reply, Request, Response};
+pub use proto::{LogEntry, Reply, Request, Response};

@@ -145,6 +145,10 @@ pub struct ServerMetrics {
     pub probe: Endpoint,
     /// `stats` endpoint.
     pub stats: Endpoint,
+    /// `replicate` endpoint (followers pulling log entries).
+    pub replicate: Endpoint,
+    /// `promote` endpoint.
+    pub promote: Endpoint,
     /// Requests rejected by admission control.
     pub overloaded: AtomicU64,
     /// Inserts answered from the exactly-once window instead of appending
@@ -162,6 +166,20 @@ pub struct ServerMetrics {
     pub batch_size: Histogram,
     /// Group-commit latency in microseconds (append + flush + publish).
     pub commit_us: Histogram,
+    /// Writes rejected on a follower with the typed `NotPrimary` status.
+    pub not_primary: AtomicU64,
+    /// Role transitions follower → primary (manual or automatic).
+    pub promotions: AtomicU64,
+    /// Rows the primary has committed beyond what this follower has
+    /// applied, sampled after each replication poll (gauge; 0 on a
+    /// primary).
+    pub replication_lag_rows: AtomicU64,
+    /// Batches a follower applied through its commit path.
+    pub follower_applied_batches: AtomicU64,
+    /// Latency of one follower apply (commit of one pulled batch), µs.
+    pub follower_apply_us: Histogram,
+    /// Rows applied per replication poll round-trip.
+    pub follower_pull_rows: Histogram,
 }
 
 impl ServerMetrics {
@@ -180,6 +198,8 @@ impl ServerMetrics {
             op::MINE => Some(&self.mine),
             op::PROBE => Some(&self.probe),
             op::STATS => Some(&self.stats),
+            op::REPLICATE => Some(&self.replicate),
+            op::PROMOTE => Some(&self.promote),
             _ => None,
         }
     }
@@ -196,6 +216,8 @@ impl ServerMetrics {
             format!("\"mine\":{}", self.mine.to_json()),
             format!("\"probe\":{}", self.probe.to_json()),
             format!("\"stats\":{}", self.stats.to_json()),
+            format!("\"replicate\":{}", self.replicate.to_json()),
+            format!("\"promote\":{}", self.promote.to_json()),
             format!("\"overloaded\":{}", self.overloaded.load(Ordering::Relaxed)),
             format!("\"dedup_hits\":{}", self.dedup_hits.load(Ordering::Relaxed)),
             format!("\"disk_full\":{}", self.disk_full.load(Ordering::Relaxed)),
@@ -213,6 +235,27 @@ impl ServerMetrics {
             ),
             format!("\"batch_size\":{}", self.batch_size.to_json()),
             format!("\"commit_us\":{}", self.commit_us.to_json()),
+            format!(
+                "\"not_primary\":{}",
+                self.not_primary.load(Ordering::Relaxed)
+            ),
+            format!("\"promotions\":{}", self.promotions.load(Ordering::Relaxed)),
+            format!(
+                "\"replication_lag_rows\":{}",
+                self.replication_lag_rows.load(Ordering::Relaxed)
+            ),
+            format!(
+                "\"follower_applied_batches\":{}",
+                self.follower_applied_batches.load(Ordering::Relaxed)
+            ),
+            format!(
+                "\"follower_apply_us\":{}",
+                self.follower_apply_us.to_json()
+            ),
+            format!(
+                "\"follower_pull_rows\":{}",
+                self.follower_pull_rows.to_json()
+            ),
         ];
         fields.extend(extra.iter().cloned());
         format!("{{{}}}", fields.join(","))
@@ -272,7 +315,16 @@ mod tests {
     fn endpoint_lookup_covers_tracked_opcodes() {
         use crate::proto::op;
         let m = ServerMetrics::new();
-        for opc in [op::PING, op::COUNT, op::INSERT, op::MINE, op::PROBE, op::STATS] {
+        for opc in [
+            op::PING,
+            op::COUNT,
+            op::INSERT,
+            op::MINE,
+            op::PROBE,
+            op::STATS,
+            op::REPLICATE,
+            op::PROMOTE,
+        ] {
             assert!(m.endpoint(opc).is_some());
         }
         assert!(m.endpoint(op::SHUTDOWN).is_none());

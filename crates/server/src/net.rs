@@ -111,6 +111,16 @@ impl ServerHandle {
         }
         self.join();
     }
+
+    /// [`ServerHandle::wait`] that also returns when `stop` flips — the
+    /// hook `bbs serve` uses to turn SIGTERM/SIGINT into a graceful
+    /// drain (queued batches commit, files sync, then exit).
+    pub fn wait_with_stop(self, stop: &AtomicBool) {
+        while !self.is_shutting_down() && !stop.load(Ordering::Acquire) {
+            std::thread::sleep(POLL_TICK);
+        }
+        self.join();
+    }
 }
 
 /// Binds the requested listeners and starts serving `engine`.

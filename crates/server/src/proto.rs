@@ -50,6 +50,10 @@ pub mod op {
     pub const STATS: u8 = 5;
     /// Ask the server to drain and exit.
     pub const SHUTDOWN: u8 = 6;
+    /// Pull committed replication-log entries (follower → primary).
+    pub const REPLICATE: u8 = 7;
+    /// Promote a follower to primary (writable).
+    pub const PROMOTE: u8 = 8;
 }
 
 /// Response status values (response byte 0).
@@ -67,6 +71,9 @@ pub mod status {
     /// The request frame did not parse; the server closes the connection
     /// after sending this (a garbled stream cannot be re-synchronised).
     pub const BAD_FRAME: u8 = 4;
+    /// This server is a read-only follower; writes must go to the
+    /// primary it names (UTF-8 address follows, possibly empty).
+    pub const NOT_PRIMARY: u8 = 5;
 }
 
 /// A decoded client request.
@@ -107,6 +114,19 @@ pub enum Request {
     Stats,
     /// Drain queued ingest, then stop serving.
     Shutdown,
+    /// Pull committed replication-log entries starting at `from_row`.
+    /// The row doubles as the follower's cumulative ACK: everything below
+    /// it is applied and durable on the follower, so the primary can
+    /// compute replication lag from the last pull it served.
+    Replicate {
+        /// First row the follower is missing (its committed row count).
+        from_row: u64,
+        /// Upper bound on entries per reply (the server applies its own
+        /// byte budget too, keeping replies well under [`MAX_FRAME`]).
+        max_entries: u32,
+    },
+    /// Flip this follower to primary (idempotent on a primary).
+    Promote,
 }
 
 /// The body of an ok response (tagged with the opcode it answers).
@@ -158,7 +178,29 @@ pub enum Reply {
     },
     /// Answer to [`Request::Shutdown`]: the server is draining.
     ShuttingDown,
+    /// Answer to [`Request::Replicate`]: a run of committed log entries
+    /// starting exactly at the requested row (empty = caught up).
+    LogEntries {
+        /// Committed rows on the serving node when the pull was answered
+        /// (what the follower measures its lag against).
+        rows: u64,
+        /// Entries in row order: `(first_row, txns, receipts)`, receipts
+        /// as `(req_id, offset, len)` relative to the entry's batch.
+        entries: Vec<LogEntry>,
+    },
+    /// Answer to [`Request::Promote`]: this node now accepts writes.
+    Promoted {
+        /// Epoch at promotion.
+        epoch: u64,
+        /// Committed rows at promotion.
+        rows: u64,
+    },
 }
+
+/// One replication-log entry on the wire: the batch's first row, its
+/// transactions `(tid, items)`, and its exactly-once receipts
+/// `(req_id, offset, len)` with offsets relative to the batch.
+pub type LogEntry = (u64, Vec<(u64, Vec<u32>)>, Vec<(u64, u64, u64)>);
 
 /// A decoded server response.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,6 +218,9 @@ pub enum Response {
     /// The request frame did not parse; the connection is closed after
     /// this response.
     BadFrame(String),
+    /// This server is a read-only follower: writes must go to the named
+    /// primary (empty when the follower does not know one).
+    NotPrimary(String),
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -311,6 +356,15 @@ impl Request {
             }
             Request::Stats => out.push(op::STATS),
             Request::Shutdown => out.push(op::SHUTDOWN),
+            Request::Replicate {
+                from_row,
+                max_entries,
+            } => {
+                out.push(op::REPLICATE);
+                out.extend_from_slice(&from_row.to_le_bytes());
+                out.extend_from_slice(&max_entries.to_le_bytes());
+            }
+            Request::Promote => out.push(op::PROMOTE),
         }
         out
     }
@@ -345,6 +399,11 @@ impl Request {
             op::PROBE => Request::Probe { row: r.u64()? },
             op::STATS => Request::Stats,
             op::SHUTDOWN => Request::Shutdown,
+            op::REPLICATE => Request::Replicate {
+                from_row: r.u64()?,
+                max_entries: r.u32()?,
+            },
+            op::PROMOTE => Request::Promote,
             k => return Err(bad(format!("unknown opcode {k}"))),
         };
         r.done()?;
@@ -361,6 +420,8 @@ impl Request {
             Request::Probe { .. } => op::PROBE,
             Request::Stats => op::STATS,
             Request::Shutdown => op::SHUTDOWN,
+            Request::Replicate { .. } => op::REPLICATE,
+            Request::Promote => op::PROMOTE,
         }
     }
 }
@@ -375,6 +436,8 @@ impl Reply {
             Reply::Probe { .. } => op::PROBE,
             Reply::Stats { .. } => op::STATS,
             Reply::ShuttingDown => op::SHUTDOWN,
+            Reply::LogEntries { .. } => op::REPLICATE,
+            Reply::Promoted { .. } => op::PROMOTE,
         }
     }
 }
@@ -393,6 +456,10 @@ impl Response {
             Response::BadFrame(msg) => {
                 out.push(status::BAD_FRAME);
                 put_str(&mut out, msg);
+            }
+            Response::NotPrimary(primary) => {
+                out.push(status::NOT_PRIMARY);
+                put_str(&mut out, primary);
             }
             Response::Ok(reply) => {
                 out.push(status::OK);
@@ -442,6 +509,28 @@ impl Response {
                         }
                     },
                     Reply::Stats { json } => put_str(&mut out, json),
+                    Reply::LogEntries { rows, entries } => {
+                        out.extend_from_slice(&rows.to_le_bytes());
+                        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                        for (first_row, txns, receipts) in entries {
+                            out.extend_from_slice(&first_row.to_le_bytes());
+                            out.extend_from_slice(&(txns.len() as u32).to_le_bytes());
+                            for (tid, items) in txns {
+                                out.extend_from_slice(&tid.to_le_bytes());
+                                put_items(&mut out, items);
+                            }
+                            out.extend_from_slice(&(receipts.len() as u32).to_le_bytes());
+                            for (req_id, offset, len) in receipts {
+                                out.extend_from_slice(&req_id.to_le_bytes());
+                                out.extend_from_slice(&offset.to_le_bytes());
+                                out.extend_from_slice(&len.to_le_bytes());
+                            }
+                        }
+                    }
+                    Reply::Promoted { epoch, rows } => {
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                        out.extend_from_slice(&rows.to_le_bytes());
+                    }
                 }
             }
         }
@@ -456,6 +545,7 @@ impl Response {
             status::ERR => Response::Err(get_str(&mut r)?),
             status::DISK_FULL => Response::DiskFull,
             status::BAD_FRAME => Response::BadFrame(get_str(&mut r)?),
+            status::NOT_PRIMARY => Response::NotPrimary(get_str(&mut r)?),
             status::OK => Response::Ok(match r.u8()? {
                 op::PING => Reply::Pong,
                 op::SHUTDOWN => Reply::ShuttingDown,
@@ -504,6 +594,31 @@ impl Response {
                 },
                 op::STATS => Reply::Stats {
                     json: get_str(&mut r)?,
+                },
+                op::REPLICATE => {
+                    let rows = r.u64()?;
+                    let n = r.u32()? as usize;
+                    let mut entries = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        let first_row = r.u64()?;
+                        let n_txns = r.u32()? as usize;
+                        let mut txns = Vec::with_capacity(n_txns.min(1 << 16));
+                        for _ in 0..n_txns {
+                            let tid = r.u64()?;
+                            txns.push((tid, r.items()?));
+                        }
+                        let n_receipts = r.u32()? as usize;
+                        let mut receipts = Vec::with_capacity(n_receipts.min(1 << 16));
+                        for _ in 0..n_receipts {
+                            receipts.push((r.u64()?, r.u64()?, r.u64()?));
+                        }
+                        entries.push((first_row, txns, receipts));
+                    }
+                    Reply::LogEntries { rows, entries }
+                }
+                op::PROMOTE => Reply::Promoted {
+                    epoch: r.u64()?,
+                    rows: r.u64()?,
                 },
                 k => return Err(bad(format!("unknown reply opcode {k}"))),
             }),
@@ -587,6 +702,15 @@ mod tests {
         roundtrip_request(Request::Probe { row: 123_456 });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Replicate {
+            from_row: 0,
+            max_entries: 128,
+        });
+        roundtrip_request(Request::Replicate {
+            from_row: u64::MAX,
+            max_entries: u32::MAX,
+        });
+        roundtrip_request(Request::Promote);
     }
 
     #[test]
@@ -622,10 +746,24 @@ mod tests {
             json: "{\"ok\":true}".into(),
         }));
         roundtrip_response(Response::Ok(Reply::ShuttingDown));
+        roundtrip_response(Response::Ok(Reply::LogEntries {
+            rows: 42,
+            entries: vec![],
+        }));
+        roundtrip_response(Response::Ok(Reply::LogEntries {
+            rows: 42,
+            entries: vec![
+                (0, vec![(1, vec![1, 2]), (2, vec![])], vec![(9, 0, 2)]),
+                (2, vec![(3, vec![7])], vec![]),
+            ],
+        }));
+        roundtrip_response(Response::Ok(Reply::Promoted { epoch: 5, rows: 99 }));
         roundtrip_response(Response::Overloaded);
         roundtrip_response(Response::Err("boom".into()));
         roundtrip_response(Response::DiskFull);
         roundtrip_response(Response::BadFrame("len 12 is not a frame".into()));
+        roundtrip_response(Response::NotPrimary("127.0.0.1:7777".into()));
+        roundtrip_response(Response::NotPrimary(String::new()));
     }
 
     #[test]
@@ -671,6 +809,12 @@ mod tests {
             }
             .encode(),
             Request::Probe { row: 9 }.encode(),
+            Request::Replicate {
+                from_row: 7,
+                max_entries: 64,
+            }
+            .encode(),
+            Request::Promote.encode(),
         ];
         let responses = vec![
             Response::Ok(Reply::Insert {
@@ -691,6 +835,12 @@ mod tests {
             })
             .encode(),
             Response::Err("x".into()).encode(),
+            Response::Ok(Reply::LogEntries {
+                rows: 9,
+                entries: vec![(0, vec![(1, vec![2, 3])], vec![(5, 0, 1)])],
+            })
+            .encode(),
+            Response::NotPrimary("addr".into()).encode(),
         ];
         for _ in 0..2000 {
             let pool = if rng.random::<bool>() { &requests } else { &responses };

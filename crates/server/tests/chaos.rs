@@ -321,6 +321,22 @@ fn chaos_storm_preserves_exactly_once_and_matches_offline_remine() {
     ] {
         assert!(stats_json.contains(key), "stats missing {key}");
     }
+    // Engine state is in there too: role, the live epoch, and the
+    // committed row count must all reflect the storm's end state.
+    assert!(stats_json.contains("\"role\":\"primary\""), "role in stats");
+    assert!(
+        stats_json.contains(&format!("\"rows\":{TOTAL}")),
+        "snapshot rows in stats"
+    );
+    assert!(
+        stats_json.contains(&format!("\"committed_rows\":{TOTAL}")),
+        "committed rows in stats"
+    );
+    assert!(
+        stats_json.contains(&format!("\"epoch\":{}", final_count.epoch)),
+        "current epoch in stats (no commits since the final count)"
+    );
+    assert!(stats_json.contains("\"committed_seq\":"), "seq in stats");
     println!("server stats: {stats_json}");
     if seed == DEFAULT_SEED {
         // The default schedule provably injects faults; a tame override

@@ -1,0 +1,254 @@
+//! Replication end-to-end: a primary streaming its commit log to a live
+//! follower over the wire protocol, follower reads, typed write
+//! rejection, manual and automatic promotion, and the exactly-once
+//! guarantee surviving failover (a request ID re-sent to the promoted
+//! follower is answered with its original receipt).
+
+use bbs_core::Scheme;
+use bbs_server::{serve, Bind, Client, ClientError, Engine, Role, ServerConfig, ServerHandle};
+use bbs_storage::diskbbs::DiskDeployment;
+use bbs_tdb::SupportThreshold;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn base(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_repl_{}_{}", std::process::id(), name));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+    }
+}
+
+fn cfg() -> ServerConfig {
+    ServerConfig {
+        cache_pages: 128,
+        queue_capacity: 32,
+        commit_window: Duration::ZERO,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(base: &Path, cfg: ServerConfig) -> (ServerHandle, String) {
+    let engine = Engine::open(base, cfg).expect("open engine");
+    let handle = serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )
+    .expect("serve");
+    let addr = handle.tcp_addr().expect("tcp addr").to_string();
+    (handle, addr)
+}
+
+fn follower_cfg(primary: &str) -> ServerConfig {
+    ServerConfig {
+        follow: Some(primary.to_string()),
+        poll_interval: Duration::from_millis(10),
+        ..cfg()
+    }
+}
+
+/// Waits until the deployment behind `client` serves `rows` rows.
+fn wait_rows(client: &mut Client, rows: u64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let seen = client.count(&[1]).expect("count").rows;
+        if seen >= rows {
+            assert_eq!(seen, rows, "follower overshot the primary");
+            return;
+        }
+        assert!(Instant::now() < deadline, "follower never caught up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn batch(start: u64, n: u64) -> Vec<(u64, Vec<u32>)> {
+    (start..start + n)
+        .map(|i| (i, vec![1, 2 + (i % 3) as u32]))
+        .collect()
+}
+
+#[test]
+fn follower_bootstraps_streams_serves_reads_and_rejects_writes() {
+    let pb = base("stream_p");
+    let fb = base("stream_f");
+    let (_gp, _gf) = (Cleanup(pb.clone()), Cleanup(fb.clone()));
+
+    let (primary, paddr) = start(&pb, cfg());
+    let mut pc = Client::connect_tcp(&paddr).expect("connect primary");
+
+    // Rows committed *before* the follower exists: the log doubles as the
+    // bootstrap stream.
+    pc.insert_with_id(101, &batch(0, 8)).expect("insert");
+    pc.insert_with_id(102, &batch(8, 8)).expect("insert");
+
+    let (follower, faddr) = start(&fb, follower_cfg(&paddr));
+    assert!(matches!(
+        follower.engine().role(),
+        Role::Follower { ref primary } if *primary == paddr
+    ));
+    let mut fc = Client::connect_tcp(&faddr).expect("connect follower");
+    wait_rows(&mut fc, 16);
+
+    // Live streaming: new commits appear on the follower.
+    pc.insert_with_id(103, &batch(16, 8)).expect("insert");
+    wait_rows(&mut fc, 24);
+
+    // Follower reads match the primary: count, probe, and a full mine.
+    assert_eq!(fc.count(&[1]).expect("count").support, 24);
+    let probed = fc.probe(17).expect("probe").expect("present");
+    assert_eq!(probed.0, 17);
+    let pm = pc
+        .mine(Scheme::Dfp, SupportThreshold::Count(4), 2)
+        .expect("mine primary");
+    let fm = fc
+        .mine(Scheme::Dfp, SupportThreshold::Count(4), 2)
+        .expect("mine follower");
+    assert_eq!(pm.patterns, fm.patterns);
+    assert_eq!(pm.rows, fm.rows);
+
+    // Writes are rejected with the typed status naming the primary.
+    match fc.insert_with_id(999, &batch(24, 1)) {
+        Err(ClientError::NotPrimary(addr)) => assert_eq!(addr, paddr),
+        other => panic!("expected NotPrimary, got {other:?}"),
+    }
+
+    // Role and lag are visible in both stats documents.
+    let pstats = pc.stats().expect("stats");
+    assert!(pstats.contains("\"role\":\"primary\""));
+    let fstats = fc.stats().expect("stats");
+    assert!(fstats.contains("\"role\":\"follower\""));
+    assert!(fstats.contains(&format!("\"primary_addr\":\"{paddr}\"")));
+    assert!(fstats.contains("\"replication_lag_rows\":0"));
+    assert!(fstats.contains("\"not_primary\":1"));
+
+    follower.join();
+    primary.join();
+}
+
+#[test]
+fn promotion_preserves_exactly_once_for_resent_request_ids() {
+    let pb = base("promote_p");
+    let fb = base("promote_f");
+    let (_gp, _gf) = (Cleanup(pb.clone()), Cleanup(fb.clone()));
+
+    let (primary, paddr) = start(&pb, cfg());
+    let mut pc = Client::connect_tcp(&paddr).expect("connect primary");
+
+    let txns = batch(0, 10);
+    let original = pc.insert_with_id(4242, &txns).expect("insert");
+    assert!(!original.deduped);
+
+    let (follower, faddr) = start(&fb, follower_cfg(&paddr));
+    let mut fc = Client::connect_tcp(&faddr).expect("connect follower");
+    wait_rows(&mut fc, 10);
+
+    // The old primary goes away (cleanly here; the chaos test SIGKILLs).
+    primary.join();
+
+    let promoted = fc.promote().expect("promote");
+    assert_eq!(promoted.rows, 10);
+    assert!(matches!(follower.engine().role(), Role::Primary));
+
+    // The client's in-flight insert is re-sent to the promoted follower
+    // with its original request ID: the receipts replicated with the
+    // batch answer it from the exactly-once window — no duplicate rows.
+    let replayed = fc.insert_with_id(4242, &txns).expect("replay");
+    assert!(replayed.deduped, "replay must hit the replicated window");
+    assert_eq!(replayed.first_row, original.first_row);
+    assert_eq!(replayed.appended, original.appended);
+    assert_eq!(fc.count(&[1]).expect("count").rows, 10);
+
+    // Promotion is idempotent, and the new primary accepts fresh writes.
+    fc.promote().expect("promote again");
+    let fresh = fc.insert_with_id(4243, &batch(10, 5)).expect("insert");
+    assert_eq!((fresh.first_row, fresh.appended), (10, 5));
+    assert_eq!(fc.count(&[1]).expect("count").rows, 15);
+    let stats = fc.stats().expect("stats");
+    assert!(stats.contains("\"role\":\"primary\""));
+    assert!(stats.contains("\"promotions\":1"));
+
+    follower.join();
+}
+
+#[test]
+fn follower_auto_promotes_after_primary_loss() {
+    let pb = base("auto_p");
+    let fb = base("auto_f");
+    let (_gp, _gf) = (Cleanup(pb.clone()), Cleanup(fb.clone()));
+
+    let (primary, paddr) = start(&pb, cfg());
+    let mut pc = Client::connect_tcp(&paddr).expect("connect primary");
+    pc.insert_with_id(7, &batch(0, 6)).expect("insert");
+
+    let (follower, faddr) = start(
+        &fb,
+        ServerConfig {
+            auto_promote: Some(Duration::from_millis(200)),
+            ..follower_cfg(&paddr)
+        },
+    );
+    let mut fc = Client::connect_tcp(&faddr).expect("connect follower");
+    wait_rows(&mut fc, 6);
+
+    primary.join();
+
+    // With the primary gone, the follower promotes itself after the
+    // configured loss window and starts accepting writes.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match fc.insert_with_id(8, &batch(6, 4)) {
+            Ok(reply) => {
+                assert_eq!((reply.first_row, reply.appended), (6, 4));
+                break;
+            }
+            Err(ClientError::NotPrimary(_)) => {
+                assert!(Instant::now() < deadline, "auto-promotion never happened");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("insert failed: {e}"),
+        }
+    }
+    assert!(matches!(follower.engine().role(), Role::Primary));
+    assert_eq!(fc.count(&[1]).expect("count").rows, 10);
+    let stats = fc.stats().expect("stats");
+    assert!(stats.contains("\"promotions\":1"));
+
+    follower.join();
+}
+
+#[test]
+fn replicate_endpoint_reports_a_gap_as_a_typed_error() {
+    let pb = base("gap_p");
+    let _g = Cleanup(pb.clone());
+    let (primary, paddr) = start(&pb, cfg());
+    let mut pc = Client::connect_tcp(&paddr).expect("connect");
+    pc.insert_with_id(1, &batch(0, 4)).expect("insert");
+
+    // Asking for a row past the committed end is "caught up", not a gap.
+    let caught_up = pc.replicate(4, 64).expect("replicate");
+    assert_eq!(caught_up.rows, 4);
+    assert!(caught_up.entries.is_empty());
+
+    // Asking mid-entry is unservable: entries are the replication unit.
+    let err = pc.replicate(2, 64).expect_err("mid-entry row");
+    assert!(matches!(err, ClientError::Server(_)), "got {err:?}");
+
+    // From the start, the entry comes back with its receipts intact.
+    let all = pc.replicate(0, 64).expect("replicate");
+    assert_eq!(all.rows, 4);
+    assert_eq!(all.entries.len(), 1);
+    let (first_row, txns, receipts) = &all.entries[0];
+    assert_eq!(*first_row, 0);
+    assert_eq!(txns.len(), 4);
+    assert_eq!(receipts, &vec![(1u64, 0u64, 4u64)]);
+
+    primary.join();
+}

@@ -51,6 +51,7 @@ pub mod diskbbs;
 pub mod heapfile;
 pub mod mine;
 pub mod pager;
+pub mod replog;
 pub mod slicefile;
 pub mod snapshot;
 
@@ -70,5 +71,6 @@ pub use mine::{mine_in_place, DiskMineStats};
 pub use pager::{
     checksum_mismatch, fnv1a64, ChecksumMismatch, PageId, Pager, PagerStats, PAGE_SIZE,
 };
+pub use replog::{read_entries, ReplEntry, ReplLog, ReplRead};
 pub use slicefile::{HotStats, SliceFile, CHUNK_ROWS};
 pub use snapshot::{BackendFactory, CommitReceipt, SharedDeployment, Snapshot, WriterProfile};

@@ -57,8 +57,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Opens one physical backend of the writer deployment: called once per
-/// file (`tag` is `commit`/`dat`/`idx`/`slices`/`counts`/`dedup`) at open
-/// and again whenever a poisoned writer is healed.  This is how the chaos
+/// file (`tag` is `commit`/`dat`/`idx`/`slices`/`counts`/`dedup`/`log`)
+/// at open and again whenever a poisoned writer is healed.  This is how the chaos
 /// tests interpose a [`crate::FaultInjector`] under a live server.
 pub type BackendFactory =
     Arc<dyn Fn(&'static str, &Path) -> io::Result<DynBackend> + Send + Sync>;
@@ -198,6 +198,10 @@ pub struct SharedDeployment {
     cache_pages: usize,
     dedup_window: AtomicUsize,
     writer_heals: AtomicU64,
+    /// Mirror of the writer's committed commit-sequence number, readable
+    /// without the writer mutex — the cap the replication-log reader uses
+    /// to hide entries whose commit record has not landed yet.
+    committed_seq: AtomicU64,
 }
 
 /// The default factory: plain [`FileBackend`]s, boxed.
@@ -256,6 +260,7 @@ impl SharedDeployment {
         dep.flush()?;
         let io = Arc::new(RwLock::new(()));
         let rows = dep.db.len();
+        let committed_seq = dep.committed_seq();
         let mut profile = WriterProfile {
             committed_rows: rows,
             ..WriterProfile::default()
@@ -282,6 +287,7 @@ impl SharedDeployment {
             cache_pages,
             dedup_window: AtomicUsize::new(DEFAULT_DEDUP_WINDOW),
             writer_heals: AtomicU64::new(0),
+            committed_seq: AtomicU64::new(committed_seq),
         };
         Ok(Arc::new(shared))
     }
@@ -294,6 +300,18 @@ impl SharedDeployment {
     /// The latest published epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Base path of the deployment's files (`<base>.*`).
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    /// Sequence number of the last completed commit — readable without
+    /// the writer mutex.  Entries of the replication log stamped past
+    /// this are synced-but-uncommitted and must not be served.
+    pub fn committed_seq(&self) -> u64 {
+        self.committed_seq.load(Ordering::Acquire)
     }
 
     /// The published write-side counters.
@@ -352,11 +370,17 @@ impl SharedDeployment {
                         )
                     })
                     .collect();
-                writer.flush_with_receipts(&entries)?;
+                // The batch rides into the replication log with its
+                // receipts, durable atomically with the commit record.
+                writer.flush_logged(first, txns, &entries)?;
                 Ok(first..writer.db.len())
             })();
             match attempt {
-                Ok(rows) => rows,
+                Ok(rows) => {
+                    let seq = guard.as_ref().expect("writer alive").committed_seq();
+                    self.committed_seq.store(seq, Ordering::Release);
+                    rows
+                }
                 Err(e) => {
                     // The in-memory writer may hold half a batch; drop it.
                     // Reopening later re-runs crash recovery against the
@@ -456,6 +480,8 @@ impl SharedDeployment {
             )?;
             **guard = Some(dep);
             self.writer_heals.fetch_add(1, Ordering::Relaxed);
+            let seq = guard.as_ref().expect("writer alive").committed_seq();
+            self.committed_seq.store(seq, Ordering::Release);
         }
         Ok(guard.as_mut().expect("writer alive"))
     }
@@ -487,6 +513,7 @@ fn open_writer(
         slices: factory("slices", &paths.slices)?,
         counts: factory("counts", &paths.counts)?,
         dedup: factory("dedup", &paths.dedup)?,
+        log: factory("log", &paths.log)?,
     };
     let mut dep = DiskDeployment::open_with(backends, width, Arc::clone(hasher), cache_pages)?;
     dep.set_dedup_window(dedup_window);

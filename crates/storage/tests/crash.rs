@@ -80,6 +80,7 @@ fn run_workload(plan: &SharedFaultPlan, base: &Path, source: &[Transaction]) -> 
         slices: plan.wrap("slices", FileBackend::open(&paths.slices)?),
         counts: plan.wrap("counts", FileBackend::open(&paths.counts)?),
         dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup)?),
+        log: plan.wrap("log", FileBackend::open(&paths.log)?),
     };
     let mut dep = DiskDeployment::open_with(backends, WIDTH, hasher(), CACHE)?;
     for batch in source.chunks(BATCH) {
@@ -279,6 +280,7 @@ fn bit_flip_on_read_surfaces_as_checksum_mismatch_not_data() {
         slices: plan.wrap("slices", FileBackend::open(&paths.slices).expect("open")),
         counts: plan.wrap("counts", FileBackend::open(&paths.counts).expect("open")),
         dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup).expect("open")),
+        log: plan.wrap("log", FileBackend::open(&paths.log).expect("open")),
     };
     let mut dep = DiskDeployment::open_with(backends, WIDTH, hasher(), CACHE).expect("reopen");
 

@@ -130,6 +130,7 @@ proptest! {
                 slices: plan.wrap("slices", FileBackend::open(&paths.slices)?),
                 counts: plan.wrap("counts", FileBackend::open(&paths.counts)?),
                 dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup)?),
+                log: plan.wrap("log", FileBackend::open(&paths.log)?),
             };
             let mut dep = DiskDeployment::open_with(backends, width, hasher(), CACHE)?;
             for t in &db.transactions()[..half] {
