@@ -11,6 +11,16 @@ cargo build --release
 cargo test -q
 cargo bench --no-run
 RUSTFLAGS="-C target-cpu=native" cargo test -q -p bbs-bitslice --test kernel_props
+# Kernel-dispatch smoke matrix: the same property tests under every
+# forced tier.  Forcing a tier the host lacks falls back to detection,
+# so the avx2/avx512 rows are safe no-ops on older machines.
+for tier in portable scalar avx2 avx512; do
+  BBS_KERNEL_TIER="${tier}" \
+    RUSTFLAGS="-C target-cpu=native" cargo test -q -p bbs-bitslice --test kernel_props
+done
+# Bench smoke: the batched-counting benchmark end to end (in-process
+# server + storage + kernel tiers), leaving BENCH_7.json in the root.
+./target/release/bench_count_many BENCH_7.json
 # The server suites run as part of `cargo test -q` above; run them again
 # by name so a failure here is unambiguous in CI logs.
 cargo test -q -p bbs-server --test integration

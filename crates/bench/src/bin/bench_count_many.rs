@@ -1,0 +1,335 @@
+//! `bench_count_many` — machine-readable snapshot of the batched counting
+//! path, written to `BENCH_7.json`.
+//!
+//! Three experiments over one deployment:
+//!
+//! 1. **Server, per-op vs batched**: an in-process `bbs-server` on TCP
+//!    loopback, quiesced.  The per-op baseline issues one `count` frame
+//!    per itemset; the batched runs issue `count_many` frames carrying
+//!    1/8/64/512 itemsets and are charged per *itemset* answered.  The
+//!    headline number is the batch-64 speedup over per-op.
+//! 2. **Storage, shared scan and projection**: the same comparison
+//!    without the wire — `DiskCounter::count` per-op, `count_many`
+//!    batches, and `count_extensions_projected` batches (sibling
+//!    candidates sharing a mined prefix, the miner's shape).
+//! 3. **Kernel tiers**: the fused AND+popcount at every dispatch tier
+//!    the host supports, portable through AVX-512 VPOPCNTDQ.
+//!
+//! Usage: `bench_count_many [OUT.json]` (default `BENCH_7.json`).
+
+use bbs_bitslice::ops_simd::{self, Tier};
+use bbs_server::{Bind, Client, Engine, ServerConfig};
+use bbs_storage::DiskDeployment;
+use bbs_tdb::{ItemId, Itemset};
+use std::time::Instant;
+
+const ROWS: u64 = 60_000;
+const WINDOW_MS: u64 = 400;
+const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+
+fn items_of(i: u64) -> Vec<u32> {
+    vec![1, 2 + (i % 64) as u32, 100 + (i % 7) as u32]
+}
+
+/// The query pool: sibling candidates `{1, 100} ∪ {x}` over the ingested
+/// vocabulary — the miner's candidate-counting shape (64 extensions of one
+/// enumeration prefix), which is exactly the workload `count_many` batches.
+fn query_pool() -> Vec<Vec<u32>> {
+    (0..64u64)
+        .map(|i| vec![1, 100, 2 + (i % 64) as u32])
+        .collect()
+}
+
+/// Runs `f` (which answers `n` itemsets per call) until the window
+/// elapses; returns itemsets answered per second.
+fn measure(window_ms: u64, n: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let budget = std::time::Duration::from_millis(window_ms);
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < budget {
+        f();
+        calls += 1;
+    }
+    calls as f64 * n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures several modes with *interleaved* windows so slow clock drift
+/// (turbo decay, background load) cannot bias whichever mode happens to
+/// run first: each round gives every mode one `window_ms` window, and the
+/// rates come from the per-mode totals across all rounds.  `counts[m]`
+/// is how many itemsets one `run(m)` call answers; returns itemsets/s
+/// per mode.
+fn measure_interleaved(
+    window_ms: u64,
+    rounds: usize,
+    counts: &[usize],
+    mut run: impl FnMut(usize),
+) -> Vec<f64> {
+    for m in 0..counts.len() {
+        for _ in 0..3 {
+            run(m);
+        }
+    }
+    let budget = std::time::Duration::from_millis(window_ms);
+    let mut calls = vec![0u64; counts.len()];
+    let mut elapsed = vec![0f64; counts.len()];
+    for _ in 0..rounds {
+        for m in 0..counts.len() {
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                run(m);
+                calls[m] += 1;
+            }
+            elapsed[m] += start.elapsed().as_secs_f64();
+        }
+    }
+    (0..counts.len())
+        .map(|m| calls[m] as f64 * counts[m] as f64 / elapsed[m])
+        .collect()
+}
+
+fn json_series(name: &str, pairs: &[(usize, f64)]) -> String {
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(b, v)| format!("      \"{b}\": {v:.1}"))
+        .collect();
+    format!("    \"{name}\": {{\n{}\n    }}", body.join(",\n"))
+}
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
+    let mut base = std::env::temp_dir();
+    base.push(format!("bbs_bench7_{}", std::process::id()));
+    DiskDeployment::remove_files(&base).ok();
+
+    let cfg = ServerConfig {
+        width: 1024,
+        cache_pages: 4096,
+        ..ServerConfig::default()
+    };
+    let engine = Engine::open(&base, cfg)?;
+    let handle = bbs_server::serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )?;
+    let addr = handle.tcp_addr().expect("tcp bound").to_string();
+    let mut client =
+        Client::connect_tcp(&addr).map_err(|e| std::io::Error::other(e.to_string()))?;
+    eprintln!("# serving on {addr}, ingesting {ROWS} rows (active tier: {})",
+        ops_simd::active_tier().name());
+    for first in (0..ROWS).step_by(512) {
+        let batch: Vec<(u64, Vec<u32>)> = (first..(first + 512).min(ROWS))
+            .map(|i| (i, items_of(i)))
+            .collect();
+        client
+            .insert(&batch)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+    }
+
+    // Experiment 1: quiesced server, per-op frames vs count_many frames.
+    // Modes share interleaved windows (mode 0 = per-op, then one mode per
+    // batch size) so the comparison is immune to clock-speed drift.
+    let pool = query_pool();
+    let refs: Vec<&[u32]> = pool.iter().map(|q| q.as_slice()).collect();
+    // Cycle the pool out to each batch size so every request carries
+    // exactly `b` itemsets.
+    let batches: Vec<Vec<&[u32]>> = BATCH_SIZES
+        .iter()
+        .map(|&b| (0..b).map(|i| refs[i % refs.len()]).collect())
+        .collect();
+    let mut counts = vec![pool.len()];
+    counts.extend_from_slice(&BATCH_SIZES);
+    let rates = measure_interleaved(WINDOW_MS / 2, 4, &counts, |m| {
+        if m == 0 {
+            for q in &refs {
+                client.count(q).expect("count");
+            }
+        } else {
+            client.count_many(&batches[m - 1]).expect("count_many");
+        }
+    });
+    let per_op_per_s = rates[0];
+    eprintln!("#   server per-op: {per_op_per_s:.0} counts/s");
+    let mut server_batched = Vec::new();
+    for (i, &b) in BATCH_SIZES.iter().enumerate() {
+        let per_s = rates[i + 1];
+        eprintln!("#   server batch {b}: {per_s:.0} counts/s ({:.2}x per-op)",
+            per_s / per_op_per_s);
+        server_batched.push((b, per_s));
+    }
+    let speedup_64 = server_batched
+        .iter()
+        .find(|(b, _)| *b == 64)
+        .map(|(_, v)| v / per_op_per_s)
+        .unwrap_or(0.0);
+
+    let stats = client
+        .stats()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    client
+        .shutdown_server()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    handle.join();
+
+    // Experiment 2: the storage layer alone (no wire), same deployment.
+    let dep = DiskDeployment::open(
+        &base,
+        1024,
+        std::sync::Arc::new(bbs_hash::Md5BloomHasher::new(4)),
+        4096,
+    )?;
+    let mut reader = dep.index.counter()?;
+    let itemsets: Vec<Itemset> = pool.iter().map(|q| Itemset::from_values(q)).collect();
+    let disk_batches: Vec<Vec<Itemset>> = BATCH_SIZES
+        .iter()
+        .map(|&b| (0..b).map(|i| itemsets[i % itemsets.len()].clone()).collect())
+        .collect();
+    let disk_rates = measure_interleaved(WINDOW_MS / 2, 4, &counts, |m| {
+        if m == 0 {
+            for q in &itemsets {
+                reader.count(q, None).expect("count");
+            }
+        } else {
+            reader
+                .count_many(&disk_batches[m - 1], None)
+                .expect("count_many");
+        }
+    });
+    let disk_per_op_per_s = disk_rates[0];
+    eprintln!("#   disk per-op: {disk_per_op_per_s:.0} counts/s");
+    let mut disk_batched = Vec::new();
+    for (i, &b) in BATCH_SIZES.iter().enumerate() {
+        let per_s = disk_rates[i + 1];
+        eprintln!("#   disk batch {b}: {per_s:.0} counts/s ({:.2}x per-op)",
+            per_s / disk_per_op_per_s);
+        disk_batched.push((b, per_s));
+    }
+    // The miner's shape: siblings `prefix ∪ {e}` sharing one prefix, the
+    // prefix AND materialised once per chunk and projected extensions on
+    // top, vs counting each union independently.
+    let prefix = Itemset::from_values(&[1, 100]);
+    let mut projected = Vec::new();
+    for &b in &BATCH_SIZES {
+        let exts: Vec<ItemId> = (0..b).map(|i| ItemId(2 + (i % 64) as u32)).collect();
+        let unions: Vec<Itemset> = exts
+            .iter()
+            .map(|e| Itemset::from_values(&[1, 100, e.0]))
+            .collect();
+        let pair = measure_interleaved(WINDOW_MS / 2, 4, &[b, b], |m| {
+            if m == 0 {
+                for u in &unions {
+                    reader.count(u, None).expect("count");
+                }
+            } else {
+                reader
+                    .count_extensions_projected(&prefix, &exts, None)
+                    .expect("projected");
+            }
+        });
+        let (union_per_s, proj_per_s) = (pair[0], pair[1]);
+        eprintln!(
+            "#   projected batch {b}: {proj_per_s:.0} counts/s ({:.2}x per-op unions)",
+            proj_per_s / union_per_s
+        );
+        projected.push((b, union_per_s, proj_per_s));
+    }
+    drop(reader);
+    drop(dep);
+    DiskDeployment::remove_files(&base).ok();
+
+    // Experiment 3: kernel tiers on synthetic operands (1 Mibit each).
+    let words = 32 * ops_simd::BLOCK_WORDS;
+    let slices: Vec<Vec<u64>> = (0..4u64)
+        .map(|i| {
+            let mut state = 0xC0FF_EE00u64 | (i + 1);
+            (0..words)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                })
+                .collect()
+        })
+        .collect();
+    let operand_refs: Vec<&[u64]> = slices.iter().map(|s| s.as_slice()).collect();
+    let mut tiers: Vec<(&str, f64)> = Vec::new();
+    let mut tier_run = |name: &'static str, tier: Tier| {
+        let per_s = measure(300, 1, || {
+            std::hint::black_box(ops_simd::and_all_count_tier(
+                tier,
+                &operand_refs,
+                words,
+                None,
+            ));
+        });
+        eprintln!("#   kernel {name}: {per_s:.0} ops/s");
+        tiers.push((name, per_s));
+    };
+    tier_run("portable", Tier::Portable);
+    tier_run("blocked", Tier::Scalar);
+    if ops_simd::avx2_available() {
+        tier_run("avx2", Tier::Avx2);
+    }
+    if ops_simd::avx512_available() {
+        tier_run("avx512", Tier::Avx512);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": 7,\n");
+    json.push_str(&format!(
+        "  \"active_tier\": \"{}\",\n",
+        ops_simd::active_tier().name()
+    ));
+    json.push_str(&format!("  \"rows\": {ROWS},\n"));
+    json.push_str(&format!("  \"pool_itemsets\": {},\n", pool.len()));
+    json.push_str("  \"server\": {\n");
+    json.push_str(&format!(
+        "    \"per_op_counts_per_s\": {per_op_per_s:.1},\n"
+    ));
+    json.push_str(&json_series("batched_counts_per_s", &server_batched));
+    json.push_str(",\n");
+    json.push_str(&format!(
+        "    \"speedup_batch64_vs_per_op\": {speedup_64:.2}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"storage\": {\n");
+    json.push_str(&format!(
+        "    \"per_op_counts_per_s\": {disk_per_op_per_s:.1},\n"
+    ));
+    json.push_str(&json_series("batched_counts_per_s", &disk_batched));
+    json.push_str(",\n");
+    json.push_str("    \"projected\": {\n");
+    for (i, (b, union_per_s, proj_per_s)) in projected.iter().enumerate() {
+        json.push_str(&format!(
+            "      \"{b}\": {{ \"union_per_op_counts_per_s\": {union_per_s:.1}, \"projected_counts_per_s\": {proj_per_s:.1} }}{}\n",
+            if i + 1 < projected.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    }\n");
+    json.push_str("  },\n");
+    json.push_str("  \"kernel_tiers_ops_per_s\": {\n");
+    for (i, (name, per_s)) in tiers.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {per_s:.1}{}\n",
+            if i + 1 < tiers.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"server_stats\": ");
+    json.push_str(stats.trim());
+    json.push('\n');
+    json.push_str("}\n");
+    std::fs::write(&out, &json)?;
+    println!("wrote {out}");
+    Ok(())
+}

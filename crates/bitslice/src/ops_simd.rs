@@ -10,15 +10,24 @@
 //! is still streamed from memory exactly once, but the intermediate never
 //! leaves the top of the cache hierarchy.
 //!
-//! Three tiers share that structure and are selected once at runtime:
+//! Four tiers share that structure and are selected once at runtime:
 //!
-//! 1. **AVX2** (`x86_64` only) — explicit `std::arch` intrinsics, 256-bit
+//! 1. **AVX-512** (`x86_64` only) — 512-bit ANDs plus the dedicated
+//!    `VPOPCNTDQ` per-lane popcount instruction, gated on
+//!    `is_x86_feature_detected!("avx512f")` + `"avx512vpopcntdq"`.
+//! 2. **AVX2** (`x86_64` only) — explicit `std::arch` intrinsics, 256-bit
 //!    ANDs plus hardware `POPCNT`, gated on `is_x86_feature_detected!`.
-//! 2. **Blocked scalar** — `chunks_exact(4)` loops the compiler can
+//! 3. **Blocked scalar** — `chunks_exact(4)` loops the compiler can
 //!    autovectorize on any target (and does, with SSE2 on baseline x86-64).
-//! 3. **Portable reference** — the straight-line word loop; never selected
+//! 4. **Portable reference** — the straight-line word loop; never selected
 //!    by dispatch but kept public as the correctness oracle for tests and
 //!    as the bench baseline.
+//!
+//! Dispatch can be overridden with the `BBS_KERNEL_TIER` environment
+//! variable (`portable` | `scalar` | `avx2` | `avx512`), read once on the
+//! first kernel call — the CI smoke matrix re-runs the kernel property
+//! tests under each forced tier.  Forcing a tier the hardware lacks falls
+//! back to auto-detection rather than faulting.
 //!
 //! All entry points preserve the zero-extension semantics of [`crate::ops`]:
 //! a missing trailing word behaves as `0u64`, so the fused count only walks
@@ -43,6 +52,8 @@ pub enum Tier {
     Scalar,
     /// Explicit AVX2 + hardware POPCNT intrinsics.
     Avx2,
+    /// Explicit AVX-512 intrinsics with per-lane VPOPCNTDQ popcounts.
+    Avx512,
 }
 
 impl Tier {
@@ -52,6 +63,7 @@ impl Tier {
             Tier::Portable => "portable",
             Tier::Scalar => "scalar",
             Tier::Avx2 => "avx2",
+            Tier::Avx512 => "avx512",
         }
     }
 }
@@ -59,6 +71,8 @@ impl Tier {
 const TIER_UNKNOWN: u8 = 0;
 const TIER_SCALAR: u8 = 1;
 const TIER_AVX2: u8 = 2;
+const TIER_AVX512: u8 = 3;
+const TIER_PORTABLE: u8 = 4;
 
 static TIER: AtomicU8 = AtomicU8::new(TIER_UNKNOWN);
 
@@ -67,29 +81,67 @@ static TIER: AtomicU8 = AtomicU8::new(TIER_UNKNOWN);
 #[inline]
 pub fn active_tier() -> Tier {
     match TIER.load(Ordering::Relaxed) {
+        TIER_AVX512 => Tier::Avx512,
         TIER_AVX2 => Tier::Avx2,
         TIER_SCALAR => Tier::Scalar,
+        TIER_PORTABLE => Tier::Portable,
         _ => detect_tier(),
     }
 }
 
 #[cold]
 fn detect_tier() -> Tier {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt") {
-            TIER.store(TIER_AVX2, Ordering::Relaxed);
-            return Tier::Avx2;
+    let forced = std::env::var("BBS_KERNEL_TIER").ok();
+    let tier = match forced.as_deref() {
+        Some("portable") => Tier::Portable,
+        Some("scalar") => Tier::Scalar,
+        Some("avx2") if avx2_available() => Tier::Avx2,
+        Some("avx512") if avx512_available() => Tier::Avx512,
+        _ => {
+            if avx512_available() {
+                Tier::Avx512
+            } else if avx2_available() {
+                Tier::Avx2
+            } else {
+                Tier::Scalar
+            }
         }
-    }
-    TIER.store(TIER_SCALAR, Ordering::Relaxed);
-    Tier::Scalar
+    };
+    let code = match tier {
+        Tier::Portable => TIER_PORTABLE,
+        Tier::Scalar => TIER_SCALAR,
+        Tier::Avx2 => TIER_AVX2,
+        Tier::Avx512 => TIER_AVX512,
+    };
+    TIER.store(code, Ordering::Relaxed);
+    tier
 }
 
 /// True if the explicit AVX2 tier is available on this machine.
 #[inline]
 pub fn avx2_available() -> bool {
-    active_tier() == Tier::Avx2
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True if the explicit AVX-512 (VPOPCNTDQ) tier is available on this
+/// machine.
+#[inline]
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -104,10 +156,18 @@ pub fn avx2_available() -> bool {
 pub fn and_words(dst: &mut [u64], src: &[u64]) {
     let n = dst.len().min(src.len());
     #[cfg(target_arch = "x86_64")]
-    if active_tier() == Tier::Avx2 {
-        // SAFETY: dispatch verified avx2 support at runtime.
-        unsafe { and_words_avx2(&mut dst[..n], &src[..n]) };
-        return;
+    match active_tier() {
+        Tier::Avx512 => {
+            // SAFETY: dispatch verified avx512f support at runtime.
+            unsafe { and_words_avx512(&mut dst[..n], &src[..n]) };
+            return;
+        }
+        Tier::Avx2 => {
+            // SAFETY: dispatch verified avx2 support at runtime.
+            unsafe { and_words_avx2(&mut dst[..n], &src[..n]) };
+            return;
+        }
+        _ => {}
     }
     and_words_scalar(&mut dst[..n], &src[..n]);
 }
@@ -116,9 +176,12 @@ pub fn and_words(dst: &mut [u64], src: &[u64]) {
 #[inline]
 pub fn popcount(words: &[u64]) -> usize {
     #[cfg(target_arch = "x86_64")]
-    if active_tier() == Tier::Avx2 {
+    match active_tier() {
+        // SAFETY: dispatch verified avx512f+avx512vpopcntdq at runtime.
+        Tier::Avx512 => return unsafe { popcount_avx512(words) },
         // SAFETY: dispatch verified avx2+popcnt support at runtime.
-        return unsafe { popcount_avx2(words) };
+        Tier::Avx2 => return unsafe { popcount_avx2(words) },
+        _ => {}
     }
     popcount_scalar(words)
 }
@@ -193,6 +256,56 @@ unsafe fn popcount_avx2(words: &[u64]) -> usize {
     a0 + a1 + a2 + a3 + tail
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn and_words_avx512(dst: &mut [u64], src: &[u64]) {
+    use std::arch::x86_64::{_mm512_and_si512, _mm512_loadu_si512, _mm512_storeu_si512};
+    let n = dst.len().min(src.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n bounds both slices; loadu/storeu tolerate any
+        // alignment.
+        unsafe {
+            let d = dst.as_mut_ptr().add(i).cast();
+            let s = src.as_ptr().add(i).cast();
+            _mm512_storeu_si512(d, _mm512_and_si512(_mm512_loadu_si512(d), _mm512_loadu_si512(s)));
+        }
+        i += 8;
+    }
+    while i < n {
+        dst[i] &= src[i];
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vpopcntdq")]
+unsafe fn popcount_avx512(words: &[u64]) -> usize {
+    // VPOPCNTDQ counts all eight 64-bit lanes at once; the per-lane sums
+    // accumulate vertically and reduce horizontally once at the end.
+    use std::arch::x86_64::{
+        _mm512_add_epi64, _mm512_loadu_si512, _mm512_popcnt_epi64, _mm512_reduce_add_epi64,
+        _mm512_setzero_si512,
+    };
+    let n = words.len();
+    let mut acc = _mm512_setzero_si512();
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n bounds the load; loadu tolerates any alignment.
+        unsafe {
+            let v = _mm512_loadu_si512(words.as_ptr().add(i).cast());
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+        }
+        i += 8;
+    }
+    let mut total = _mm512_reduce_add_epi64(acc) as usize;
+    while i < n {
+        total += words[i].count_ones() as usize;
+        i += 1;
+    }
+    total
+}
+
 // ---------------------------------------------------------------------------
 // Fused blocked multi-way AND + popcount.
 // ---------------------------------------------------------------------------
@@ -217,7 +330,8 @@ pub fn and_all_count_bounded(srcs: &[&[u64]], words: usize, tau: Option<usize>) 
 
 /// Like [`and_all_count_bounded`] but with the tier forced by the caller —
 /// for benches and tests that compare implementations.  Forcing
-/// [`Tier::Avx2`] on a machine without AVX2 falls back to scalar.
+/// [`Tier::Avx2`] or [`Tier::Avx512`] on a machine without the feature set
+/// falls back to scalar.
 pub fn and_all_count_tier(tier: Tier, srcs: &[&[u64]], words: usize, tau: Option<usize>) -> usize {
     if srcs.is_empty() {
         return words * 64;
@@ -230,9 +344,11 @@ pub fn and_all_count_tier(tier: Tier, srcs: &[&[u64]], words: usize, tau: Option
         return and_all_count_portable_prefix(srcs, n, tau);
     }
     #[cfg(target_arch = "x86_64")]
+    let use_avx512 = tier == Tier::Avx512 && avx512_available();
+    #[cfg(target_arch = "x86_64")]
     let use_avx2 = tier == Tier::Avx2 && avx2_available();
     #[cfg(not(target_arch = "x86_64"))]
-    let use_avx2 = false;
+    let (use_avx512, use_avx2) = (false, false);
 
     let mut buf = [0u64; BLOCK_WORDS];
     let mut acc = 0usize;
@@ -242,9 +358,15 @@ pub fn and_all_count_tier(tier: Tier, srcs: &[&[u64]], words: usize, tau: Option
         let blk = &mut buf[..b];
         blk.copy_from_slice(&srcs[0][i..i + b]);
         #[cfg(target_arch = "x86_64")]
-        if use_avx2 {
-            // SAFETY: `use_avx2` implies runtime avx2+popcnt detection.
-            acc += unsafe { block_pass_avx2(blk, &srcs[1..], i) };
+        if use_avx512 || use_avx2 {
+            acc += if use_avx512 {
+                // SAFETY: `use_avx512` implies runtime avx512f+vpopcntdq
+                // detection.
+                unsafe { block_pass_avx512(blk, &srcs[1..], i) }
+            } else {
+                // SAFETY: `use_avx2` implies runtime avx2+popcnt detection.
+                unsafe { block_pass_avx2(blk, &srcs[1..], i) }
+            };
             i += b;
             if let Some(tau) = tau {
                 let bound = acc + (n - i) * 64;
@@ -254,7 +376,7 @@ pub fn and_all_count_tier(tier: Tier, srcs: &[&[u64]], words: usize, tau: Option
             }
             continue;
         }
-        let _ = use_avx2;
+        let _ = (use_avx512, use_avx2);
         for s in &srcs[1..] {
             and_words_scalar(blk, &s[i..i + b]);
         }
@@ -279,6 +401,17 @@ unsafe fn block_pass_avx2(blk: &mut [u64], rest: &[&[u64]], offset: usize) -> us
     }
     // SAFETY: same feature set as this function.
     unsafe { popcount_avx2(blk) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vpopcntdq")]
+unsafe fn block_pass_avx512(blk: &mut [u64], rest: &[&[u64]], offset: usize) -> usize {
+    for s in rest {
+        // SAFETY: callers sliced every operand to cover offset + blk.len().
+        unsafe { and_words_avx512(blk, &s[offset..offset + blk.len()]) };
+    }
+    // SAFETY: same feature set as this function.
+    unsafe { popcount_avx512(blk) }
 }
 
 /// Straight-line portable multi-way AND + popcount: the pre-blocking
@@ -346,6 +479,7 @@ mod tests {
             let want = and_all_count_portable(&srcs, words);
             assert_eq!(and_all_count_tier(Tier::Scalar, &srcs, words, None), want);
             assert_eq!(and_all_count_tier(Tier::Avx2, &srcs, words, None), want);
+            assert_eq!(and_all_count_tier(Tier::Avx512, &srcs, words, None), want);
             assert_eq!(and_all_count_bounded(&srcs, words, None), want);
         }
     }
@@ -368,7 +502,7 @@ mod tests {
         let srcs: Vec<&[u64]> = vec![&a, &b];
         let exact = and_all_count_bounded(&srcs, 2048, None);
         for tau in [0, 1, exact / 2, exact, exact + 1, exact * 2 + 10, usize::MAX] {
-            for tier in [Tier::Portable, Tier::Scalar, Tier::Avx2] {
+            for tier in [Tier::Portable, Tier::Scalar, Tier::Avx2, Tier::Avx512] {
                 let got = and_all_count_tier(tier, &srcs, 2048, Some(tau));
                 if got >= tau {
                     assert_eq!(got, exact, "tier {tier:?} tau {tau}");
@@ -398,7 +532,16 @@ mod tests {
     #[test]
     fn dispatch_resolves_to_a_real_tier() {
         let t = active_tier();
-        assert!(t == Tier::Scalar || t == Tier::Avx2);
+        // Portable is reachable only through the BBS_KERNEL_TIER override
+        // (the CI tier matrix runs the suite under each forced value).
+        assert!(matches!(
+            t,
+            Tier::Portable | Tier::Scalar | Tier::Avx2 | Tier::Avx512
+        ));
         assert!(!t.name().is_empty());
+        if std::env::var("BBS_KERNEL_TIER").is_err() {
+            // Unforced dispatch never resolves to the reference tier.
+            assert!(t != Tier::Portable);
+        }
     }
 }

@@ -58,6 +58,7 @@ proptest! {
         prop_assert_eq!(ops_simd::and_all_count_tier(Tier::Portable, &srcs, words, None), want);
         prop_assert_eq!(ops_simd::and_all_count_tier(Tier::Scalar, &srcs, words, None), want);
         prop_assert_eq!(ops_simd::and_all_count_tier(Tier::Avx2, &srcs, words, None), want);
+        prop_assert_eq!(ops_simd::and_all_count_tier(Tier::Avx512, &srcs, words, None), want);
     }
 
     #[test]
@@ -89,7 +90,7 @@ proptest! {
         let ops_vec = operands(seed, &lens);
         let srcs: Vec<&[u64]> = ops_vec.iter().map(|v| v.as_slice()).collect();
         let exact = naive_and_popcount(&ops_vec, words);
-        for tier in [Tier::Portable, Tier::Scalar, Tier::Avx2] {
+        for tier in [Tier::Portable, Tier::Scalar, Tier::Avx2, Tier::Avx512] {
             let got = ops_simd::and_all_count_tier(tier, &srcs, words, Some(tau_raw));
             if got >= tau_raw {
                 prop_assert_eq!(got, exact, "tier {:?}", tier);

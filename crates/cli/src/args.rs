@@ -6,7 +6,7 @@ use std::collections::HashMap;
 /// Parsed command-line flags.
 #[derive(Debug, Default)]
 pub struct Flags {
-    values: HashMap<String, String>,
+    values: HashMap<String, Vec<String>>,
     switches: Vec<String>,
     positional: Vec<String>,
 }
@@ -38,7 +38,7 @@ impl Flags {
                     .unwrap_or(false);
                 match iter.next_if(|_| takes_value) {
                     Some(value) => {
-                        flags.values.insert(key.to_string(), value);
+                        flags.values.entry(key.to_string()).or_default().push(value);
                     }
                     None => flags.switches.push(key.to_string()),
                 }
@@ -59,9 +59,20 @@ impl Flags {
         self.switches.iter().any(|s| s == key)
     }
 
-    /// A string flag, if present.
+    /// A string flag, if present.  When the flag was repeated, the last
+    /// occurrence wins (single-value flags keep their overwrite
+    /// semantics); use [`Flags::get_all`] for repeatable flags.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.values.get(key).map(String::as_str)
+        self.values
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable `--key value` flag, in the order
+    /// given on the command line (empty when the flag is absent).
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.values.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// A required string flag.
@@ -132,6 +143,17 @@ mod tests {
         assert_eq!(f.get_parsed_or("width", 0usize).unwrap(), 400);
         assert!(f.has("quick"));
         assert!(!f.has("db"));
+    }
+
+    #[test]
+    fn repeated_flags_accumulate_and_last_wins_for_get() {
+        let f = parse(&[
+            "--itemset", "1,2", "--itemset", "3", "--width", "8", "--width", "16",
+        ]);
+        assert_eq!(f.get_all("itemset"), &["1,2".to_string(), "3".to_string()]);
+        assert_eq!(f.get("itemset"), Some("3"));
+        assert_eq!(f.get("width"), Some("16"));
+        assert!(f.get_all("missing").is_empty());
     }
 
     #[test]

@@ -67,7 +67,9 @@ USAGE:
                (follower promotes itself after T ms of primary loss)
   bbs client   ping|count|insert|mine|probe|stats|promote|shutdown
                --tcp HOST:PORT | --unix PATH [--timeout-ms T]
-               (count: --items \"I1 I2 …\"; insert: --db FILE [--batch N]
+               (count: --items \"I1 I2 …\", or repeatable
+                --itemset \"I1 I2 …\" to batch many counts in one
+                round trip; insert: --db FILE [--batch N]
                 [--retries N] [--retry-base-ms T];
                 mine: --min-support N|P% [--scheme …] [--threads N];
                 probe: --row N)

@@ -124,21 +124,26 @@ fn retry_client(flags: &Flags) -> Result<RetryClient, Box<dyn Error>> {
 
 fn parse_items(raw: &str) -> Result<Vec<u32>, Box<dyn Error>> {
     let mut values = Vec::new();
-    for tok in raw.split_whitespace() {
+    for tok in raw.split(|c: char| c.is_whitespace() || c == ',') {
+        if tok.is_empty() {
+            continue;
+        }
         values.push(
             tok.parse::<u32>()
                 .map_err(|e| format!("bad item {tok:?}: {e}"))?,
         );
     }
     if values.is_empty() {
-        return Err("--items must name at least one item".into());
+        return Err("an itemset must name at least one item".into());
     }
     Ok(values)
 }
 
 /// `bbs client ACTION` — one request against a running server.
 ///
-/// Actions: `ping`, `count --items "…"`, `insert --db FILE [--batch N]`,
+/// Actions: `ping`, `count --items "…"` (or repeatable `--itemset "…"`
+/// flags, batched over one `count_many` round-trip),
+/// `insert --db FILE [--batch N]`,
 /// `mine --min-support N|P% [--scheme …] [--threads N]`, `probe --row N`,
 /// `stats`, `shutdown`.
 pub fn client(flags: &Flags) -> CmdResult {
@@ -159,13 +164,35 @@ pub fn client(flags: &Flags) -> CmdResult {
             println!("pong");
         }
         "count" => {
-            let items = parse_items(flags.require("items")?)?;
-            let reply = client.count(&items)?;
-            println!("{}", reply.support);
-            eprintln!(
-                "# BBS estimate at epoch {} ({} rows visible)",
-                reply.epoch, reply.rows
-            );
+            let raw_sets = flags.get_all("itemset");
+            if raw_sets.is_empty() {
+                let items = parse_items(flags.require("items")?)?;
+                let reply = client.count(&items)?;
+                println!("{}", reply.support);
+                eprintln!(
+                    "# BBS estimate at epoch {} ({} rows visible)",
+                    reply.epoch, reply.rows
+                );
+            } else {
+                // Repeatable --itemset flags ride one count_many frame:
+                // every support comes from the same snapshot.
+                let sets: Vec<Vec<u32>> = raw_sets
+                    .iter()
+                    .map(|raw| parse_items(raw))
+                    .collect::<Result<_, _>>()?;
+                let refs: Vec<&[u32]> = sets.iter().map(Vec::as_slice).collect();
+                let reply = client.count_many(&refs)?;
+                for (items, support) in sets.iter().zip(&reply.supports) {
+                    let ids: Vec<String> = items.iter().map(u32::to_string).collect();
+                    println!("{support}\t{}", ids.join(" "));
+                }
+                eprintln!(
+                    "# {} BBS estimates at epoch {} ({} rows visible)",
+                    reply.supports.len(),
+                    reply.epoch,
+                    reply.rows
+                );
+            }
         }
         "mine" => {
             let threshold = parse_threshold(flags.require("min-support")?)?;
@@ -336,6 +363,10 @@ mod tests {
         ]))
         .expect("insert");
         client(&flags(&["count", "--tcp", &addr, "--items", "1 2"])).expect("count");
+        client(&flags(&[
+            "count", "--tcp", &addr, "--itemset", "1 2", "--itemset", "1,4", "--itemset", "5",
+        ]))
+        .expect("count many");
         client(&flags(&[
             "mine",
             "--tcp",

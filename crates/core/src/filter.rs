@@ -484,7 +484,37 @@ pub fn run_filter_threaded(
 pub trait CountSource {
     /// Estimated support of `itemset` (`CountItemSet`), fallible.
     fn count_itemset(&mut self, itemset: &Itemset, tau: u64) -> io::Result<u64>;
+
+    /// Batched estimates of every sibling extension `prefix ∪ {item}` for
+    /// `item` in `extensions` — the shape the enumeration generates one
+    /// whole node at a time.  Each returned value obeys the same τ
+    /// contract as [`CountSource::count_itemset`], and the results must be
+    /// identical to counting the extensions one at a time.
+    ///
+    /// The default implementation is that per-item loop; batched backends
+    /// (e.g. the shared-scan disk executor) override it to walk the shared
+    /// slice pages once per batch and to AND the common prefix once
+    /// instead of once per sibling.
+    fn count_extensions(
+        &mut self,
+        prefix: &Itemset,
+        extensions: &[ItemId],
+        tau: u64,
+    ) -> io::Result<Vec<u64>> {
+        extensions
+            .iter()
+            .map(|&item| self.count_itemset(&prefix.with_item(item), tau))
+            .collect()
+    }
 }
+
+/// Upper bound on the number of sibling candidates submitted to
+/// [`CountSource::count_extensions`] in one call.  The number of
+/// extensions of a node is bounded by the live alphabet (and, in
+/// aggregate per level, by the Geerts–Goethals–Van den Bussche tight
+/// candidate bound), but a single batch also bounds the executor's
+/// accumulator scratch, so outsized alphabets are split.
+const MAX_COUNT_BATCH: usize = 256;
 
 /// One worker's walk over the enumeration tree, counting through a
 /// [`CountSource`].  Unlike [`FilterRun`] there are no per-depth AND-result
@@ -501,6 +531,61 @@ struct SourceRun<'a, C: CountSource> {
 }
 
 impl<C: CountSource> SourceRun<'_, C> {
+    /// Filter test + CheckCount + bucket insert for one candidate whose
+    /// estimate is already known.  Returns the child [`NodeState`] when
+    /// the candidate's subtree should be explored, `None` when the
+    /// candidate was pruned or its false drop was discovered.
+    fn admit(
+        &mut self,
+        item: ItemId,
+        itemset: &Itemset,
+        state: NodeState,
+        union_est: u64,
+        candidate: &Itemset,
+    ) -> Option<NodeState> {
+        if union_est < self.tau {
+            return None; // rejected outright by the filter
+        }
+        self.out.stats.candidates += 1;
+        let (flag, count) = match self.kind {
+            FilterKind::Single => (Flag::Uncertain, union_est),
+            FilterKind::Dual => {
+                let act1 = self.actuals.get(&item).copied().unwrap_or(0);
+                let est1 = *self
+                    .est_singleton
+                    .get(&item)
+                    .expect("singleton estimates are precomputed");
+                check_count(itemset.is_empty(), state, act1, est1, union_est, self.tau)
+            }
+        };
+        match flag {
+            Flag::Infrequent => {
+                self.out.stats.false_drops += 1;
+                return None;
+            }
+            Flag::CertainExact => {
+                self.out.stats.certified += 1;
+                self.out.frequent.insert(candidate.clone(), count);
+            }
+            Flag::CertainEstimated => {
+                self.out.stats.certified += 1;
+                self.out.approx.insert(candidate.clone(), count);
+            }
+            Flag::Uncertain => {
+                self.out.uncertain.push((candidate.clone(), union_est));
+            }
+        }
+        Some(NodeState {
+            est: union_est,
+            count,
+            flag,
+        })
+    }
+
+    /// Processes one top-level extension `itemset ∪ {items[idx]}` (the
+    /// entry point the round-robin deal of the threaded runner targets;
+    /// singletons reuse the precomputed estimates) and expands its subtree
+    /// through the batched path.
     fn visit(
         &mut self,
         items: &[ItemId],
@@ -519,45 +604,40 @@ impl<C: CountSource> SourceRun<'_, C> {
             self.out.stats.bbs_counts += 1;
             self.src.count_itemset(&candidate, self.tau)?
         };
-        if union_est < self.tau {
-            return Ok(()); // rejected outright by the filter
+        if let Some(child) = self.admit(item, itemset, state, union_est, &candidate) {
+            self.expand(items, idx + 1, &candidate, child)?;
         }
-        self.out.stats.candidates += 1;
-        let (flag, count) = match self.kind {
-            FilterKind::Single => (Flag::Uncertain, union_est),
-            FilterKind::Dual => {
-                let act1 = self.actuals.get(&item).copied().unwrap_or(0);
-                let est1 = *self
-                    .est_singleton
-                    .get(&item)
-                    .expect("singleton estimates are precomputed");
-                check_count(itemset.is_empty(), state, act1, est1, union_est, self.tau)
-            }
-        };
-        match flag {
-            Flag::Infrequent => {
-                self.out.stats.false_drops += 1;
-                return Ok(());
-            }
-            Flag::CertainExact => {
-                self.out.stats.certified += 1;
-                self.out.frequent.insert(candidate.clone(), count);
-            }
-            Flag::CertainEstimated => {
-                self.out.stats.certified += 1;
-                self.out.approx.insert(candidate.clone(), count);
-            }
-            Flag::Uncertain => {
-                self.out.uncertain.push((candidate.clone(), union_est));
-            }
+        Ok(())
+    }
+
+    /// Expands every extension of `itemset` by the alphabet tail
+    /// `items[start..]`: all sibling candidates of the node are counted
+    /// through **one** batched [`CountSource::count_extensions`] call
+    /// (split at [`MAX_COUNT_BATCH`]), then each survivor's subtree is
+    /// explored depth-first.  The candidates counted — and every output
+    /// bucket — are identical to the one-at-a-time recursion; only the
+    /// counting is grouped so a batched source can share its scan.
+    fn expand(
+        &mut self,
+        items: &[ItemId],
+        start: usize,
+        itemset: &Itemset,
+        state: NodeState,
+    ) -> io::Result<()> {
+        if start >= items.len() {
+            return Ok(());
         }
-        let child = NodeState {
-            est: union_est,
-            count,
-            flag,
-        };
-        for next in idx + 1..items.len() {
-            self.visit(items, next, &candidate, child)?;
+        let exts = &items[start..];
+        let mut ests = Vec::with_capacity(exts.len());
+        for batch in exts.chunks(MAX_COUNT_BATCH) {
+            self.out.stats.bbs_counts += batch.len() as u64;
+            ests.extend(self.src.count_extensions(itemset, batch, self.tau)?);
+        }
+        for (k, &item) in exts.iter().enumerate() {
+            let candidate = itemset.with_item(item);
+            if let Some(child) = self.admit(item, itemset, state, ests[k], &candidate) {
+                self.expand(items, start + k + 1, &candidate, child)?;
+            }
         }
         Ok(())
     }

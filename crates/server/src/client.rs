@@ -156,6 +156,19 @@ pub struct CountReply {
     pub rows: u64,
 }
 
+/// The `count_many` reply: one support per query itemset, in request
+/// order, all answered from the same snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountManyReply {
+    /// BBS support estimates, one per itemset (semantics as in
+    /// [`CountReply::support`]).
+    pub supports: Vec<u64>,
+    /// Epoch of the snapshot that answered every query.
+    pub epoch: u64,
+    /// Rows visible to that snapshot.
+    pub rows: u64,
+}
+
 /// The `insert` reply: where the batch landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InsertReply {
@@ -278,6 +291,28 @@ impl Client {
                 rows,
             } => Ok(CountReply {
                 support,
+                epoch,
+                rows,
+            }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Batched `CountItemSet`: all itemsets are answered from **one**
+    /// snapshot via the server's shared-scan executor, with supports in
+    /// request order — identical to issuing [`Client::count`] per itemset,
+    /// but one round-trip and one index walk for the whole batch.
+    pub fn count_many(&mut self, itemsets: &[&[u32]]) -> ClientResult<CountManyReply> {
+        let req = Request::CountMany {
+            itemsets: itemsets.iter().map(|s| s.to_vec()).collect(),
+        };
+        match self.call(&req)? {
+            Reply::CountMany {
+                supports,
+                epoch,
+                rows,
+            } => Ok(CountManyReply {
+                supports,
                 epoch,
                 rows,
             }),
@@ -605,6 +640,12 @@ impl RetryClient {
     /// `count` with retries.
     pub fn count(&mut self, items: &[u32]) -> ClientResult<CountReply> {
         self.retry(|c| c.count(items))
+    }
+
+    /// `count_many` with retries (reads are idempotent, so retrying a
+    /// whole batch is always safe).
+    pub fn count_many(&mut self, itemsets: &[&[u32]]) -> ClientResult<CountManyReply> {
+        self.retry(|c| c.count_many(itemsets))
     }
 
     /// `probe` with retries.

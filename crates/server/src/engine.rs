@@ -65,6 +65,14 @@ const REPLICATE_MAX_ENTRIES: usize = 512;
 /// under [`crate::proto::MAX_FRAME`]).
 const REPLICATE_MAX_BYTES: usize = 8 << 20;
 
+/// Admission cap for one `count_many` batch, measured in total item
+/// values across the batch (an empty itemset still charges one unit).
+/// The unit of work a batched count admits is its slice-AND operands,
+/// not its frame count: a batch of K itemsets costs what K independent
+/// counts would, so it must be charged as K counts' worth of work — one
+/// giant frame cannot sneak unbounded scanning past admission control.
+const COUNT_MANY_MAX_WORK: usize = 1 << 16;
+
 /// Resolves a requested thread count: `0` (or absent, mapped to `0` by
 /// callers) means "all available cores".
 pub fn resolve_threads(requested: usize) -> usize {
@@ -412,6 +420,20 @@ impl Engine {
         Ok((support, snap))
     }
 
+    /// Batched `CountItemSet`: every itemset is answered from the **same**
+    /// snapshot via the shared-scan executor (one walk of the selected
+    /// slice chunks serves the whole batch; see [`Snapshot::count_many`]).
+    /// Supports come back in request order, identical to per-op counting.
+    pub fn count_many(&self, itemsets: &[Vec<u32>]) -> io::Result<(Vec<u64>, Arc<Snapshot>)> {
+        let snap = self.shared.snapshot();
+        let sets: Vec<Itemset> = itemsets
+            .iter()
+            .map(|items| Itemset::from_values(items))
+            .collect();
+        let supports = snap.count_many(&sets)?;
+        Ok((supports, snap))
+    }
+
     /// Probes one row of the latest snapshot.
     pub fn probe(&self, row: u64) -> io::Result<Option<Transaction>> {
         self.shared.snapshot().probe(row)
@@ -583,6 +605,26 @@ impl Engine {
             Request::Shutdown => {
                 self.begin_drain();
                 Response::Ok(Reply::ShuttingDown)
+            }
+            Request::CountMany { itemsets } => {
+                // Admission by total work, not by frame: each itemset
+                // charges its item count (empty ones charge 1 unit).
+                let work: usize = itemsets.iter().map(|s| s.len().max(1)).sum();
+                if work > COUNT_MANY_MAX_WORK {
+                    self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                    return Response::Overloaded;
+                }
+                self.metrics
+                    .count_many_batch
+                    .record(itemsets.len() as u64);
+                match self.count_many(itemsets) {
+                    Ok((supports, snap)) => Response::Ok(Reply::CountMany {
+                        supports,
+                        epoch: snap.epoch(),
+                        rows: snap.rows(),
+                    }),
+                    Err(e) => Response::Err(format!("count_many failed: {e}")),
+                }
             }
         }
     }
@@ -1061,6 +1103,56 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn count_many_matches_per_op_and_admits_by_work() {
+        let b = base("count_many");
+        let _g = Cleanup(b.clone());
+        let engine = Engine::open(&b, cfg()).expect("open");
+        let txns: Vec<Transaction> = (0..30)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    Itemset::from_values(if i % 3 == 0 { &[1, 2, 5] } else { &[1, 4] }),
+                )
+            })
+            .collect();
+        committed(engine.insert(txns));
+
+        let itemsets: Vec<Vec<u32>> =
+            vec![vec![1], vec![1, 2], vec![2, 5], vec![], vec![9]];
+        let resp = engine.handle(&Request::CountMany {
+            itemsets: itemsets.clone(),
+        });
+        let (supports, rows) = match resp {
+            Response::Ok(Reply::CountMany { supports, rows, .. }) => (supports, rows),
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_eq!(rows, 30);
+        assert_eq!(supports.len(), itemsets.len());
+        for (i, items) in itemsets.iter().enumerate() {
+            let (solo, _) = engine.count(items).expect("count");
+            assert_eq!(supports[i], solo, "itemset {items:?}");
+        }
+        let m = engine.metrics();
+        assert_eq!(m.count_many.requests.load(Ordering::Relaxed), 1);
+        assert_eq!(m.count_many.latency_us.count(), 1);
+        assert_eq!(m.count_many_batch.count(), 1);
+        assert_eq!(m.count_many_batch.max(), itemsets.len() as u64);
+
+        // A batch whose total item count exceeds the work cap is rejected
+        // by admission control, not served as "one request".
+        let huge: Vec<Vec<u32>> = (0..=(COUNT_MANY_MAX_WORK as u32 / 4))
+            .map(|i| vec![i, i + 1, i + 2, i + 3])
+            .collect();
+        let resp = engine.handle(&Request::CountMany { itemsets: huge });
+        assert_eq!(resp, Response::Overloaded);
+        assert!(m.overloaded.load(Ordering::Relaxed) >= 1);
+
+        let json = engine.stats_json();
+        assert!(json.contains("\"count_many\":{\"requests\":2"));
+        assert!(json.contains("\"count_many_batch\":{\"count\":1"));
     }
 
     #[test]

@@ -149,6 +149,11 @@ pub struct ServerMetrics {
     pub replicate: Endpoint,
     /// `promote` endpoint.
     pub promote: Endpoint,
+    /// `count_many` endpoint (batched counting; latency covers the whole
+    /// batch).
+    pub count_many: Endpoint,
+    /// Itemsets per `count_many` batch.
+    pub count_many_batch: Histogram,
     /// Requests rejected by admission control.
     pub overloaded: AtomicU64,
     /// Inserts answered from the exactly-once window instead of appending
@@ -200,6 +205,7 @@ impl ServerMetrics {
             op::STATS => Some(&self.stats),
             op::REPLICATE => Some(&self.replicate),
             op::PROMOTE => Some(&self.promote),
+            op::COUNT_MANY => Some(&self.count_many),
             _ => None,
         }
     }
@@ -218,6 +224,11 @@ impl ServerMetrics {
             format!("\"stats\":{}", self.stats.to_json()),
             format!("\"replicate\":{}", self.replicate.to_json()),
             format!("\"promote\":{}", self.promote.to_json()),
+            format!("\"count_many\":{}", self.count_many.to_json()),
+            format!(
+                "\"count_many_batch\":{}",
+                self.count_many_batch.to_json()
+            ),
             format!("\"overloaded\":{}", self.overloaded.load(Ordering::Relaxed)),
             format!("\"dedup_hits\":{}", self.dedup_hits.load(Ordering::Relaxed)),
             format!("\"disk_full\":{}", self.disk_full.load(Ordering::Relaxed)),
@@ -324,6 +335,7 @@ mod tests {
             op::STATS,
             op::REPLICATE,
             op::PROMOTE,
+            op::COUNT_MANY,
         ] {
             assert!(m.endpoint(opc).is_some());
         }

@@ -54,6 +54,8 @@ pub mod op {
     pub const REPLICATE: u8 = 7;
     /// Promote a follower to primary (writable).
     pub const PROMOTE: u8 = 8;
+    /// Batched `CountItemSet`: many itemsets against one snapshot.
+    pub const COUNT_MANY: u8 = 9;
 }
 
 /// Response status values (response byte 0).
@@ -127,6 +129,13 @@ pub enum Request {
     },
     /// Flip this follower to primary (idempotent on a primary).
     Promote,
+    /// Support queries for many itemsets, answered from **one** snapshot
+    /// via the shared-scan executor.  Admission control charges the whole
+    /// batch by its total item count, not as one request.
+    CountMany {
+        /// The query itemsets (item values each, unsorted is fine).
+        itemsets: Vec<Vec<u32>>,
+    },
 }
 
 /// The body of an ok response (tagged with the opcode it answers).
@@ -193,6 +202,17 @@ pub enum Reply {
         /// Epoch at promotion.
         epoch: u64,
         /// Committed rows at promotion.
+        rows: u64,
+    },
+    /// Answer to [`Request::CountMany`]: one support per query itemset, in
+    /// request order, all from the same snapshot.
+    CountMany {
+        /// BBS support estimates, one per itemset (semantics as in
+        /// [`Reply::Count`]).
+        supports: Vec<u64>,
+        /// Epoch of the snapshot that answered every query.
+        epoch: u64,
+        /// Rows visible to that snapshot.
         rows: u64,
     },
 }
@@ -365,6 +385,13 @@ impl Request {
                 out.extend_from_slice(&max_entries.to_le_bytes());
             }
             Request::Promote => out.push(op::PROMOTE),
+            Request::CountMany { itemsets } => {
+                out.push(op::COUNT_MANY);
+                out.extend_from_slice(&(itemsets.len() as u32).to_le_bytes());
+                for items in itemsets {
+                    put_items(&mut out, items);
+                }
+            }
         }
         out
     }
@@ -404,6 +431,14 @@ impl Request {
                 max_entries: r.u32()?,
             },
             op::PROMOTE => Request::Promote,
+            op::COUNT_MANY => {
+                let n = r.u32()? as usize;
+                let mut itemsets = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    itemsets.push(r.items()?);
+                }
+                Request::CountMany { itemsets }
+            }
             k => return Err(bad(format!("unknown opcode {k}"))),
         };
         r.done()?;
@@ -422,6 +457,7 @@ impl Request {
             Request::Shutdown => op::SHUTDOWN,
             Request::Replicate { .. } => op::REPLICATE,
             Request::Promote => op::PROMOTE,
+            Request::CountMany { .. } => op::COUNT_MANY,
         }
     }
 }
@@ -438,6 +474,7 @@ impl Reply {
             Reply::ShuttingDown => op::SHUTDOWN,
             Reply::LogEntries { .. } => op::REPLICATE,
             Reply::Promoted { .. } => op::PROMOTE,
+            Reply::CountMany { .. } => op::COUNT_MANY,
         }
     }
 }
@@ -531,6 +568,18 @@ impl Response {
                         out.extend_from_slice(&epoch.to_le_bytes());
                         out.extend_from_slice(&rows.to_le_bytes());
                     }
+                    Reply::CountMany {
+                        supports,
+                        epoch,
+                        rows,
+                    } => {
+                        out.extend_from_slice(&(supports.len() as u32).to_le_bytes());
+                        for &s in supports {
+                            out.extend_from_slice(&s.to_le_bytes());
+                        }
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                        out.extend_from_slice(&rows.to_le_bytes());
+                    }
                 }
             }
         }
@@ -620,6 +669,18 @@ impl Response {
                     epoch: r.u64()?,
                     rows: r.u64()?,
                 },
+                op::COUNT_MANY => {
+                    let n = r.u32()? as usize;
+                    let mut supports = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        supports.push(r.u64()?);
+                    }
+                    Reply::CountMany {
+                        supports,
+                        epoch: r.u64()?,
+                        rows: r.u64()?,
+                    }
+                }
                 k => return Err(bad(format!("unknown reply opcode {k}"))),
             }),
             k => return Err(bad(format!("unknown status byte {k}"))),
@@ -711,6 +772,10 @@ mod tests {
             max_entries: u32::MAX,
         });
         roundtrip_request(Request::Promote);
+        roundtrip_request(Request::CountMany { itemsets: vec![] });
+        roundtrip_request(Request::CountMany {
+            itemsets: vec![vec![3, 1, 2], vec![], vec![u32::MAX]],
+        });
     }
 
     #[test]
@@ -758,6 +823,16 @@ mod tests {
             ],
         }));
         roundtrip_response(Response::Ok(Reply::Promoted { epoch: 5, rows: 99 }));
+        roundtrip_response(Response::Ok(Reply::CountMany {
+            supports: vec![],
+            epoch: 1,
+            rows: 2,
+        }));
+        roundtrip_response(Response::Ok(Reply::CountMany {
+            supports: vec![7, 0, u64::MAX],
+            epoch: 4,
+            rows: 1000,
+        }));
         roundtrip_response(Response::Overloaded);
         roundtrip_response(Response::Err("boom".into()));
         roundtrip_response(Response::DiskFull);
@@ -815,6 +890,10 @@ mod tests {
             }
             .encode(),
             Request::Promote.encode(),
+            Request::CountMany {
+                itemsets: vec![vec![1, 2], vec![3]],
+            }
+            .encode(),
         ];
         let responses = vec![
             Response::Ok(Reply::Insert {
@@ -841,6 +920,12 @@ mod tests {
             })
             .encode(),
             Response::NotPrimary("addr".into()).encode(),
+            Response::Ok(Reply::CountMany {
+                supports: vec![1, 2, 3],
+                epoch: 7,
+                rows: 8,
+            })
+            .encode(),
         ];
         for _ in 0..2000 {
             let pool = if rng.random::<bool>() { &requests } else { &responses };

@@ -225,6 +225,79 @@ fn follower_auto_promotes_after_primary_loss() {
 }
 
 #[test]
+fn follower_chains_off_another_followers_log_with_second_hop_parity() {
+    let pb = base("chain_p");
+    let mb = base("chain_mid");
+    let tb = base("chain_tail");
+    let (_gp, _gm, _gt) = (Cleanup(pb.clone()), Cleanup(mb.clone()), Cleanup(tb.clone()));
+
+    let (primary, paddr) = start(&pb, cfg());
+    let mut pc = Client::connect_tcp(&paddr).expect("connect primary");
+    pc.insert_with_id(201, &batch(0, 12)).expect("insert");
+
+    // Hop 1: a follower of the primary.  Applying replicated entries
+    // populates its own `<base>.log`, so it can serve `replicate` itself.
+    let (mid, maddr) = start(&mb, follower_cfg(&paddr));
+    let mut mc = Client::connect_tcp(&maddr).expect("connect mid");
+    wait_rows(&mut mc, 12);
+
+    // Hop 2: a follower whose upstream is the *mid* follower, including
+    // rows that reached mid before the tail existed (log bootstrap).
+    let (tail, taddr) = start(&tb, follower_cfg(&maddr));
+    assert!(matches!(
+        tail.engine().role(),
+        Role::Follower { ref primary } if *primary == maddr
+    ));
+    let mut tc = Client::connect_tcp(&taddr).expect("connect tail");
+    wait_rows(&mut tc, 12);
+
+    // Live commits propagate across both hops.
+    pc.insert_with_id(202, &batch(12, 8)).expect("insert");
+    wait_rows(&mut mc, 20);
+    wait_rows(&mut tc, 20);
+
+    // Second-hop read parity: per-op counts, a batched count_many, probes
+    // and a full mine all answer exactly as the primary does.
+    let queries: Vec<&[u32]> = vec![&[1], &[2], &[1, 3], &[4], &[]];
+    let batched = tc.count_many(&queries).expect("count_many tail");
+    assert_eq!(batched.rows, 20);
+    for (i, q) in queries.iter().enumerate() {
+        if q.is_empty() {
+            assert_eq!(batched.supports[i], 20, "empty itemset counts all rows");
+        } else {
+            assert_eq!(
+                batched.supports[i],
+                pc.count(q).expect("count primary").support,
+                "second hop diverged on {q:?}"
+            );
+        }
+    }
+    let probed = tc.probe(13).expect("probe").expect("present");
+    assert_eq!(probed.0, 13);
+    let pm = pc
+        .mine(Scheme::Dfp, SupportThreshold::Count(4), 2)
+        .expect("mine primary");
+    let tm = tc
+        .mine(Scheme::Dfp, SupportThreshold::Count(4), 2)
+        .expect("mine tail");
+    assert_eq!(pm.patterns, tm.patterns);
+    assert_eq!(pm.rows, tm.rows);
+
+    // The tail redirects writers to *its* upstream (the mid follower).
+    match tc.insert_with_id(999, &batch(20, 1)) {
+        Err(ClientError::NotPrimary(addr)) => assert_eq!(addr, maddr),
+        other => panic!("expected NotPrimary, got {other:?}"),
+    }
+    let tstats = tc.stats().expect("stats");
+    assert!(tstats.contains("\"role\":\"follower\""));
+    assert!(tstats.contains(&format!("\"primary_addr\":\"{maddr}\"")));
+
+    tail.join();
+    mid.join();
+    primary.join();
+}
+
+#[test]
 fn replicate_endpoint_reports_a_gap_as_a_typed_error() {
     let pb = base("gap_p");
     let _g = Cleanup(pb.clone());

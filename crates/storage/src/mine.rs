@@ -55,6 +55,16 @@ impl CountSource for TrackedCounter {
     fn count_itemset(&mut self, itemset: &Itemset, tau: u64) -> io::Result<u64> {
         self.inner.count(itemset, Some(tau))
     }
+
+    fn count_extensions(
+        &mut self,
+        prefix: &Itemset,
+        extensions: &[bbs_tdb::ItemId],
+        tau: u64,
+    ) -> io::Result<Vec<u64>> {
+        self.inner
+            .count_extensions_projected(prefix, extensions, Some(tau))
+    }
 }
 
 impl Drop for TrackedCounter {

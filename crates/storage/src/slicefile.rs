@@ -135,7 +135,40 @@ struct ReadState<B: StorageBackend> {
     acc: Vec<u64>,
     /// Scratch list of the current chunk's cold page ids.
     cold_ids: Vec<PageId>,
+    /// Prefix accumulator for the batched path, reused across calls.  The
+    /// per-query accumulator is [`ReadState::acc`]: accumulation across
+    /// chunks lives in the running totals, never in an accumulator, so one
+    /// chunk-sized buffer serves every query in the batch — re-seeded per
+    /// query per chunk — instead of a batch-sized pool of them thrashing
+    /// the cache.
+    prefix_acc: Vec<u64>,
+    /// Dense pool of decoded shared-slice segments for the batched path,
+    /// indexed by the slot number in [`ReadState::batch_slots`]; buffers
+    /// are reused across chunks and calls.
+    batch_segs: Vec<Vec<u64>>,
+    /// Width-indexed slice → segment-slot map (`NO_SLOT` = not shared).
+    /// Plain-array lookups here replace per-query hash-map probes on the
+    /// batched hot path.  Only entries named by [`ReadState::batch_union`]
+    /// are ever non-default; the rest stay `NO_SLOT` by invariant.
+    batch_slots: Vec<u32>,
+    /// Width-indexed active-query selection multiplicities; same validity
+    /// rule as [`ReadState::batch_slots`].
+    batch_mult: Vec<u32>,
+    /// The distinct slices the current batch's active queries (and prefix)
+    /// select, sorted — names exactly the non-default entries of
+    /// `batch_slots` / `batch_mult` / `batch_pfx`, which is what lets a
+    /// rebuild reset them in `O(|union|)` instead of `O(width)`.
+    batch_union: Vec<usize>,
+    /// Width-indexed membership in the *effective* prefix: the explicit
+    /// projection prefix plus every slice selected by all active queries
+    /// (hoisted automatically, so overlapping batches pay their common
+    /// slices once per chunk even when the caller declared no prefix).
+    batch_pfx: Vec<bool>,
 }
+
+/// Sentinel in [`ReadState::batch_slots`]: this slice has no decoded
+/// shared segment (it is hot, unshared, or not selected at all).
+const NO_SLOT: u32 = u32::MAX;
 
 /// Zeroes every bit at position `>= rows` in a word buffer (the snapshot
 /// clamp): a reader whose header said `rows = N` must never count bits a
@@ -175,6 +208,13 @@ impl<B: StorageBackend> ReadState<B> {
 
     /// Bumps selection counts and pins newly hot slices (decoding them).
     fn promote(&mut self, width: usize, rows: u64, slices: &[usize]) -> io::Result<()> {
+        // Once the pinned set is full no count bump can change it, so the
+        // bookkeeping is pure overhead on every subsequent query — skip it.
+        // After an append invalidates the pinned set, counting resumes from
+        // the preserved counts and re-pins the proven hot slices at once.
+        if self.hot.pinned.len() >= self.hot.capacity {
+            return Ok(());
+        }
         for &s in slices {
             let n = self.hot.select_counts.entry(s).or_insert(0);
             *n += 1;
@@ -213,6 +253,7 @@ impl<B: StorageBackend> ReadState<B> {
             hot,
             acc,
             cold_ids,
+            ..
         } = self;
         acc.resize(PAGE_WORDS, 0);
         let mut total = 0u64;
@@ -284,6 +325,264 @@ impl<B: StorageBackend> ReadState<B> {
             }
         }
         Ok(total)
+    }
+
+    /// Shared-scan batched counting (see [`SliceFile::count_selected_many`]
+    /// and [`SliceFile::count_selected_many_shared`]).
+    ///
+    /// The per-chunk loop decodes each distinct selected slice **once** —
+    /// from the pinned hot words or from its cache-resident page — and then
+    /// drives every still-active query's accumulator from those shared
+    /// segments.  Per-op counting walks the same pages once *per query*;
+    /// here the page fetch + decode cost is paid once per chunk for the
+    /// whole batch, which is what amortises concurrent hot-slice queries.
+    ///
+    /// `prefix` is the Ramp-style projection: slices every query selects.
+    /// Their AND is materialised once per chunk and copied into each
+    /// query's accumulator, so a deep enumeration prefix is paid once per
+    /// batch instead of once per sibling candidate.
+    fn count_selected_many(
+        &mut self,
+        width: usize,
+        rows: u64,
+        prefix: &[usize],
+        queries: &[(Vec<usize>, Option<u64>)],
+    ) -> io::Result<Vec<u64>> {
+        let chunks = (rows as usize).div_ceil(CHUNK_ROWS) as u64;
+        let mut totals = vec![0u64; queries.len()];
+        let mut done = vec![false; queries.len()];
+        let mut active = 0usize;
+        if !prefix.is_empty() {
+            self.promote(width, rows, prefix)?;
+        }
+        for (i, (slices, _)) in queries.iter().enumerate() {
+            if prefix.is_empty() && slices.is_empty() {
+                totals[i] = rows;
+                done[i] = true;
+            } else if chunks == 0 {
+                done[i] = true;
+            } else {
+                active += 1;
+                if !slices.is_empty() {
+                    self.promote(width, rows, slices)?;
+                }
+            }
+        }
+        if active == 0 {
+            return Ok(totals);
+        }
+        let ReadState {
+            cache,
+            hot,
+            acc,
+            cold_ids,
+            prefix_acc,
+            batch_segs,
+            batch_slots,
+            batch_mult,
+            batch_union,
+            batch_pfx,
+        } = self;
+        // Reusable scratch: accumulation across chunks lives in `totals`,
+        // never in an accumulator (every chunk re-seeds), so one
+        // chunk-sized accumulator serves all the batch's queries in turn —
+        // it stays L1-resident instead of a batch-sized pool of buffers
+        // streaming through the cache once per chunk.
+        acc.resize(PAGE_WORDS, 0);
+        prefix_acc.resize(PAGE_WORDS, 0);
+        let segs = batch_segs;
+        let slots = batch_slots;
+        let mult = batch_mult;
+        let union = batch_union;
+        let pfx = batch_pfx;
+        slots.resize(width, NO_SLOT);
+        mult.resize(width, 0);
+        pfx.resize(width, false);
+        // Cold (non-pinned) slices of the union, the shared subset that
+        // gets a decoded segment per chunk, and the effective prefix.
+        // All rebuilt with the union.
+        let mut cold_slices: Vec<usize> = Vec::new();
+        let mut shared_slices: Vec<usize> = Vec::new();
+        let mut eff_prefix: Vec<usize> = Vec::new();
+        let mut stale = true;
+        for c in 0..chunks {
+            if stale {
+                // Reset exactly the entries the previous union named (from
+                // this call or the last one) — the maps stay all-default
+                // elsewhere, so a rebuild costs O(|union|), not O(width).
+                for &s in union.iter() {
+                    slots[s] = NO_SLOT;
+                    mult[s] = 0;
+                    pfx[s] = false;
+                }
+                union.clear();
+                union.extend_from_slice(prefix);
+                for (i, (slices, _)) in queries.iter().enumerate() {
+                    if !done[i] {
+                        union.extend_from_slice(slices);
+                        for &s in slices {
+                            mult[s] += 1;
+                        }
+                    }
+                }
+                union.sort_unstable();
+                union.dedup();
+                // The effective prefix: the caller's explicit projection
+                // prefix, plus every slice that all active queries select
+                // (`mult == active` — each query's slice list is deduped,
+                // so it contributes at most 1).  Hoisted slices are ANDed
+                // once per chunk into the prefix accumulator instead of
+                // once per query, which is where an overlapping batch
+                // beats per-op counting on arithmetic, not just on I/O.
+                eff_prefix.clear();
+                for &s in prefix {
+                    if !pfx[s] {
+                        pfx[s] = true;
+                        eff_prefix.push(s);
+                    }
+                }
+                for &s in union.iter() {
+                    if !pfx[s] && mult[s] as usize == active {
+                        pfx[s] = true;
+                        eff_prefix.push(s);
+                    }
+                }
+                // A non-prefix slice selected by ≥ 2 active queries (and
+                // not already pinned hot) earns a decoded-segment slot.  A
+                // slice unique to one query never does — it is ANDed
+                // straight from its cache-resident page bytes, exactly
+                // like the per-op path, so a batch of disjoint queries
+                // costs no more than per-op counting.
+                cold_slices.clear();
+                shared_slices.clear();
+                let mut next = 0u32;
+                for &s in union.iter() {
+                    if hot.pinned.contains_key(&s) {
+                        continue;
+                    }
+                    cold_slices.push(s);
+                    if mult[s] >= 2 && !pfx[s] {
+                        slots[s] = next;
+                        shared_slices.push(s);
+                        if segs.len() <= next as usize {
+                            segs.push(Vec::new());
+                        }
+                        next += 1;
+                    }
+                }
+                stale = false;
+            }
+            cold_ids.clear();
+            for &s in cold_slices.iter() {
+                cold_ids.push(page_of(width, c, s));
+            }
+            // Batched fetch, as in the per-op path: the chunk's cold pages
+            // become resident in one row-order pass.
+            if cold_ids.len() < cache.capacity() {
+                cache.prefetch(cold_ids)?;
+            }
+            // Decode each *shared* cold slice once for the whole batch.
+            for &s in shared_slices.iter() {
+                let seg = &mut segs[slots[s] as usize];
+                seg.clear();
+                cache.with_page(page_of(width, c, s), |buf| {
+                    for w in buf.chunks_exact(8) {
+                        seg.push(u64::from_le_bytes(w.try_into().expect("8 bytes")));
+                    }
+                })?;
+            }
+            let lo = (c as usize) * PAGE_WORDS;
+            let within = rows as usize - (c as usize) * CHUNK_ROWS;
+            // ANDs `$s`'s words for this chunk into `$acc` (the shared
+            // decoded segment, hot words, or zero-copy off the page),
+            // seeding on first use.  The slot test is a plain array read,
+            // so the per-query inner loop probes a hash map at most once
+            // per slice (the pinned-set lookup), as per-op counting does.
+            macro_rules! apply {
+                ($acc:expr, $seeded:expr, $s:expr) => {{
+                    let acc: &mut [u64] = $acc;
+                    let slot = slots[$s];
+                    if slot != NO_SLOT {
+                        // Decoded this chunk: the pass above covers exactly
+                        // the slotted slices, so a segment left over from an
+                        // earlier chunk (a sharer τ-exited) or an earlier
+                        // call is never mistaken for current data.
+                        let seg: &[u64] = &segs[slot as usize];
+                        if $seeded {
+                            ops::and_assign(acc, seg);
+                        } else {
+                            acc[..seg.len()].copy_from_slice(seg);
+                            acc[seg.len()..].fill(0);
+                        }
+                    } else if let Some(words) = hot.pinned.get(&$s) {
+                        hot.hits += 1;
+                        let hi = words.len().min(lo + PAGE_WORDS);
+                        let seg: &[u64] = if lo < hi { &words[lo..hi] } else { &[] };
+                        if $seeded {
+                            ops::and_assign(acc, seg);
+                        } else {
+                            acc[..seg.len()].copy_from_slice(seg);
+                            acc[seg.len()..].fill(0);
+                        }
+                    } else if $seeded {
+                        cache.with_page(page_of(width, c, $s), |buf| {
+                            for (a, b) in acc.iter_mut().zip(buf.chunks_exact(8)) {
+                                *a &= u64::from_le_bytes(b.try_into().expect("8 bytes"));
+                            }
+                        })?;
+                    } else {
+                        cache.with_page(page_of(width, c, $s), |buf| {
+                            for (a, b) in acc.iter_mut().zip(buf.chunks_exact(8)) {
+                                *a = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+                            }
+                        })?;
+                    }
+                    $seeded = true;
+                }};
+            }
+            // The shared projection: AND the effective prefix (explicit +
+            // hoisted common slices) once per chunk.
+            let mut prefix_seeded = false;
+            for &s in eff_prefix.iter() {
+                apply!(prefix_acc, prefix_seeded, s);
+            }
+            for (i, (slices, tau)) in queries.iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let mut seeded = false;
+                if prefix_seeded {
+                    acc.copy_from_slice(prefix_acc);
+                    seeded = true;
+                }
+                for &s in slices {
+                    // Hoisted into the effective prefix: already ANDed in.
+                    if pfx[s] {
+                        continue;
+                    }
+                    apply!(acc, seeded, s);
+                }
+                // Snapshot clamp on the boundary chunk, exactly as in the
+                // per-op path.
+                if c == chunks - 1 && within < CHUNK_ROWS {
+                    mask_from(acc, within);
+                }
+                totals[i] += ops::count_ones(acc) as u64;
+                if let Some(tau) = tau {
+                    let bound = totals[i] + (chunks - 1 - c) * CHUNK_ROWS as u64;
+                    if bound < *tau {
+                        totals[i] = bound;
+                        done[i] = true;
+                        active -= 1;
+                        stale = true;
+                    }
+                }
+            }
+            if active == 0 {
+                break;
+            }
+        }
+        Ok(totals)
     }
 }
 
@@ -453,6 +752,12 @@ impl<B: StorageBackend> SliceFile<B> {
                 hot: HotSlices::new(HOT_SLICE_LIMIT),
                 acc: Vec::new(),
                 cold_ids: Vec::new(),
+                prefix_acc: Vec::new(),
+                batch_segs: Vec::new(),
+                batch_slots: Vec::new(),
+                batch_mult: Vec::new(),
+                batch_union: Vec::new(),
+                batch_pfx: Vec::new(),
             }),
             width,
             rows,
@@ -545,6 +850,43 @@ impl<B: StorageBackend> SliceFile<B> {
     /// soon as even all-ones remaining chunks could not reach `τ`).
     pub fn count_selected_bounded(&self, slices: &[usize], tau: Option<u64>) -> io::Result<u64> {
         self.state().count_selected(self.width, self.rows, slices, tau)
+    }
+
+    /// Shared-scan batched counting: walks each selected slice chunk once
+    /// for the *whole batch*, feeding every query's accumulator from the
+    /// same decoded segment, with an independent τ-consistent early exit
+    /// per query (`tau` semantics as in
+    /// [`SliceFile::count_selected_bounded`]; an empty selection counts
+    /// every row, as in [`SliceFile::count_selected`]).
+    ///
+    /// Results are bit-for-bit identical to issuing the queries one at a
+    /// time — the batch only changes how often shared pages are fetched
+    /// and decoded.
+    pub fn count_selected_many(
+        &self,
+        queries: &[(Vec<usize>, Option<u64>)],
+    ) -> io::Result<Vec<u64>> {
+        self.state()
+            .count_selected_many(self.width, self.rows, &[], queries)
+    }
+
+    /// [`SliceFile::count_selected_many`] with a shared slice prefix: every
+    /// query counts rows matching `prefix ∪ slices`, but the prefix AND is
+    /// materialised once per chunk and reused across the batch (Ramp-style
+    /// bit-vector projection).  Because AND is idempotent, slices listed in
+    /// both `prefix` and a query's own selection are harmless, and the
+    /// results are bit-for-bit identical to per-op counting of each union.
+    ///
+    /// With an empty `prefix` this is exactly
+    /// [`SliceFile::count_selected_many`]; a query whose union is empty
+    /// counts every row.
+    pub fn count_selected_many_shared(
+        &self,
+        prefix: &[usize],
+        queries: &[(Vec<usize>, Option<u64>)],
+    ) -> io::Result<Vec<u64>> {
+        self.state()
+            .count_selected_many(self.width, self.rows, prefix, queries)
     }
 
     /// Flushes dirty pages and syncs.
@@ -796,6 +1138,59 @@ mod tests {
         let fresh = SliceFile::open(&p, 8, 64).expect("fresh");
         assert_eq!(fresh.rows(), 150);
         assert_eq!(fresh.count_selected(&[0, 1]).expect("count"), 150);
+    }
+
+    #[test]
+    fn count_selected_many_matches_per_op() {
+        let p = path("many");
+        let _g = Cleanup(p.clone());
+        let mut f = SliceFile::open(&p, 8, 64).expect("open");
+        // Cross a chunk boundary so the shared scan exercises multiple
+        // chunks and the boundary clamp.
+        let n = CHUNK_ROWS + 321;
+        for i in 0..n {
+            f.append_row(&[i % 8, (i * 3) % 8]).expect("append");
+        }
+        let queries: Vec<(Vec<usize>, Option<u64>)> = vec![
+            (vec![0], None),
+            (vec![0, 1], None),
+            (vec![2, 5, 7], Some(10)),
+            (vec![], None),
+            (vec![3], Some(u64::MAX)),
+            (vec![1, 2, 3, 4, 5, 6, 7], Some(1)),
+        ];
+        let batched = f.count_selected_many(&queries).expect("batched");
+        for (i, (slices, tau)) in queries.iter().enumerate() {
+            let solo = f.count_selected_bounded(slices, *tau).expect("solo");
+            assert_eq!(batched[i], solo, "query {i} {slices:?} tau {tau:?}");
+        }
+        // Repeat after hot promotion: pinned-slice segments agree too.
+        for _ in 0..5 {
+            f.count_selected(&[0, 1]).expect("promote");
+        }
+        assert!(f.hot_stats().pinned > 0);
+        let batched2 = f.count_selected_many(&queries).expect("batched hot");
+        assert_eq!(batched, batched2);
+        // Shared-prefix projection agrees with per-op counting of each
+        // prefix ∪ extension union, including a query overlapping the
+        // prefix and a query with no extensions of its own.
+        let prefix = vec![1usize, 2];
+        let exts: Vec<(Vec<usize>, Option<u64>)> = vec![
+            (vec![3], None),
+            (vec![2, 5], Some(5)),
+            (vec![], None),
+            (vec![7], Some(u64::MAX)),
+        ];
+        let shared = f
+            .count_selected_many_shared(&prefix, &exts)
+            .expect("shared");
+        for (i, (slices, tau)) in exts.iter().enumerate() {
+            let mut union: Vec<usize> = prefix.iter().chain(slices).copied().collect();
+            union.sort_unstable();
+            union.dedup();
+            let solo = f.count_selected_bounded(&union, *tau).expect("solo");
+            assert_eq!(shared[i], solo, "shared query {i} {slices:?} tau {tau:?}");
+        }
     }
 
     #[test]

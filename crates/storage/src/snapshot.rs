@@ -105,6 +105,16 @@ impl Snapshot {
         self.index.count_itemset_bounded(items, tau)
     }
 
+    /// Batched [`Snapshot::count`] over the shared-scan executor: one walk
+    /// of the selected slice chunks serves the whole batch (see
+    /// [`DiskBbs::count_itemsets`]).  Every itemset is counted at this
+    /// snapshot's epoch; the results are identical to counting them one at
+    /// a time.
+    pub fn count_many(&self, itemsets: &[Itemset]) -> io::Result<Vec<u64>> {
+        let _fence = self.io.read().unwrap_or_else(|e| e.into_inner());
+        self.index.count_itemsets(itemsets, None)
+    }
+
     /// Exact support of a single item at this epoch (from the persisted
     /// counts the snapshot read at open).
     pub fn singleton_count(&self, item: bbs_tdb::ItemId) -> u64 {
