@@ -4,7 +4,9 @@
 # native instruction set (exercising the AVX2 dispatch tier where the
 # host has it), the server's end-to-end suites (wire-protocol clients
 # against a live server, and the subprocess kill/fsck recovery test),
-# and a warning-free clippy pass.  Run from the repository root.
+# the sharded-deployment suites (router parity over the wire, proptest
+# equivalence oracle, SIGKILL crash recovery), and a warning-free clippy
+# pass.  Run from the repository root.
 set -eux
 
 cargo build --release
@@ -21,17 +23,27 @@ done
 # Bench smoke: the batched-counting benchmark end to end (in-process
 # server + storage + kernel tiers), leaving BENCH_7.json in the root.
 ./target/release/bench_count_many BENCH_7.json
+# Sharded-deployment smoke: ingest txns/s and count_many latency at 1
+# and 4 shards through the shard router, leaving BENCH_8.json.
+./target/release/bench_shard BENCH_8.json
 # The server suites run as part of `cargo test -q` above; run them again
 # by name so a failure here is unambiguous in CI logs.
 cargo test -q -p bbs-server --test integration
 cargo test -q -p bbs-server --test net_faults
 cargo test -q -p bbs-server --test replication
 cargo test -q -p bbs-cli --test server_proc
+cargo test -q -p bbs-cli --test shard_proc
+cargo test -q -p bbs-server --test sharded
 # The randomized chaos harnesses run on a fixed seed in CI so failures
 # reproduce; export CHAOS_SEED to try a different schedule.
 CHAOS_SEED="${CHAOS_SEED:-2964703749}"
 echo "chaos seed: ${CHAOS_SEED}"
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-server --test chaos -- --nocapture
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-cli --test failover -- --nocapture
+# Shard oracle suites: proptest equivalence against the unsharded
+# deployment, and SIGKILL-mid-ingest crash recovery, on the pinned seed.
+CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-shard --test equivalence
+CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-shard --test crash -- --nocapture
+cargo clippy -p bbs-shard --all-targets -- -D warnings
 cargo clippy -p bbs-server --all-targets -- -D warnings
 cargo clippy --all-targets -- -D warnings

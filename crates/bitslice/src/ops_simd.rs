@@ -26,8 +26,9 @@
 //! Dispatch can be overridden with the `BBS_KERNEL_TIER` environment
 //! variable (`portable` | `scalar` | `avx2` | `avx512`), read once on the
 //! first kernel call — the CI smoke matrix re-runs the kernel property
-//! tests under each forced tier.  Forcing a tier the hardware lacks falls
-//! back to auto-detection rather than faulting.
+//! tests under each forced tier.  Forcing a tier the hardware lacks, or an
+//! unrecognized value entirely, falls back to auto-detection rather than
+//! faulting, with a one-line warning on stderr naming the rejected value.
 //!
 //! All entry points preserve the zero-extension semantics of [`crate::ops`]:
 //! a missing trailing word behaves as `0u64`, so the fused count only walks
@@ -92,21 +93,10 @@ pub fn active_tier() -> Tier {
 #[cold]
 fn detect_tier() -> Tier {
     let forced = std::env::var("BBS_KERNEL_TIER").ok();
-    let tier = match forced.as_deref() {
-        Some("portable") => Tier::Portable,
-        Some("scalar") => Tier::Scalar,
-        Some("avx2") if avx2_available() => Tier::Avx2,
-        Some("avx512") if avx512_available() => Tier::Avx512,
-        _ => {
-            if avx512_available() {
-                Tier::Avx512
-            } else if avx2_available() {
-                Tier::Avx2
-            } else {
-                Tier::Scalar
-            }
-        }
-    };
+    let (tier, warning) = resolve_tier(forced.as_deref(), avx2_available(), avx512_available());
+    if let Some(msg) = warning {
+        eprintln!("bbs: {msg}");
+    }
     let code = match tier {
         Tier::Portable => TIER_PORTABLE,
         Tier::Scalar => TIER_SCALAR,
@@ -115,6 +105,45 @@ fn detect_tier() -> Tier {
     };
     TIER.store(code, Ordering::Relaxed);
     tier
+}
+
+/// Resolves a `BBS_KERNEL_TIER` override against the hardware's actual
+/// capabilities.  Pure so the pinned behavior is unit-testable: a
+/// recognized-and-available tier wins; a recognized-but-unavailable or
+/// unrecognized value falls back to runtime detection, with a one-line
+/// warning explaining the fallback.
+fn resolve_tier(forced: Option<&str>, avx2: bool, avx512: bool) -> (Tier, Option<String>) {
+    let auto = if avx512 {
+        Tier::Avx512
+    } else if avx2 {
+        Tier::Avx2
+    } else {
+        Tier::Scalar
+    };
+    match forced {
+        None => (auto, None),
+        Some("portable") => (Tier::Portable, None),
+        Some("scalar") => (Tier::Scalar, None),
+        Some("avx2") if avx2 => (Tier::Avx2, None),
+        Some("avx512") if avx512 => (Tier::Avx512, None),
+        Some(unavailable @ ("avx2" | "avx512")) => (
+            auto,
+            Some(format!(
+                "BBS_KERNEL_TIER={unavailable} is not supported by this CPU; \
+                 using runtime detection ({})",
+                auto.name()
+            )),
+        ),
+        Some(other) => (
+            auto,
+            Some(format!(
+                "ignoring invalid BBS_KERNEL_TIER value {other:?} \
+                 (expected portable|scalar|avx2|avx512); \
+                 using runtime detection ({})",
+                auto.name()
+            )),
+        ),
+    }
 }
 
 /// True if the explicit AVX2 tier is available on this machine.
@@ -543,5 +572,44 @@ mod tests {
             // Unforced dispatch never resolves to the reference tier.
             assert!(t != Tier::Portable);
         }
+    }
+
+    #[test]
+    fn resolve_tier_honors_valid_overrides_without_warning() {
+        assert_eq!(resolve_tier(Some("portable"), true, true), (Tier::Portable, None));
+        assert_eq!(resolve_tier(Some("scalar"), false, false), (Tier::Scalar, None));
+        assert_eq!(resolve_tier(Some("avx2"), true, false), (Tier::Avx2, None));
+        assert_eq!(resolve_tier(Some("avx512"), true, true), (Tier::Avx512, None));
+    }
+
+    #[test]
+    fn resolve_tier_auto_detects_when_unforced() {
+        assert_eq!(resolve_tier(None, false, false), (Tier::Scalar, None));
+        assert_eq!(resolve_tier(None, true, false), (Tier::Avx2, None));
+        assert_eq!(resolve_tier(None, true, true), (Tier::Avx512, None));
+    }
+
+    #[test]
+    fn resolve_tier_falls_back_on_invalid_value_with_warning() {
+        let (tier, warning) = resolve_tier(Some("sse9"), true, false);
+        assert_eq!(tier, Tier::Avx2, "invalid value uses runtime detection");
+        let msg = warning.expect("a warning names the rejected value");
+        assert!(msg.contains("sse9"), "warning names the value: {msg}");
+        assert!(msg.contains("avx2"), "warning names the fallback: {msg}");
+        // Empty string is invalid too, not a silent auto.
+        let (tier, warning) = resolve_tier(Some(""), false, false);
+        assert_eq!(tier, Tier::Scalar);
+        assert!(warning.is_some());
+    }
+
+    #[test]
+    fn resolve_tier_falls_back_when_forced_tier_is_unavailable() {
+        let (tier, warning) = resolve_tier(Some("avx512"), true, false);
+        assert_eq!(tier, Tier::Avx2);
+        let msg = warning.expect("unavailable tier warns");
+        assert!(msg.contains("avx512"), "{msg}");
+        let (tier, warning) = resolve_tier(Some("avx2"), false, false);
+        assert_eq!(tier, Tier::Scalar);
+        assert!(warning.is_some());
     }
 }

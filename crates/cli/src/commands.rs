@@ -200,13 +200,44 @@ pub fn count(flags: &Flags) -> CmdResult {
     Ok(())
 }
 
+/// `bbs create` — lay down an empty sharded deployment directory:
+/// a `MANIFEST` (shard count + signature width) plus one complete
+/// per-shard durable stack under `DIR/shard-NNN.*`.
+pub fn create(flags: &Flags) -> CmdResult {
+    let dir = flags.require("base")?;
+    let shards: usize = flags.require_parsed("shards")?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let width: usize = flags.get_parsed_or("width", 1600usize)?;
+    let cache_pages: usize = flags.get_parsed_or("cache-pages", 4096usize)?;
+    let dep = bbs_shard::ShardedDeployment::create(
+        Path::new(dir),
+        shards,
+        width,
+        hasher(flags)?,
+        cache_pages,
+    )?;
+    println!(
+        "created sharded deployment {dir}/ ({} shard(s), width {})",
+        dep.shard_count(),
+        dep.width()
+    );
+    Ok(())
+}
+
 /// `bbs ingest` — append a text transaction file into a durable
-/// deployment (`<base>.dat/.idx/.slices/.counts`), creating it if absent.
+/// deployment (`<base>.dat/.idx/.slices/.counts`), creating it if
+/// absent.  When `--base` names a sharded deployment directory (made by
+/// `bbs create --shards N`), transactions route to their owning shards.
 pub fn ingest(flags: &Flags) -> CmdResult {
     let db = load_db(flags)?;
     let base = flags.require("base")?;
     let width: usize = flags.get_parsed_or("width", 1600usize)?;
     let cache_pages: usize = flags.get_parsed_or("cache-pages", 4096usize)?;
+    if bbs_shard::ShardedDeployment::is_sharded(Path::new(base)) {
+        return ingest_sharded(flags, &db, base, cache_pages);
+    }
     let start = Instant::now();
     let mut dep = bbs_storage::DiskDeployment::open(
         Path::new(base),
@@ -227,6 +258,33 @@ pub fn ingest(flags: &Flags) -> CmdResult {
         start.elapsed().as_secs_f64()
     );
     let _ = before;
+    Ok(())
+}
+
+/// The sharded arm of [`ingest`]: every transaction routes by TID to its
+/// owning shard, each shard commits its own prefix.
+fn ingest_sharded(
+    flags: &Flags,
+    db: &TransactionDb,
+    dir: &str,
+    cache_pages: usize,
+) -> CmdResult {
+    let start = Instant::now();
+    let mut dep =
+        bbs_shard::ShardedDeployment::open(Path::new(dir), hasher(flags)?, cache_pages)?;
+    for txn in db.transactions() {
+        dep.append(txn)?;
+    }
+    dep.flush()?;
+    let rows: Vec<String> = dep.shard_rows().iter().map(u64::to_string).collect();
+    println!(
+        "ingested {} transactions across {} shard(s) (rows now {} = {}) in {:.3}s -> {dir}/",
+        db.len(),
+        dep.shard_count(),
+        dep.rows(),
+        rows.join("+"),
+        start.elapsed().as_secs_f64()
+    );
     Ok(())
 }
 
@@ -273,6 +331,17 @@ pub fn mine_deployment(flags: &Flags) -> CmdResult {
     } else {
         Some(parse_threads(flags)?)
     };
+
+    if bbs_shard::ShardedDeployment::is_sharded(Path::new(base)) {
+        let Some(threads) = threads else {
+            return Err(
+                "--in-memory does not apply to a sharded deployment (sharded mining \
+                 is always in place, dealing candidates across shards x cores)"
+                    .into(),
+            );
+        };
+        return mine_deployment_sharded(flags, base, threshold, scheme, threads, cache_pages);
+    }
 
     let start = Instant::now();
     let mut dep = bbs_storage::DiskDeployment::open(
@@ -329,6 +398,52 @@ pub fn mine_deployment(flags: &Flags) -> CmdResult {
     Ok(())
 }
 
+/// The sharded arm of [`mine_deployment`]: in-place mining with candidate
+/// subtrees dealt across workers, each counting across every shard —
+/// the result is bit-for-bit an unsharded run over the same rows.
+fn mine_deployment_sharded(
+    flags: &Flags,
+    dir: &str,
+    threshold: bbs_tdb::SupportThreshold,
+    scheme: Scheme,
+    threads: usize,
+    cache_pages: usize,
+) -> CmdResult {
+    let start = Instant::now();
+    let mut dep =
+        bbs_shard::ShardedDeployment::open(Path::new(dir), hasher(flags)?, cache_pages)?;
+    let open_secs = start.elapsed().as_secs_f64();
+    let mine_start = Instant::now();
+    let (result, stats) = bbs_shard::mine_sharded(&mut dep, scheme, threshold, threads)?;
+    let mine_secs = mine_start.elapsed().as_secs_f64();
+
+    let mut patterns = result.patterns.sorted();
+    patterns.sort_by_key(|p| std::cmp::Reverse(p.support));
+    let top: usize = flags.get_parsed_or("top", usize::MAX)?;
+    for p in patterns.iter().take(top) {
+        let mark = if result.approx_supports.contains(&p.items) {
+            " (upper bound)"
+        } else {
+            ""
+        };
+        let ids: Vec<String> = p.items.items().iter().map(|i| i.to_string()).collect();
+        println!("{}\t{}{}", p.support, ids.join(" "), mark);
+    }
+    eprintln!(
+        "# {} patterns over {} rows in {} shard(s) (open {:.3}s, mine {:.3}s, \
+         scheme {}, in place on {} thread(s))",
+        result.patterns.len(),
+        dep.rows(),
+        dep.shard_count(),
+        open_secs,
+        mine_secs,
+        scheme.name(),
+        threads,
+    );
+    print_disk_stats(&stats);
+    Ok(())
+}
+
 /// Prints the aggregated read-side counters of an in-place mining run.
 fn print_disk_stats(stats: &bbs_storage::DiskMineStats) {
     eprintln!(
@@ -359,6 +474,9 @@ fn print_disk_stats(stats: &bbs_storage::DiskMineStats) {
 /// the deployment.  Exits nonzero if any corruption is found.
 pub fn fsck(flags: &Flags) -> CmdResult {
     let base = flags.require("base")?;
+    if bbs_shard::ShardedDeployment::is_sharded(Path::new(base)) {
+        return fsck_sharded(base);
+    }
     let report = bbs_storage::DiskDeployment::verify(Path::new(base))?;
     print!("{report}");
     if report.is_clean() {
@@ -371,6 +489,37 @@ pub fn fsck(flags: &Flags) -> CmdResult {
             report.problems.len()
         )
         .into())
+    }
+}
+
+/// The sharded arm of [`fsck`]: every shard verifies in parallel, one
+/// summary line per shard, and the exit is nonzero if *any* shard is
+/// dirty.
+fn fsck_sharded(dir: &str) -> CmdResult {
+    let reports = bbs_shard::ShardedDeployment::verify(Path::new(dir))?;
+    let mut dirty = 0usize;
+    for r in &reports {
+        if r.report.is_clean() {
+            println!(
+                "shard {:03}: clean ({} committed rows, {} pages checked)",
+                r.shard, r.report.committed_rows, r.report.pages_checked
+            );
+        } else {
+            dirty += 1;
+            println!(
+                "shard {:03}: DIRTY ({} corrupt page(s), {} structural problem(s), \
+                 {} committed rows)",
+                r.shard,
+                r.report.corrupt_pages.len(),
+                r.report.problems.len(),
+                r.report.committed_rows
+            );
+        }
+    }
+    if dirty == 0 {
+        Ok(())
+    } else {
+        Err(format!("{dir}: {dirty} of {} shard(s) dirty", reports.len()).into())
     }
 }
 
@@ -527,6 +676,89 @@ mod tests {
 
         bbs_storage::DiskDeployment::remove_files(&base).ok();
         std::fs::remove_file(&db_path).ok();
+    }
+
+    #[test]
+    fn sharded_cli_create_ingest_mine_and_fsck() {
+        let db_path = temp("shard_db.txt");
+        let dir = temp("shard_dep");
+        let _cleanup = CleanupShards(dir.clone(), db_path.clone());
+        let mut lines = String::new();
+        for i in 0..60 {
+            lines.push_str(&format!("{i}: {} {} 7 8\n", i % 5, 5 + (i % 2)));
+        }
+        std::fs::write(&db_path, lines).expect("write db");
+        let dir_s = dir.to_str().expect("utf8").to_string();
+
+        create(&flags(&[("base", &dir_s), ("shards", "3"), ("width", "64")]))
+            .expect("create sharded");
+        assert!(bbs_shard::ShardedDeployment::is_sharded(&dir));
+
+        // `bbs ingest` detects the shard directory and routes by TID.
+        ingest(&flags(&[
+            ("db", db_path.to_str().expect("utf8")),
+            ("base", &dir_s),
+        ]))
+        .expect("sharded ingest");
+        let dep = bbs_shard::ShardedDeployment::open(
+            &dir,
+            std::sync::Arc::new(bbs_hash::Md5BloomHasher::new(4)),
+            64,
+        )
+        .expect("reopen");
+        assert_eq!(dep.rows(), 60);
+        assert_eq!(dep.shard_rows(), &[20, 20, 20]);
+        drop(dep);
+
+        // In-place sharded mining runs; the memory-resident mode is an
+        // unsharded-only flag and must say so.
+        mine_deployment(&flags(&[
+            ("base", &dir_s),
+            ("min-support", "50%"),
+            ("scheme", "dfp"),
+            ("threads", "2"),
+        ]))
+        .expect("sharded mine");
+        let err = mine_deployment(&Flags::parse(
+            ["--base", &dir_s, "--min-support", "50%", "--in-memory"]
+                .iter()
+                .map(|s| s.to_string()),
+        ))
+        .expect_err("--in-memory must be rejected on a shard directory");
+        assert!(err.to_string().contains("sharded"), "{err}");
+
+        // fsck: clean shards pass; flipping one committed byte in one
+        // shard's heap file dirties exactly that shard and the exit.
+        fsck(&flags(&[("base", &dir_s)])).expect("clean shards verify");
+        let dat = bbs_shard::shard_base(&dir, 1).with_extension("dat");
+        let mut bytes = std::fs::read(&dat).expect("read shard dat");
+        bytes[bbs_storage::PAGE_SIZE + 4] ^= 0x40;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&dat)
+            .and_then(|mut fh| fh.write_all(&bytes))
+            .expect("corrupt shard dat");
+        let err = fsck(&flags(&[("base", &dir_s)])).expect_err("dirty shard must fail");
+        assert!(err.to_string().contains("1 of 3 shard(s) dirty"), "{err}");
+    }
+
+    struct CleanupShards(std::path::PathBuf, std::path::PathBuf);
+    impl Drop for CleanupShards {
+        fn drop(&mut self) {
+            bbs_shard::ShardedDeployment::remove_files(&self.0).ok();
+            std::fs::remove_file(&self.1).ok();
+        }
+    }
+
+    #[test]
+    fn create_rejects_zero_shards() {
+        let dir = temp("shard_zero");
+        let err = create(&flags(&[
+            ("base", dir.to_str().expect("utf8")),
+            ("shards", "0"),
+        ]))
+        .expect_err("zero shards must fail");
+        assert!(err.to_string().contains("at least 1"), "{err}");
     }
 
     #[test]

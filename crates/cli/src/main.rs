@@ -53,6 +53,9 @@ USAGE:
                [--width M] [--hash-k K] [--top N]
   bbs count    --db FILE --items \"I1 I2 …\"
                [--index FILE] [--width M] [--hash-k K] [--mod D]
+  bbs create   --base DIR --shards N [--width M] [--hash-k K]
+               [--cache-pages P]   (sharded deployment: TID-range shards,
+               each with its own pager, commit record and dedup window)
   bbs ingest   --base PATH --db FILE [--width M] [--cache-pages N]
   bbs mine-deployment --base PATH --min-support N|P%
                [--scheme sfs|sfp|dfs|dfp] [--width M] [--top N]
@@ -78,6 +81,10 @@ USAGE:
   bbs stats    --base PATH [--min-support N|P%] [--scheme sfs|sfp|dfs|dfp]
                [--threads N]   (cache/pager profile of an in-place run)
 
+`ingest`, `mine-deployment`, `serve` and `fsck` accept a sharded
+directory made by `bbs create --shards N`: inserts route by TID to
+per-shard commit pipelines, counts and mining scatter-gather.
+
 The transaction file format is one transaction per line: whitespace-
 separated item ids, optionally prefixed with an explicit `TID:`.  Lines
 starting with '#' are comments.";
@@ -97,6 +104,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => commands::generate(&flags),
         "index" => commands::index(&flags),
+        "create" => commands::create(&flags),
         "mine" => commands::mine(&flags),
         "count" => commands::count(&flags),
         "ingest" => commands::ingest(&flags),

@@ -4,7 +4,10 @@
 use crate::args::{parse_threshold, Flags};
 use crate::commands::parse_threads;
 use bbs_core::Scheme;
-use bbs_server::{Bind, Client, Engine, RetryClient, RetryPolicy, Role, ServerAddr, ServerConfig};
+use bbs_server::{
+    Bind, Client, Engine, RequestHandler, RetryClient, RetryPolicy, Role, ServerAddr,
+    ServerConfig, ServerHandle, ShardedEngine,
+};
 use bbs_tdb::read_transactions_path;
 use std::error::Error;
 use std::path::{Path, PathBuf};
@@ -56,22 +59,44 @@ pub fn serve_with_stop(flags: &Flags, stop: &AtomicBool) -> CmdResult {
         return Err("serve needs a listener: --tcp HOST:PORT and/or --unix PATH".into());
     }
 
+    if bbs_shard::ShardedDeployment::is_sharded(Path::new(base)) {
+        // A sharded directory (made by `bbs create --shards N`): serve
+        // the shard router — N per-shard commit pipelines behind one
+        // listener set.
+        let engine = ShardedEngine::open(Path::new(base), cfg)?;
+        let rows: u64 = engine.engines().iter().map(|e| e.snapshot().rows()).sum();
+        let shards = engine.shard_count();
+        let banner = format!("serving {base}/ ({rows} committed rows across {shards} shard(s))");
+        let handle = bbs_server::serve(engine, &bind)?;
+        return run_until_stopped(handle, &banner, stop);
+    }
     let engine = Engine::open(Path::new(base), cfg)?;
     let rows = engine.snapshot().rows();
     let role = engine.role();
+    let banner = match role {
+        Role::Primary => format!("serving {base}.* ({rows} committed rows, primary)"),
+        Role::Follower { primary } => {
+            format!("serving {base}.* ({rows} committed rows, following {primary})")
+        }
+    };
     let handle = bbs_server::serve(engine, &bind)?;
+    run_until_stopped(handle, &banner, stop)
+}
+
+/// Prints the listener lines and banner, then blocks until a client
+/// `shutdown` or the stop flag triggers the graceful drain.
+fn run_until_stopped<H: RequestHandler>(
+    handle: ServerHandle<H>,
+    banner: &str,
+    stop: &AtomicBool,
+) -> CmdResult {
     if let Some(addr) = handle.tcp_addr() {
         println!("listening tcp {addr}");
     }
     if let Some(path) = handle.unix_path() {
         println!("listening unix {}", path.display());
     }
-    match role {
-        Role::Primary => println!("serving {base}.* ({rows} committed rows, primary)"),
-        Role::Follower { primary } => {
-            println!("serving {base}.* ({rows} committed rows, following {primary})")
-        }
-    }
+    println!("{banner}");
     // The line-buffered stdout must reach a parent that spawned us before
     // it tries to connect.
     use std::io::Write;

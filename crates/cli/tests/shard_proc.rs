@@ -1,0 +1,242 @@
+//! Subprocess tests of the sharded deployment lifecycle: `bbs create
+//! --shards N`, `bbs serve` over the shard directory, SIGKILL mid-ingest,
+//! `bbs fsck` with one summary line per shard, and recovery invariants —
+//! each shard recovers to a prefix of its own residue class, and the
+//! exactly-once window answers retries across the restart.
+
+use bbs_hash::{ItemHasher, Md5BloomHasher};
+use bbs_server::{Client, ClientError};
+use bbs_shard::{shard_base, route, ShardedDeployment};
+use bbs_storage::DiskDeployment;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_shard_proc_{}_{}", std::process::id(), name));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        ShardedDeployment::remove_files(&self.0).ok();
+    }
+}
+
+const BATCH: u64 = 8;
+
+fn bbs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bbs"))
+}
+
+fn create_shards(dir: &std::path::Path, shards: usize) {
+    let out = bbs()
+        .args([
+            "create",
+            "--base",
+            dir.to_str().expect("utf8"),
+            "--shards",
+            &shards.to_string(),
+            "--width",
+            "64",
+        ])
+        .output()
+        .expect("run bbs create");
+    assert!(out.status.success(), "create failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("created sharded deployment"), "{stdout}");
+}
+
+/// Spawns `bbs serve` over the shard directory and returns the child,
+/// the TCP address, and the banner line it printed.
+fn spawn_server(dir: &std::path::Path) -> (std::process::Child, String, String) {
+    let mut child = bbs()
+        .args([
+            "serve",
+            "--base",
+            dir.to_str().expect("utf8"),
+            "--tcp",
+            "127.0.0.1:0",
+            "--cache-pages",
+            "128",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bbs serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut addr = None;
+    let banner = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing itself")
+            .expect("read stdout");
+        if let Some(rest) = line.strip_prefix("listening tcp ") {
+            addr = Some(rest.trim().to_string());
+        } else if line.starts_with("serving ") {
+            break line;
+        }
+    };
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr.expect("listening line precedes banner"), banner)
+}
+
+/// Runs `bbs fsck` on the shard directory, returning (success, stdout).
+fn fsck(dir: &std::path::Path) -> (bool, String) {
+    let out = bbs()
+        .args(["fsck", "--base", dir.to_str().expect("utf8")])
+        .stderr(Stdio::null())
+        .output()
+        .expect("run bbs fsck");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[test]
+fn sharded_kill_mid_ingest_recovers_each_shard_to_a_residue_prefix() {
+    const SHARDS: usize = 4;
+    let dir = temp("kill");
+    let _g = Cleanup(dir.clone());
+    create_shards(&dir, SHARDS);
+    let (mut child, addr, banner) = spawn_server(&dir);
+    assert!(banner.contains("4 shard(s)"), "{banner}");
+
+    // Sequential TIDs in fixed batches: every batch deals exactly
+    // BATCH/SHARDS rows to each shard, so a confirmed batch means every
+    // shard durably holds its share.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = match Client::connect_tcp(&addr) {
+                Ok(c) => c,
+                Err(_) => return 0u64,
+            };
+            client.set_timeout(Some(Duration::from_secs(5))).ok();
+            let mut confirmed_batches = 0u64;
+            let mut next = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let txns: Vec<(u64, Vec<u32>)> = (next..next + BATCH)
+                    .map(|i| (i, vec![1, 2 + (i % 4) as u32]))
+                    .collect();
+                match client.insert(&txns) {
+                    Ok(_) => {
+                        confirmed_batches += 1;
+                        next += BATCH;
+                    }
+                    Err(ClientError::Overloaded) => continue,
+                    // The kill lands mid-call eventually; that's the point.
+                    Err(_) => break,
+                }
+            }
+            confirmed_batches
+        })
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let mut probe = Client::connect_tcp(&addr).expect("probe connect");
+        let rows = probe.count(&[1]).expect("probe count").rows;
+        if rows >= 5 * BATCH {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ingest made no progress");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill server");
+    child.wait().expect("reap server");
+    stop.store(true, Ordering::Release);
+    let confirmed_batches = writer.join().expect("writer");
+
+    // fsck: parallel verify, one clean line per shard, exit zero.
+    let (ok, stdout) = fsck(&dir);
+    assert!(ok, "fsck must pass on the killed shard directory:\n{stdout}");
+    for shard in 0..SHARDS {
+        assert!(
+            stdout.contains(&format!("shard {shard:03}: clean")),
+            "missing shard {shard} line in:\n{stdout}"
+        );
+    }
+
+    // Each shard recovered independently — its TIDs must be exactly a
+    // prefix of its residue class in insertion order, covering at least
+    // every confirmed batch's share.
+    let hasher: Arc<dyn ItemHasher> = Arc::new(Md5BloomHasher::new(4));
+    for shard in 0..SHARDS {
+        let mut dep = DiskDeployment::open(&shard_base(&dir, shard), 64, Arc::clone(&hasher), 128)
+            .expect("reopen shard");
+        let db = dep.db.load().expect("load shard db");
+        let tids: Vec<u64> = db.transactions().iter().map(|t| t.tid.0).collect();
+        let want: Vec<u64> = (0..tids.len() as u64)
+            .map(|k| shard as u64 + k * SHARDS as u64)
+            .collect();
+        assert_eq!(tids, want, "shard {shard} is not a residue-class prefix");
+        assert!(
+            tids.len() as u64 >= confirmed_batches * (BATCH / SHARDS as u64),
+            "shard {shard} lost confirmed rows"
+        );
+        assert!(tids.iter().all(|t| route(*t, SHARDS) == shard));
+        dep.flush().expect("flush shard");
+    }
+
+    // A fresh server over the recovered shards serves the union again.
+    let (mut child, addr, _) = spawn_server(&dir);
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let reply = client.count(&[1]).expect("count");
+    assert_eq!(reply.support, reply.rows, "every row carries item 1");
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains(&format!("\"shards\":{SHARDS}")), "{stats}");
+    client.shutdown_server().expect("shutdown");
+    assert!(child.wait().expect("wait").success());
+    let (ok, _) = fsck(&dir);
+    assert!(ok, "fsck after the graceful shutdown");
+}
+
+#[test]
+fn sharded_retry_across_kill_and_restart_dedups_per_shard() {
+    const SHARDS: usize = 3;
+    let dir = temp("retrydup");
+    let _g = Cleanup(dir.clone());
+    create_shards(&dir, SHARDS);
+    let (mut child, addr, _) = spawn_server(&dir);
+
+    let txns: Vec<(u64, Vec<u32>)> = (0..9).map(|i| (i, vec![1, 7])).collect();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let first = client.insert_with_id(777, &txns).expect("insert");
+    assert_eq!((first.appended, first.deduped), (9, false));
+
+    // The router dies without warning; every shard keeps its own
+    // exactly-once window on disk.
+    child.kill().expect("kill server");
+    child.wait().expect("reap server");
+    let (ok, _) = fsck(&dir);
+    assert!(ok, "fsck after the kill");
+
+    // A new process answers the retried request ID from the recovered
+    // per-shard windows: same receipt, nothing appended twice.
+    let (mut child, addr, _) = spawn_server(&dir);
+    let mut client = Client::connect_tcp(&addr).expect("reconnect");
+    client.set_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let retried = client.insert_with_id(777, &txns).expect("retry");
+    assert!(retried.deduped, "retry must be answered from the windows");
+    assert_eq!(retried.appended, first.appended);
+    let count = client.count(&[1]).expect("count");
+    assert_eq!((count.support, count.rows), (9, 9), "the batch exists exactly once");
+
+    // A different request ID is new work on every shard.
+    let more: Vec<(u64, Vec<u32>)> = (9..18).map(|i| (i, vec![1, 8])).collect();
+    let fresh = client.insert_with_id(778, &more).expect("fresh insert");
+    assert_eq!((fresh.appended, fresh.deduped), (9, false));
+
+    client.shutdown_server().expect("shutdown");
+    assert!(child.wait().expect("wait").success());
+    let (ok, stdout) = fsck(&dir);
+    assert!(ok, "fsck after the whole dance:\n{stdout}");
+}

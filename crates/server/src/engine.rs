@@ -71,7 +71,7 @@ const REPLICATE_MAX_BYTES: usize = 8 << 20;
 /// not its frame count: a batch of K itemsets costs what K independent
 /// counts would, so it must be charged as K counts' worth of work — one
 /// giant frame cannot sneak unbounded scanning past admission control.
-const COUNT_MANY_MAX_WORK: usize = 1 << 16;
+pub(crate) const COUNT_MANY_MAX_WORK: usize = 1 << 16;
 
 /// Resolves a requested thread count: `0` (or absent, mapped to `0` by
 /// callers) means "all available cores".

@@ -16,6 +16,9 @@
 //!   drain (in-flight requests answered, queued ingest committed).
 //! * [`metrics`] — lock-free per-endpoint counters and log2 latency
 //!   histograms, served as JSON by the `stats` endpoint.
+//! * [`sharded`] — the shard router: one [`ShardedEngine`] over N
+//!   TID-range shards, each a complete engine with its own committer
+//!   (inserts route by TID, reads scatter-gather and sum).
 //! * [`client`] — the matching client library ([`Client`]), one typed
 //!   method per endpoint, plus [`RetryClient`]: reconnect + exponential
 //!   backoff with jitter, and exactly-once inserts via stable request
@@ -37,6 +40,7 @@ pub mod engine;
 pub mod metrics;
 pub mod net;
 pub mod proto;
+pub mod sharded;
 
 pub use client::{
     Client, ClientError, ClientResult, CountReply, InsertReply, MineReply, PromoteReply,
@@ -44,5 +48,6 @@ pub use client::{
 };
 pub use engine::{resolve_threads, Engine, InsertOutcome, Role, ServerConfig};
 pub use metrics::{Endpoint, Histogram, ServerMetrics};
-pub use net::{serve, Bind, ServerHandle};
+pub use net::{serve, Bind, RequestHandler, ServerHandle};
 pub use proto::{LogEntry, Reply, Request, Response};
+pub use sharded::{ScatterMetrics, ShardedEngine};

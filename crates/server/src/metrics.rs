@@ -95,7 +95,8 @@ impl Histogram {
         self.max()
     }
 
-    fn to_json(&self) -> String {
+    /// Renders the summary (count/mean/p50/p99/max) as a JSON object.
+    pub fn to_json(&self) -> String {
         format!(
             "{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
             self.count(),

@@ -1,4 +1,5 @@
-//! The transport layer: TCP and Unix-socket listeners over one [`Engine`].
+//! The transport layer: TCP and Unix-socket listeners over any
+//! [`RequestHandler`] — a single [`Engine`] or a sharded router.
 //!
 //! Accept loops run non-blocking and poll a shutdown flag between accept
 //! attempts; connection handlers run blocking with a short read timeout
@@ -24,6 +25,7 @@
 //! its connection closes.
 
 use crate::engine::Engine;
+use crate::metrics::ServerMetrics;
 use crate::proto::{self, Request, Response};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -42,6 +44,50 @@ const POLL_TICK: Duration = Duration::from_millis(50);
 /// client cannot pin a handler thread forever).
 const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
+/// What the transport needs from the thing it fronts — the seam that
+/// lets the same listeners, framing, drain and metrics accounting serve
+/// a single [`Engine`] or a sharded router of many engines.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// Serves one decoded request (recording its endpoint metrics).
+    fn handle(&self, req: &Request) -> Response;
+
+    /// True once a drain has begun: accept loops stop admitting and
+    /// handlers close after their in-flight response.
+    fn is_draining(&self) -> bool;
+
+    /// Starts a graceful drain (idempotent).
+    fn begin_drain(&self);
+
+    /// Blocks until background work (committers, appliers) has exited.
+    /// Idempotent; called once by [`ServerHandle::join`].
+    fn join(&self);
+
+    /// The transport-level metrics sink (connections, frame errors).
+    fn metrics(&self) -> &Arc<ServerMetrics>;
+}
+
+impl RequestHandler for Engine {
+    fn handle(&self, req: &Request) -> Response {
+        Engine::handle(self, req)
+    }
+
+    fn is_draining(&self) -> bool {
+        Engine::is_draining(self)
+    }
+
+    fn begin_drain(&self) {
+        Engine::begin_drain(self)
+    }
+
+    fn join(&self) {
+        Engine::join(self)
+    }
+
+    fn metrics(&self) -> &Arc<ServerMetrics> {
+        Engine::metrics(self)
+    }
+}
+
 /// Where a server listens.
 #[derive(Debug, Clone, Default)]
 pub struct Bind {
@@ -52,15 +98,18 @@ pub struct Bind {
 }
 
 /// A running server: its listeners, handler threads, and shutdown flag.
-pub struct ServerHandle {
-    engine: Arc<Engine>,
+///
+/// Generic over the [`RequestHandler`] it fronts; defaults to the
+/// single-deployment [`Engine`], so existing call sites read unchanged.
+pub struct ServerHandle<H: RequestHandler = Engine> {
+    engine: Arc<H>,
     shutdown: Arc<AtomicBool>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     accepters: Vec<JoinHandle<()>>,
 }
 
-impl ServerHandle {
+impl<H: RequestHandler> ServerHandle<H> {
     /// The bound TCP address, when a TCP listener was requested.
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
@@ -71,8 +120,8 @@ impl ServerHandle {
         self.unix_path.as_deref()
     }
 
-    /// The engine this server fronts.
-    pub fn engine(&self) -> &Arc<Engine> {
+    /// The engine (request handler) this server fronts.
+    pub fn engine(&self) -> &Arc<H> {
         &self.engine
     }
 
@@ -126,7 +175,7 @@ impl ServerHandle {
 /// Binds the requested listeners and starts serving `engine`.
 ///
 /// At least one of `bind.tcp` / `bind.unix` must be set.
-pub fn serve(engine: Arc<Engine>, bind: &Bind) -> io::Result<ServerHandle> {
+pub fn serve<H: RequestHandler>(engine: Arc<H>, bind: &Bind) -> io::Result<ServerHandle<H>> {
     if bind.tcp.is_none() && bind.unix.is_none() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -235,9 +284,9 @@ impl Write for Conn {
 
 /// Generic accept loop: polls `try_accept` until shutdown, spawning one
 /// handler thread per connection and joining them all before returning.
-fn accept_loop(
+fn accept_loop<H: RequestHandler>(
     shutdown: &Arc<AtomicBool>,
-    engine: &Arc<Engine>,
+    engine: &Arc<H>,
     try_accept: impl Fn() -> Option<io::Result<Conn>>,
 ) {
     let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -368,7 +417,11 @@ fn read_full_rest(conn: &mut Conn, buf: &mut [u8], mut filled: usize) -> io::Res
 }
 
 /// Serves one connection until EOF, error, or shutdown.
-fn handle_connection(mut conn: Conn, engine: &Arc<Engine>, shutdown: &Arc<AtomicBool>) {
+fn handle_connection<H: RequestHandler>(
+    mut conn: Conn,
+    engine: &Arc<H>,
+    shutdown: &Arc<AtomicBool>,
+) {
     if conn.set_read_timeout(Some(POLL_TICK)).is_err() {
         return;
     }

@@ -1,0 +1,202 @@
+//! The shard directory manifest.
+//!
+//! A sharded deployment is a *directory* holding one `MANIFEST` file plus
+//! N ordinary single-shard deployments named `shard-000` … `shard-NNN`
+//! (each with the full `<base>.{dat,idx,slices,counts,commit,dedup,log}`
+//! file set).  The manifest pins the two parameters every shard must
+//! agree on for the scatter-gather sums to be exact — the shard count
+//! (the routing modulus) and the signature width — in a dependency-free
+//! `key=value` text format.
+//!
+//! The manifest is written once at `create` time, before any shard files
+//! exist, and fsynced; it is deliberately immutable afterwards (resharding
+//! is a rewrite, not an edit), so readers never race a writer on it.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the manifest file inside a shard directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// On-disk manifest format version this build reads and writes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The pinned parameters of a sharded deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// Number of shards (the TID routing modulus), ≥ 1.
+    pub shards: usize,
+    /// Signature width in bits, identical across shards — per-shard
+    /// AND+popcount estimates only sum exactly when every shard hashes
+    /// items to the same slices.
+    pub width: usize,
+}
+
+impl Manifest {
+    /// Path of the manifest file inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// True when `dir` looks like a sharded deployment (the manifest file
+    /// exists) — how the CLI distinguishes `--base` forms.
+    pub fn exists(dir: &Path) -> bool {
+        Self::path(dir).is_file()
+    }
+
+    /// Writes the manifest into `dir` and fsyncs it (the directory must
+    /// already exist).  Refuses nonsense parameters.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        if self.shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a sharded deployment needs at least 1 shard",
+            ));
+        }
+        if self.width == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "signature width must be nonzero",
+            ));
+        }
+        let body = format!(
+            "version={}\nshards={}\nwidth={}\n",
+            self.version, self.shards, self.width
+        );
+        let mut f = std::fs::File::create(Self::path(dir))?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()
+    }
+
+    /// Reads and validates the manifest of `dir`.
+    pub fn read(dir: &Path) -> io::Result<Manifest> {
+        let path = Self::path(dir);
+        let mut body = String::new();
+        std::fs::File::open(&path)?.read_to_string(&mut body)?;
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {what}", path.display()),
+            )
+        };
+        let mut version = None;
+        let mut shards = None;
+        let mut width = None;
+        for line in body.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad(&format!("malformed manifest line {line:?}")))?;
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| bad(&format!("bad value for {key}: {value:?}")))?;
+            match key {
+                "version" => version = Some(parsed as u32),
+                "shards" => shards = Some(parsed as usize),
+                "width" => width = Some(parsed as usize),
+                // Unknown keys are reserved for future versions.
+                _ => {}
+            }
+        }
+        let version = version.ok_or_else(|| bad("missing version"))?;
+        if version != MANIFEST_VERSION {
+            return Err(bad(&format!("unsupported manifest version {version}")));
+        }
+        let manifest = Manifest {
+            version,
+            shards: shards.ok_or_else(|| bad("missing shards"))?,
+            width: width.ok_or_else(|| bad("missing width"))?,
+        };
+        if manifest.shards == 0 || manifest.width == 0 {
+            return Err(bad("shards and width must be nonzero"));
+        }
+        Ok(manifest)
+    }
+}
+
+/// Deployment base path of shard `shard` inside `dir`: `dir/shard-NNN`.
+pub fn shard_base(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}"))
+}
+
+/// Routes a transaction to its owning shard: the TID residue class
+/// `tid mod shards`.  Deterministic and independent of arrival order, so
+/// a retried batch lands on exactly the same shards and the per-shard
+/// dedup windows make the retry exactly-once.
+pub fn route(tid: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (tid % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbs_manifest_{}_{}", std::process::id(), name));
+        std::fs::create_dir_all(&p).expect("mkdir");
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn round_trip_and_existence() {
+        let d = dir("round_trip");
+        let _g = Cleanup(d.clone());
+        assert!(!Manifest::exists(&d));
+        let m = Manifest {
+            version: MANIFEST_VERSION,
+            shards: 4,
+            width: 1600,
+        };
+        m.write(&d).expect("write");
+        assert!(Manifest::exists(&d));
+        assert_eq!(Manifest::read(&d).expect("read"), m);
+    }
+
+    #[test]
+    fn rejects_malformed_and_wrong_version() {
+        let d = dir("malformed");
+        let _g = Cleanup(d.clone());
+        std::fs::write(Manifest::path(&d), "version=1\nshards=two\nwidth=64\n").unwrap();
+        assert!(Manifest::read(&d).is_err());
+        std::fs::write(Manifest::path(&d), "version=99\nshards=2\nwidth=64\n").unwrap();
+        assert!(Manifest::read(&d).is_err());
+        std::fs::write(Manifest::path(&d), "version=1\nwidth=64\n").unwrap();
+        assert!(Manifest::read(&d).is_err());
+        std::fs::write(Manifest::path(&d), "version=1\nshards=0\nwidth=64\n").unwrap();
+        assert!(Manifest::read(&d).is_err());
+        let zero = Manifest {
+            version: MANIFEST_VERSION,
+            shards: 0,
+            width: 64,
+        };
+        assert!(zero.write(&d).is_err());
+    }
+
+    #[test]
+    fn routing_is_a_residue_class_partition() {
+        for shards in 1..6usize {
+            let mut seen = vec![0u64; shards];
+            for tid in 0..1000u64 {
+                let s = route(tid, shards);
+                assert_eq!(s as u64, tid % shards as u64);
+                seen[s] += 1;
+            }
+            assert_eq!(seen.iter().sum::<u64>(), 1000);
+        }
+        assert_eq!(shard_base(Path::new("/x"), 7), PathBuf::from("/x/shard-007"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The sharding oracle: a sharded deployment must be *indistinguishable*
+//! from the unsharded deployment holding the same transactions — exact
+//! `count`/`count_many` answers bit-for-bit equal, τ'd answers obeying
+//! the same τ contract against the same exact values, and `mine`
+//! producing bit-for-bit the same patterns, supports and approx markers,
+//! for any shard count, any TID skew, and any worker count.
+
+use bbs_hash::{ItemHasher, Md5BloomHasher};
+use bbs_shard::ShardedDeployment;
+use bbs_storage::diskbbs::DiskDeployment;
+use bbs_storage::mine_in_place;
+use bbs_tdb::{Itemset, MineResult, SupportThreshold, Transaction};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn base(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "bbs_shard_eq_{}_{}_{}",
+        std::process::id(),
+        name,
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    p
+}
+
+struct Cleanup(PathBuf, PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+        ShardedDeployment::remove_files(&self.1).ok();
+    }
+}
+
+fn hasher() -> Arc<dyn ItemHasher> {
+    Arc::new(Md5BloomHasher::new(3))
+}
+
+/// TIDs are deliberately non-contiguous (`3i + i mod 2`) so the residue
+/// classes are skewed across shards.
+fn tid(i: usize) -> u64 {
+    (3 * i + i % 2) as u64
+}
+
+/// Builds the same transactions into an unsharded deployment and an
+/// N-shard deployment (same width, same hasher).
+fn build_pair(
+    ub: &std::path::Path,
+    sb: &std::path::Path,
+    rows: &[Vec<u32>],
+    shards: usize,
+) -> (DiskDeployment, ShardedDeployment) {
+    let mut dep = DiskDeployment::open(ub, 64, hasher(), 16).expect("open unsharded");
+    let mut sdep =
+        ShardedDeployment::create(sb, shards, 64, hasher(), 16).expect("create sharded");
+    for (i, r) in rows.iter().enumerate() {
+        let txn = Transaction::new(tid(i), Itemset::from_values(r));
+        dep.append(&txn).expect("append unsharded");
+        sdep.append(&txn).expect("append sharded");
+    }
+    dep.flush().expect("flush unsharded");
+    sdep.flush().expect("flush sharded");
+    (dep, sdep)
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..24, 0..6), 1..60)
+}
+
+fn queries_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..30, 0..4), 1..8)
+}
+
+fn canon(r: &MineResult) -> Vec<(Itemset, u64)> {
+    let mut v: Vec<(Itemset, u64)> = r.patterns.iter().map(|(k, s)| (k.clone(), s)).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    // Every case builds two real on-disk deployments; keep counts modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exact scatter-gather sums are bit-for-bit the unsharded answers;
+    /// τ'd answers obey the single-deployment τ contract against those
+    /// same exact values.
+    #[test]
+    fn counts_match_unsharded_bit_for_bit(
+        rows in rows_strategy(),
+        queries in queries_strategy(),
+        shards in 1usize..5,
+        // The vendored proptest has no `option::of`; fold "no tau" into
+        // the top of the range instead.
+        tau in (0u64..80).prop_map(|t| if t >= 64 { None } else { Some(t) }),
+    ) {
+        let (ub, sb) = (base("cnt_u"), base("cnt_s"));
+        let _g = Cleanup(ub.clone(), sb.clone());
+        let (dep, sdep) = build_pair(&ub, &sb, &rows, shards);
+        prop_assert_eq!(sdep.rows(), rows.len() as u64);
+        prop_assert_eq!(sdep.shard_rows().iter().sum::<u64>(), rows.len() as u64);
+
+        let itemsets: Vec<Itemset> =
+            queries.iter().map(|q| Itemset::from_values(q)).collect();
+        let exact = dep.index.count_itemsets(&itemsets, None).expect("unsharded exact");
+
+        // Exact path: bit-for-bit equality, batched and per-query.
+        let sharded_exact = sdep.count_many(&itemsets, None).expect("sharded exact");
+        prop_assert_eq!(&sharded_exact, &exact);
+        for (i, q) in itemsets.iter().enumerate() {
+            prop_assert_eq!(sdep.count(q, None).expect("sharded count"), exact[i]);
+        }
+
+        // τ path: ≥ τ answers are exact (hence equal to the unsharded
+        // exact value); < τ answers never undercount.
+        if let Some(t) = tau {
+            let bounded = sdep.count_many(&itemsets, Some(t)).expect("sharded bounded");
+            for (i, q) in itemsets.iter().enumerate() {
+                if bounded[i] >= t {
+                    prop_assert_eq!(bounded[i], exact[i], "≥τ must be exact {:?}", q);
+                } else {
+                    prop_assert!(bounded[i] >= exact[i], "bound undercounts {:?}", q);
+                }
+            }
+        }
+    }
+
+    /// Sharded mining returns bit-for-bit the unsharded result: same
+    /// patterns, same supports, same approx markers — across shard
+    /// counts, worker counts and both filter kinds.
+    #[test]
+    fn mine_matches_unsharded_bit_for_bit(
+        rows in rows_strategy(),
+        shards in 1usize..5,
+        threads in 1usize..4,
+        tau in 1u64..16,
+        dual in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let (ub, sb) = (base("mine_u"), base("mine_s"));
+        let _g = Cleanup(ub.clone(), sb.clone());
+        let (mut dep, mut sdep) = build_pair(&ub, &sb, &rows, shards);
+        let scheme = if dual { bbs_core::Scheme::Dfs } else { bbs_core::Scheme::Sfs };
+        let threshold = SupportThreshold::Count(tau);
+        let (unsharded, _) =
+            mine_in_place(&mut dep, scheme, threshold, threads).expect("unsharded mine");
+        let (sharded, stats) =
+            bbs_shard::mine_sharded(&mut sdep, scheme, threshold, threads).expect("sharded mine");
+        prop_assert_eq!(canon(&sharded), canon(&unsharded));
+        prop_assert_eq!(&sharded.approx_supports, &unsharded.approx_supports);
+        prop_assert!(stats.readers >= shards);
+    }
+}
+
+/// Deterministic cross-check over every scheme and several worker
+/// counts, on a database dense enough to exercise certification,
+/// approx supports and refinement.
+#[test]
+fn all_schemes_and_thread_counts_agree_with_unsharded() {
+    let (ub, sb) = (base("schemes_u"), base("schemes_s"));
+    let _g = Cleanup(ub.clone(), sb.clone());
+    let rows: Vec<Vec<u32>> = (0..300u64)
+        .map(|i| {
+            let mut items: Vec<u32> = vec![(i % 20) as u32];
+            if i % 3 == 0 {
+                items.extend([50, 51]);
+            }
+            if i % 5 == 0 {
+                items.extend([60, 61, 62]);
+            }
+            items
+        })
+        .collect();
+    let (mut dep, mut sdep) = build_pair(&ub, &sb, &rows, 4);
+    let threshold = SupportThreshold::Count(30);
+    for scheme in [
+        bbs_core::Scheme::Sfs,
+        bbs_core::Scheme::Sfp,
+        bbs_core::Scheme::Dfs,
+        bbs_core::Scheme::Dfp,
+    ] {
+        let (unsharded, _) = mine_in_place(&mut dep, scheme, threshold, 1).expect("unsharded");
+        for threads in [1, 2, 5] {
+            let (sharded, _) =
+                bbs_shard::mine_sharded(&mut sdep, scheme, threshold, threads).expect("sharded");
+            assert_eq!(canon(&sharded), canon(&unsharded), "{scheme:?} threads={threads}");
+            assert_eq!(
+                sharded.approx_supports, unsharded.approx_supports,
+                "{scheme:?} threads={threads}"
+            );
+        }
+    }
+}

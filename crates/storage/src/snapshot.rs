@@ -115,6 +115,19 @@ impl Snapshot {
         self.index.count_itemsets(itemsets, None)
     }
 
+    /// [`Snapshot::count_many`] with the filter's early exit: each answer
+    /// obeys the `tau` contract of [`DiskBbs::count_itemsets`] (exact when
+    /// `≥ tau`, an upper bound otherwise).  The shard scatter path uses
+    /// this to give every shard its scaled per-shard budget.
+    pub fn count_many_bounded(
+        &self,
+        itemsets: &[Itemset],
+        tau: Option<u64>,
+    ) -> io::Result<Vec<u64>> {
+        let _fence = self.io.read().unwrap_or_else(|e| e.into_inner());
+        self.index.count_itemsets(itemsets, tau)
+    }
+
     /// Exact support of a single item at this epoch (from the persisted
     /// counts the snapshot read at open).
     pub fn singleton_count(&self, item: bbs_tdb::ItemId) -> u64 {
