@@ -26,6 +26,9 @@ done
 # Sharded-deployment smoke: ingest txns/s and count_many latency at 1
 # and 4 shards through the shard router, leaving BENCH_8.json.
 ./target/release/bench_shard BENCH_8.json
+# Distributed smoke: local sharded vs coordinator-over-TCP count_many
+# and fan-out latency at 1 and 4 shards, leaving BENCH_9.json.
+./target/release/bench_distributed BENCH_9.json
 # The server suites run as part of `cargo test -q` above; run them again
 # by name so a failure here is unambiguous in CI logs.
 cargo test -q -p bbs-server --test integration
@@ -40,10 +43,16 @@ CHAOS_SEED="${CHAOS_SEED:-2964703749}"
 echo "chaos seed: ${CHAOS_SEED}"
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-server --test chaos -- --nocapture
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-cli --test failover -- --nocapture
+# Distributed e2e: coordinator + shard servers + replica over real
+# sockets (equivalence, typed SHARD_UNAVAILABLE, failover), then the
+# SIGKILL-a-shard-primary chaos run on the pinned seed.
+cargo test -q -p bbs-remote --test distributed
+CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-cli --test distributed_chaos -- --nocapture
 # Shard oracle suites: proptest equivalence against the unsharded
 # deployment, and SIGKILL-mid-ingest crash recovery, on the pinned seed.
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-shard --test equivalence
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-shard --test crash -- --nocapture
 cargo clippy -p bbs-shard --all-targets -- -D warnings
 cargo clippy -p bbs-server --all-targets -- -D warnings
+cargo clippy -p bbs-remote --all-targets -- -D warnings
 cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,330 @@
+//! `bench_distributed` — machine-readable performance snapshot of
+//! distributed deployments, written to `BENCH_9.json`.
+//!
+//! Runs the same read workload against a **local sharded** server (one
+//! process, N in-process shards) and a **distributed** deployment (N
+//! separate shard servers behind a coordinator, every hop a loopback
+//! TCP socket), at 1 and 4 shards:
+//!
+//! 1. **count_many latency**: fixed-size batches against the quiesced
+//!    server.  Locally the scatter is a function call per shard;
+//!    distributed it is a pinned-epoch `count_many_at` round trip per
+//!    shard — the p50 delta is the price of the network hop.
+//! 2. **Scatter fan-out latency**: single-itemset counts, the smallest
+//!    possible request, where the fan-out (1 vs 4 sockets awaited) is
+//!    the whole story.
+//!
+//! Usage: `bench_distributed [OUT.json]` (default `BENCH_9.json`).
+
+use bbs_remote::{CoordinatorEngine, CoordinatorOptions, NodeSpec, Topology};
+use bbs_server::{Bind, Client, Engine, ServerConfig, ShardedEngine};
+use bbs_shard::ShardedDeployment;
+use bbs_storage::DiskDeployment;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SHARD_POINTS: [usize; 2] = [1, 4];
+const WIDTH: usize = 1024;
+const ROWS: u64 = 8192;
+const INSERT_BATCH: u64 = 256;
+const COUNT_MANY_MS: u64 = 500;
+const FANOUT_MS: u64 = 400;
+const COUNT_MANY_ITEMSETS: usize = 16;
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+struct LatencySummary {
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+fn summarize(mut samples_us: Vec<u64>) -> LatencySummary {
+    samples_us.sort_unstable();
+    LatencySummary {
+        p50_us: quantile(&samples_us, 0.50),
+        p99_us: quantile(&samples_us, 0.99),
+        max_us: samples_us.last().copied().unwrap_or(0),
+    }
+}
+
+impl LatencySummary {
+    fn to_json(&self) -> String {
+        format!(
+            "{{ \"p50\": {}, \"p99\": {}, \"max\": {} }}",
+            self.p50_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+fn items_of(i: u64) -> Vec<u32> {
+    vec![1, 2 + (i % 64) as u32, 100 + (i % 7) as u32]
+}
+
+fn connect(addr: &str) -> std::io::Result<Client> {
+    Client::connect_tcp(addr).map_err(|e| std::io::Error::other(e.to_string()))
+}
+
+fn load(addr: &str) -> std::io::Result<()> {
+    let mut client = connect(addr)?;
+    for first in (0..ROWS).step_by(INSERT_BATCH as usize) {
+        let batch: Vec<(u64, Vec<u32>)> = (first..(first + INSERT_BATCH).min(ROWS))
+            .map(|i| (i, items_of(i)))
+            .collect();
+        client
+            .insert(&batch)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Quiesced `count_many` round trips: fixed-size itemset batches.
+fn run_count_many(addr: &str) -> std::io::Result<(LatencySummary, f64)> {
+    let mut client = connect(addr)?;
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    let window = Duration::from_millis(COUNT_MANY_MS);
+    let mut round = 0u64;
+    while start.elapsed() < window {
+        let owned: Vec<Vec<u32>> = (0..COUNT_MANY_ITEMSETS as u64)
+            .map(|k| vec![1u32, 2 + ((round + k) % 64) as u32])
+            .collect();
+        let itemsets: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
+        let t0 = Instant::now();
+        client
+            .count_many(&itemsets)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        samples.push(t0.elapsed().as_micros() as u64);
+        round += 1;
+    }
+    let per_s = samples.len() as f64 / start.elapsed().as_secs_f64();
+    Ok((summarize(samples), per_s))
+}
+
+/// Single-itemset counts: the smallest request, dominated by the
+/// per-shard fan-out.
+fn run_fanout(addr: &str) -> std::io::Result<LatencySummary> {
+    let mut client = connect(addr)?;
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    let window = Duration::from_millis(FANOUT_MS);
+    let mut round = 0u64;
+    while start.elapsed() < window {
+        let items = vec![1u32, 2 + (round % 64) as u32];
+        let t0 = Instant::now();
+        client
+            .count(&items)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        samples.push(t0.elapsed().as_micros() as u64);
+        round += 1;
+    }
+    Ok(summarize(samples))
+}
+
+struct ReadRuns {
+    count_many: LatencySummary,
+    count_many_per_s: f64,
+    fanout: LatencySummary,
+}
+
+fn measure(addr: &str) -> std::io::Result<ReadRuns> {
+    load(addr)?;
+    let (count_many, count_many_per_s) = run_count_many(addr)?;
+    let fanout = run_fanout(addr)?;
+    Ok(ReadRuns {
+        count_many,
+        count_many_per_s,
+        fanout,
+    })
+}
+
+fn shutdown(addr: &str) -> std::io::Result<()> {
+    connect(addr)?
+        .shutdown_server()
+        .map_err(|e| std::io::Error::other(e.to_string()))
+}
+
+fn run_local(shards: usize) -> std::io::Result<ReadRuns> {
+    let mut dir: PathBuf = std::env::temp_dir();
+    dir.push(format!("bbs_bench9_local_{}_{}", std::process::id(), shards));
+    ShardedDeployment::remove_files(&dir).ok();
+    ShardedDeployment::create(
+        &dir,
+        shards,
+        WIDTH,
+        Arc::new(bbs_hash::Md5BloomHasher::new(4)),
+        4096,
+    )?;
+    let engine = ShardedEngine::open(&dir, ServerConfig::default())?;
+    let handle = bbs_server::serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )?;
+    let addr = handle.tcp_addr().expect("tcp bound").to_string();
+    let runs = measure(&addr)?;
+    shutdown(&addr)?;
+    handle.join();
+    ShardedDeployment::remove_files(&dir).ok();
+    Ok(runs)
+}
+
+fn run_distributed(shards: usize) -> std::io::Result<ReadRuns> {
+    let mut handles = Vec::new();
+    let mut nodes = Vec::new();
+    let mut bases = Vec::new();
+    for s in 0..shards {
+        let mut base: PathBuf = std::env::temp_dir();
+        base.push(format!("bbs_bench9_dist_{}_{}_{}", std::process::id(), shards, s));
+        DiskDeployment::remove_files(&base).ok();
+        let engine = Engine::open(
+            &base,
+            ServerConfig {
+                width: WIDTH,
+                ..ServerConfig::default()
+            },
+        )?;
+        let handle = bbs_server::serve(
+            engine,
+            &Bind {
+                tcp: Some("127.0.0.1:0".into()),
+                unix: None,
+            },
+        )?;
+        nodes.push(NodeSpec {
+            id: s as u32,
+            primary: handle.tcp_addr().expect("tcp bound").to_string(),
+            follower: None,
+        });
+        handles.push(handle);
+        bases.push(base);
+    }
+    let topology = Topology {
+        version: bbs_remote::TOPOLOGY_VERSION,
+        shards,
+        width: WIDTH,
+        hasher: "md5/4".into(),
+        nodes,
+    };
+    let coordinator = CoordinatorEngine::connect(topology, CoordinatorOptions::default())?;
+    let ch = bbs_server::serve(
+        coordinator,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )?;
+    let addr = ch.tcp_addr().expect("tcp bound").to_string();
+    let runs = measure(&addr)?;
+    shutdown(&addr)?;
+    ch.join();
+    for handle in &handles {
+        shutdown(&handle.tcp_addr().expect("tcp bound").to_string())?;
+    }
+    for handle in handles {
+        handle.join();
+    }
+    for base in bases {
+        DiskDeployment::remove_files(&base).ok();
+    }
+    Ok(runs)
+}
+
+struct Point {
+    shards: usize,
+    local: ReadRuns,
+    distributed: ReadRuns,
+}
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
+
+    let mut points = Vec::new();
+    for shards in SHARD_POINTS {
+        eprintln!("# {shards} shard(s): {ROWS} rows, count_many x{COUNT_MANY_ITEMSETS}");
+        let local = run_local(shards)?;
+        eprintln!(
+            "#   local sharded: count_many p50 {} us, fan-out p50 {} us",
+            local.count_many.p50_us, local.fanout.p50_us
+        );
+        let distributed = run_distributed(shards)?;
+        eprintln!(
+            "#   distributed:   count_many p50 {} us, fan-out p50 {} us",
+            distributed.count_many.p50_us, distributed.fanout.p50_us
+        );
+        points.push(Point {
+            shards,
+            local,
+            distributed,
+        });
+    }
+    let top = points.last().expect("at least one point");
+    let overhead =
+        top.distributed.count_many.p50_us as f64 / top.local.count_many.p50_us.max(1) as f64;
+    eprintln!(
+        "# network-hop overhead at {} shards: {overhead:.2}x on count_many p50",
+        top.shards
+    );
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": 9,\n");
+    json.push_str("  \"config\": {\n");
+    json.push_str(&format!("    \"host_cpus\": {cpus},\n"));
+    json.push_str(&format!("    \"width\": {WIDTH},\n"));
+    json.push_str(&format!("    \"rows\": {ROWS},\n"));
+    json.push_str(&format!(
+        "    \"count_many_itemsets\": {COUNT_MANY_ITEMSETS},\n"
+    ));
+    json.push_str(&format!("    \"count_many_window_ms\": {COUNT_MANY_MS},\n"));
+    json.push_str(&format!("    \"fanout_window_ms\": {FANOUT_MS}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"points\": [\n");
+    for (i, point) in points.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"shards\": {},\n", point.shards));
+        for (key, runs, comma) in [
+            ("local_sharded", &point.local, ","),
+            ("distributed", &point.distributed, ""),
+        ] {
+            json.push_str(&format!("      \"{key}\": {{\n"));
+            json.push_str(&format!(
+                "        \"count_many_batches_per_s\": {:.1},\n",
+                runs.count_many_per_s
+            ));
+            json.push_str(&format!(
+                "        \"count_many_us\": {},\n",
+                runs.count_many.to_json()
+            ));
+            json.push_str(&format!(
+                "        \"fanout_us\": {}\n",
+                runs.fanout.to_json()
+            ));
+            json.push_str(&format!("      }}{comma}\n"));
+        }
+        json.push_str(if i + 1 == points.len() { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"network_overhead_at_{}_shards\": {overhead:.2}\n",
+        top.shards
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, &json)?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -68,6 +68,14 @@ USAGE:
                [--follow HOST:PORT] (replicate from that primary)
                [--poll-ms T] [--auto-promote-ms T]
                (follower promotes itself after T ms of primary loss)
+  bbs serve    --coordinator topology.json --tcp HOST:PORT | --unix PATH
+               [--shard-timeout-ms T] [--retries N] [--retry-base-ms T]
+               [--threads N]   (distributed: route inserts and
+               scatter-gather reads over the shard servers the
+               topology names, with per-shard replica failover)
+  bbs topology check --file topology.json [--connect]
+               (validate a TOPOLOGY manifest; --connect also dials
+               every shard and checks width/hasher agreement)
   bbs client   ping|count|insert|mine|probe|stats|promote|shutdown
                --tcp HOST:PORT | --unix PATH [--timeout-ms T]
                (count: --items \"I1 I2 …\", or repeatable
@@ -114,6 +122,7 @@ fn main() -> ExitCode {
             bbs_cli::server_cmd::serve_with_stop(&flags, &STOP)
         }
         "client" => bbs_cli::server_cmd::client(&flags),
+        "topology" => bbs_cli::server_cmd::topology(&flags),
         "fsck" => commands::fsck(&flags),
         "stats" => commands::stats(&flags),
         "help" | "--help" | "-h" => {

@@ -4,6 +4,7 @@
 use crate::args::{parse_threshold, Flags};
 use crate::commands::parse_threads;
 use bbs_core::Scheme;
+use bbs_remote::{CoordinatorEngine, CoordinatorOptions, RemoteOptions, Topology};
 use bbs_server::{
     Bind, Client, Engine, RequestHandler, RetryClient, RetryPolicy, Role, ServerAddr,
     ServerConfig, ServerHandle, ShardedEngine,
@@ -32,6 +33,12 @@ pub fn serve(flags: &Flags) -> CmdResult {
 /// drain a client `shutdown` performs (queued batches commit, files
 /// sync, exit 0).
 pub fn serve_with_stop(flags: &Flags, stop: &AtomicBool) -> CmdResult {
+    if let Some(path) = flags.get("coordinator") {
+        // `bbs serve --coordinator topology.json`: no local data at all —
+        // connect to every shard in the topology and serve the
+        // scatter-gather engine behind the same listeners.
+        return serve_coordinator(flags, path, stop);
+    }
     let base = flags.require("base")?;
     let follow = flags.get("follow").map(str::to_string);
     let auto_promote_ms: u64 = flags.get_parsed_or("auto-promote-ms", 0u64)?;
@@ -81,6 +88,87 @@ pub fn serve_with_stop(flags: &Flags, stop: &AtomicBool) -> CmdResult {
     };
     let handle = bbs_server::serve(engine, &bind)?;
     run_until_stopped(handle, &banner, stop)
+}
+
+/// Builds the per-shard connection knobs a coordinator (or a topology
+/// connect-check) uses: `--shard-timeout-ms` bounds each remote
+/// request, `--retries`/`--retry-base-ms` shape the transient-fault
+/// backoff.
+fn coordinator_options(flags: &Flags) -> Result<CoordinatorOptions, Box<dyn Error>> {
+    let defaults = RetryPolicy::default();
+    Ok(CoordinatorOptions {
+        remote: RemoteOptions {
+            timeout: Duration::from_millis(flags.get_parsed_or("shard-timeout-ms", 5_000u64)?),
+            policy: RetryPolicy {
+                attempts: flags.get_parsed_or("retries", defaults.attempts)?,
+                base: Duration::from_millis(flags.get_parsed_or("retry-base-ms", 10u64)?),
+                cap: defaults.cap,
+            },
+        },
+        mine_threads: flags.get_parsed_or("threads", 0usize)?,
+    })
+}
+
+/// The `--coordinator` branch of `bbs serve`: read the topology, connect
+/// (and validate) every shard, and serve the scatter-gather engine.
+fn serve_coordinator(flags: &Flags, topology_path: &str, stop: &AtomicBool) -> CmdResult {
+    let bind = Bind {
+        tcp: flags.get("tcp").map(str::to_string),
+        unix: flags.get("unix").map(PathBuf::from),
+    };
+    if bind.tcp.is_none() && bind.unix.is_none() {
+        return Err("serve needs a listener: --tcp HOST:PORT and/or --unix PATH".into());
+    }
+    let topology = Topology::read(Path::new(topology_path))?;
+    let engine = CoordinatorEngine::connect(topology, coordinator_options(flags)?)?;
+    let rows: u64 = engine
+        .handles()
+        .iter()
+        .map(|h| h.pin().map(|p| p.rows).unwrap_or(0))
+        .sum();
+    let shards = engine.topology().shards;
+    let banner =
+        format!("coordinating {topology_path} ({rows} committed rows across {shards} shard(s))");
+    let handle = bbs_server::serve(engine, &bind)?;
+    run_until_stopped(handle, &banner, stop)
+}
+
+/// `bbs topology ACTION` — inspect a TOPOLOGY manifest.
+///
+/// `check --file topology.json` parses and validates the manifest
+/// (version, shard ordering, address sanity) and prints its summary;
+/// with `--connect`, it also dials every shard and verifies each one
+/// serves the width and hasher identity the topology pins — the exact
+/// admission a coordinator performs at startup.
+pub fn topology(flags: &Flags) -> CmdResult {
+    let action = flags
+        .positional()
+        .first()
+        .map(String::as_str)
+        .ok_or("topology needs an action: check --file topology.json [--connect]")?;
+    if action != "check" {
+        return Err(format!("unknown topology action {action:?} (expected check)").into());
+    }
+    let path = flags.require("file")?;
+    let topology = Topology::read(Path::new(path))?;
+    println!("{topology}");
+    if flags.has("connect") {
+        let engine = CoordinatorEngine::connect(topology, coordinator_options(flags)?)?;
+        for handle in engine.handles() {
+            let pin = handle.pin().expect("connect always pins");
+            println!(
+                "shard {:03} at {}: {} rows at epoch {} (width {}, hasher {})",
+                handle.shard(),
+                handle.addr(),
+                pin.rows,
+                pin.epoch,
+                pin.width,
+                pin.hasher
+            );
+        }
+        println!("all shards agree: width and hasher match the topology");
+    }
+    Ok(())
 }
 
 /// Prints the listener lines and banner, then blocks until a client

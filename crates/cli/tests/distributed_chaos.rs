@@ -1,0 +1,373 @@
+//! Distributed chaos: a coordinator process routing to two real shard
+//! server processes — shard 0 with a live follower process — while
+//! seeded retrying writers hammer it, then SIGKILL shard 0's primary
+//! mid-ingest.  The coordinator must fail that shard over to its
+//! follower and keep answering.
+//!
+//! The invariants at the end:
+//!
+//! * every batch re-sent with its original request ID answers exactly
+//!   once — batches that replicated before the kill are dedup hits with
+//!   their *original* receipts, unreplicated ones append fresh;
+//! * both surviving shards' files verify clean (`fsck`);
+//! * the union of the shard files holds the exact sent TID set, each
+//!   exactly once, partitioned by TID residue;
+//! * a distributed mine through the coordinator equals a serial offline
+//!   re-mine of the merged shard files.
+//!
+//! The schedule is seeded; set `CHAOS_SEED=<u64>` to reproduce a run.
+
+use bbs_server::{Client, ClientError, InsertReply, RetryClient, RetryPolicy, ServerAddr};
+use bbs_storage::{mine_in_place, DiskDeployment};
+use bbs_tdb::{Itemset, SupportThreshold, Transaction};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SEED: u64 = 2964703749;
+const WRITERS: u64 = 3;
+const BATCH: u64 = 8;
+const MAX_BATCHES_PER_WRITER: u64 = 200;
+const SHARDS: u64 = 2;
+
+fn seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_dchaos_{}_{}", std::process::id(), name));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+    }
+}
+
+struct CleanupFile(PathBuf);
+impl Drop for CleanupFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn spawn_bbs(args: &[&str]) -> (std::process::Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bbs"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bbs");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read stdout");
+        if let Some(rest) = line.strip_prefix("listening tcp ") {
+            break rest.trim().to_string();
+        }
+    };
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr)
+}
+
+fn spawn_shard(base: &std::path::Path, extra: &[&str]) -> (std::process::Child, String) {
+    let mut args = vec![
+        "serve",
+        "--base",
+        base.to_str().expect("utf8"),
+        "--tcp",
+        "127.0.0.1:0",
+        "--width",
+        "64",
+        "--cache-pages",
+        "128",
+        "--commit-window-ms",
+        "0",
+    ];
+    args.extend_from_slice(extra);
+    spawn_bbs(&args)
+}
+
+fn bbs_cmd(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bbs"))
+        .args(args)
+        .stderr(Stdio::null())
+        .output()
+        .expect("run bbs");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// One batch a writer sent through the coordinator: its request ID,
+/// payload, and the merged receipt it acknowledged (when it did).
+struct SentBatch {
+    req_id: u64,
+    txns: Vec<(u64, Vec<u32>)>,
+    acked: Option<InsertReply>,
+}
+
+fn batch_txns(writer: u64, batch: u64) -> Vec<(u64, Vec<u32>)> {
+    let start = (writer * MAX_BATCHES_PER_WRITER + batch) * BATCH;
+    (start..start + BATCH)
+        .map(|i| (i, vec![1, 2 + (i % 5) as u32]))
+        .collect()
+}
+
+#[test]
+fn sigkill_shard_primary_coordinator_fails_over_exact_tid_set_survives() {
+    let seed = seed();
+    println!("distributed chaos seed: {seed} (override with CHAOS_SEED=<u64>)");
+    let p0 = temp("s0_primary");
+    let f0 = temp("s0_follower");
+    let s1 = temp("s1");
+    let _guards = (Cleanup(p0.clone()), Cleanup(f0.clone()), Cleanup(s1.clone()));
+
+    // Shard 0: primary + replicating follower.  Shard 1: a single server.
+    let (mut primary0, a_p0) = spawn_shard(&p0, &[]);
+    let (mut follower0, a_f0) = spawn_shard(&f0, &["--follow", &a_p0, "--poll-ms", "5"]);
+    let (mut shard1, a_s1) = spawn_shard(&s1, &[]);
+
+    // The topology the coordinator serves, checked then connected.
+    let topo_path = temp("topology.json").with_extension("json");
+    let _gt = CleanupFile(topo_path.clone());
+    std::fs::write(
+        &topo_path,
+        format!(
+            r#"{{
+  "version": 1,
+  "shards": 2,
+  "width": 64,
+  "hasher": "md5/4",
+  "nodes": [
+    {{ "id": 0, "primary": "{a_p0}", "follower": "{a_f0}" }},
+    {{ "id": 1, "primary": "{a_s1}" }}
+  ]
+}}
+"#
+        ),
+    )
+    .expect("write topology");
+    let topo_str = topo_path.to_str().expect("utf8");
+    let (ok, out) = bbs_cmd(&["topology", "check", "--file", topo_str, "--connect"]);
+    assert!(ok, "topology check --connect failed: {out}");
+    assert!(out.contains("all shards agree"), "{out}");
+
+    let (mut coordinator, a_coord) = spawn_bbs(&[
+        "serve",
+        "--coordinator",
+        topo_str,
+        "--tcp",
+        "127.0.0.1:0",
+        "--retries",
+        "3",
+        "--retry-base-ms",
+        "5",
+        "--shard-timeout-ms",
+        "5000",
+    ]);
+
+    // Seeded retrying writers hammer the coordinator with
+    // request-ID-stamped batches until the kill.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writer_handles = Vec::new();
+    for w in 0..WRITERS {
+        let addr = a_coord.clone();
+        let stop = Arc::clone(&stop);
+        let mut rng = seed ^ (w.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        writer_handles.push(std::thread::spawn(move || {
+            let mut client = RetryClient::with_policy(
+                ServerAddr::Tcp(addr),
+                RetryPolicy {
+                    attempts: 3,
+                    base: Duration::from_millis(5),
+                    cap: Duration::from_millis(50),
+                },
+            );
+            client.set_timeout(Some(Duration::from_secs(10)));
+            let mut sent: Vec<SentBatch> = Vec::new();
+            for b in 0..MAX_BATCHES_PER_WRITER {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let req_id = (w * MAX_BATCHES_PER_WRITER + b) + 1;
+                let txns = batch_txns(w, b);
+                let acked = client.insert_with_id(req_id, &txns).ok();
+                let died = acked.is_none();
+                sent.push(SentBatch { req_id, txns, acked });
+                if died {
+                    // The kill window: this in-flight batch is the one
+                    // the failover protocol must not lose or double.
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(splitmix64(&mut rng) % 3000));
+            }
+            sent
+        }));
+    }
+
+    // Let ingest flow until shard 0's follower has demonstrably
+    // replicated a few acknowledged batches, then SIGKILL the primary.
+    {
+        let mut fc = Client::connect_tcp(&a_f0).expect("connect follower");
+        fc.set_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let rows = fc.count(&[1]).expect("follower count").rows;
+            if rows >= 2 * BATCH {
+                break;
+            }
+            assert!(Instant::now() < deadline, "replication made no progress");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    primary0.kill().expect("SIGKILL shard 0 primary");
+    primary0.wait().expect("reap primary");
+    stop.store(true, Ordering::Release);
+
+    let mut sent: Vec<SentBatch> = Vec::new();
+    for h in writer_handles {
+        sent.extend(h.join().expect("writer"));
+    }
+    let acked_batches = sent.iter().filter(|s| s.acked.is_some()).count();
+    assert!(acked_batches >= 2, "enough batches were acknowledged");
+
+    // Failover protocol: re-send EVERY batch through the coordinator
+    // with its original request ID.  The first insert that touches the
+    // dead primary triggers the failover (promote the follower,
+    // re-point shard 0's handle); a batch that replicated before the
+    // kill dedups on every shard and answers with its original merged
+    // receipt, an unreplicated one appends fresh.  Either way: exactly
+    // once, end-to-end through the coordinator.
+    let mut client = Client::connect_tcp(&a_coord).expect("connect coordinator");
+    client.set_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut dedup_hits = 0usize;
+    for batch in &sent {
+        let reply = loop {
+            match client.insert_with_id(batch.req_id, &batch.txns) {
+                Ok(r) => break r,
+                Err(ClientError::Overloaded) => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("re-send failed: {e}"),
+            }
+        };
+        assert_eq!(reply.appended, BATCH);
+        if reply.deduped {
+            dedup_hits += 1;
+            if let Some(original) = &batch.acked {
+                assert_eq!(
+                    (reply.first_row, reply.appended),
+                    (original.first_row, original.appended),
+                    "a replicated batch answers with its original merged receipt"
+                );
+            }
+        }
+    }
+    assert!(
+        dedup_hits >= 2,
+        "the batches that replicated before the kill must dedup (got {dedup_hits})"
+    );
+
+    // Exactly once through the scatter: every sent TID exactly once.
+    let total_rows = (sent.len() as u64) * BATCH;
+    let final_count = client.count(&[1]).expect("final count");
+    assert_eq!(
+        (final_count.support, final_count.rows),
+        (total_rows, total_rows),
+        "every acknowledged (and re-sent) row exactly once"
+    );
+
+    // The failover shows in the coordinator's fault counters.
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"coordinator\":true"), "{stats}");
+    assert!(stats.contains("\"failovers\":[1,0]"), "{stats}");
+
+    // Distributed mine through the coordinator (pull every shard's
+    // pinned rows, rebuild, merge supports globally)...
+    let threshold = SupportThreshold::Count(total_rows / 5);
+    let mined = client
+        .mine(bbs_core::Scheme::Dfp, threshold, 0)
+        .expect("distributed mine");
+    assert_eq!(mined.rows, total_rows);
+
+    // Drain the coordinator, then the surviving shard servers, so their
+    // files are final before the offline pass.
+    client.shutdown_server().expect("shutdown coordinator");
+    let status = coordinator.wait().expect("wait coordinator");
+    assert!(status.success(), "coordinator drains cleanly");
+    for addr in [&a_f0, &a_s1] {
+        let mut c = Client::connect_tcp(addr).expect("connect shard");
+        c.shutdown_server().expect("shutdown shard");
+    }
+    assert!(follower0.wait().expect("wait follower").success());
+    assert!(shard1.wait().expect("wait shard 1").success());
+
+    // Both surviving shards' files verify clean.
+    for base in [&f0, &s1] {
+        let (ok, _) = bbs_cmd(&["fsck", "--base", base.to_str().expect("utf8")]);
+        assert!(ok, "fsck must pass on {}", base.display());
+    }
+
+    // The union of the shard files is the exact sent TID set, each
+    // exactly once, partitioned by TID residue.
+    let hasher = || -> Arc<dyn bbs_hash::ItemHasher> { Arc::new(bbs_hash::Md5BloomHasher::new(4)) };
+    let mut all_txns: Vec<Transaction> = Vec::new();
+    for (shard, base) in [(0u64, &f0), (1, &s1)] {
+        let mut dep = DiskDeployment::open(base, 64, hasher(), 256).expect("reopen shard");
+        let loaded = dep.db.load().expect("load heap");
+        for txn in loaded.transactions() {
+            assert_eq!(txn.tid.0 % SHARDS, shard, "TID routed to the wrong shard");
+            all_txns.push(txn.clone());
+        }
+    }
+    let mut tids: Vec<u64> = all_txns.iter().map(|t| t.tid.0).collect();
+    tids.sort_unstable();
+    let mut expected: Vec<u64> = sent
+        .iter()
+        .flat_map(|s| s.txns.iter().map(|(tid, _)| *tid))
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(tids, expected, "no duplicate and no missing transaction");
+
+    // ...must match a serial offline re-mine of the merged shard files.
+    let mb = temp("merged");
+    let _gm = Cleanup(mb.clone());
+    let mut merged = DiskDeployment::open(&mb, 64, hasher(), 256).expect("open merged");
+    for txn in &all_txns {
+        merged.append(txn).expect("append");
+    }
+    merged.flush().expect("flush merged");
+    let (offline, _stats) =
+        mine_in_place(&mut merged, bbs_core::Scheme::Dfp, threshold, 1).expect("offline re-mine");
+    assert_eq!(
+        offline.patterns.len(),
+        mined.patterns.len(),
+        "distributed mine and offline re-mine must agree on the pattern count"
+    );
+    for (items, support, _approx) in &mined.patterns {
+        assert_eq!(
+            offline.patterns.support(&Itemset::from_values(items)),
+            Some(*support),
+            "support mismatch for {items:?}"
+        );
+    }
+}

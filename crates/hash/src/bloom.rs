@@ -31,6 +31,15 @@ pub trait ItemHasher: Send + Sync {
     /// Number of hash functions applied per item (the Bloom parameter `k`).
     fn k(&self) -> usize;
 
+    /// A stable identity string for this hash family (e.g. `md5/4`).
+    ///
+    /// Two deployments whose hashers report the same identity at the
+    /// same signature width produce identical per-row signatures, which
+    /// is the precondition for summing per-shard counts across machines.
+    fn id(&self) -> String {
+        format!("bloom/{}", self.k())
+    }
+
     /// Convenience: collect positions into a fresh vector.
     fn positions_vec(&self, item: u64, width: usize) -> Vec<usize> {
         let mut v = Vec::with_capacity(self.k());
@@ -96,6 +105,10 @@ impl ItemHasher for Md5BloomHasher {
     fn k(&self) -> usize {
         self.k
     }
+
+    fn id(&self) -> String {
+        format!("md5/{}", self.k)
+    }
 }
 
 fn md5_repeated(name: &[u8], reps: usize) -> Digest {
@@ -133,6 +146,10 @@ impl ItemHasher for ModuloHasher {
 
     fn k(&self) -> usize {
         1
+    }
+
+    fn id(&self) -> String {
+        "mod/1".into()
     }
 }
 

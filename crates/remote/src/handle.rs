@@ -1,0 +1,378 @@
+//! [`RemoteShardHandle`]: one shard of a distributed deployment, reached
+//! over the wire protocol.
+//!
+//! The handle implements the same [`ShardHandle`]/[`ShardCounter`] seam a
+//! local shard does, so the gather layer (`bbs_shard::gather`, with its
+//! scaled-τ cross-shard scheme) runs unchanged over remote nodes.  Under
+//! the hood every call goes through a [`RetryClient`] — per-request
+//! timeouts, capped exponential backoff with jitter, reconnect after
+//! transport failures — and counting runs against a **pinned epoch** so
+//! the τ scheme's re-queries patch the same snapshot the first pass
+//! scattered over.
+//!
+//! # Failure model
+//!
+//! Three layers, from inside out:
+//!
+//! 1. **Transient faults** (dropped connection, timeout, overload) are
+//!    retried by the [`RetryClient`] with backoff; idempotent reads are
+//!    always safe to re-send, and inserts reuse their request ID so the
+//!    shard's exactly-once window answers a retry of a committed batch
+//!    with its original receipt.
+//! 2. **Stale pins** (the shard evicted our pinned snapshot) come back as
+//!    a typed error; the handle re-pins the latest snapshot and retries
+//!    once.
+//! 3. **Primary loss** (the retry budget exhausted on transport errors)
+//!    triggers **replica failover** when the topology names a follower:
+//!    the handle promotes the follower, re-points itself at it, re-pins,
+//!    and retries the call once.  Without a follower — or if the follower
+//!    is also unreachable — the handle records itself *unavailable* with
+//!    a message naming the shard, which the coordinator surfaces as a
+//!    typed `SHARD_UNAVAILABLE` response instead of a silently-wrong
+//!    partial total.
+
+use bbs_server::{
+    ClientError, ClientResult, InsertReply, PinReply, RetryClient, RetryPolicy, ServerAddr,
+    ShardFaults,
+};
+use bbs_shard::{ShardCounter, ShardHandle};
+use bbs_tdb::{ItemId, Itemset};
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Connection knobs for one remote shard.
+#[derive(Debug, Clone)]
+pub struct RemoteOptions {
+    /// Bound on any single request's wait for its response frame.
+    pub timeout: Duration,
+    /// Retry/backoff schedule for transient faults.
+    pub policy: RetryPolicy,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            timeout: Duration::from_secs(5),
+            policy: RetryPolicy::default(),
+        }
+    }
+}
+
+struct Inner {
+    client: RetryClient,
+    addr: String,
+    follower: Option<String>,
+    pin: Option<PinReply>,
+}
+
+impl Inner {
+    fn dial(addr: &str, opts: &RemoteOptions) -> RetryClient {
+        let mut client = RetryClient::with_policy(ServerAddr::Tcp(addr.to_string()), opts.policy);
+        client.set_timeout(Some(opts.timeout));
+        client
+    }
+}
+
+/// One shard of a distributed deployment, addressed over TCP.
+pub struct RemoteShardHandle {
+    shard: u32,
+    opts: RemoteOptions,
+    faults: Arc<ShardFaults>,
+    inner: Mutex<Inner>,
+    unavailable: Mutex<Option<String>>,
+}
+
+impl RemoteShardHandle {
+    /// Connects to the shard's primary and pins its latest snapshot.
+    /// The returned pin carries the width/hasher identity the caller
+    /// (the coordinator) validates against the topology.
+    pub fn connect(
+        shard: u32,
+        primary: &str,
+        follower: Option<&str>,
+        opts: RemoteOptions,
+        faults: Arc<ShardFaults>,
+    ) -> io::Result<RemoteShardHandle> {
+        let handle = RemoteShardHandle {
+            shard,
+            opts: opts.clone(),
+            faults,
+            inner: Mutex::new(Inner {
+                client: Inner::dial(primary, &opts),
+                addr: primary.to_string(),
+                follower: follower.map(str::to_string),
+                pin: None,
+            }),
+            unavailable: Mutex::new(None),
+        };
+        handle.repin().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("shard {shard} at {primary}: {e}"),
+            )
+        })?;
+        Ok(handle)
+    }
+
+    /// The shard ordinal this handle serves.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// The address currently serving this shard (the follower's after a
+    /// failover).
+    pub fn addr(&self) -> String {
+        self.lock().addr.clone()
+    }
+
+    /// The snapshot pin operations currently run against.
+    pub fn pin(&self) -> Option<PinReply> {
+        self.lock().pin.clone()
+    }
+
+    /// The message recorded when this shard became unreachable, if any
+    /// (cleared by the next successful call).
+    pub fn unavailable(&self) -> Option<String> {
+        self.unavailable.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn set_unavailable(&self, msg: Option<String>) {
+        *self.unavailable.lock().unwrap_or_else(|e| e.into_inner()) = msg;
+    }
+
+    /// True when an error means the server stopped answering (as opposed
+    /// to answering with a rejection): the retry budget drained on the
+    /// transport itself, so failover is the only move left.
+    fn is_transport(e: &ClientError) -> bool {
+        matches!(e, ClientError::Io(_) | ClientError::BadFrame(_))
+    }
+
+    fn note_fault(&self, e: &ClientError) {
+        let timed_out = matches!(
+            e,
+            ClientError::Io(io) if matches!(io.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
+        );
+        if timed_out {
+            self.faults.timeouts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.faults.scatter_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Promotes the follower and re-points this handle at it.  The old
+    /// primary is abandoned (it is presumed dead; if it comes back it
+    /// will answer `NotPrimary` readers and can be re-seeded as a new
+    /// follower out of band).
+    fn failover(&self, inner: &mut Inner) -> ClientResult<()> {
+        let follower = inner.follower.take().ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("shard {} has no follower to fail over to", self.shard),
+            ))
+        })?;
+        let mut client = Inner::dial(&follower, &self.opts);
+        client.promote().map_err(|e| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!(
+                    "shard {}: follower {follower} did not take over: {e}",
+                    self.shard
+                ),
+            ))
+        })?;
+        inner.client = client;
+        inner.addr = follower;
+        inner.pin = None;
+        self.faults.failovers.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Runs `f` against the current connection; on transport exhaustion,
+    /// fails over to the follower (when one exists) and retries once.
+    /// Success clears the unavailable marker; a dead end records it.
+    fn call<T>(&self, f: impl Fn(&mut RetryClient) -> ClientResult<T>) -> ClientResult<T> {
+        let mut inner = self.lock();
+        let first = f(&mut inner.client);
+        let outcome = match first {
+            Err(e) if Self::is_transport(&e) => {
+                self.note_fault(&e);
+                match self.failover(&mut inner) {
+                    Ok(()) => {
+                        // The pin died with the old primary; restore one
+                        // before retrying a pinned read.
+                        match Self::pin_inner(&mut inner) {
+                            Ok(()) => f(&mut inner.client),
+                            Err(pe) => Err(pe),
+                        }
+                    }
+                    Err(fe) => {
+                        // Keep the original story: the primary went
+                        // silent, and this is why.
+                        Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::NotConnected,
+                            format!("primary unreachable ({e}); {fe}"),
+                        )))
+                    }
+                }
+            }
+            other => other,
+        };
+        match outcome {
+            Ok(v) => {
+                self.set_unavailable(None);
+                Ok(v)
+            }
+            Err(e) => {
+                if Self::is_transport(&e) {
+                    self.set_unavailable(Some(format!("shard {}: {e}", self.shard)));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn pin_inner(inner: &mut Inner) -> ClientResult<()> {
+        let pin = inner.client.snapshot_pin()?;
+        inner.pin = Some(pin);
+        Ok(())
+    }
+
+    /// Pins the shard's latest snapshot; subsequent counts and row pulls
+    /// answer from it.  Returns the new pin.
+    pub fn repin(&self) -> ClientResult<PinReply> {
+        self.call(|c| c.snapshot_pin()).inspect(|pin| {
+            self.lock().pin = Some(pin.clone());
+        })
+    }
+
+    /// Inserts this shard's partition of a batch, reusing the caller's
+    /// request ID so exactly-once composes end-to-end: a coordinator
+    /// retry re-sends the same ID and the shard's window answers with
+    /// the original receipt.
+    pub fn insert_with_id(
+        &self,
+        req_id: u64,
+        txns: &[(u64, Vec<u32>)],
+    ) -> ClientResult<InsertReply> {
+        self.call(|c| c.insert_with_id(req_id, txns))
+    }
+
+    /// Batched counting against the current pin, re-pinning once if the
+    /// shard evicted it.  The heart of the remote [`ShardHandle`].
+    pub fn count_many_pinned(
+        &self,
+        itemsets: &[Vec<u32>],
+        tau: Option<u64>,
+    ) -> ClientResult<Vec<u64>> {
+        for _ in 0..2 {
+            let epoch = match self.pin() {
+                Some(pin) => pin.epoch,
+                None => self.repin()?.epoch,
+            };
+            match self.call(|c| c.count_many_at(epoch, itemsets, tau)) {
+                Ok(reply) => return Ok(reply.supports),
+                Err(ClientError::Server(msg)) if msg.starts_with("stale pin") => {
+                    self.repin()?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::Protocol(format!(
+            "shard {}: pin went stale twice in a row",
+            self.shard
+        )))
+    }
+
+    /// Pulls one row of the pinned snapshot (`None` past the end) — the
+    /// remote leg of a coordinator probe.
+    pub fn pull_row_at(&self, epoch: u64, row: u64) -> ClientResult<Option<(u64, Vec<u32>)>> {
+        let reply = self.call(|c| c.rows(epoch, row, 1))?;
+        Ok(reply.txns.into_iter().next())
+    }
+
+    /// Pulls every transaction of the current pin, in row order, chunked
+    /// under the server's per-reply row and byte budgets.
+    pub fn pull_rows(&self) -> ClientResult<Vec<(u64, Vec<u32>)>> {
+        const CHUNK: u32 = 8192;
+        let mut txns: Vec<(u64, Vec<u32>)> = Vec::new();
+        loop {
+            let epoch = match self.pin() {
+                Some(pin) => pin.epoch,
+                None => self.repin()?.epoch,
+            };
+            let from = txns.len() as u64;
+            match self.call(|c| c.rows(epoch, from, CHUNK)) {
+                Ok(reply) => {
+                    if txns.is_empty() && reply.total == 0 {
+                        return Ok(txns);
+                    }
+                    if reply.txns.is_empty() && from < reply.total {
+                        return Err(ClientError::Protocol(format!(
+                            "shard {}: empty rows reply at {from}/{}",
+                            self.shard, reply.total
+                        )));
+                    }
+                    txns.extend(reply.txns);
+                    if txns.len() as u64 >= reply.total {
+                        return Ok(txns);
+                    }
+                }
+                Err(ClientError::Server(msg)) if msg.starts_with("stale pin") => {
+                    // The pin died (eviction or failover): re-pin and
+                    // restart the pull — a half-pulled row set from one
+                    // snapshot must not be extended from another.
+                    self.repin()?;
+                    txns.clear();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Converts a wire-layer error into the `io::Result` seam the gather
+/// layer speaks.
+fn to_io(e: ClientError) -> io::Error {
+    match e {
+        ClientError::Io(io) => io,
+        other => io::Error::other(other.to_string()),
+    }
+}
+
+impl ShardHandle for RemoteShardHandle {
+    fn rows(&self) -> u64 {
+        self.pin().map(|p| p.rows).unwrap_or(0)
+    }
+
+    fn count_many(&self, itemsets: &[Itemset], tau: Option<u64>) -> io::Result<Vec<u64>> {
+        let sets: Vec<Vec<u32>> = itemsets
+            .iter()
+            .map(|s| s.items().iter().map(|i| i.0).collect())
+            .collect();
+        self.count_many_pinned(&sets, tau).map_err(to_io)
+    }
+}
+
+impl ShardCounter for &RemoteShardHandle {
+    fn count(&mut self, itemset: &Itemset, tau: Option<u64>) -> io::Result<u64> {
+        let counts = ShardHandle::count_many(*self, std::slice::from_ref(itemset), tau)?;
+        Ok(counts[0])
+    }
+
+    fn count_extensions(
+        &mut self,
+        prefix: &Itemset,
+        extensions: &[ItemId],
+        tau: Option<u64>,
+    ) -> io::Result<Vec<u64>> {
+        let sets: Vec<Itemset> = extensions.iter().map(|&e| prefix.with_item(e)).collect();
+        ShardHandle::count_many(*self, &sets, tau)
+    }
+}

@@ -45,6 +45,9 @@ pub enum ClientError {
     /// The server is a replication follower and rejected a write; the
     /// string is the primary's address (may be empty when unknown).
     NotPrimary(String),
+    /// A coordinator could not reach the named shard: the scatter was
+    /// aborted rather than returning a silently-wrong partial total.
+    ShardUnavailable(u32, String),
     /// The server executed the request and reported an error.
     Server(String),
     /// The server answered with a reply that does not match the request.
@@ -63,6 +66,9 @@ impl fmt::Display for ClientError {
             }
             ClientError::NotPrimary(addr) => {
                 write!(f, "server is a follower; writes go to the primary at {addr}")
+            }
+            ClientError::ShardUnavailable(shard, msg) => {
+                write!(f, "shard {shard} unavailable: {msg}")
             }
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
@@ -93,14 +99,17 @@ impl ClientError {
     /// follower is often the node *about to be promoted*, so a client
     /// that keeps re-sending (same request IDs) converges as soon as the
     /// promotion lands — and the exactly-once window answers any batch
-    /// that already committed on the old primary.
+    /// that already committed on the old primary.  `ShardUnavailable` is
+    /// retryable for the same reason `Io` is: the coordinator may fail
+    /// over the dead shard to its follower between attempts.
     pub fn is_retryable(&self) -> bool {
         match self {
             ClientError::Io(_)
             | ClientError::Overloaded
             | ClientError::DiskFull
             | ClientError::BadFrame(_)
-            | ClientError::NotPrimary(_) => true,
+            | ClientError::NotPrimary(_)
+            | ClientError::ShardUnavailable(_, _) => true,
             ClientError::Server(_) | ClientError::Protocol(_) => false,
         }
     }
@@ -204,6 +213,41 @@ pub struct PromoteReply {
     pub rows: u64,
 }
 
+/// The `snapshot_pin` reply: the pinned epoch plus the identity facts a
+/// coordinator checks before trusting cross-shard sums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinReply {
+    /// The pinned epoch; pass it to `count_many_at` / `rows`.
+    pub epoch: u64,
+    /// Rows visible to the pinned snapshot.
+    pub rows: u64,
+    /// Signature width of the serving deployment.
+    pub width: u32,
+    /// Identity of the item-hash family (e.g. `md5/4`).
+    pub hasher: String,
+}
+
+/// The `count_many_at` reply: supports in request order, all answered
+/// from the pinned epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountsAtReply {
+    /// The epoch that answered (echo of the request's pin).
+    pub epoch: u64,
+    /// Supports, one per itemset in request order.
+    pub supports: Vec<u64>,
+}
+
+/// One `rows` pull: a chunk of the pinned snapshot's transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowsReply {
+    /// Total rows in the pinned snapshot (the stream ends when
+    /// `from + txns.len() == total`).
+    pub total: u64,
+    /// `(tid, items)` per row, in row order starting at the requested
+    /// `from`.
+    pub txns: Vec<(u64, Vec<u32>)>,
+}
+
 /// The `mine` reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MineReply {
@@ -261,6 +305,9 @@ impl Client {
             Response::DiskFull => Err(ClientError::DiskFull),
             Response::BadFrame(msg) => Err(ClientError::BadFrame(msg)),
             Response::NotPrimary(addr) => Err(ClientError::NotPrimary(addr)),
+            Response::ShardUnavailable(shard, msg) => {
+                Err(ClientError::ShardUnavailable(shard, msg))
+            }
             Response::Err(msg) => Err(ClientError::Server(msg)),
         }
     }
@@ -414,6 +461,63 @@ impl Client {
     pub fn promote(&mut self) -> ClientResult<PromoteReply> {
         match self.call(&Request::Promote)? {
             Reply::Promoted { epoch, rows } => Ok(PromoteReply { epoch, rows }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Pins the server's latest snapshot and returns its epoch plus the
+    /// width/hasher identity a coordinator validates at connect time.
+    /// The pin keeps that snapshot answerable by `count_many_at` and
+    /// `rows` until it is evicted by newer pins.
+    pub fn snapshot_pin(&mut self) -> ClientResult<PinReply> {
+        match self.call(&Request::SnapshotPin)? {
+            Reply::SnapshotPinned {
+                epoch,
+                rows,
+                width,
+                hasher,
+            } => Ok(PinReply {
+                epoch,
+                rows,
+                width,
+                hasher,
+            }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Batched counting against a pinned epoch — the [`ShardHandle`]
+    /// contract over the wire.  `tau` bounds per-query work exactly as in
+    /// the local sharded counter: `Some(t)` answers exactly at or above
+    /// `t` and with an upper bound below it; `None` answers exactly.
+    ///
+    /// A pin that was evicted answers with a typed `Server` error whose
+    /// message starts with `stale pin:` — re-pin and retry.
+    ///
+    /// [`ShardHandle`]: https://docs.rs/bbs-shard
+    pub fn count_many_at(
+        &mut self,
+        epoch: u64,
+        itemsets: &[Vec<u32>],
+        tau: Option<u64>,
+    ) -> ClientResult<CountsAtReply> {
+        let req = Request::CountManyAt {
+            epoch,
+            itemsets: itemsets.to_vec(),
+            tau,
+        };
+        match self.call(&req)? {
+            Reply::CountsAt { epoch, supports } => Ok(CountsAtReply { epoch, supports }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Pulls up to `limit` transactions of the pinned epoch starting at
+    /// row `from`.  The server may return fewer than `limit` (byte
+    /// budget); keep pulling until `from + txns.len() == total`.
+    pub fn rows(&mut self, epoch: u64, from: u64, limit: u32) -> ClientResult<RowsReply> {
+        match self.call(&Request::Rows { epoch, from, limit })? {
+            Reply::Rows { total, txns } => Ok(RowsReply { total, txns }),
             other => Self::mismatch(other),
         }
     }
@@ -678,6 +782,27 @@ impl RetryClient {
         self.retry(|c| c.promote())
     }
 
+    /// `snapshot_pin` with retries (pinning is a read plus a bounded
+    /// server-side retain; re-pinning is harmless).
+    pub fn snapshot_pin(&mut self) -> ClientResult<PinReply> {
+        self.retry(|c| c.snapshot_pin())
+    }
+
+    /// `count_many_at` with retries (idempotent read of a pinned epoch).
+    pub fn count_many_at(
+        &mut self,
+        epoch: u64,
+        itemsets: &[Vec<u32>],
+        tau: Option<u64>,
+    ) -> ClientResult<CountsAtReply> {
+        self.retry(|c| c.count_many_at(epoch, itemsets, tau))
+    }
+
+    /// `rows` with retries (idempotent read of a pinned epoch).
+    pub fn rows(&mut self, epoch: u64, from: u64, limit: u32) -> ClientResult<RowsReply> {
+        self.retry(|c| c.rows(epoch, from, limit))
+    }
+
     /// Asks the server to drain and exit (no retries: a shutdown that
     /// raced the socket closing already did its job).
     pub fn shutdown_server(&mut self) -> ClientResult<()> {
@@ -714,6 +839,11 @@ mod tests {
             (ClientError::BadFrame("torn".into()), true, true),
             (
                 ClientError::NotPrimary("127.0.0.1:7777".into()),
+                true,
+                false,
+            ),
+            (
+                ClientError::ShardUnavailable(3, "connect timed out".into()),
                 true,
                 false,
             ),

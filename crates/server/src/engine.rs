@@ -73,6 +73,18 @@ const REPLICATE_MAX_BYTES: usize = 8 << 20;
 /// giant frame cannot sneak unbounded scanning past admission control.
 pub(crate) const COUNT_MANY_MAX_WORK: usize = 1 << 16;
 
+/// How many distinct epochs the snapshot pin table holds.  Pinning a
+/// fifth epoch evicts the oldest; a coordinator that then asks for the
+/// evicted epoch gets a typed `stale pin` error and simply re-pins.
+const MAX_PINS: usize = 4;
+
+/// Row cap per `Rows` reply, regardless of the requested limit.
+const ROWS_MAX_PER_REPLY: usize = 8192;
+
+/// Byte budget for the transactions of one `Rows` reply (the wire
+/// encoding stays comfortably under [`crate::proto::MAX_FRAME`]).
+const ROWS_MAX_BYTES: usize = 8 << 20;
+
 /// Resolves a requested thread count: `0` (or absent, mapped to `0` by
 /// callers) means "all available cores".
 pub fn resolve_threads(requested: usize) -> usize {
@@ -199,6 +211,13 @@ pub struct Engine {
     applier: Mutex<Option<JoinHandle<()>>>,
     applier_stop: Arc<AtomicBool>,
     cfg: ServerConfig,
+    /// Bounded pin table for the remote-shard read contract: epoch →
+    /// snapshot, oldest evicted beyond [`MAX_PINS`].
+    pins: Mutex<Vec<(u64, Arc<Snapshot>)>>,
+    /// Identity of the item hasher this deployment was opened with
+    /// (reported in `SnapshotPinned` so a coordinator can refuse a
+    /// mismatched shard).
+    hasher_id: String,
 }
 
 impl Engine {
@@ -215,14 +234,26 @@ impl Engine {
         cfg: ServerConfig,
         hasher: Arc<dyn ItemHasher>,
     ) -> io::Result<Arc<Engine>> {
+        let hasher_id = hasher.id();
         let shared = SharedDeployment::open(base, cfg.width, hasher, cfg.cache_pages)?;
-        Engine::with_shared(shared, cfg)
+        Engine::build(shared, cfg, hasher_id)
     }
 
     /// Builds an engine over an already-open [`SharedDeployment`] (the
     /// fault-injection tests open theirs with
-    /// [`SharedDeployment::open_faulty`]).
+    /// [`SharedDeployment::open_faulty`]).  The hasher identity reported
+    /// to coordinators is the default family's; use [`Engine::open_with`]
+    /// when a custom hasher matters.
     pub fn with_shared(shared: Arc<SharedDeployment>, cfg: ServerConfig) -> io::Result<Arc<Engine>> {
+        let hasher_id = Md5BloomHasher::new(4).id();
+        Engine::build(shared, cfg, hasher_id)
+    }
+
+    fn build(
+        shared: Arc<SharedDeployment>,
+        cfg: ServerConfig,
+        hasher_id: String,
+    ) -> io::Result<Arc<Engine>> {
         shared.set_dedup_window(cfg.dedup_window);
         let metrics = Arc::new(ServerMetrics::new());
         let (tx, rx) = mpsc::sync_channel::<IngestJob>(cfg.queue_capacity);
@@ -273,6 +304,8 @@ impl Engine {
             applier: Mutex::new(applier),
             applier_stop,
             cfg,
+            pins: Mutex::new(Vec::new()),
+            hasher_id,
         }))
     }
 
@@ -289,6 +322,34 @@ impl Engine {
     /// The latest published snapshot.
     pub fn snapshot(&self) -> Arc<Snapshot> {
         self.shared.snapshot()
+    }
+
+    /// The identity string of this deployment's item hasher (e.g.
+    /// `md5/4`), as reported in `SnapshotPinned` replies.
+    pub fn hasher_id(&self) -> &str {
+        &self.hasher_id
+    }
+
+    /// Pins the latest snapshot in the bounded pin table and returns it.
+    /// Re-pinning an already-pinned epoch refreshes its slot; beyond
+    /// [`MAX_PINS`] distinct epochs the oldest pin is evicted.
+    pub fn pin_snapshot(&self) -> Arc<Snapshot> {
+        let snap = self.shared.snapshot();
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        pins.retain(|(epoch, _)| *epoch != snap.epoch());
+        pins.push((snap.epoch(), Arc::clone(&snap)));
+        while pins.len() > MAX_PINS {
+            pins.remove(0);
+        }
+        snap
+    }
+
+    /// Looks up a pinned snapshot by epoch.
+    pub fn pinned(&self, epoch: u64) -> Option<Arc<Snapshot>> {
+        let pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        pins.iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, s)| Arc::clone(s))
     }
 
     /// True once [`Engine::begin_drain`] has been called.
@@ -625,6 +686,72 @@ impl Engine {
                     }),
                     Err(e) => Response::Err(format!("count_many failed: {e}")),
                 }
+            }
+            Request::SnapshotPin => {
+                let snap = self.pin_snapshot();
+                Response::Ok(Reply::SnapshotPinned {
+                    epoch: snap.epoch(),
+                    rows: snap.rows(),
+                    width: self.cfg.width as u32,
+                    hasher: self.hasher_id.clone(),
+                })
+            }
+            Request::CountManyAt {
+                epoch,
+                itemsets,
+                tau,
+            } => {
+                let work: usize = itemsets.iter().map(|s| s.len().max(1)).sum();
+                if work > COUNT_MANY_MAX_WORK {
+                    self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                    return Response::Overloaded;
+                }
+                let Some(snap) = self.pinned(*epoch) else {
+                    return Response::Err(format!(
+                        "stale pin: epoch {epoch} is not in the pin table (re-pin and retry)"
+                    ));
+                };
+                self.metrics
+                    .count_many_batch
+                    .record(itemsets.len() as u64);
+                let sets: Vec<Itemset> = itemsets
+                    .iter()
+                    .map(|items| Itemset::from_values(items))
+                    .collect();
+                match snap.count_many_bounded(&sets, *tau) {
+                    Ok(supports) => Response::Ok(Reply::CountsAt {
+                        epoch: *epoch,
+                        supports,
+                    }),
+                    Err(e) => Response::Err(format!("count_many_at failed: {e}")),
+                }
+            }
+            Request::Rows { epoch, from, limit } => {
+                let Some(snap) = self.pinned(*epoch) else {
+                    return Response::Err(format!(
+                        "stale pin: epoch {epoch} is not in the pin table (re-pin and retry)"
+                    ));
+                };
+                let cap = (*limit as usize).clamp(1, ROWS_MAX_PER_REPLY);
+                let mut txns: Vec<(u64, Vec<u32>)> = Vec::new();
+                let mut bytes = 0usize;
+                let mut row = *from;
+                while txns.len() < cap && bytes < ROWS_MAX_BYTES {
+                    match snap.probe(row) {
+                        Ok(Some(t)) => {
+                            let items: Vec<u32> = t.items.items().iter().map(|i| i.0).collect();
+                            bytes += 10 + 4 * items.len();
+                            txns.push((t.tid.0, items));
+                            row += 1;
+                        }
+                        Ok(None) => break,
+                        Err(e) => return Response::Err(format!("rows read failed: {e}")),
+                    }
+                }
+                Response::Ok(Reply::Rows {
+                    total: snap.rows(),
+                    txns,
+                })
             }
         }
     }

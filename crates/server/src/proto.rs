@@ -56,6 +56,12 @@ pub mod op {
     pub const PROMOTE: u8 = 8;
     /// Batched `CountItemSet`: many itemsets against one snapshot.
     pub const COUNT_MANY: u8 = 9;
+    /// Pin the latest snapshot so later requests can count against it.
+    pub const SNAPSHOT_PIN: u8 = 10;
+    /// Batched `CountItemSet` against a previously pinned snapshot.
+    pub const COUNT_MANY_AT: u8 = 11;
+    /// Stream transactions of a pinned snapshot in row order.
+    pub const ROWS: u8 = 12;
 }
 
 /// Response status values (response byte 0).
@@ -76,6 +82,11 @@ pub mod status {
     /// This server is a read-only follower; writes must go to the
     /// primary it names (UTF-8 address follows, possibly empty).
     pub const NOT_PRIMARY: u8 = 5;
+    /// A scatter-gather coordinator could not reach one of its shards:
+    /// the shard index (u32) and a UTF-8 detail message follow.  The
+    /// partial results are discarded — a distributed answer is never a
+    /// silently-wrong total.
+    pub const SHARD_UNAVAILABLE: u8 = 6;
 }
 
 /// A decoded client request.
@@ -135,6 +146,37 @@ pub enum Request {
     CountMany {
         /// The query itemsets (item values each, unsorted is fine).
         itemsets: Vec<Vec<u32>>,
+    },
+    /// Pin the latest snapshot in the server's bounded pin table so
+    /// later [`Request::CountManyAt`] / [`Request::Rows`] requests can
+    /// answer against that exact epoch (the remote `ShardHandle`
+    /// contract).  Idempotent; re-pinning the same epoch refreshes it.
+    SnapshotPin,
+    /// Support queries for many itemsets against a pinned epoch, with an
+    /// optional per-shard early-exit budget τ.  With `tau = Some(t)` the
+    /// single-shard τ contract applies per answer: exact when `≥ t`, an
+    /// upper bound otherwise (0 always exact).  An epoch that is no
+    /// longer pinned answers with a typed `stale pin` error — the caller
+    /// re-pins and retries.
+    CountManyAt {
+        /// The pinned epoch to answer from.
+        epoch: u64,
+        /// The query itemsets (item values each, unsorted is fine).
+        itemsets: Vec<Vec<u32>>,
+        /// Early-exit budget; `None` = every answer exact.
+        tau: Option<u64>,
+    },
+    /// Stream `(tid, items)` rows of a pinned snapshot, `limit` at a
+    /// time from row `from` — the bulk transfer a coordinator uses to
+    /// rebuild a shard's transactions for distributed mining.
+    Rows {
+        /// The pinned epoch to read from.
+        epoch: u64,
+        /// First row to return (0-based append order).
+        from: u64,
+        /// Upper bound on rows per reply (the server applies its own
+        /// byte budget too, keeping replies under [`MAX_FRAME`]).
+        limit: u32,
     },
 }
 
@@ -215,6 +257,37 @@ pub enum Reply {
         /// Rows visible to that snapshot.
         rows: u64,
     },
+    /// Answer to [`Request::SnapshotPin`]: the pinned epoch plus the
+    /// identity facts a coordinator checks against its topology before
+    /// trusting cross-shard sums (same width + hasher ⇒ identical
+    /// per-row signatures ⇒ per-shard sums are the unsharded estimates).
+    SnapshotPinned {
+        /// Epoch of the pinned snapshot.
+        epoch: u64,
+        /// Rows visible to that snapshot.
+        rows: u64,
+        /// Signature width (bits) of the serving deployment.
+        width: u32,
+        /// Identity of the item hasher (e.g. `md5/4`).
+        hasher: String,
+    },
+    /// Answer to [`Request::CountManyAt`]: one support per query
+    /// itemset, in request order, all from the pinned epoch.
+    CountsAt {
+        /// The pinned epoch that answered.
+        epoch: u64,
+        /// Per-itemset supports under the request's τ contract.
+        supports: Vec<u64>,
+    },
+    /// Answer to [`Request::Rows`]: a run of transactions starting at
+    /// the requested row (empty = past the end of the pinned snapshot).
+    Rows {
+        /// Total rows visible to the pinned snapshot (the caller knows
+        /// when the stream is complete without an extra round trip).
+        total: u64,
+        /// The `(tid, items)` rows, in append order.
+        txns: Vec<(u64, Vec<u32>)>,
+    },
 }
 
 /// One replication-log entry on the wire: the batch's first row, its
@@ -241,6 +314,10 @@ pub enum Response {
     /// This server is a read-only follower: writes must go to the named
     /// primary (empty when the follower does not know one).
     NotPrimary(String),
+    /// A coordinator's scatter could not reach shard `.0` (after its
+    /// retry budget, including any follower failover): the partial
+    /// results were discarded and the detail message explains why.
+    ShardUnavailable(u32, String),
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -392,6 +469,32 @@ impl Request {
                     put_items(&mut out, items);
                 }
             }
+            Request::SnapshotPin => out.push(op::SNAPSHOT_PIN),
+            Request::CountManyAt {
+                epoch,
+                itemsets,
+                tau,
+            } => {
+                out.push(op::COUNT_MANY_AT);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                match tau {
+                    None => out.push(0),
+                    Some(t) => {
+                        out.push(1);
+                        out.extend_from_slice(&t.to_le_bytes());
+                    }
+                }
+                out.extend_from_slice(&(itemsets.len() as u32).to_le_bytes());
+                for items in itemsets {
+                    put_items(&mut out, items);
+                }
+            }
+            Request::Rows { epoch, from, limit } => {
+                out.push(op::ROWS);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&limit.to_le_bytes());
+            }
         }
         out
     }
@@ -439,6 +542,30 @@ impl Request {
                 }
                 Request::CountMany { itemsets }
             }
+            op::SNAPSHOT_PIN => Request::SnapshotPin,
+            op::COUNT_MANY_AT => {
+                let epoch = r.u64()?;
+                let tau = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    k => return Err(bad(format!("bad tau presence byte {k}"))),
+                };
+                let n = r.u32()? as usize;
+                let mut itemsets = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    itemsets.push(r.items()?);
+                }
+                Request::CountManyAt {
+                    epoch,
+                    itemsets,
+                    tau,
+                }
+            }
+            op::ROWS => Request::Rows {
+                epoch: r.u64()?,
+                from: r.u64()?,
+                limit: r.u32()?,
+            },
             k => return Err(bad(format!("unknown opcode {k}"))),
         };
         r.done()?;
@@ -458,6 +585,9 @@ impl Request {
             Request::Replicate { .. } => op::REPLICATE,
             Request::Promote => op::PROMOTE,
             Request::CountMany { .. } => op::COUNT_MANY,
+            Request::SnapshotPin => op::SNAPSHOT_PIN,
+            Request::CountManyAt { .. } => op::COUNT_MANY_AT,
+            Request::Rows { .. } => op::ROWS,
         }
     }
 }
@@ -475,6 +605,9 @@ impl Reply {
             Reply::LogEntries { .. } => op::REPLICATE,
             Reply::Promoted { .. } => op::PROMOTE,
             Reply::CountMany { .. } => op::COUNT_MANY,
+            Reply::SnapshotPinned { .. } => op::SNAPSHOT_PIN,
+            Reply::CountsAt { .. } => op::COUNT_MANY_AT,
+            Reply::Rows { .. } => op::ROWS,
         }
     }
 }
@@ -497,6 +630,11 @@ impl Response {
             Response::NotPrimary(primary) => {
                 out.push(status::NOT_PRIMARY);
                 put_str(&mut out, primary);
+            }
+            Response::ShardUnavailable(shard, msg) => {
+                out.push(status::SHARD_UNAVAILABLE);
+                out.extend_from_slice(&shard.to_le_bytes());
+                put_str(&mut out, msg);
             }
             Response::Ok(reply) => {
                 out.push(status::OK);
@@ -580,6 +718,32 @@ impl Response {
                         out.extend_from_slice(&epoch.to_le_bytes());
                         out.extend_from_slice(&rows.to_le_bytes());
                     }
+                    Reply::SnapshotPinned {
+                        epoch,
+                        rows,
+                        width,
+                        hasher,
+                    } => {
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                        out.extend_from_slice(&rows.to_le_bytes());
+                        out.extend_from_slice(&width.to_le_bytes());
+                        put_str(&mut out, hasher);
+                    }
+                    Reply::CountsAt { epoch, supports } => {
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                        out.extend_from_slice(&(supports.len() as u32).to_le_bytes());
+                        for &s in supports {
+                            out.extend_from_slice(&s.to_le_bytes());
+                        }
+                    }
+                    Reply::Rows { total, txns } => {
+                        out.extend_from_slice(&total.to_le_bytes());
+                        out.extend_from_slice(&(txns.len() as u32).to_le_bytes());
+                        for (tid, items) in txns {
+                            out.extend_from_slice(&tid.to_le_bytes());
+                            put_items(&mut out, items);
+                        }
+                    }
                 }
             }
         }
@@ -595,6 +759,10 @@ impl Response {
             status::DISK_FULL => Response::DiskFull,
             status::BAD_FRAME => Response::BadFrame(get_str(&mut r)?),
             status::NOT_PRIMARY => Response::NotPrimary(get_str(&mut r)?),
+            status::SHARD_UNAVAILABLE => {
+                let shard = r.u32()?;
+                Response::ShardUnavailable(shard, get_str(&mut r)?)
+            }
             status::OK => Response::Ok(match r.u8()? {
                 op::PING => Reply::Pong,
                 op::SHUTDOWN => Reply::ShuttingDown,
@@ -680,6 +848,31 @@ impl Response {
                         epoch: r.u64()?,
                         rows: r.u64()?,
                     }
+                }
+                op::SNAPSHOT_PIN => Reply::SnapshotPinned {
+                    epoch: r.u64()?,
+                    rows: r.u64()?,
+                    width: r.u32()?,
+                    hasher: get_str(&mut r)?,
+                },
+                op::COUNT_MANY_AT => {
+                    let epoch = r.u64()?;
+                    let n = r.u32()? as usize;
+                    let mut supports = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        supports.push(r.u64()?);
+                    }
+                    Reply::CountsAt { epoch, supports }
+                }
+                op::ROWS => {
+                    let total = r.u64()?;
+                    let n = r.u32()? as usize;
+                    let mut txns = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        let tid = r.u64()?;
+                        txns.push((tid, r.items()?));
+                    }
+                    Reply::Rows { total, txns }
                 }
                 k => return Err(bad(format!("unknown reply opcode {k}"))),
             }),
@@ -776,6 +969,27 @@ mod tests {
         roundtrip_request(Request::CountMany {
             itemsets: vec![vec![3, 1, 2], vec![], vec![u32::MAX]],
         });
+        roundtrip_request(Request::SnapshotPin);
+        roundtrip_request(Request::CountManyAt {
+            epoch: 9,
+            itemsets: vec![vec![1, 2], vec![]],
+            tau: None,
+        });
+        roundtrip_request(Request::CountManyAt {
+            epoch: u64::MAX,
+            itemsets: vec![vec![u32::MAX]],
+            tau: Some(17),
+        });
+        roundtrip_request(Request::Rows {
+            epoch: 3,
+            from: 0,
+            limit: 4096,
+        });
+        roundtrip_request(Request::Rows {
+            epoch: u64::MAX,
+            from: u64::MAX,
+            limit: u32::MAX,
+        });
     }
 
     #[test]
@@ -833,12 +1047,36 @@ mod tests {
             epoch: 4,
             rows: 1000,
         }));
+        roundtrip_response(Response::Ok(Reply::SnapshotPinned {
+            epoch: 7,
+            rows: 320,
+            width: 1600,
+            hasher: "md5/4".into(),
+        }));
+        roundtrip_response(Response::Ok(Reply::CountsAt {
+            epoch: 7,
+            supports: vec![],
+        }));
+        roundtrip_response(Response::Ok(Reply::CountsAt {
+            epoch: 7,
+            supports: vec![0, 3, u64::MAX],
+        }));
+        roundtrip_response(Response::Ok(Reply::Rows {
+            total: 11,
+            txns: vec![],
+        }));
+        roundtrip_response(Response::Ok(Reply::Rows {
+            total: 11,
+            txns: vec![(1, vec![4, 5]), (9, vec![])],
+        }));
         roundtrip_response(Response::Overloaded);
         roundtrip_response(Response::Err("boom".into()));
         roundtrip_response(Response::DiskFull);
         roundtrip_response(Response::BadFrame("len 12 is not a frame".into()));
         roundtrip_response(Response::NotPrimary("127.0.0.1:7777".into()));
         roundtrip_response(Response::NotPrimary(String::new()));
+        roundtrip_response(Response::ShardUnavailable(2, "connect timed out".into()));
+        roundtrip_response(Response::ShardUnavailable(0, String::new()));
     }
 
     #[test]
@@ -894,6 +1132,19 @@ mod tests {
                 itemsets: vec![vec![1, 2], vec![3]],
             }
             .encode(),
+            Request::SnapshotPin.encode(),
+            Request::CountManyAt {
+                epoch: 4,
+                itemsets: vec![vec![1, 2], vec![3]],
+                tau: Some(9),
+            }
+            .encode(),
+            Request::Rows {
+                epoch: 4,
+                from: 8,
+                limit: 512,
+            }
+            .encode(),
         ];
         let responses = vec![
             Response::Ok(Reply::Insert {
@@ -926,6 +1177,19 @@ mod tests {
                 rows: 8,
             })
             .encode(),
+            Response::Ok(Reply::SnapshotPinned {
+                epoch: 3,
+                rows: 64,
+                width: 1024,
+                hasher: "md5/4".into(),
+            })
+            .encode(),
+            Response::Ok(Reply::Rows {
+                total: 5,
+                txns: vec![(1, vec![2, 3])],
+            })
+            .encode(),
+            Response::ShardUnavailable(1, "timeout".into()).encode(),
         ];
         for _ in 0..2000 {
             let pool = if rng.random::<bool>() { &requests } else { &responses };

@@ -42,7 +42,7 @@ use bbs_tdb::{IoStats, ItemId, Itemset, MineResult, SupportThreshold, Transactio
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,7 +64,8 @@ pub struct ScatterMetrics {
 }
 
 impl ScatterMetrics {
-    fn to_json(&self) -> String {
+    /// Renders the histograms as the stats document's `scatter_us` value.
+    pub fn to_json(&self) -> String {
         format!(
             "{{\"insert\":{},\"count\":{},\"count_many\":{},\"mine\":{},\"probe\":{}}}",
             self.insert.to_json(),
@@ -76,10 +77,46 @@ impl ScatterMetrics {
     }
 }
 
+/// Per-shard fault counters, rendered next to the `scatter_us`
+/// histograms in the stats document.  A local router only ever bumps
+/// `scatter_errors` (there is no wire to time out on and no follower to
+/// fail over to); a distributed coordinator bumps all three.
+#[derive(Default)]
+pub struct ShardFaults {
+    /// Scatter legs that returned an error for this shard.
+    pub scatter_errors: AtomicU64,
+    /// Scatter legs that exhausted their per-request timeout waiting on
+    /// this shard.
+    pub timeouts: AtomicU64,
+    /// Times this shard's handle was re-pointed at its replication
+    /// follower after the primary went silent.
+    pub failovers: AtomicU64,
+}
+
+impl ShardFaults {
+    /// Renders the three per-shard arrays as stats-document fragments:
+    /// `"scatter_errors":[..]`, `"timeouts":[..]`, `"failovers":[..]`.
+    pub fn to_json_arrays(faults: &[Arc<ShardFaults>]) -> Vec<String> {
+        let render = |pick: fn(&ShardFaults) -> &AtomicU64| -> String {
+            faults
+                .iter()
+                .map(|f| pick(f).load(Ordering::Relaxed).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        vec![
+            format!("\"scatter_errors\":[{}]", render(|f| &f.scatter_errors)),
+            format!("\"timeouts\":[{}]", render(|f| &f.timeouts)),
+            format!("\"failovers\":[{}]", render(|f| &f.failovers)),
+        ]
+    }
+}
+
 /// A shard handle over one shard's published snapshot: the gather layer
 /// counts through the shard's shared-scan executor.
 struct SnapshotShard {
     snap: Arc<Snapshot>,
+    faults: Arc<ShardFaults>,
 }
 
 impl ShardHandle for SnapshotShard {
@@ -88,7 +125,9 @@ impl ShardHandle for SnapshotShard {
     }
 
     fn count_many(&self, itemsets: &[Itemset], tau: Option<u64>) -> io::Result<Vec<u64>> {
-        self.snap.count_many_bounded(itemsets, tau)
+        self.snap.count_many_bounded(itemsets, tau).inspect_err(|_| {
+            self.faults.scatter_errors.fetch_add(1, Ordering::Relaxed);
+        })
     }
 }
 
@@ -126,6 +165,7 @@ pub struct ShardedEngine {
     manifest: Manifest,
     metrics: Arc<ServerMetrics>,
     scatter: ScatterMetrics,
+    faults: Vec<Arc<ShardFaults>>,
     draining: AtomicBool,
     mine_threads: usize,
 }
@@ -159,11 +199,15 @@ impl ShardedEngine {
         let engines = scatter(&indices, |_, &i| {
             Engine::open_with(&shard_base(dir, i), cfg.clone(), Arc::clone(&hasher))
         })?;
+        let faults = (0..manifest.shards)
+            .map(|_| Arc::new(ShardFaults::default()))
+            .collect();
         Ok(Arc::new(ShardedEngine {
             engines,
             manifest,
             metrics: Arc::new(ServerMetrics::new()),
             scatter: ScatterMetrics::default(),
+            faults,
             draining: AtomicBool::new(false),
             mine_threads: cfg.mine_threads,
         }))
@@ -182,6 +226,11 @@ impl ShardedEngine {
     /// The router's scatter-gather latency histograms.
     pub fn scatter_metrics(&self) -> &ScatterMetrics {
         &self.scatter
+    }
+
+    /// The per-shard fault counters, in shard order.
+    pub fn shard_faults(&self) -> &[Arc<ShardFaults>] {
+        &self.faults
     }
 
     fn snapshots(&self) -> Vec<Arc<Snapshot>> {
@@ -248,7 +297,11 @@ impl ShardedEngine {
         let rows: u64 = snaps.iter().map(|s| s.rows()).sum();
         let handles: Vec<SnapshotShard> = snaps
             .into_iter()
-            .map(|snap| SnapshotShard { snap })
+            .zip(self.faults.iter())
+            .map(|(snap, faults)| SnapshotShard {
+                snap,
+                faults: Arc::clone(faults),
+            })
             .collect();
         let supports = count_many_sharded(&handles, &sets, None)?;
         let hist = if itemsets.len() == 1 {
@@ -301,7 +354,11 @@ impl ShardedEngine {
         let epoch: u64 = snaps.iter().map(|s| s.epoch()).sum();
         // Parallel per-shard snapshot loads: the only part that contends
         // with commits is each shard's own page reads.
-        let loaded = scatter(&snaps, |_, snap| snap.load())?;
+        let loaded = scatter(&snaps, |i, snap| {
+            snap.load().inspect_err(|_| {
+                self.faults[i].scatter_errors.fetch_add(1, Ordering::Relaxed);
+            })
+        })?;
         let shard_rows: Vec<u64> = loaded.iter().map(|(db, _)| db.len() as u64).collect();
         let rows: u64 = shard_rows.iter().sum();
         let tau = threshold.resolve(rows as usize);
@@ -400,7 +457,7 @@ impl ShardedEngine {
             .iter()
             .map(|e| e.metrics().queue_depth.load(Ordering::Relaxed).to_string())
             .collect();
-        let extra = vec![
+        let mut extra = vec![
             format!("\"shards\":{}", self.manifest.shards),
             format!("\"width\":{}", self.manifest.width),
             format!("\"rows\":{}", snaps.iter().map(|s| s.rows()).sum::<u64>()),
@@ -411,6 +468,7 @@ impl ShardedEngine {
             format!("\"scatter_us\":{}", self.scatter.to_json()),
             format!("\"draining\":{}", self.is_draining()),
         ];
+        extra.extend(ShardFaults::to_json_arrays(&self.faults));
         self.metrics.to_json(&extra)
     }
 
@@ -513,6 +571,13 @@ impl ShardedEngine {
             Request::Promote => Response::Err(
                 "promote is not served by a shard router; promote each shard individually".into(),
             ),
+            Request::SnapshotPin | Request::CountManyAt { .. } | Request::Rows { .. } => {
+                Response::Err(
+                    "snapshot pins are not served by a shard router; pin each shard server \
+                     individually"
+                        .into(),
+                )
+            }
         }
     }
 }

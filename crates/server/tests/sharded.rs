@@ -155,6 +155,10 @@ fn sharded_server_matches_unsharded_over_the_wire() {
     assert!(json.contains(&format!("\"rows\":{N}")));
     assert!(json.contains("\"shard_rows\":[30,30,30,30]"));
     assert!(json.contains("\"shard_lag\":[0,0,0,0]"));
+    // Per-shard fault counters, all zero on this clean run.
+    assert!(json.contains("\"scatter_errors\":[0,0,0,0]"), "{json}");
+    assert!(json.contains("\"timeouts\":[0,0,0,0]"));
+    assert!(json.contains("\"failovers\":[0,0,0,0]"));
     assert!(json.contains("\"scatter_us\":{\"insert\":{\"count\":1,"));
     assert!(json.contains("\"shard_queue_depth\":["));
     // Endpoint counters live on the router, not the shards.

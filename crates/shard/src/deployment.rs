@@ -195,14 +195,22 @@ impl ShardedDeployment {
     /// Read-only integrity check of every shard, in parallel — the
     /// engine behind `bbs fsck` on a shard directory.  Reports are
     /// returned in shard order; corruption is reported, never repaired.
+    /// A shard whose files cannot even be opened (missing or renamed
+    /// `shard-NNN.*` pieces) is reported **dirty** with the failure as a
+    /// structural problem — one broken shard must not abort the check of
+    /// the other N−1.
     pub fn verify(dir: &Path) -> io::Result<Vec<ShardVerify>> {
         let manifest = Manifest::read(dir)?;
         let indices: Vec<usize> = (0..manifest.shards).collect();
         gather::scatter(&indices, |_, &i| {
             let base = shard_base(dir, i);
+            let report = DiskDeployment::verify(&base).unwrap_or_else(|e| VerifyReport {
+                problems: vec![format!("{}: verify failed: {e}", base.display())],
+                ..VerifyReport::default()
+            });
             Ok(ShardVerify {
                 shard: i,
-                report: DiskDeployment::verify(&base)?,
+                report,
                 base,
             })
         })

@@ -39,5 +39,5 @@ pub use counter::ShardedCounter;
 pub use deployment::{ShardVerify, ShardedDeployment};
 pub use gather::{count_many_sharded, scaled_tau, scatter};
 pub use handle::{DiskShardHandle, ShardCounter, ShardHandle};
-pub use manifest::{route, shard_base, Manifest, MANIFEST_FILE, MANIFEST_VERSION};
+pub use manifest::{route, shard_base, Manifest, MANIFEST_FILE, MANIFEST_VERSION, MAX_SHARDS};
 pub use mine::mine_sharded;

@@ -21,6 +21,12 @@ pub const MANIFEST_FILE: &str = "MANIFEST";
 /// On-disk manifest format version this build reads and writes.
 pub const MANIFEST_VERSION: u32 = 1;
 
+/// Largest admissible shard count — the routing width of the directory
+/// layout (`shard-NNN` bases are addressed with three digits, and a
+/// TID-residue split past this fan-out has long stopped buying ingest
+/// parallelism).
+pub const MAX_SHARDS: usize = 1000;
+
 /// The pinned parameters of a sharded deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Manifest {
@@ -53,6 +59,15 @@ impl Manifest {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "a sharded deployment needs at least 1 shard",
+            ));
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{} shards exceeds the routing width ({MAX_SHARDS} shards max)",
+                    self.shards
+                ),
             ));
         }
         if self.width == 0 {
@@ -114,6 +129,12 @@ impl Manifest {
         };
         if manifest.shards == 0 || manifest.width == 0 {
             return Err(bad("shards and width must be nonzero"));
+        }
+        if manifest.shards > MAX_SHARDS {
+            return Err(bad(&format!(
+                "{} shards exceeds the routing width ({MAX_SHARDS} shards max)",
+                manifest.shards
+            )));
         }
         Ok(manifest)
     }
@@ -184,6 +205,36 @@ mod tests {
             width: 64,
         };
         assert!(zero.write(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_shard_counts_past_the_routing_width() {
+        let d = dir("too_many");
+        let _g = Cleanup(d.clone());
+        let oversized = Manifest {
+            version: MANIFEST_VERSION,
+            shards: MAX_SHARDS + 1,
+            width: 64,
+        };
+        let err = oversized.write(&d).expect_err("must reject oversized");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("routing width"), "{err}");
+        // The cap itself is fine.
+        let max = Manifest {
+            version: MANIFEST_VERSION,
+            shards: MAX_SHARDS,
+            width: 64,
+        };
+        max.write(&d).expect("write at the cap");
+        assert_eq!(Manifest::read(&d).expect("read").shards, MAX_SHARDS);
+        // A hand-edited manifest claiming more shards is rejected on read.
+        std::fs::write(
+            Manifest::path(&d),
+            format!("version=1\nshards={}\nwidth=64\n", MAX_SHARDS + 1),
+        )
+        .unwrap();
+        let err = Manifest::read(&d).expect_err("read must reject oversized");
+        assert!(err.to_string().contains("routing width"), "{err}");
     }
 
     #[test]

@@ -153,3 +153,46 @@ fn create_refuses_to_overwrite_and_open_requires_manifest() {
     assert!(ShardedDeployment::open(&missing, hasher(), 16).is_err());
     assert!(ShardedDeployment::verify(&missing).is_err());
 }
+
+/// A shard whose files were removed or renamed must show up as a dirty
+/// report naming the failure, not abort the whole verify — `bbs fsck`
+/// then prints that shard DIRTY and exits nonzero while the other
+/// shards still get checked.
+#[test]
+fn verify_reports_a_missing_shard_dirty_instead_of_failing() {
+    const SHARDS: usize = 3;
+    let d = dir("missing_shard");
+    let _g = Cleanup(d.clone());
+    {
+        let mut dep = ShardedDeployment::create(&d, SHARDS, 64, hasher(), 64).expect("create");
+        for t in 0..30u64 {
+            dep.append(&txn(t)).expect("append");
+        }
+        dep.flush().expect("flush");
+    }
+    // Rename shard 1's heap file and shard 2's commit record out from
+    // under the deployment: the first is caught inside the per-shard
+    // verify, the second used to abort the whole sharded check with an
+    // `Err` before any report came back.
+    std::fs::rename(d.join("shard-001.dat"), d.join("shard-001.dat.bak")).expect("rename heap");
+    std::fs::rename(d.join("shard-002.commit"), d.join("shard-002.commit.bak"))
+        .expect("rename commit");
+
+    let reports = ShardedDeployment::verify(&d).expect("verify must not abort");
+    assert_eq!(reports.len(), SHARDS);
+    assert!(reports[0].report.is_clean(), "shard 0: {}", reports[0].report);
+    let no_heap = &reports[1].report;
+    assert!(!no_heap.is_clean(), "missing heap must read as dirty");
+    assert!(
+        no_heap.problems.iter().any(|p| p.contains("dat file")),
+        "problems: {:?}",
+        no_heap.problems
+    );
+    let no_commit = &reports[2].report;
+    assert!(!no_commit.is_clean(), "missing commit must read as dirty");
+    assert!(
+        no_commit.problems.iter().any(|p| p.contains("verify failed")),
+        "problems: {:?}",
+        no_commit.problems
+    );
+}
