@@ -29,6 +29,10 @@ done
 # Distributed smoke: local sharded vs coordinator-over-TCP count_many
 # and fan-out latency at 1 and 4 shards, leaving BENCH_9.json.
 ./target/release/bench_distributed BENCH_9.json
+# Dynamic-workload smoke: weblog churn into a narrow index, then count/
+# mine latency and measured FPR before vs after the widening compaction
+# and the fold, leaving BENCH_10.json.
+./target/release/bench_dynamic BENCH_10.json
 # The server suites run as part of `cargo test -q` above; run them again
 # by name so a failure here is unambiguous in CI logs.
 cargo test -q -p bbs-server --test integration
@@ -43,6 +47,10 @@ CHAOS_SEED="${CHAOS_SEED:-2964703749}"
 echo "chaos seed: ${CHAOS_SEED}"
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-server --test chaos -- --nocapture
 CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-cli --test failover -- --nocapture
+# Dynamic-workload suite on the same pinned seed: exactly-once deletes,
+# compaction/fold/FPR maintenance, delete replication + resync, and the
+# weblog-churn storm whose measured FPR must heal under AUTO rounds.
+CHAOS_SEED="${CHAOS_SEED}" cargo test -q -p bbs-server --test dynamic -- --nocapture
 # Distributed e2e: coordinator + shard servers + replica over real
 # sockets (equivalence, typed SHARD_UNAVAILABLE, failover), then the
 # SIGKILL-a-shard-primary chaos run on the pinned seed.

@@ -1,0 +1,253 @@
+//! `bench_dynamic` — machine-readable snapshot of the dynamic-workload
+//! tier, written to `BENCH_10.json`.
+//!
+//! Replays a seeded weblog-churn workload (rotating hot set, daily
+//! session expirations) into a deliberately narrow deployment, so the
+//! index accumulates tombstones and hash-collision pressure, then
+//! measures the same served workload at three index states:
+//!
+//! 1. **churned** — tombstone-laden, narrow, sick FPR;
+//! 2. **compacted** — after an epoch-swapped widening compaction
+//!    (tombstones reclaimed, width doubled, FPR restored);
+//! 3. **folded** — after folding back to the original width (space
+//!    reclaimed, FPR trades back up).
+//!
+//! Each state records the probe-verified FPR gauge, count round-trip
+//! latency, one full mine round-trip, and the live/tombstoned row split
+//! — before-vs-after evidence that maintenance restores health without
+//! stopping the server.
+//!
+//! Usage: `bench_dynamic [OUT.json]` (default `BENCH_10.json`).
+
+use bbs_core::Scheme;
+use bbs_datagen::{WeblogConfig, WeblogGenerator};
+use bbs_server::{maintain_action, serve, Bind, Client, Engine, ServerConfig};
+use bbs_storage::diskbbs::DiskDeployment;
+use bbs_tdb::SupportThreshold;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xD15C_0DE5;
+const WIDTH: usize = 64;
+const FILES: u32 = 600;
+const DAYS: usize = 5;
+const SESSIONS_PER_DAY: usize = 600;
+const CHURN: f64 = 0.2;
+const FPR_SAMPLES: u64 = 64;
+const COUNT_MS: u64 = 400;
+const MINE_THRESHOLD: u64 = 40;
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+struct StateSnapshot {
+    state: &'static str,
+    width: u32,
+    live_rows: u64,
+    deleted_rows: u64,
+    fpr: f64,
+    count_p50_us: u64,
+    count_p99_us: u64,
+    counts_per_s: f64,
+    mine_ms: f64,
+    patterns: usize,
+}
+
+/// Measures one index state: probe the FPR gauge, hammer single-item
+/// counts for a wall-clock window, then one full mine round-trip.
+fn measure(
+    client: &mut Client,
+    state: &'static str,
+    hot: &[u32],
+) -> std::io::Result<StateSnapshot> {
+    let err = |e: bbs_server::ClientError| std::io::Error::other(e.to_string());
+    let probe = client
+        .maintain(maintain_action::PROBE_FPR, FPR_SAMPLES)
+        .map_err(err)?;
+
+    let mut samples = Vec::new();
+    let window = Duration::from_millis(COUNT_MS);
+    let start = Instant::now();
+    let mut round = 0usize;
+    while start.elapsed() < window {
+        let file = hot[round % hot.len()];
+        let t0 = Instant::now();
+        client.count(&[file]).map_err(err)?;
+        samples.push(t0.elapsed().as_micros() as u64);
+        round += 1;
+    }
+    let counts_per_s = samples.len() as f64 / start.elapsed().as_secs_f64();
+    samples.sort_unstable();
+
+    let t0 = Instant::now();
+    let mine = client
+        .mine(Scheme::Dfp, SupportThreshold::Count(MINE_THRESHOLD), 1)
+        .map_err(err)?;
+    let mine_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!(
+        "#   {state}: width {}, {} live / {} tombstoned, fpr {:.4}, \
+         count p50 {} us p99 {} us ({counts_per_s:.0}/s), mine {mine_ms:.1} ms ({} patterns)",
+        probe.width,
+        probe.live_rows,
+        probe.deleted_rows,
+        probe.fpr,
+        quantile(&samples, 0.50),
+        quantile(&samples, 0.99),
+        mine.patterns.len(),
+    );
+    Ok(StateSnapshot {
+        state,
+        width: probe.width,
+        live_rows: probe.live_rows,
+        deleted_rows: probe.deleted_rows,
+        fpr: probe.fpr,
+        count_p50_us: quantile(&samples, 0.50),
+        count_p99_us: quantile(&samples, 0.99),
+        counts_per_s,
+        mine_ms,
+        patterns: mine.patterns.len(),
+    })
+}
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
+    let err = |e: bbs_server::ClientError| std::io::Error::other(e.to_string());
+
+    let mut base: PathBuf = std::env::temp_dir();
+    base.push(format!("bbs_bench10_{}", std::process::id()));
+    DiskDeployment::remove_files(&base).ok();
+    let engine = Engine::open(
+        &base,
+        ServerConfig {
+            width: WIDTH,
+            ..ServerConfig::default()
+        },
+    )?;
+    let handle = serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )?;
+    let addr = handle.tcp_addr().expect("tcp bound").to_string();
+    let mut client = Client::connect_tcp(&addr).map_err(err)?;
+
+    // Replay the churning weblog: each day expires a slice of the live
+    // sessions (tombstone deletes) before appending the day's traffic.
+    let mut weblog = WeblogGenerator::new(WeblogConfig {
+        files: FILES,
+        hot_fraction: 0.1,
+        daily_rotation: 0.1,
+        hot_hit_probability: 0.8,
+        days: DAYS,
+        sessions_per_day: SESSIONS_PER_DAY,
+        avg_session_len: 8.0,
+        churn_rate: CHURN,
+        seed: SEED,
+    });
+    eprintln!(
+        "# weblog churn on {addr}: {DAYS} days x {SESSIONS_PER_DAY} sessions, \
+         {FILES} files, churn {CHURN}, width {WIDTH}, seed {SEED:#x}"
+    );
+    let (mut inserted, mut deleted) = (0u64, 0u64);
+    let ingest_start = Instant::now();
+    while let Some(day) = weblog.next_day() {
+        if !day.expired_tids.is_empty() {
+            deleted += client.delete(&day.expired_tids).map_err(err)?.deleted;
+        }
+        let txns: Vec<(u64, Vec<u32>)> = day
+            .transactions
+            .iter()
+            .map(|t| (t.tid.0, t.items.items().iter().map(|i| i.0).collect()))
+            .collect();
+        client.insert(&txns).map_err(err)?;
+        inserted += txns.len() as u64;
+    }
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+    eprintln!(
+        "#   ingested {inserted} sessions, tombstoned {deleted} ({:.0} txns/s)",
+        inserted as f64 / ingest_secs
+    );
+    let hot: Vec<u32> = weblog.hot_files().iter().map(|i| i.0).collect();
+
+    let churned = measure(&mut client, "churned", &hot)?;
+
+    // Widening compaction: reclaim the tombstones, double the width.
+    let t0 = Instant::now();
+    client
+        .maintain(maintain_action::COMPACT, (WIDTH * 2) as u64)
+        .map_err(err)?;
+    let compact_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let compacted = measure(&mut client, "compacted", &hot)?;
+
+    // Fold back down: halve the width in place, no re-hash.
+    let t0 = Instant::now();
+    client.maintain(maintain_action::FOLD, 0).map_err(err)?;
+    let fold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let folded = measure(&mut client, "folded", &hot)?;
+    eprintln!("#   compaction took {compact_ms:.1} ms, fold took {fold_ms:.1} ms");
+
+    client.shutdown_server().map_err(err)?;
+    handle.join();
+    DiskDeployment::remove_files(&base).ok();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": 10,\n");
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    json.push_str("  \"config\": {\n");
+    json.push_str(&format!("    \"host_cpus\": {cpus},\n"));
+    json.push_str(&format!("    \"seed\": {SEED},\n"));
+    json.push_str(&format!("    \"width\": {WIDTH},\n"));
+    json.push_str(&format!("    \"files\": {FILES},\n"));
+    json.push_str(&format!("    \"days\": {DAYS},\n"));
+    json.push_str(&format!("    \"sessions_per_day\": {SESSIONS_PER_DAY},\n"));
+    json.push_str(&format!("    \"churn_rate\": {CHURN},\n"));
+    json.push_str(&format!("    \"fpr_samples\": {FPR_SAMPLES},\n"));
+    json.push_str(&format!("    \"mine_threshold\": {MINE_THRESHOLD}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"ingest\": {\n");
+    json.push_str(&format!("    \"sessions\": {inserted},\n"));
+    json.push_str(&format!("    \"tombstoned\": {deleted},\n"));
+    json.push_str(&format!(
+        "    \"txns_per_s\": {:.1}\n",
+        inserted as f64 / ingest_secs
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"compact_ms\": {compact_ms:.1},\n"));
+    json.push_str(&format!("  \"fold_ms\": {fold_ms:.1},\n"));
+    json.push_str("  \"states\": [\n");
+    let states = [churned, compacted, folded];
+    for (i, s) in states.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"state\": \"{}\",\n", s.state));
+        json.push_str(&format!("      \"width\": {},\n", s.width));
+        json.push_str(&format!("      \"live_rows\": {},\n", s.live_rows));
+        json.push_str(&format!("      \"deleted_rows\": {},\n", s.deleted_rows));
+        json.push_str(&format!("      \"measured_fpr\": {:.6},\n", s.fpr));
+        json.push_str(&format!(
+            "      \"count_us\": {{ \"p50\": {}, \"p99\": {} }},\n",
+            s.count_p50_us, s.count_p99_us
+        ));
+        json.push_str(&format!("      \"counts_per_s\": {:.1},\n", s.counts_per_s));
+        json.push_str(&format!("      \"mine_ms\": {:.1},\n", s.mine_ms));
+        json.push_str(&format!("      \"patterns\": {}\n", s.patterns));
+        json.push_str(if i + 1 == states.len() { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out, &json)?;
+    println!("wrote {out}");
+    Ok(())
+}

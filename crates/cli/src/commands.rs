@@ -57,8 +57,14 @@ fn load_or_build_index(flags: &Flags, db: &TransactionDb) -> Result<Bbs, Box<dyn
     Ok(Bbs::build(width, hasher(flags)?, db, &mut io))
 }
 
-/// `bbs generate` — write a synthetic Quest dataset.
+/// `bbs generate` — write a synthetic Quest dataset, or (with
+/// `--weblog`) the §4.8 dynamic web-log workload: day-partitioned
+/// growth over a rotating hot set, with an optional churn rate that
+/// expires old sessions as new ones arrive.
 pub fn generate(flags: &Flags) -> CmdResult {
+    if flags.has("weblog") {
+        return generate_weblog(flags);
+    }
     let out = flags.require("out")?;
     let cfg = QuestConfig {
         transactions: flags.require_parsed("transactions")?,
@@ -79,6 +85,65 @@ pub fn generate(flags: &Flags) -> CmdResult {
         db.len(),
         db.vocabulary().len()
     );
+    Ok(())
+}
+
+/// The `--weblog` arm of [`generate`]: writes the transaction file with
+/// one `# day N` marker per day boundary, and — when `--churn` is
+/// nonzero — a companion `<out>.deletes` file with one line per day
+/// listing the TIDs that expired that day (day 0's line is empty).  A
+/// driver replays the pair as interleaved insert/delete batches.
+fn generate_weblog(flags: &Flags) -> CmdResult {
+    use std::io::Write;
+    let out = flags.require("out")?;
+    let days: usize = flags.get_parsed_or("days", 5usize)?;
+    let sessions: usize = flags.get_parsed_or("sessions", 1000usize)?;
+    let mut cfg = bbs_datagen::WeblogConfig::paper_scaled(days, sessions);
+    cfg.files = flags.get_parsed_or("files", cfg.files)?;
+    cfg.hot_fraction = flags.get_parsed_or("hot-fraction", cfg.hot_fraction)?;
+    cfg.daily_rotation = flags.get_parsed_or("rotation", cfg.daily_rotation)?;
+    cfg.avg_session_len = flags.get_parsed_or("avg-len", cfg.avg_session_len)?;
+    cfg.churn_rate = flags.get_parsed_or("churn", 0.0f64)?;
+    cfg.seed = flags.get_parsed_or("seed", cfg.seed)?;
+    if !(0.0..=1.0).contains(&cfg.churn_rate) {
+        return Err("--churn must be a fraction in [0, 1]".into());
+    }
+
+    let batches = bbs_datagen::WeblogGenerator::new(cfg).all_days();
+    let mut body = String::new();
+    let mut deletes = String::new();
+    let mut total_txns = 0usize;
+    let mut total_expired = 0usize;
+    for batch in &batches {
+        body.push_str(&format!("# day {}\n", batch.day));
+        for t in &batch.transactions {
+            let ids: Vec<String> = t.items.items().iter().map(|i| i.to_string()).collect();
+            body.push_str(&format!("{}: {}\n", t.tid.0, ids.join(" ")));
+        }
+        total_txns += batch.transactions.len();
+        let tids: Vec<String> = batch.expired_tids.iter().map(u64::to_string).collect();
+        deletes.push_str(&tids.join(" "));
+        deletes.push('\n');
+        total_expired += batch.expired_tids.len();
+    }
+    std::fs::write(out, body)?;
+    let mut summary = format!(
+        "wrote weblog workload ({} day(s), {} sessions, {} files, rotation {}%) to {out}",
+        days,
+        total_txns,
+        cfg.files,
+        (cfg.daily_rotation * 100.0).round()
+    );
+    if cfg.churn_rate > 0.0 {
+        let del_path = format!("{out}.deletes");
+        let mut f = std::fs::File::create(&del_path)?;
+        f.write_all(deletes.as_bytes())?;
+        summary.push_str(&format!(
+            "; {total_expired} expirations (churn {}%) to {del_path}",
+            (cfg.churn_rate * 100.0).round()
+        ));
+    }
+    println!("{summary}");
     Ok(())
 }
 
@@ -466,6 +531,86 @@ fn print_disk_stats(stats: &bbs_storage::DiskMineStats) {
     );
 }
 
+/// `bbs compact` — offline maintenance of a durable deployment: rewrite
+/// it without its tombstoned rows (`--width M` re-hashes into a
+/// different slice width at the same time), or halve the slice width in
+/// place with `--fold`.  Both run behind the atomic epoch-swap protocol,
+/// so a crash at any point leaves either the old or the new deployment.
+/// A sharded directory applies the operation to every shard and updates
+/// the manifest width.
+pub fn compact(flags: &Flags) -> CmdResult {
+    let base = flags.require("base")?;
+    let cache_pages: usize = flags.get_parsed_or("cache-pages", 4096usize)?;
+    let fold = flags.has("fold");
+    let target_width: Option<usize> = match flags.get("width") {
+        Some(raw) => Some(raw.parse().map_err(|e| format!("bad --width {raw:?}: {e}"))?),
+        None => None,
+    };
+    if fold && target_width.is_some() {
+        return Err("--fold and --width conflict: fold always halves the width".into());
+    }
+    let hasher = hasher(flags)?;
+    let run = |shard_base: &Path, width_hint: usize| -> Result<_, Box<dyn Error>> {
+        let report = if fold {
+            bbs_storage::fold_deployment(shard_base, Arc::clone(&hasher), cache_pages)?
+        } else {
+            bbs_storage::compact_deployment(
+                shard_base,
+                width_hint,
+                Arc::clone(&hasher),
+                target_width,
+                cache_pages,
+            )?
+        };
+        Ok(report)
+    };
+
+    if bbs_shard::ShardedDeployment::is_sharded(Path::new(base)) {
+        let mut manifest = bbs_shard::Manifest::read(Path::new(base))?;
+        let mut width = manifest.width;
+        for shard in 0..manifest.shards {
+            let sb = bbs_shard::shard_base(Path::new(base), shard);
+            let report = run(&sb, manifest.width)?;
+            println!(
+                "shard {:03}: {} to width {} ({} -> {} rows, {} reclaimed, seq {})",
+                shard,
+                report.action,
+                report.width,
+                report.rows_before,
+                report.rows_after,
+                report.reclaimed,
+                report.seq
+            );
+            width = report.width;
+        }
+        if width != manifest.width {
+            // Folds and width-changing compactions moved every shard in
+            // lockstep; record the new width so reopen hints match.
+            manifest.width = width;
+            manifest.write(Path::new(base))?;
+            println!("manifest width updated to {width}");
+        }
+        return Ok(());
+    }
+    if !Path::new(&format!("{base}.commit")).exists() {
+        // compact_deployment would create a fresh empty deployment from
+        // nothing; maintenance of a base that was never built is a typo.
+        return Err(format!("no deployment at {base} (missing {base}.commit)").into());
+    }
+    let width_hint: usize = flags.get_parsed_or("width", 1600usize)?;
+    let report = run(Path::new(base), width_hint)?;
+    println!(
+        "{}: width {} ({} -> {} rows, {} tombstoned row(s) reclaimed, commit seq {})",
+        report.action,
+        report.width,
+        report.rows_before,
+        report.rows_after,
+        report.reclaimed,
+        report.seq
+    );
+    Ok(())
+}
+
 /// `bbs fsck` — read-only integrity check of a durable deployment.
 ///
 /// Verifies every committed page of `<base>.dat/.idx/.slices/.counts`
@@ -500,9 +645,14 @@ fn fsck_sharded(dir: &str) -> CmdResult {
     let mut dirty = 0usize;
     for r in &reports {
         if r.report.is_clean() {
+            let dead = r.report.deleted_rows.min(r.report.committed_rows);
             println!(
-                "shard {:03}: clean ({} committed rows, {} pages checked)",
-                r.shard, r.report.committed_rows, r.report.pages_checked
+                "shard {:03}: clean ({} committed rows: {} live, {} tombstoned; {} pages checked)",
+                r.shard,
+                r.report.committed_rows,
+                r.report.committed_rows - dead,
+                dead,
+                r.report.pages_checked
             );
         } else {
             dirty += 1;

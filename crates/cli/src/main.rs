@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bbs generate --out data.txt --transactions 10000 --items 10000 [--avg-len 10] [--seed 7]
+//! bbs generate --weblog --out log.txt --days 7 --sessions 1000 [--churn 0.1]
 //! bbs index    --db data.txt --out data.bbs [--width 1600] [--hash-k 4]
 //! bbs mine     --db data.txt --min-support 0.3% [--index data.bbs] [--scheme dfp]
 //! bbs count    --db data.txt --items "1 2 3" [--index data.bbs] [--mod 7]
@@ -47,6 +48,11 @@ bbs — Bit-Sliced Bloom-Filtered Signature File frequent-pattern miner
 USAGE:
   bbs generate --out FILE --transactions N --items V
                [--avg-len T] [--pattern-len I] [--seed S]
+  bbs generate --weblog --out FILE [--days N] [--sessions N] [--files V]
+               [--churn R] [--rotation R] [--hot-fraction R] [--seed S]
+               (dynamic web-log workload: day-partitioned growth over a
+               rotating hot set; churn writes FILE.deletes, one line of
+               expired TIDs per day)
   bbs index    --db FILE --out FILE [--width M] [--hash-k K]
   bbs mine     --db FILE --min-support N|P%
                [--index FILE] [--scheme sfs|sfp|dfs|dfp|apriori|fpgrowth]
@@ -76,14 +82,22 @@ USAGE:
   bbs topology check --file topology.json [--connect]
                (validate a TOPOLOGY manifest; --connect also dials
                every shard and checks width/hasher agreement)
-  bbs client   ping|count|insert|mine|probe|stats|promote|shutdown
+  bbs client   ping|count|insert|delete|maintain|mine|probe|stats|
+               promote|shutdown
                --tcp HOST:PORT | --unix PATH [--timeout-ms T]
                (count: --items \"I1 I2 …\", or repeatable
                 --itemset \"I1 I2 …\" to batch many counts in one
                 round trip; insert: --db FILE [--batch N]
                 [--retries N] [--retry-base-ms T];
                 mine: --min-support N|P% [--scheme …] [--threads N];
-                probe: --row N)
+                probe: --row N; delete: --tids \"T1 T2 …\",
+                --tid-file FILE, and/or --db FILE [--batch N]; maintain:
+                [--action probe|compact|fold|auto]
+                [--samples N] [--width M])
+  bbs compact  --base PATH [--width M | --fold] [--hash-k K]
+               [--cache-pages N]   (rewrite minus tombstoned rows behind
+               an atomic epoch swap; --width M re-hashes to width M,
+               --fold halves the width by OR-ing slice halves)
   bbs fsck     --base PATH
   bbs stats    --db FILE
   bbs stats    --base PATH [--min-support N|P%] [--scheme sfs|sfp|dfs|dfp]
@@ -123,6 +137,7 @@ fn main() -> ExitCode {
         }
         "client" => bbs_cli::server_cmd::client(&flags),
         "topology" => bbs_cli::server_cmd::topology(&flags),
+        "compact" => commands::compact(&flags),
         "fsck" => commands::fsck(&flags),
         "stats" => commands::stats(&flags),
         "help" | "--help" | "-h" => {

@@ -40,6 +40,7 @@ pub fn serve_with_stop(flags: &Flags, stop: &AtomicBool) -> CmdResult {
         return serve_coordinator(flags, path, stop);
     }
     let base = flags.require("base")?;
+    let defaults = ServerConfig::default();
     let follow = flags.get("follow").map(str::to_string);
     let auto_promote_ms: u64 = flags.get_parsed_or("auto-promote-ms", 0u64)?;
     if follow.is_none() && auto_promote_ms != 0 {
@@ -57,6 +58,15 @@ pub fn serve_with_stop(flags: &Flags, stop: &AtomicBool) -> CmdResult {
         follow,
         poll_interval: Duration::from_millis(flags.get_parsed_or("poll-ms", 50u64)?),
         auto_promote: (auto_promote_ms != 0).then(|| Duration::from_millis(auto_promote_ms)),
+        maintain_interval: {
+            let ms: u64 = flags.get_parsed_or("maintain-ms", 0u64)?;
+            (ms != 0).then(|| Duration::from_millis(ms))
+        },
+        fpr_hi: flags.get_parsed_or("fpr-hi", defaults.fpr_hi)?,
+        fpr_lo: flags.get_parsed_or("fpr-lo", defaults.fpr_lo)?,
+        fpr_samples: flags.get_parsed_or("fpr-samples", defaults.fpr_samples)?,
+        dead_fraction_hi: flags.get_parsed_or("dead-fraction-hi", defaults.dead_fraction_hi)?,
+        min_width: flags.get_parsed_or("min-width", defaults.min_width)?,
     };
     let bind = Bind {
         tcp: flags.get("tcp").map(str::to_string),
@@ -264,11 +274,20 @@ pub fn client(flags: &Flags) -> CmdResult {
         .positional()
         .first()
         .map(String::as_str)
-        .ok_or("client needs an action: ping|count|insert|mine|probe|stats|promote|shutdown")?;
+        .ok_or(
+            "client needs an action: ping|count|insert|delete|maintain|mine|probe|stats|\
+             promote|shutdown",
+        )?;
     if action == "insert" {
         // Insert connects through the retrying client (lazily, so a
         // server that is still starting up is retried, not failed).
         return client_insert(flags);
+    }
+    if action == "delete" {
+        // Deletes ride the same retrying client as inserts: one request
+        // ID per batch, so a retried delete is answered from the dedup
+        // window instead of double-counting tombstones.
+        return client_delete(flags);
     }
     let mut client = connect(flags)?;
     match action {
@@ -344,6 +363,36 @@ pub fn client(flags: &Flags) -> CmdResult {
                 }
             }
         }
+        "maintain" => {
+            let action_code = match flags.get("action").unwrap_or("auto") {
+                "probe" | "probe-fpr" => bbs_server::maintain_action::PROBE_FPR,
+                "compact" => bbs_server::maintain_action::COMPACT,
+                "fold" => bbs_server::maintain_action::FOLD,
+                "auto" => bbs_server::maintain_action::AUTO,
+                other => {
+                    return Err(format!(
+                        "unknown maintenance action {other:?} (expected probe|compact|fold|auto)"
+                    )
+                    .into())
+                }
+            };
+            // The argument is the probe sample count for probe/auto, the
+            // target width for compact (0 = keep the current width).
+            let arg: u64 = match action_code {
+                bbs_server::maintain_action::COMPACT => flags.get_parsed_or("width", 0u64)?,
+                _ => flags.get_parsed_or("samples", 0u64)?,
+            };
+            let reply = client.maintain(action_code, arg)?;
+            let taken = match reply.action_taken {
+                bbs_server::maintain_action::COMPACT => "compacted",
+                bbs_server::maintain_action::FOLD => "folded",
+                _ => "probed",
+            };
+            println!(
+                "{taken}: width {}, {} live rows, {} tombstoned, measured FPR {:.6}",
+                reply.width, reply.live_rows, reply.deleted_rows, reply.fpr
+            );
+        }
         "stats" => {
             println!("{}", client.stats()?);
         }
@@ -360,7 +409,8 @@ pub fn client(flags: &Flags) -> CmdResult {
         }
         other => {
             return Err(format!(
-                "unknown client action {other:?} (expected ping|count|insert|mine|probe|stats|promote|shutdown)"
+                "unknown client action {other:?} (expected ping|count|insert|delete|maintain|\
+                 mine|probe|stats|promote|shutdown)"
             )
             .into())
         }
@@ -397,6 +447,59 @@ fn client_insert(flags: &Flags) -> CmdResult {
         first_row.unwrap_or(0),
         first_row.unwrap_or(0) + sent
     );
+    let stats = retrying.stats();
+    eprintln!(
+        "# {} attempts, {} retries, {} reconnects, {} deduped",
+        stats.attempts, stats.retries, stats.reconnects, stats.deduped
+    );
+    Ok(())
+}
+
+/// `bbs client delete`: tombstone the named TIDs through the retrying
+/// client.  `--tids "T1 T2 …"` names them inline; `--db FILE` retires
+/// every TID a transaction file names (the file's items are ignored);
+/// `--tid-file FILE` reads bare whitespace/comma-separated TIDs —
+/// `#`-comment lines skipped — the format `generate --weblog --churn`
+/// writes to its `<out>.deletes` companion.
+fn client_delete(flags: &Flags) -> CmdResult {
+    fn parse_tids(raw: &str, into: &mut Vec<u64>) -> Result<(), String> {
+        for tok in raw.split(|c: char| c.is_whitespace() || c == ',') {
+            if tok.is_empty() {
+                continue;
+            }
+            into.push(tok.parse::<u64>().map_err(|e| format!("bad TID {tok:?}: {e}"))?);
+        }
+        Ok(())
+    }
+    let mut tids: Vec<u64> = Vec::new();
+    if let Some(raw) = flags.get("tids") {
+        parse_tids(raw, &mut tids)?;
+    }
+    if let Some(path) = flags.get("tid-file") {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading TID file {path}: {e}"))?;
+        for line in body.lines().filter(|l| !l.trim_start().starts_with('#')) {
+            parse_tids(line, &mut tids)?;
+        }
+    }
+    if let Some(path) = flags.get("db") {
+        let db = read_transactions_path(Path::new(path))?;
+        tids.extend(db.transactions().iter().map(|t| t.tid.0));
+    }
+    if tids.is_empty() {
+        return Err("delete needs --tids \"T1 T2 …\", --tid-file FILE, and/or --db FILE".into());
+    }
+    let batch: usize = flags.get_parsed_or("batch", 512usize)?;
+    let batch = batch.max(1);
+    let mut retrying = retry_client(flags)?;
+    let mut deleted = 0u64;
+    let mut last_epoch = 0;
+    for chunk in tids.chunks(batch) {
+        let reply = retrying.delete(chunk)?;
+        deleted += reply.deleted;
+        last_epoch = reply.epoch;
+    }
+    println!("tombstoned {deleted} row(s) (epoch {last_epoch})");
     let stats = retrying.stats();
     eprintln!(
         "# {} attempts, {} retries, {} reconnects, {} deduped",

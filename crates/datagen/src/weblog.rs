@@ -34,6 +34,12 @@ pub struct WeblogConfig {
     pub sessions_per_day: usize,
     /// Average files requested per session.
     pub avg_session_len: f64,
+    /// Fraction of the previously live sessions that expire (are deleted
+    /// from the index) each day.  `0.0` reproduces the paper's pure-growth
+    /// log; a positive rate turns the workload dynamic: old sessions are
+    /// tombstoned as new ones arrive, so the live set churns instead of
+    /// only growing.
+    pub churn_rate: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -50,6 +56,7 @@ impl WeblogConfig {
             days,
             sessions_per_day,
             avg_session_len: 8.0,
+            churn_rate: 0.0,
             seed: 1010,
         }
     }
@@ -64,6 +71,7 @@ impl WeblogConfig {
             days: 3,
             sessions_per_day: 50,
             avg_session_len: 5.0,
+            churn_rate: 0.0,
             seed: 3,
         }
     }
@@ -78,6 +86,10 @@ pub struct DayBatch {
     pub transactions: Vec<Transaction>,
     /// The files that were hot while this batch was generated.
     pub hot_files: Vec<ItemId>,
+    /// TIDs of previously live sessions that expired this day (empty on
+    /// day 0 and whenever `churn_rate` is zero).  A driver feeding an
+    /// index deletes these alongside inserting `transactions`.
+    pub expired_tids: Vec<u64>,
 }
 
 /// Generates the day-partitioned web-log workload.
@@ -85,6 +97,7 @@ pub struct WeblogGenerator {
     config: WeblogConfig,
     rng: StdRng,
     hot: Vec<ItemId>,
+    live: Vec<u64>,
     day: usize,
     next_tid: u64,
 }
@@ -109,6 +122,7 @@ impl WeblogGenerator {
             config,
             rng,
             hot,
+            live: Vec::new(),
             day: 0,
             next_tid: 0,
         }
@@ -140,6 +154,26 @@ impl WeblogGenerator {
         }
     }
 
+    /// Draws this day's expirations: `churn_rate` of the live sessions,
+    /// removed from the live set in one swap-remove pass (order within
+    /// the live set carries no meaning).
+    fn expire_sessions(&mut self) -> Vec<u64> {
+        let n = ((self.live.len() as f64 * self.config.churn_rate).round() as usize)
+            .min(self.live.len());
+        let mut expired = Vec::with_capacity(n);
+        for _ in 0..n {
+            let victim = self.rng.random_range(0..self.live.len());
+            expired.push(self.live.swap_remove(victim));
+        }
+        expired.sort_unstable();
+        expired
+    }
+
+    /// TIDs of the sessions still live (inserted and not yet expired).
+    pub fn live_tids(&self) -> &[u64] {
+        &self.live
+    }
+
     fn next_session(&mut self) -> Transaction {
         let len = sampling::poisson(&mut self.rng, self.config.avg_session_len).max(1) as usize;
         let len = len.min(self.config.files as usize);
@@ -168,16 +202,22 @@ impl WeblogGenerator {
         if self.day >= self.config.days {
             return None;
         }
+        let mut expired_tids = Vec::new();
         if self.day > 0 {
             self.rotate_hot();
+            if self.config.churn_rate > 0.0 {
+                expired_tids = self.expire_sessions();
+            }
         }
-        let transactions = (0..self.config.sessions_per_day)
+        let transactions: Vec<Transaction> = (0..self.config.sessions_per_day)
             .map(|_| self.next_session())
             .collect();
+        self.live.extend(transactions.iter().map(|t| t.tid.0));
         let batch = DayBatch {
             day: self.day,
             transactions,
             hot_files: self.hot.clone(),
+            expired_tids,
         };
         self.day += 1;
         Some(batch)
@@ -270,6 +310,39 @@ mod tests {
                 assert!(!t.items.is_empty());
                 assert!(t.items.items().iter().all(|f| f.0 < cfg.files));
             }
+        }
+    }
+
+    #[test]
+    fn churn_expires_live_sessions_each_day() {
+        let cfg = WeblogConfig {
+            churn_rate: 0.2,
+            ..WeblogConfig::tiny()
+        };
+        let mut generator = WeblogGenerator::new(cfg);
+        let d0 = generator.next_day().expect("day 0");
+        assert!(d0.expired_tids.is_empty(), "nothing can expire on day 0");
+        let live_after_d0: HashSet<u64> = generator.live_tids().iter().copied().collect();
+        let d1 = generator.next_day().expect("day 1");
+        // 20% of day 0's 50 sessions expire on day 1, all drawn from the
+        // previously live set, sorted and unique.
+        assert_eq!(d1.expired_tids.len(), 10);
+        let expired: HashSet<u64> = d1.expired_tids.iter().copied().collect();
+        assert_eq!(expired.len(), 10, "expirations are unique");
+        assert!(expired.is_subset(&live_after_d0));
+        // The live set dropped the expired TIDs and gained day 1's.
+        let live: HashSet<u64> = generator.live_tids().iter().copied().collect();
+        assert!(live.is_disjoint(&expired));
+        for t in &d1.transactions {
+            assert!(live.contains(&t.tid.0));
+        }
+        assert_eq!(live.len(), 50 - 10 + 50);
+    }
+
+    #[test]
+    fn zero_churn_never_expires() {
+        for day in WeblogGenerator::new(WeblogConfig::tiny()).all_days() {
+            assert!(day.expired_tids.is_empty());
         }
     }
 

@@ -34,8 +34,8 @@ use crate::topology::Topology;
 use bbs_core::Scheme;
 use bbs_hash::{ItemHasher, Md5BloomHasher, ModuloHasher};
 use bbs_server::{
-    ClientError, PinReply, Reply, Request, RequestHandler, Response, ScatterMetrics,
-    ServerMetrics, ShardFaults,
+    ClientError, DeleteReply, MaintainReply, PinReply, Reply, Request, RequestHandler, Response,
+    ScatterMetrics, ServerMetrics, ShardFaults,
 };
 use bbs_shard::{count_many_sharded, route, scatter, ShardedCounter};
 use bbs_tdb::{
@@ -305,6 +305,153 @@ impl CoordinatorEngine {
         })
     }
 
+    /// Routes a tombstone delete: partition the TIDs by residue, forward
+    /// each partition with the client's request ID, merge per-shard
+    /// receipts exactly like inserts (any failure wins by severity, an
+    /// unreachable shard surfaces as `SHARD_UNAVAILABLE`).
+    fn delete(&self, req_id: u64, tids: &[u64]) -> Response {
+        let start = Instant::now();
+        if self.is_draining() {
+            self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Response::Overloaded;
+        }
+        if tids.is_empty() {
+            return match self.refresh_pins() {
+                Ok(pins) => Response::Ok(Reply::Delete {
+                    deleted: 0,
+                    epoch: pins.iter().map(|p| p.epoch).sum(),
+                    deduped: false,
+                }),
+                Err(e) => self.fail("delete", e),
+            };
+        }
+        let n = self.topology.shards;
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for &tid in tids {
+            parts[route(tid, n)].push(tid);
+        }
+        let jobs: Vec<(usize, Vec<u64>)> = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .collect();
+        let outcomes = scatter(&jobs, |_, (shard, part)| {
+            Ok((*shard, self.handles[*shard].delete_with_id(req_id, part)))
+        })
+        .expect("delete scatter is infallible");
+        let resp = self.merge_deletes(outcomes);
+        self.scatter
+            .insert
+            .record(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        resp
+    }
+
+    /// Merges per-shard delete receipts — the same severity ladder as
+    /// [`CoordinatorEngine::merge_inserts`], with tombstone counts summed
+    /// and `deduped` only when every shard answered from its window.
+    fn merge_deletes(&self, outcomes: Vec<(usize, Result<DeleteReply, ClientError>)>) -> Response {
+        let mut deleted = 0u64;
+        let mut epoch = 0u64;
+        let mut deduped = true;
+        let mut worst: Option<(u8, Response)> = None;
+        let bump = |rank: u8, resp: Response, worst: &mut Option<(u8, Response)>| {
+            if worst.as_ref().is_none_or(|(r, _)| rank > *r) {
+                *worst = Some((rank, resp));
+            }
+        };
+        for (shard, outcome) in outcomes {
+            match outcome {
+                Ok(reply) => {
+                    deleted += reply.deleted;
+                    epoch = epoch.max(reply.epoch);
+                    deduped &= reply.deduped;
+                }
+                Err(ClientError::Overloaded) => bump(1, Response::Overloaded, &mut worst),
+                Err(ClientError::NotPrimary(addr)) => {
+                    bump(2, Response::NotPrimary(addr), &mut worst)
+                }
+                Err(ClientError::DiskFull) => bump(3, Response::DiskFull, &mut worst),
+                Err(e @ (ClientError::Server(_) | ClientError::Protocol(_))) => bump(
+                    4,
+                    Response::Err(format!("shard {shard}: {e}")),
+                    &mut worst,
+                ),
+                Err(e) => bump(
+                    5,
+                    Response::ShardUnavailable(shard as u32, format!("shard {shard}: {e}")),
+                    &mut worst,
+                ),
+            }
+        }
+        if let Some((_, resp)) = worst {
+            return resp;
+        }
+        Response::Ok(Reply::Delete {
+            deleted,
+            epoch,
+            deduped,
+        })
+    }
+
+    /// Fans one maintenance action out to every shard and merges the
+    /// health reports: row counts sum, the reported width and FPR are
+    /// the worst shard's, and the action echoed is the most consequential
+    /// any shard took.  Note that widened compactions and folds change a
+    /// shard's width: the topology's `width` stays what it was at
+    /// connect, but counting and mining remain correct because per-shard
+    /// estimates are served by each shard's own live files and the mine
+    /// path rebuilds indexes from raw rows — only a *new* coordinator
+    /// connecting against the stale topology width will be refused until
+    /// the topology file is updated.
+    fn maintain(&self, action: u8, arg: u64) -> Response {
+        let outcomes = scatter(&self.handles, |shard, h| {
+            Ok((shard, h.maintain(action, arg)))
+        })
+        .expect("maintain scatter is infallible");
+        let mut merged: Option<MaintainReply> = None;
+        for (shard, outcome) in outcomes {
+            match outcome {
+                Ok(reply) => {
+                    let m = merged.get_or_insert(MaintainReply {
+                        action_taken: 0,
+                        width: 0,
+                        live_rows: 0,
+                        deleted_rows: 0,
+                        fpr: 0.0,
+                    });
+                    m.action_taken = m.action_taken.max(reply.action_taken);
+                    m.width = m.width.max(reply.width);
+                    m.live_rows += reply.live_rows;
+                    m.deleted_rows += reply.deleted_rows;
+                    if reply.fpr > m.fpr {
+                        m.fpr = reply.fpr;
+                    }
+                }
+                Err(e) if matches!(e, ClientError::Server(_) | ClientError::Protocol(_)) => {
+                    return Response::Err(format!("shard {shard}: {e}"));
+                }
+                Err(ClientError::NotPrimary(addr)) => return Response::NotPrimary(addr),
+                Err(e) => {
+                    self.faults[shard].scatter_errors.fetch_add(1, Ordering::Relaxed);
+                    return Response::ShardUnavailable(
+                        shard as u32,
+                        format!("shard {shard}: {e}"),
+                    );
+                }
+            }
+        }
+        match merged {
+            Some(m) => Response::Ok(Reply::Maintain {
+                action_taken: m.action_taken,
+                width: m.width,
+                live_rows: m.live_rows,
+                deleted_rows: m.deleted_rows,
+                fpr_bits: m.fpr.to_bits(),
+            }),
+            None => Response::Err("maintain: topology has no shards".into()),
+        }
+    }
+
     /// Distributed mining: pin every shard, pull each shard's pinned
     /// rows, rebuild the per-shard index locally, and run the same
     /// global-support-merge path the local shard router runs — candidate
@@ -470,6 +617,7 @@ impl CoordinatorEngine {
             })
             .collect();
         let shard_rows: Vec<String> = pins.iter().map(|p| p.rows.to_string()).collect();
+        let shard_width: Vec<String> = pins.iter().map(|p| p.width.to_string()).collect();
         let shard_addrs: Vec<String> = self
             .handles
             .iter()
@@ -484,6 +632,7 @@ impl CoordinatorEngine {
             format!("\"epoch\":{}", pins.iter().map(|p| p.epoch).sum::<u64>()),
             format!("\"shard_rows\":[{}]", shard_rows.join(",")),
             format!("\"shard_addrs\":[{}]", shard_addrs.join(",")),
+            format!("\"shard_width\":[{}]", shard_width.join(",")),
             format!("\"scatter_us\":{}", self.scatter.to_json()),
             format!("\"draining\":{}", self.is_draining()),
         ];
@@ -523,6 +672,8 @@ impl CoordinatorEngine {
                 }
             }
             Request::Insert { req_id, txns } => self.insert(*req_id, txns),
+            Request::Delete { req_id, tids } => self.delete(*req_id, tids),
+            Request::Maintain { action, arg } => self.maintain(*action, *arg),
             Request::Mine {
                 scheme,
                 threshold,

@@ -32,8 +32,8 @@
 //!    partial total.
 
 use bbs_server::{
-    ClientError, ClientResult, InsertReply, PinReply, RetryClient, RetryPolicy, ServerAddr,
-    ShardFaults,
+    maintain_action, ClientError, ClientResult, DeleteReply, InsertReply, MaintainReply, PinReply,
+    RetryClient, RetryPolicy, ServerAddr, ShardFaults,
 };
 use bbs_shard::{ShardCounter, ShardHandle};
 use bbs_tdb::{ItemId, Itemset};
@@ -261,6 +261,27 @@ impl RemoteShardHandle {
         txns: &[(u64, Vec<u32>)],
     ) -> ClientResult<InsertReply> {
         self.call(|c| c.insert_with_id(req_id, txns))
+    }
+
+    /// Tombstones this shard's partition of a delete batch, reusing the
+    /// caller's request ID — the same exactly-once composition as
+    /// inserts: a coordinator retry re-sends the same ID and the shard's
+    /// window answers with the original receipt.
+    pub fn delete_with_id(&self, req_id: u64, tids: &[u64]) -> ClientResult<DeleteReply> {
+        self.call(|c| c.delete_with_id(req_id, tids))
+    }
+
+    /// Runs one maintenance action on the shard and returns its health
+    /// report.  Compaction and folds swap the shard's snapshot (the
+    /// server evicts every pin), so any action that may rewrite files
+    /// drops the local pin — the next pinned read re-pins the post-swap
+    /// snapshot instead of burning its one stale-pin retry.
+    pub fn maintain(&self, action: u8, arg: u64) -> ClientResult<MaintainReply> {
+        let out = self.call(|c| c.maintain(action, arg));
+        if out.is_ok() && action != maintain_action::PROBE_FPR {
+            self.lock().pin = None;
+        }
+        out
     }
 
     /// Batched counting against the current pin, re-pinning once if the

@@ -322,6 +322,86 @@ fn dead_shard_is_a_typed_unavailable_not_a_wrong_total() {
 }
 
 #[test]
+fn coordinator_routes_deletes_and_fans_out_maintenance() {
+    use bbs_server::maintain_action;
+
+    const SHARDS: usize = 3;
+    const N: u64 = 60;
+    let (h0, a0, _g0) = shard_server("dyn_s0", cfg());
+    let (h1, a1, _g1) = shard_server("dyn_s1", cfg());
+    let (h2, a2, _g2) = shard_server("dyn_s2", cfg());
+    let addrs = vec![a0, a1, a2];
+    let coordinator =
+        CoordinatorEngine::connect(topology_for(&addrs, &[None, None, None]), opts())
+            .expect("connect coordinator");
+    let ch = serve(
+        Arc::clone(&coordinator),
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )
+    .expect("serve coordinator");
+    let mut dc = Client::connect_tcp(ch.tcp_addr().unwrap().to_string()).expect("connect");
+
+    let txns = batch(0, N);
+    dc.insert_with_id(1, &txns).expect("insert");
+
+    // Victims span all three shards (consecutive TIDs mod 3); the
+    // coordinator must partition by residue and sum the shard receipts.
+    let victims: Vec<u64> = (0..N).filter(|t| t % 4 == 0).collect();
+    let first = dc.delete_with_id(42, &victims).expect("delete");
+    assert_eq!(first.deleted, victims.len() as u64);
+    assert!(!first.deduped);
+
+    // Counting parity with the surviving truth, through the extra hop.
+    let survivors: Vec<&(u64, Vec<u32>)> = txns.iter().filter(|(t, _)| t % 4 != 0).collect();
+    let live = survivors.len() as u64;
+    assert_eq!(dc.count(&[1]).expect("count").support, live);
+    assert_eq!(dc.count(&[]).expect("count all").support, live);
+
+    // Exactly-once composes: the re-sent delete answers from every
+    // shard's dedup window with the original receipts.
+    let retry = dc.delete_with_id(42, &victims).expect("retry");
+    assert!(retry.deduped, "all shards must dedup the retried delete");
+    assert_eq!(retry.deleted, victims.len() as u64);
+    assert_eq!(dc.count(&[1]).expect("count").support, live);
+
+    // Maintenance fans out to every shard: the probe aggregates live and
+    // tombstoned rows across the fleet, compaction reclaims them all.
+    let probe = dc.maintain(maintain_action::PROBE_FPR, 8).expect("probe");
+    assert_eq!(probe.action_taken, maintain_action::PROBE_FPR);
+    assert_eq!(probe.live_rows, live);
+    assert_eq!(probe.deleted_rows, victims.len() as u64);
+    assert!((0.0..=1.0).contains(&probe.fpr));
+    let compacted = dc.maintain(maintain_action::COMPACT, 0).expect("compact");
+    assert_eq!(compacted.live_rows, live);
+    assert_eq!(compacted.deleted_rows, 0);
+    assert_eq!(dc.count(&[1]).expect("count").support, live);
+    assert_eq!(dc.count(&[1]).expect("count").rows, live);
+
+    // Mining over the survivors still scatters cleanly post-compaction.
+    let mine = dc
+        .mine(Scheme::Dfp, SupportThreshold::Count(10), 2)
+        .expect("mine");
+    assert_eq!(mine.rows, live);
+
+    // The stats document carries the per-shard health gauges.
+    let json = dc.stats().expect("stats");
+    assert!(json.contains("\"coordinator\":true"), "{json}");
+    assert!(json.contains(&format!("\"shards\":{SHARDS}")));
+    assert!(json.contains("\"shard_width\":["), "{json}");
+
+    dc.shutdown_server().expect("shutdown coordinator");
+    ch.wait();
+    for h in [h0, h1, h2] {
+        let mut c = Client::connect_tcp(h.tcp_addr().unwrap().to_string()).expect("connect");
+        c.shutdown_server().expect("shutdown shard");
+        h.wait();
+    }
+}
+
+#[test]
 fn coordinator_fails_over_to_the_follower_and_keeps_serving() {
     // Shard 0: a primary with a live follower replicating its commit
     // stream.  Shard 1: a plain single server.

@@ -199,9 +199,38 @@ pub struct ReplicateReply {
     /// Rows committed on the server at the time of the pull (the
     /// follower's lag is `rows - locally_applied_rows`).
     pub rows: u64,
-    /// Entries in row order: `(first_row, txns, receipts)` in the wire
-    /// shape (see [`crate::proto::LogEntry`]).
+    /// Entries in log order: `(first_row, txns, receipts, deletes)` in
+    /// the wire shape (see [`crate::proto::LogEntry`]).
     pub entries: Vec<proto::LogEntry>,
+}
+
+/// The `delete` reply: how many rows this request tombstoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteReply {
+    /// Live rows tombstoned (0 when every TID was absent or already
+    /// dead).
+    pub deleted: u64,
+    /// Epoch whose snapshot first masks them.
+    pub epoch: u64,
+    /// True when the server answered from its exactly-once window: the
+    /// delete was already durable from an earlier attempt.
+    pub deduped: bool,
+}
+
+/// The `maintain` reply: what the server did and the index health after.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintainReply {
+    /// The [`proto::maintain_action`] actually performed.
+    pub action_taken: u8,
+    /// Slice width after the action.
+    pub width: u32,
+    /// Live rows after the action.
+    pub live_rows: u64,
+    /// Tombstoned rows remaining after the action.
+    pub deleted_rows: u64,
+    /// Measured false-positive rate (sampled before any fold/compact the
+    /// action performed).
+    pub fpr: f64,
 }
 
 /// The `promote` reply: the epoch and rows the new primary serves from.
@@ -443,16 +472,75 @@ impl Client {
         }
     }
 
-    /// Pulls replication-log entries from `from_row` onward (the row
-    /// doubles as the puller's cumulative ACK: everything before it is
-    /// applied).  An empty reply means caught up.
-    pub fn replicate(&mut self, from_row: u64, max_entries: u32) -> ClientResult<ReplicateReply> {
+    /// Pulls replication-log entries past either cursor: `from_row` is
+    /// the puller's applied row count, `from_dseq` the count of
+    /// delete-carrying entries it has applied (deletes occupy no rows,
+    /// so a row cursor alone would skip them forever).  An empty reply
+    /// means caught up on both.
+    pub fn replicate(
+        &mut self,
+        from_row: u64,
+        from_dseq: u64,
+        max_entries: u32,
+    ) -> ClientResult<ReplicateReply> {
         let req = Request::Replicate {
             from_row,
+            from_dseq,
             max_entries,
         };
         match self.call(&req)? {
             Reply::LogEntries { rows, entries } => Ok(ReplicateReply { rows, entries }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// Tombstone-deletes every live transaction holding one of `tids`.
+    /// `req_id` works exactly as in [`Client::insert_with_id`]: reusing a
+    /// nonzero ID on a retry turns an already-committed delete into a
+    /// dedup hit instead of a second resolve.
+    pub fn delete_with_id(&mut self, req_id: u64, tids: &[u64]) -> ClientResult<DeleteReply> {
+        let req = Request::Delete {
+            req_id,
+            tids: tids.to_vec(),
+        };
+        match self.call(&req)? {
+            Reply::Delete {
+                deleted,
+                epoch,
+                deduped,
+            } => Ok(DeleteReply {
+                deleted,
+                epoch,
+                deduped,
+            }),
+            other => Self::mismatch(other),
+        }
+    }
+
+    /// [`Client::delete_with_id`] without dedup enrollment.
+    pub fn delete(&mut self, tids: &[u64]) -> ClientResult<DeleteReply> {
+        self.delete_with_id(0, tids)
+    }
+
+    /// Runs one maintenance action (see [`proto::maintain_action`]):
+    /// probe the measured FPR, compact tombstones away (optionally
+    /// re-hashing at `arg` bits), fold the width in half, or let the
+    /// server's policy decide.
+    pub fn maintain(&mut self, action: u8, arg: u64) -> ClientResult<MaintainReply> {
+        match self.call(&Request::Maintain { action, arg })? {
+            Reply::Maintain {
+                action_taken,
+                width,
+                live_rows,
+                deleted_rows,
+                fpr_bits,
+            } => Ok(MaintainReply {
+                action_taken,
+                width,
+                live_rows,
+                deleted_rows,
+                fpr: f64::from_bits(fpr_bits),
+            }),
             other => Self::mismatch(other),
         }
     }
@@ -739,6 +827,31 @@ impl RetryClient {
             self.stats.deduped += 1;
         }
         Ok(reply)
+    }
+
+    /// Deletes with retries: like [`RetryClient::insert`], one request
+    /// ID is minted up front and reused across attempts, so a delete
+    /// whose commit landed but whose reply was lost is answered from the
+    /// exactly-once window on the next try.
+    pub fn delete(&mut self, tids: &[u64]) -> ClientResult<DeleteReply> {
+        let req_id = self.fresh_req_id();
+        self.delete_with_id(req_id, tids)
+    }
+
+    /// [`RetryClient::delete`] with a caller-chosen request ID.
+    pub fn delete_with_id(&mut self, req_id: u64, tids: &[u64]) -> ClientResult<DeleteReply> {
+        let reply = self.retry(|c| c.delete_with_id(req_id, tids))?;
+        if reply.deduped {
+            self.stats.deduped += 1;
+        }
+        Ok(reply)
+    }
+
+    /// `maintain` with retries (probing is a read; compaction and folds
+    /// are idempotent at the "already done" fixpoint, so re-running one
+    /// after a lost reply is safe).
+    pub fn maintain(&mut self, action: u8, arg: u64) -> ClientResult<MaintainReply> {
+        self.retry(|c| c.maintain(action, arg))
     }
 
     /// `count` with retries.

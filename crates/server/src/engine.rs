@@ -40,7 +40,7 @@
 
 use crate::client::Client;
 use crate::metrics::ServerMetrics;
-use crate::proto::{LogEntry, Reply, Request, Response};
+use crate::proto::{maintain_action, LogEntry, Reply, Request, Response};
 use bbs_core::Scheme;
 use bbs_hash::{ItemHasher, Md5BloomHasher};
 use bbs_storage::snapshot::{SharedDeployment, Snapshot};
@@ -50,9 +50,9 @@ use bbs_tdb::{FrequentPatternMiner, Itemset, SupportThreshold, Transaction};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -80,6 +80,11 @@ const MAX_PINS: usize = 4;
 
 /// Row cap per `Rows` reply, regardless of the requested limit.
 const ROWS_MAX_PER_REPLY: usize = 8192;
+
+/// Seed base for maintenance FPR probes; each probe perturbs it with a
+/// running counter so successive probes sample fresh (but reproducible)
+/// item pairs.
+const FPR_SEED: u64 = 0xBB5_F9A0_11D5;
 
 /// Byte budget for the transactions of one `Rows` reply (the wire
 /// encoding stays comfortably under [`crate::proto::MAX_FRAME`]).
@@ -145,6 +150,25 @@ pub struct ServerConfig {
     /// A follower that cannot reach its primary for this long promotes
     /// itself.  `None` (the default) promotes only on request.
     pub auto_promote: Option<Duration>,
+    /// When set, a background thread runs the maintenance policy
+    /// ([`maintain_action::AUTO`]) at this interval: probe the FPR, then
+    /// compact/fold per the thresholds below.  `None` (the default)
+    /// leaves maintenance to explicit `MAINTAIN` requests.
+    pub maintain_interval: Option<Duration>,
+    /// Measured FPR above this triggers a compaction that re-hashes at
+    /// double the width (tombstones are dropped in the same pass).
+    pub fpr_hi: f64,
+    /// Measured FPR below this marks the width over-provisioned: the
+    /// policy folds it in half (down to [`ServerConfig::min_width`]).
+    pub fpr_lo: f64,
+    /// Item-pair probes per FPR measurement (each costs one `count_many`
+    /// batch plus one live-row heap scan).
+    pub fpr_samples: usize,
+    /// Tombstoned fraction of the file above which the policy compacts
+    /// (at the current width) to reclaim the dead rows.
+    pub dead_fraction_hi: f64,
+    /// Folds never shrink the width below this.
+    pub min_width: usize,
 }
 
 impl Default for ServerConfig {
@@ -161,6 +185,12 @@ impl Default for ServerConfig {
             follow: None,
             poll_interval: Duration::from_millis(50),
             auto_promote: None,
+            maintain_interval: None,
+            fpr_hi: 0.25,
+            fpr_lo: 0.002,
+            fpr_samples: 64,
+            dead_fraction_hi: 0.5,
+            min_width: 16,
         }
     }
 }
@@ -218,6 +248,10 @@ pub struct Engine {
     /// (reported in `SnapshotPinned` so a coordinator can refuse a
     /// mismatched shard).
     hasher_id: String,
+    maintainer: Mutex<Option<JoinHandle<()>>>,
+    maintain_stop: Arc<AtomicBool>,
+    /// Monotone probe counter perturbing the FPR seed per measurement.
+    fpr_probes: AtomicU64,
 }
 
 impl Engine {
@@ -294,7 +328,8 @@ impl Engine {
             }
             None => None,
         };
-        Ok(Arc::new(Engine {
+        let maintain_interval = cfg.maintain_interval;
+        let engine = Arc::new(Engine {
             shared,
             metrics,
             ingest: tx,
@@ -306,7 +341,25 @@ impl Engine {
             cfg,
             pins: Mutex::new(Vec::new()),
             hasher_id,
-        }))
+            maintainer: Mutex::new(None),
+            maintain_stop: Arc::new(AtomicBool::new(false)),
+            fpr_probes: AtomicU64::new(0),
+        });
+        if let Some(interval) = maintain_interval {
+            // The thread holds only a weak handle: dropping the last
+            // strong `Arc<Engine>` (whose Drop joins it) must not race a
+            // self-keeping cycle.
+            let weak = Arc::downgrade(&engine);
+            let stop = Arc::clone(&engine.maintain_stop);
+            let handle = std::thread::Builder::new()
+                .name("bbs-maintainer".into())
+                .spawn(move || maintenance_loop(&weak, &stop, interval))?;
+            *engine
+                .maintainer
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(handle);
+        }
+        Ok(engine)
     }
 
     /// The engine's metrics (shared with the transport layer).
@@ -317,6 +370,13 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
+    }
+
+    /// The deployment's current slice width in bits. Folds halve it and
+    /// widened compactions grow it, so this tracks the live files rather
+    /// than the width the server was configured with.
+    pub fn width(&self) -> usize {
+        self.shared.width()
     }
 
     /// The latest published snapshot.
@@ -340,16 +400,42 @@ impl Engine {
         pins.push((snap.epoch(), Arc::clone(&snap)));
         while pins.len() > MAX_PINS {
             pins.remove(0);
+            self.metrics.pin_evictions.fetch_add(1, Ordering::Relaxed);
         }
         snap
     }
 
-    /// Looks up a pinned snapshot by epoch.
+    /// Looks up a pinned snapshot by epoch.  A hit refreshes the pin's
+    /// recency (the table evicts least-recently-used, so an epoch a
+    /// coordinator keeps reading outlives bursts of fresh pins).
     pub fn pinned(&self, epoch: u64) -> Option<Arc<Snapshot>> {
-        let pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
-        pins.iter()
-            .find(|(e, _)| *e == epoch)
-            .map(|(_, s)| Arc::clone(s))
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        let at = pins.iter().position(|(e, _)| *e == epoch)?;
+        let entry = pins.remove(at);
+        let snap = Arc::clone(&entry.1);
+        pins.push(entry);
+        Some(snap)
+    }
+
+    /// Drops every pin: called after a compaction/fold, whose file swap
+    /// makes pre-swap snapshots unservable (their row clamps and width no
+    /// longer describe the live files).  A coordinator holding one gets
+    /// the typed `stale pin` error and re-pins.
+    fn invalidate_pins(&self) {
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        self.metrics
+            .pin_evictions
+            .fetch_add(pins.len() as u64, Ordering::Relaxed);
+        pins.clear();
+    }
+
+    /// A `stale pin` miss: record it and render the typed error the
+    /// caller re-pins on.
+    fn stale_pin(&self, epoch: u64) -> Response {
+        self.metrics.stale_pins.fetch_add(1, Ordering::Relaxed);
+        Response::Err(format!(
+            "stale pin: epoch {epoch} is not in the pin table (re-pin and retry)"
+        ))
     }
 
     /// True once [`Engine::begin_drain`] has been called.
@@ -366,6 +452,15 @@ impl Engine {
     /// drain and exit.  Idempotent; implies [`Engine::begin_drain`].
     pub fn join(&self) {
         self.begin_drain();
+        self.maintain_stop.store(true, Ordering::Release);
+        let handle = self
+            .maintainer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = handle {
+            h.join().ok();
+        }
         self.applier_stop.store(true, Ordering::Release);
         let handle = self
             .applier
@@ -520,6 +615,197 @@ impl Engine {
         Ok((result, snap))
     }
 
+    /// Tombstone-deletes every live transaction holding one of `tids`,
+    /// with the same exactly-once contract as inserts: a nonzero
+    /// `req_id` whose delete already committed is answered from the
+    /// dedup window (`deduped = true`) without re-resolving.
+    pub fn delete_tids(&self, req_id: u64, tids: &[u64]) -> Response {
+        if let Role::Follower { primary } = &*self.role.read().unwrap_or_else(|e| e.into_inner()) {
+            self.metrics.not_primary.fetch_add(1, Ordering::Relaxed);
+            return Response::NotPrimary(primary.clone());
+        }
+        if self.is_draining() {
+            self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Response::Overloaded;
+        }
+        if req_id != 0 {
+            match self.shared.dedup_lookup(req_id) {
+                Ok(Some(r)) => {
+                    self.metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return Response::Ok(Reply::Delete {
+                        deleted: r.appended,
+                        epoch: self.shared.epoch(),
+                        deduped: true,
+                    });
+                }
+                Ok(None) => {}
+                Err(e) => return Response::Err(format!("dedup lookup failed: {e}")),
+            }
+        }
+        match self.shared.delete_tids(tids, req_id) {
+            Ok(r) => Response::Ok(Reply::Delete {
+                deleted: r.deleted,
+                epoch: r.epoch,
+                deduped: false,
+            }),
+            Err(e) if is_disk_full(&e) => {
+                self.metrics.disk_full.fetch_add(1, Ordering::Relaxed);
+                Response::DiskFull
+            }
+            Err(e) => Response::Err(format!("delete failed: {e}")),
+        }
+    }
+
+    /// Measures the live FPR against the latest snapshot and refreshes
+    /// the `last_measured_fpr` gauge.  `samples = 0` uses the configured
+    /// default.
+    pub fn probe_fpr(&self, samples: usize) -> io::Result<f64> {
+        let samples = if samples == 0 {
+            self.cfg.fpr_samples
+        } else {
+            samples
+        };
+        let seed = FPR_SEED ^ self.fpr_probes.fetch_add(1, Ordering::Relaxed);
+        let fpr = self.shared.snapshot().measure_fpr(samples, seed)?;
+        self.metrics
+            .last_measured_fpr_bits
+            .store(fpr.to_bits(), Ordering::Relaxed);
+        Ok(fpr)
+    }
+
+    /// One maintenance request: probe, compact, fold, or run the policy.
+    /// Compactions and folds are writer-side operations, so a follower
+    /// rejects them with `NotPrimary` (its files must track the
+    /// primary's); probing and `AUTO` (which degrades to a probe on a
+    /// follower) are always allowed.
+    fn serve_maintain(&self, action: u8, arg: u64) -> Response {
+        let is_follower_reject = |engine: &Engine| -> Option<Response> {
+            if let Role::Follower { primary } =
+                &*engine.role.read().unwrap_or_else(|e| e.into_inner())
+            {
+                engine.metrics.not_primary.fetch_add(1, Ordering::Relaxed);
+                return Some(Response::NotPrimary(primary.clone()));
+            }
+            None
+        };
+        match action {
+            maintain_action::PROBE_FPR => match self.probe_fpr(arg as usize) {
+                Ok(fpr) => self.maintain_reply(maintain_action::PROBE_FPR, fpr),
+                Err(e) => Response::Err(format!("fpr probe failed: {e}")),
+            },
+            maintain_action::COMPACT => {
+                if let Some(reject) = is_follower_reject(self) {
+                    return reject;
+                }
+                let fpr = match self.probe_fpr(0) {
+                    Ok(fpr) => fpr,
+                    Err(e) => return Response::Err(format!("fpr probe failed: {e}")),
+                };
+                let target = if arg == 0 { None } else { Some(arg as usize) };
+                match self.shared.compact(target) {
+                    Ok(_) => {
+                        self.metrics
+                            .maintenance_compactions
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.invalidate_pins();
+                        self.maintain_reply(maintain_action::COMPACT, fpr)
+                    }
+                    Err(e) => Response::Err(format!("compaction failed: {e}")),
+                }
+            }
+            maintain_action::FOLD => {
+                if let Some(reject) = is_follower_reject(self) {
+                    return reject;
+                }
+                let fpr = match self.probe_fpr(0) {
+                    Ok(fpr) => fpr,
+                    Err(e) => return Response::Err(format!("fpr probe failed: {e}")),
+                };
+                match self.shared.fold() {
+                    Ok(_) => {
+                        self.metrics
+                            .maintenance_folds
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.invalidate_pins();
+                        self.maintain_reply(maintain_action::FOLD, fpr)
+                    }
+                    Err(e) => Response::Err(format!("fold failed: {e}")),
+                }
+            }
+            maintain_action::AUTO => match self.maintain_auto(arg as usize) {
+                Ok((taken, fpr)) => self.maintain_reply(taken, fpr),
+                Err(e) => Response::Err(format!("maintenance failed: {e}")),
+            },
+            k => Response::Err(format!("unknown maintenance action {k}")),
+        }
+    }
+
+    fn maintain_reply(&self, action_taken: u8, fpr: f64) -> Response {
+        let snap = self.shared.snapshot();
+        Response::Ok(Reply::Maintain {
+            action_taken,
+            width: self.shared.width() as u32,
+            live_rows: snap.live_rows(),
+            deleted_rows: snap.deleted_rows(),
+            fpr_bits: fpr.to_bits(),
+        })
+    }
+
+    /// One evaluation of the maintenance policy.  Returns the action it
+    /// took (`PROBE_FPR` when it changed nothing) and the FPR measured
+    /// *before* acting.  In priority order:
+    ///
+    /// 1. FPR above `fpr_hi` → compact re-hashing at **double** the
+    ///    width, which both drops tombstones and pulls the collision
+    ///    rate back down.
+    /// 2. Tombstoned fraction above `dead_fraction_hi` → compact at the
+    ///    current width to reclaim the dead rows.
+    /// 3. FPR below `fpr_lo` with width foldable → fold, halving the
+    ///    index's footprint while staying under the ceiling.
+    ///
+    /// A follower only probes: its files must track the primary's.
+    pub fn maintain_auto(&self, samples: usize) -> io::Result<(u8, f64)> {
+        self.metrics
+            .maintenance_runs
+            .fetch_add(1, Ordering::Relaxed);
+        let fpr = self.probe_fpr(samples)?;
+        if !matches!(self.role(), Role::Primary) {
+            return Ok((maintain_action::PROBE_FPR, fpr));
+        }
+        let snap = self.shared.snapshot();
+        let width = self.shared.width();
+        if fpr > self.cfg.fpr_hi && snap.live_rows() > 0 {
+            self.shared.compact(Some(width * 2))?;
+            self.metrics
+                .maintenance_compactions
+                .fetch_add(1, Ordering::Relaxed);
+            self.invalidate_pins();
+            return Ok((maintain_action::COMPACT, fpr));
+        }
+        let rows = snap.rows();
+        if rows > 0 && snap.deleted_rows() as f64 / rows as f64 >= self.cfg.dead_fraction_hi {
+            self.shared.compact(None)?;
+            self.metrics
+                .maintenance_compactions
+                .fetch_add(1, Ordering::Relaxed);
+            self.invalidate_pins();
+            return Ok((maintain_action::COMPACT, fpr));
+        }
+        if fpr < self.cfg.fpr_lo
+            && width.is_multiple_of(2)
+            && width / 2 >= self.cfg.min_width
+            && snap.live_rows() > 0
+        {
+            self.shared.fold()?;
+            self.metrics
+                .maintenance_folds
+                .fetch_add(1, Ordering::Relaxed);
+            self.invalidate_pins();
+            return Ok((maintain_action::FOLD, fpr));
+        }
+        Ok((maintain_action::PROBE_FPR, fpr))
+    }
+
     /// Renders the stats document: wire metrics plus engine/storage state.
     pub fn stats_json(&self) -> String {
         let snap = self.shared.snapshot();
@@ -544,9 +830,13 @@ impl Engine {
             format!("\"draining\":{}", self.is_draining()),
             format!("\"writer_poisoned\":{}", self.shared.writer_poisoned()),
             format!("\"writer_heals\":{}", self.shared.writer_heals()),
+            format!("\"width\":{}", self.shared.width()),
+            format!("\"live_rows\":{}", snap.live_rows()),
+            format!("\"deleted_rows\":{}", snap.deleted_rows()),
             format!("\"commits\":{}", profile.commits),
             format!("\"appended\":{}", profile.appended),
             format!("\"committed_rows\":{}", profile.committed_rows),
+            format!("\"deletes\":{}", profile.deletes),
             format!(
                 "\"writer_pager\":{{\"reads\":{},\"writes\":{},\"checksum_reads\":{},\"checksum_writes\":{}}}",
                 profile.pager.reads,
@@ -657,8 +947,11 @@ impl Engine {
             }),
             Request::Replicate {
                 from_row,
+                from_dseq,
                 max_entries,
-            } => self.serve_replicate(*from_row, *max_entries),
+            } => self.serve_replicate(*from_row, *from_dseq, *max_entries),
+            Request::Delete { req_id, tids } => self.delete_tids(*req_id, tids),
+            Request::Maintain { action, arg } => self.serve_maintain(*action, *arg),
             Request::Promote => {
                 let (epoch, rows) = self.promote();
                 Response::Ok(Reply::Promoted { epoch, rows })
@@ -692,7 +985,9 @@ impl Engine {
                 Response::Ok(Reply::SnapshotPinned {
                     epoch: snap.epoch(),
                     rows: snap.rows(),
-                    width: self.cfg.width as u32,
+                    // The live width, not the configured one: a fold may
+                    // have halved it since this engine was opened.
+                    width: self.shared.width() as u32,
                     hasher: self.hasher_id.clone(),
                 })
             }
@@ -707,9 +1002,7 @@ impl Engine {
                     return Response::Overloaded;
                 }
                 let Some(snap) = self.pinned(*epoch) else {
-                    return Response::Err(format!(
-                        "stale pin: epoch {epoch} is not in the pin table (re-pin and retry)"
-                    ));
+                    return self.stale_pin(*epoch);
                 };
                 self.metrics
                     .count_many_batch
@@ -728,9 +1021,7 @@ impl Engine {
             }
             Request::Rows { epoch, from, limit } => {
                 let Some(snap) = self.pinned(*epoch) else {
-                    return Response::Err(format!(
-                        "stale pin: epoch {epoch} is not in the pin table (re-pin and retry)"
-                    ));
+                    return self.stale_pin(*epoch);
                 };
                 let cap = (*limit as usize).clamp(1, ROWS_MAX_PER_REPLY);
                 let mut txns: Vec<(u64, Vec<u32>)> = Vec::new();
@@ -764,12 +1055,33 @@ impl Engine {
     /// Reading is stateless and lock-free with respect to the writer: the
     /// row count is read *before* the committed-seq cap, so every entry
     /// the cap admits is on disk by the time the file is scanned.
-    fn serve_replicate(&self, from_row: u64, max_entries: u32) -> Response {
+    fn serve_replicate(&self, from_row: u64, from_dseq: u64, max_entries: u32) -> Response {
         let rows = self.shared.snapshot().rows();
         let upto_seq = self.shared.committed_seq();
+        let dseq = match self.shared.log_delete_entries() {
+            Ok(d) => d,
+            Err(e) => return Response::Err(format!("replication log read failed: {e}")),
+        };
+        if from_row > rows || from_dseq > dseq {
+            // The follower's cursor is ahead of this primary: it streamed
+            // from a pre-compaction log whose numbering no longer exists.
+            // Served silently this would stall (or skip deletes) forever.
+            return Response::Err(format!(
+                "replication cursor (row {from_row}, delete entry {from_dseq}) is ahead of \
+                 the primary ({rows} rows, {dseq} delete entries) — the log was rewritten; \
+                 follower must resync from a fresh copy"
+            ));
+        }
         let paths = deployment_paths(self.shared.base());
         let cap = (max_entries as usize).clamp(1, REPLICATE_MAX_ENTRIES);
-        let read = match read_entries(&paths.log, from_row, cap, REPLICATE_MAX_BYTES, upto_seq) {
+        let read = match read_entries(
+            &paths.log,
+            from_row,
+            from_dseq,
+            cap,
+            REPLICATE_MAX_BYTES,
+            upto_seq,
+        ) {
             Ok(read) => read,
             Err(e) => return Response::Err(format!("replication log read failed: {e}")),
         };
@@ -797,7 +1109,7 @@ impl Engine {
                     .iter()
                     .map(|t| (t.tid.0, t.items.items().iter().map(|i| i.0).collect()))
                     .collect();
-                (e.first_row, txns, e.receipts)
+                (e.first_row, txns, e.receipts, e.deletes)
             })
             .collect();
         Response::Ok(Reply::LogEntries { rows, entries })
@@ -1022,8 +1334,18 @@ fn follower_loop(
             }
         }
         let local_rows = shared.snapshot().rows();
+        // The delete cursor comes from this node's own log: every applied
+        // delete entry was re-logged locally, so the count survives
+        // restarts without separate cursor state.
+        let local_dseq = match shared.log_delete_entries() {
+            Ok(d) => d,
+            Err(_) => {
+                sleep_unless_stopped(stop, poll);
+                continue;
+            }
+        };
         let pulled = match conn.as_mut() {
-            Some(c) => c.replicate(local_rows, REPLICATE_MAX_ENTRIES as u32),
+            Some(c) => c.replicate(local_rows, local_dseq, REPLICATE_MAX_ENTRIES as u32),
             None => Err(crate::client::ClientError::Io(io::Error::new(
                 io::ErrorKind::NotConnected,
                 "primary unreachable",
@@ -1034,7 +1356,7 @@ fn follower_loop(
                 last_contact = Instant::now();
                 let mut applied_rows = 0u64;
                 let mut healthy = true;
-                for (first_row, txns, receipts) in &reply.entries {
+                for (first_row, txns, receipts, deletes) in &reply.entries {
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
@@ -1042,17 +1364,31 @@ fn follower_loop(
                         // A non-contiguous entry means this pull raced a
                         // concurrent apply (or the stream desynced): drop
                         // it and re-pull from the authoritative row count.
+                        // Delete entries carry the primary's row count at
+                        // delete time, so the same check covers them.
                         healthy = false;
                         break;
                     }
-                    let txns: Vec<Transaction> = txns
-                        .iter()
-                        .map(|(tid, items)| Transaction::new(*tid, Itemset::from_values(items)))
-                        .collect();
-                    let n = txns.len() as u64;
                     let t0 = Instant::now();
-                    match shared.commit_with(&txns, receipts) {
-                        Ok(_) => {
+                    let applied = if !deletes.is_empty() {
+                        // A delete entry: tombstone exactly the rows the
+                        // primary did, carrying its exactly-once receipts
+                        // (req_id → deleted count) into the local window.
+                        let dr: Vec<(u64, u64)> =
+                            receipts.iter().map(|&(id, _, n)| (id, n)).collect();
+                        shared.delete_rows(deletes, &dr).map(|_| 0u64)
+                    } else {
+                        let txns: Vec<Transaction> = txns
+                            .iter()
+                            .map(|(tid, items)| {
+                                Transaction::new(*tid, Itemset::from_values(items))
+                            })
+                            .collect();
+                        let n = txns.len() as u64;
+                        shared.commit_with(&txns, receipts).map(|_| n)
+                    };
+                    match applied {
+                        Ok(n) => {
                             metrics
                                 .follower_apply_us
                                 .record(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
@@ -1078,6 +1414,21 @@ fn follower_loop(
                 // else: still behind — pull the next chunk immediately.
             }
             Err(e) => {
+                if let crate::client::ClientError::Server(msg) = &e {
+                    // A typed error proves the primary is alive.  When it
+                    // says the log cannot serve our cursor — the primary
+                    // compacted (row numbering restarted) or its log was
+                    // truncated past us — wipe and resync from row 0: the
+                    // compaction staged a complete bootstrap log, so the
+                    // next pulls rebuild this follower verbatim.
+                    last_contact = Instant::now();
+                    if msg.contains("resync") && shared.reset_files().is_ok() {
+                        metrics.follower_resyncs.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    sleep_unless_stopped(stop, poll);
+                    continue;
+                }
                 conn = None;
                 if !matches!(e, crate::client::ClientError::Server(_)) {
                     // Transport-level loss counts toward primary-loss; a
@@ -1093,12 +1444,32 @@ fn follower_loop(
                             return;
                         }
                     }
-                } else {
-                    last_contact = Instant::now();
                 }
                 sleep_unless_stopped(stop, poll);
             }
         }
+    }
+}
+
+/// The background maintenance thread: every `interval`, run one policy
+/// evaluation ([`Engine::maintain_auto`]) against the engine.  Holds only
+/// a weak handle so the engine's `Drop` (which joins this thread) can
+/// run; exits as soon as the engine is gone or the stop flag flips.
+fn maintenance_loop(engine: &Weak<Engine>, stop: &AtomicBool, interval: Duration) {
+    loop {
+        sleep_unless_stopped(stop, interval);
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(engine) = engine.upgrade() else {
+            return;
+        };
+        if engine.is_draining() {
+            return;
+        }
+        // Policy failures are recorded (the writer heals itself on the
+        // next write) and the loop keeps ticking.
+        engine.maintain_auto(0).ok();
     }
 }
 

@@ -43,12 +43,12 @@ pub mod proto;
 pub mod sharded;
 
 pub use client::{
-    Client, ClientError, ClientResult, CountManyReply, CountReply, CountsAtReply, InsertReply,
-    MineReply, PinReply, PromoteReply, ReplicateReply, RetryClient, RetryPolicy, RetryStats,
-    RowsReply, ServerAddr,
+    Client, ClientError, ClientResult, CountManyReply, CountReply, CountsAtReply, DeleteReply,
+    InsertReply, MaintainReply, MineReply, PinReply, PromoteReply, ReplicateReply, RetryClient,
+    RetryPolicy, RetryStats, RowsReply, ServerAddr,
 };
 pub use engine::{resolve_threads, Engine, InsertOutcome, Role, ServerConfig};
 pub use metrics::{Endpoint, Histogram, ServerMetrics};
 pub use net::{serve, Bind, RequestHandler, ServerHandle};
-pub use proto::{LogEntry, Reply, Request, Response};
+pub use proto::{maintain_action, LogEntry, Reply, Request, Response};
 pub use sharded::{ScatterMetrics, ShardFaults, ShardedEngine};

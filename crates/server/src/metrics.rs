@@ -153,6 +153,10 @@ pub struct ServerMetrics {
     /// `count_many` endpoint (batched counting; latency covers the whole
     /// batch).
     pub count_many: Endpoint,
+    /// `delete` endpoint (tombstone deletes by TID).
+    pub delete: Endpoint,
+    /// `maintain` endpoint (FPR probes, compactions, folds).
+    pub maintain: Endpoint,
     /// Itemsets per `count_many` batch.
     pub count_many_batch: Histogram,
     /// Requests rejected by admission control.
@@ -186,6 +190,26 @@ pub struct ServerMetrics {
     pub follower_apply_us: Histogram,
     /// Rows applied per replication poll round-trip.
     pub follower_pull_rows: Histogram,
+    /// Wipe-resyncs this follower performed after the primary's log could
+    /// no longer serve its cursor (e.g. the primary compacted).
+    pub follower_resyncs: AtomicU64,
+    /// Pins dropped from the snapshot pin table — LRU overflow plus
+    /// invalidation after a compaction/fold swapped the files out from
+    /// under them.
+    pub pin_evictions: AtomicU64,
+    /// Requests that named a pinned epoch no longer in the table (the
+    /// caller re-pins and retries).
+    pub stale_pins: AtomicU64,
+    /// Maintenance policy evaluations (manual `AUTO` requests plus the
+    /// background thread's ticks).
+    pub maintenance_runs: AtomicU64,
+    /// Compactions performed by maintenance (policy or explicit).
+    pub maintenance_compactions: AtomicU64,
+    /// Folds performed by maintenance (policy or explicit).
+    pub maintenance_folds: AtomicU64,
+    /// The most recent measured false-positive rate, stored as `f64`
+    /// bits (gauge; 0.0 until the first probe).
+    pub last_measured_fpr_bits: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -207,6 +231,8 @@ impl ServerMetrics {
             op::REPLICATE => Some(&self.replicate),
             op::PROMOTE => Some(&self.promote),
             op::COUNT_MANY => Some(&self.count_many),
+            op::DELETE => Some(&self.delete),
+            op::MAINTAIN => Some(&self.maintain),
             _ => None,
         }
     }
@@ -226,6 +252,8 @@ impl ServerMetrics {
             format!("\"replicate\":{}", self.replicate.to_json()),
             format!("\"promote\":{}", self.promote.to_json()),
             format!("\"count_many\":{}", self.count_many.to_json()),
+            format!("\"delete\":{}", self.delete.to_json()),
+            format!("\"maintain\":{}", self.maintain.to_json()),
             format!(
                 "\"count_many_batch\":{}",
                 self.count_many_batch.to_json()
@@ -267,6 +295,31 @@ impl ServerMetrics {
             format!(
                 "\"follower_pull_rows\":{}",
                 self.follower_pull_rows.to_json()
+            ),
+            format!(
+                "\"follower_resyncs\":{}",
+                self.follower_resyncs.load(Ordering::Relaxed)
+            ),
+            format!(
+                "\"pin_evictions\":{}",
+                self.pin_evictions.load(Ordering::Relaxed)
+            ),
+            format!("\"stale_pins\":{}", self.stale_pins.load(Ordering::Relaxed)),
+            format!(
+                "\"maintenance_runs\":{}",
+                self.maintenance_runs.load(Ordering::Relaxed)
+            ),
+            format!(
+                "\"maintenance_compactions\":{}",
+                self.maintenance_compactions.load(Ordering::Relaxed)
+            ),
+            format!(
+                "\"maintenance_folds\":{}",
+                self.maintenance_folds.load(Ordering::Relaxed)
+            ),
+            format!(
+                "\"last_measured_fpr\":{:.6}",
+                f64::from_bits(self.last_measured_fpr_bits.load(Ordering::Relaxed))
             ),
         ];
         fields.extend(extra.iter().cloned());
@@ -337,6 +390,8 @@ mod tests {
             op::REPLICATE,
             op::PROMOTE,
             op::COUNT_MANY,
+            op::DELETE,
+            op::MAINTAIN,
         ] {
             assert!(m.endpoint(opc).is_some());
         }

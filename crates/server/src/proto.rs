@@ -62,6 +62,23 @@ pub mod op {
     pub const COUNT_MANY_AT: u8 = 11;
     /// Stream transactions of a pinned snapshot in row order.
     pub const ROWS: u8 = 12;
+    /// Tombstone-delete transactions by TID (exactly-once, replicated).
+    pub const DELETE: u8 = 13;
+    /// Index maintenance: FPR probe, compaction, fold, or policy auto.
+    pub const MAINTAIN: u8 = 14;
+}
+
+/// Actions of a [`Request::Maintain`] (`action` byte).
+pub mod maintain_action {
+    /// Measure the live false-positive rate; change nothing.
+    pub const PROBE_FPR: u8 = 0;
+    /// Compact: rewrite the deployment minus tombstoned rows.
+    pub const COMPACT: u8 = 1;
+    /// Fold: halve the slice width in place.
+    pub const FOLD: u8 = 2;
+    /// Run the server's maintenance policy once: measure FPR and
+    /// fold/compact only if it crosses the configured threshold.
+    pub const AUTO: u8 = 3;
 }
 
 /// Response status values (response byte 0).
@@ -134,6 +151,12 @@ pub enum Request {
     Replicate {
         /// First row the follower is missing (its committed row count).
         from_row: u64,
+        /// Delete-entry cursor: how many committed delete entries the
+        /// follower has already applied.  Row and delete cursors advance
+        /// independently (deletes occupy no rows), so catching up takes
+        /// both — the server sends every entry past *either* cursor, in
+        /// log order.
+        from_dseq: u64,
         /// Upper bound on entries per reply (the server applies its own
         /// byte budget too, keeping replies well under [`MAX_FRAME`]).
         max_entries: u32,
@@ -165,6 +188,27 @@ pub enum Request {
         itemsets: Vec<Vec<u32>>,
         /// Early-exit budget; `None` = every answer exact.
         tau: Option<u64>,
+    },
+    /// Tombstone-delete every live transaction holding one of `tids`.
+    /// Routed and deduplicated exactly like [`Request::Insert`]: a retry
+    /// carrying the ID of a delete that already committed is answered
+    /// with the original receipt instead of re-resolving.
+    Delete {
+        /// Client-supplied request ID for exactly-once deletes (0 opts
+        /// out of deduplication).
+        req_id: u64,
+        /// TIDs whose live rows should be tombstoned.
+        tids: Vec<u64>,
+    },
+    /// Index maintenance (see [`maintain_action`]): probe the measured
+    /// FPR, compact tombstones away, fold the width in half, or let the
+    /// server's policy decide (`AUTO`).
+    Maintain {
+        /// One of the [`maintain_action`] values.
+        action: u8,
+        /// Action argument: FPR probe sample count (0 = default) for
+        /// `PROBE_FPR`/`AUTO`, target width for `COMPACT` (0 = keep).
+        arg: u64,
     },
     /// Stream `(tid, items)` rows of a pinned snapshot, `limit` at a
     /// time from row `from` — the bulk transfer a coordinator uses to
@@ -235,8 +279,9 @@ pub enum Reply {
         /// Committed rows on the serving node when the pull was answered
         /// (what the follower measures its lag against).
         rows: u64,
-        /// Entries in row order: `(first_row, txns, receipts)`, receipts
-        /// as `(req_id, offset, len)` relative to the entry's batch.
+        /// Entries in log order: `(first_row, txns, receipts, deletes)`,
+        /// receipts as `(req_id, offset, len)` relative to the entry's
+        /// batch (for delete entries, `(req_id, 0, deleted_count)`).
         entries: Vec<LogEntry>,
     },
     /// Answer to [`Request::Promote`]: this node now accepts writes.
@@ -279,6 +324,32 @@ pub enum Reply {
         /// Per-itemset supports under the request's τ contract.
         supports: Vec<u64>,
     },
+    /// Answer to [`Request::Delete`].
+    Delete {
+        /// Live rows tombstoned by this request (0 when every named TID
+        /// was absent or already deleted).
+        deleted: u64,
+        /// Epoch whose snapshot first masks the deleted rows.
+        epoch: u64,
+        /// True when this receipt was answered from the exactly-once
+        /// dedup window (the delete had already committed).
+        deduped: bool,
+    },
+    /// Answer to [`Request::Maintain`].
+    Maintain {
+        /// The [`maintain_action`] actually performed (`AUTO` resolves
+        /// to what the policy chose; `PROBE_FPR` when it chose nothing).
+        action_taken: u8,
+        /// Slice width after the action.
+        width: u32,
+        /// Live rows after the action.
+        live_rows: u64,
+        /// Tombstoned rows remaining after the action.
+        deleted_rows: u64,
+        /// Measured false-positive rate (f64 bits; measured before any
+        /// fold/compact the action performed).
+        fpr_bits: u64,
+    },
     /// Answer to [`Request::Rows`]: a run of transactions starting at
     /// the requested row (empty = past the end of the pinned snapshot).
     Rows {
@@ -291,9 +362,17 @@ pub enum Reply {
 }
 
 /// One replication-log entry on the wire: the batch's first row, its
-/// transactions `(tid, items)`, and its exactly-once receipts
-/// `(req_id, offset, len)` with offsets relative to the batch.
-pub type LogEntry = (u64, Vec<(u64, Vec<u32>)>, Vec<(u64, u64, u64)>);
+/// transactions `(tid, items)`, its exactly-once receipts
+/// `(req_id, offset, len)` with offsets relative to the batch, and the
+/// row numbers it tombstones (delete entries carry rows and no
+/// transactions; for them `first_row` is the primary's row count at
+/// delete time, which equals an in-order follower's row count).
+pub type LogEntry = (
+    u64,
+    Vec<(u64, Vec<u32>)>,
+    Vec<(u64, u64, u64)>,
+    Vec<u64>,
+);
 
 /// A decoded server response.
 #[derive(Debug, Clone, PartialEq)]
@@ -455,10 +534,12 @@ impl Request {
             Request::Shutdown => out.push(op::SHUTDOWN),
             Request::Replicate {
                 from_row,
+                from_dseq,
                 max_entries,
             } => {
                 out.push(op::REPLICATE);
                 out.extend_from_slice(&from_row.to_le_bytes());
+                out.extend_from_slice(&from_dseq.to_le_bytes());
                 out.extend_from_slice(&max_entries.to_le_bytes());
             }
             Request::Promote => out.push(op::PROMOTE),
@@ -488,6 +569,19 @@ impl Request {
                 for items in itemsets {
                     put_items(&mut out, items);
                 }
+            }
+            Request::Delete { req_id, tids } => {
+                out.push(op::DELETE);
+                out.extend_from_slice(&req_id.to_le_bytes());
+                out.extend_from_slice(&(tids.len() as u32).to_le_bytes());
+                for tid in tids {
+                    out.extend_from_slice(&tid.to_le_bytes());
+                }
+            }
+            Request::Maintain { action, arg } => {
+                out.push(op::MAINTAIN);
+                out.push(*action);
+                out.extend_from_slice(&arg.to_le_bytes());
             }
             Request::Rows { epoch, from, limit } => {
                 out.push(op::ROWS);
@@ -531,6 +625,7 @@ impl Request {
             op::SHUTDOWN => Request::Shutdown,
             op::REPLICATE => Request::Replicate {
                 from_row: r.u64()?,
+                from_dseq: r.u64()?,
                 max_entries: r.u32()?,
             },
             op::PROMOTE => Request::Promote,
@@ -561,6 +656,19 @@ impl Request {
                     tau,
                 }
             }
+            op::DELETE => {
+                let req_id = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut tids = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    tids.push(r.u64()?);
+                }
+                Request::Delete { req_id, tids }
+            }
+            op::MAINTAIN => Request::Maintain {
+                action: r.u8()?,
+                arg: r.u64()?,
+            },
             op::ROWS => Request::Rows {
                 epoch: r.u64()?,
                 from: r.u64()?,
@@ -588,6 +696,8 @@ impl Request {
             Request::SnapshotPin => op::SNAPSHOT_PIN,
             Request::CountManyAt { .. } => op::COUNT_MANY_AT,
             Request::Rows { .. } => op::ROWS,
+            Request::Delete { .. } => op::DELETE,
+            Request::Maintain { .. } => op::MAINTAIN,
         }
     }
 }
@@ -608,6 +718,8 @@ impl Reply {
             Reply::SnapshotPinned { .. } => op::SNAPSHOT_PIN,
             Reply::CountsAt { .. } => op::COUNT_MANY_AT,
             Reply::Rows { .. } => op::ROWS,
+            Reply::Delete { .. } => op::DELETE,
+            Reply::Maintain { .. } => op::MAINTAIN,
         }
     }
 }
@@ -687,7 +799,7 @@ impl Response {
                     Reply::LogEntries { rows, entries } => {
                         out.extend_from_slice(&rows.to_le_bytes());
                         out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-                        for (first_row, txns, receipts) in entries {
+                        for (first_row, txns, receipts, deletes) in entries {
                             out.extend_from_slice(&first_row.to_le_bytes());
                             out.extend_from_slice(&(txns.len() as u32).to_le_bytes());
                             for (tid, items) in txns {
@@ -699,6 +811,10 @@ impl Response {
                                 out.extend_from_slice(&req_id.to_le_bytes());
                                 out.extend_from_slice(&offset.to_le_bytes());
                                 out.extend_from_slice(&len.to_le_bytes());
+                            }
+                            out.extend_from_slice(&(deletes.len() as u32).to_le_bytes());
+                            for row in deletes {
+                                out.extend_from_slice(&row.to_le_bytes());
                             }
                         }
                     }
@@ -735,6 +851,28 @@ impl Response {
                         for &s in supports {
                             out.extend_from_slice(&s.to_le_bytes());
                         }
+                    }
+                    Reply::Delete {
+                        deleted,
+                        epoch,
+                        deduped,
+                    } => {
+                        out.extend_from_slice(&deleted.to_le_bytes());
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                        out.push(u8::from(*deduped));
+                    }
+                    Reply::Maintain {
+                        action_taken,
+                        width,
+                        live_rows,
+                        deleted_rows,
+                        fpr_bits,
+                    } => {
+                        out.push(*action_taken);
+                        out.extend_from_slice(&width.to_le_bytes());
+                        out.extend_from_slice(&live_rows.to_le_bytes());
+                        out.extend_from_slice(&deleted_rows.to_le_bytes());
+                        out.extend_from_slice(&fpr_bits.to_le_bytes());
                     }
                     Reply::Rows { total, txns } => {
                         out.extend_from_slice(&total.to_le_bytes());
@@ -829,7 +967,12 @@ impl Response {
                         for _ in 0..n_receipts {
                             receipts.push((r.u64()?, r.u64()?, r.u64()?));
                         }
-                        entries.push((first_row, txns, receipts));
+                        let n_dels = r.u32()? as usize;
+                        let mut deletes = Vec::with_capacity(n_dels.min(1 << 16));
+                        for _ in 0..n_dels {
+                            deletes.push(r.u64()?);
+                        }
+                        entries.push((first_row, txns, receipts, deletes));
                     }
                     Reply::LogEntries { rows, entries }
                 }
@@ -864,6 +1007,22 @@ impl Response {
                     }
                     Reply::CountsAt { epoch, supports }
                 }
+                op::DELETE => Reply::Delete {
+                    deleted: r.u64()?,
+                    epoch: r.u64()?,
+                    deduped: match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        k => return Err(bad(format!("bad dedup flag {k}"))),
+                    },
+                },
+                op::MAINTAIN => Reply::Maintain {
+                    action_taken: r.u8()?,
+                    width: r.u32()?,
+                    live_rows: r.u64()?,
+                    deleted_rows: r.u64()?,
+                    fpr_bits: r.u64()?,
+                },
                 op::ROWS => {
                     let total = r.u64()?;
                     let n = r.u32()? as usize;
@@ -958,11 +1117,29 @@ mod tests {
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Replicate {
             from_row: 0,
+            from_dseq: 0,
             max_entries: 128,
         });
         roundtrip_request(Request::Replicate {
             from_row: u64::MAX,
+            from_dseq: u64::MAX,
             max_entries: u32::MAX,
+        });
+        roundtrip_request(Request::Delete {
+            req_id: 0,
+            tids: vec![],
+        });
+        roundtrip_request(Request::Delete {
+            req_id: u64::MAX,
+            tids: vec![0, 7, u64::MAX],
+        });
+        roundtrip_request(Request::Maintain {
+            action: maintain_action::PROBE_FPR,
+            arg: 0,
+        });
+        roundtrip_request(Request::Maintain {
+            action: maintain_action::COMPACT,
+            arg: u64::MAX,
         });
         roundtrip_request(Request::Promote);
         roundtrip_request(Request::CountMany { itemsets: vec![] });
@@ -1032,9 +1209,27 @@ mod tests {
         roundtrip_response(Response::Ok(Reply::LogEntries {
             rows: 42,
             entries: vec![
-                (0, vec![(1, vec![1, 2]), (2, vec![])], vec![(9, 0, 2)]),
-                (2, vec![(3, vec![7])], vec![]),
+                (0, vec![(1, vec![1, 2]), (2, vec![])], vec![(9, 0, 2)], vec![]),
+                (2, vec![(3, vec![7])], vec![], vec![]),
+                (3, vec![], vec![(11, 0, 2)], vec![0, 2]),
             ],
+        }));
+        roundtrip_response(Response::Ok(Reply::Delete {
+            deleted: 0,
+            epoch: 1,
+            deduped: false,
+        }));
+        roundtrip_response(Response::Ok(Reply::Delete {
+            deleted: u64::MAX,
+            epoch: u64::MAX,
+            deduped: true,
+        }));
+        roundtrip_response(Response::Ok(Reply::Maintain {
+            action_taken: maintain_action::FOLD,
+            width: 800,
+            live_rows: 90,
+            deleted_rows: 10,
+            fpr_bits: 0.015f64.to_bits(),
         }));
         roundtrip_response(Response::Ok(Reply::Promoted { epoch: 5, rows: 99 }));
         roundtrip_response(Response::Ok(Reply::CountMany {
@@ -1097,6 +1292,12 @@ mod tests {
         bytes.extend_from_slice(&0u16.to_le_bytes());
         assert!(Request::decode(&bytes).is_err());
         assert!(Response::decode(&[9]).is_err());
+        // DELETE reply with an out-of-range dedup flag byte.
+        let mut bytes = vec![status::OK, op::DELETE];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.push(7);
+        assert!(Response::decode(&bytes).is_err());
     }
 
     /// Seeded decode fuzz: bit-flipped, truncated, and extended mutations
@@ -1124,7 +1325,18 @@ mod tests {
             Request::Probe { row: 9 }.encode(),
             Request::Replicate {
                 from_row: 7,
+                from_dseq: 3,
                 max_entries: 64,
+            }
+            .encode(),
+            Request::Delete {
+                req_id: 12,
+                tids: vec![5, 6],
+            }
+            .encode(),
+            Request::Maintain {
+                action: maintain_action::AUTO,
+                arg: 256,
             }
             .encode(),
             Request::Promote.encode(),
@@ -1167,7 +1379,24 @@ mod tests {
             Response::Err("x".into()).encode(),
             Response::Ok(Reply::LogEntries {
                 rows: 9,
-                entries: vec![(0, vec![(1, vec![2, 3])], vec![(5, 0, 1)])],
+                entries: vec![
+                    (0, vec![(1, vec![2, 3])], vec![(5, 0, 1)], vec![]),
+                    (2, vec![], vec![(8, 0, 1)], vec![1]),
+                ],
+            })
+            .encode(),
+            Response::Ok(Reply::Delete {
+                deleted: 2,
+                epoch: 5,
+                deduped: false,
+            })
+            .encode(),
+            Response::Ok(Reply::Maintain {
+                action_taken: maintain_action::COMPACT,
+                width: 512,
+                live_rows: 40,
+                deleted_rows: 0,
+                fpr_bits: 0.01f64.to_bits(),
             })
             .encode(),
             Response::NotPrimary("addr".into()).encode(),

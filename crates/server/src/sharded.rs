@@ -41,7 +41,7 @@ use bbs_storage::snapshot::Snapshot;
 use bbs_tdb::{IoStats, ItemId, Itemset, MineResult, SupportThreshold, Transaction};
 use std::collections::HashMap;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -162,6 +162,7 @@ impl bbs_shard::ShardCounter for MemShard<'_> {
 /// complete [`Engine`]s, each with its own committer pipeline.
 pub struct ShardedEngine {
     engines: Vec<Arc<Engine>>,
+    dir: PathBuf,
     manifest: Manifest,
     metrics: Arc<ServerMetrics>,
     scatter: ScatterMetrics,
@@ -204,6 +205,7 @@ impl ShardedEngine {
             .collect();
         Ok(Arc::new(ShardedEngine {
             engines,
+            dir: dir.to_path_buf(),
             manifest,
             metrics: Arc::new(ServerMetrics::new()),
             scatter: ScatterMetrics::default(),
@@ -311,6 +313,111 @@ impl ShardedEngine {
         };
         hist.record(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         Ok((supports, epoch, rows))
+    }
+
+    /// Scatters a tombstone delete across the shards that own the named
+    /// TIDs (same residue routing as inserts), reusing `req_id` on every
+    /// shard: each shard deduplicates independently, so a retry after a
+    /// partial failure re-sends the same partition and the shards that
+    /// already committed answer from their exactly-once windows.
+    pub fn delete_tids(&self, req_id: u64, tids: &[u64]) -> Response {
+        if self.is_draining() {
+            self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Response::Overloaded;
+        }
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); self.manifest.shards];
+        for &tid in tids {
+            parts[route(tid, self.manifest.shards)].push(tid);
+        }
+        let jobs: Vec<(usize, Vec<u64>)> = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .collect();
+        if jobs.is_empty() {
+            return Response::Ok(Reply::Delete {
+                deleted: 0,
+                epoch: self.snapshots().iter().map(|s| s.epoch()).sum(),
+                deduped: false,
+            });
+        }
+        let responses = scatter(&jobs, |_, (shard, part)| {
+            Ok((*shard, self.engines[*shard].delete_tids(req_id, part)))
+        })
+        .expect("shard delete scatter is infallible");
+        merge_delete_responses(responses)
+    }
+
+    /// Fans one maintenance action out to every shard and merges the
+    /// replies into one health report: row counts sum, the reported
+    /// width and FPR are the **worst** shard's (maintenance health is
+    /// gated by the weakest member), and the action reported is the most
+    /// consequential any shard took.
+    fn serve_maintain(&self, req: &Request) -> Response {
+        let results = scatter(&self.engines, |i, engine| {
+            match engine.handle(req) {
+                Response::Ok(Reply::Maintain {
+                    action_taken,
+                    width,
+                    live_rows,
+                    deleted_rows,
+                    fpr_bits,
+                }) => Ok(Ok((action_taken, width, live_rows, deleted_rows, fpr_bits))),
+                Response::Ok(other) => Ok(Err(Response::Err(format!(
+                    "shard {i}: unexpected maintain reply {other:?}"
+                )))),
+                other => {
+                    self.faults[i].scatter_errors.fetch_add(1, Ordering::Relaxed);
+                    Ok(Err(other))
+                }
+            }
+        })
+        .expect("shard maintain scatter is infallible");
+        let mut merged = (0u8, 0u32, 0u64, 0u64, 0f64);
+        for result in results {
+            match result {
+                Ok((taken, width, live, dead, fpr_bits)) => {
+                    merged.0 = merged.0.max(taken);
+                    merged.1 = merged.1.max(width);
+                    merged.2 += live;
+                    merged.3 += dead;
+                    merged.4 = merged.4.max(f64::from_bits(fpr_bits));
+                }
+                Err(resp) => return resp,
+            }
+        }
+        if merged.0 != crate::proto::maintain_action::PROBE_FPR {
+            if let Err(e) = self.sync_manifest_width() {
+                return Response::Err(format!(
+                    "maintenance applied but manifest update failed: {e}"
+                ));
+            }
+        }
+        Response::Ok(Reply::Maintain {
+            action_taken: merged.0,
+            width: merged.1,
+            live_rows: merged.2,
+            deleted_rows: merged.3,
+            fpr_bits: merged.4.to_bits(),
+        })
+    }
+
+    /// Re-pins the on-disk `MANIFEST` width to the shards' live slice
+    /// width after a fan-out compaction or fold re-sized the files, so
+    /// offline tools (`bbs ingest`/`mine-deployment`) and fresh opens
+    /// agree with what is actually on disk.  A no-op while the shards
+    /// disagree (a fan-out that failed partway leaves the old pin).
+    fn sync_manifest_width(&self) -> io::Result<()> {
+        let width = self.engines[0].width();
+        if self.engines.iter().any(|e| e.width() != width) {
+            return Ok(());
+        }
+        let mut manifest = Manifest::read(&self.dir)?;
+        if manifest.width != width {
+            manifest.width = width;
+            manifest.write(&self.dir)?;
+        }
+        Ok(())
     }
 
     /// Probes one row of the concatenated row space: rows `0..r0` live on
@@ -457,14 +564,51 @@ impl ShardedEngine {
             .iter()
             .map(|e| e.metrics().queue_depth.load(Ordering::Relaxed).to_string())
             .collect();
+        let shard_deleted_rows: Vec<String> = snaps
+            .iter()
+            .map(|s| s.deleted_rows().to_string())
+            .collect();
+        let shard_fpr: Vec<String> = self
+            .engines
+            .iter()
+            .map(|e| {
+                format!(
+                    "{:.6}",
+                    f64::from_bits(
+                        e.metrics()
+                            .last_measured_fpr_bits
+                            .load(Ordering::Relaxed)
+                    )
+                )
+            })
+            .collect();
+        let shard_width: Vec<String> = self
+            .engines
+            .iter()
+            .map(|e| e.width().to_string())
+            .collect();
         let mut extra = vec![
             format!("\"shards\":{}", self.manifest.shards),
-            format!("\"width\":{}", self.manifest.width),
+            format!(
+                "\"width\":{}",
+                self.engines.iter().map(|e| e.width()).max().unwrap_or(0)
+            ),
             format!("\"rows\":{}", snaps.iter().map(|s| s.rows()).sum::<u64>()),
             format!("\"epoch\":{}", snaps.iter().map(|s| s.epoch()).sum::<u64>()),
             format!("\"shard_rows\":[{}]", shard_rows.join(",")),
             format!("\"shard_lag\":[{}]", shard_lag.join(",")),
             format!("\"shard_queue_depth\":[{}]", shard_queue_depth.join(",")),
+            format!("\"shard_deleted_rows\":[{}]", shard_deleted_rows.join(",")),
+            format!("\"shard_fpr\":[{}]", shard_fpr.join(",")),
+            format!("\"shard_width\":[{}]", shard_width.join(",")),
+            format!(
+                "\"deleted_rows\":{}",
+                snaps.iter().map(|s| s.deleted_rows()).sum::<u64>()
+            ),
+            format!(
+                "\"live_rows\":{}",
+                snaps.iter().map(|s| s.live_rows()).sum::<u64>()
+            ),
             format!("\"scatter_us\":{}", self.scatter.to_json()),
             format!("\"draining\":{}", self.is_draining()),
         ];
@@ -564,6 +708,8 @@ impl ShardedEngine {
                 self.begin_drain();
                 Response::Ok(Reply::ShuttingDown)
             }
+            Request::Delete { req_id, tids } => self.delete_tids(*req_id, tids),
+            Request::Maintain { .. } => self.serve_maintain(req),
             Request::Replicate { .. } => Response::Err(
                 "replicate is not served by a shard router; replicate each shard individually"
                     .into(),
@@ -680,4 +826,55 @@ fn merge_insert_outcomes(outcomes: Vec<(usize, InsertOutcome)>) -> InsertOutcome
         epoch,
         deduped,
     }
+}
+
+/// Merges per-shard delete responses into the client's single receipt:
+/// any failure wins by severity (`Err` > `DiskFull` > `NotPrimary` >
+/// `Overloaded`); an all-committed delete reports the summed tombstone
+/// count, the highest participating epoch, and `deduped` only when
+/// *every* shard answered from its window.
+fn merge_delete_responses(responses: Vec<(usize, Response)>) -> Response {
+    let mut deleted = 0u64;
+    let mut epoch = 0u64;
+    let mut deduped = true;
+    let mut worst: Option<(u8, Response)> = None;
+    for (shard, resp) in responses {
+        let rank = match &resp {
+            Response::Ok(_) => 0u8,
+            Response::Overloaded => 1,
+            Response::NotPrimary(_) => 2,
+            Response::DiskFull => 3,
+            _ => 4,
+        };
+        match resp {
+            Response::Ok(Reply::Delete {
+                deleted: n,
+                epoch: e,
+                deduped: d,
+            }) => {
+                deleted += n;
+                epoch = epoch.max(e);
+                deduped &= d;
+            }
+            Response::Err(msg) => {
+                let tagged = Response::Err(format!("shard {shard}: {msg}"));
+                if worst.as_ref().is_none_or(|(r, _)| rank > *r) {
+                    worst = Some((rank, tagged));
+                }
+            }
+            other => {
+                if worst.as_ref().is_none_or(|(r, _)| rank > *r) {
+                    worst = Some((rank, other));
+                }
+            }
+        }
+    }
+    if let Some((_, resp)) = worst {
+        return resp;
+    }
+    Response::Ok(Reply::Delete {
+        deleted,
+        epoch,
+        deduped,
+    })
 }

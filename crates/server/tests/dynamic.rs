@@ -1,0 +1,591 @@
+//! The dynamic workload end-to-end: tombstone deletes with exactly-once
+//! retries, online maintenance (FPR probes, epoch-swapped compaction,
+//! fold-based resizing), deletes replicating through a follower chain,
+//! automatic follower resync after a primary compaction rewrites the
+//! log, sharded delete routing, and — the acceptance run — a seeded
+//! weblog-churn storm whose measured FPR returns below the health
+//! threshold after automatic maintenance.
+//!
+//! The storm honours a `CHAOS_SEED` env override, like `chaos.rs`.
+
+use bbs_core::Scheme;
+use bbs_hash::{ItemHasher, Md5BloomHasher};
+use bbs_server::{
+    maintain_action, serve, Bind, Client, ClientError, Engine, RetryClient, RetryPolicy, Role,
+    ServerAddr, ServerConfig, ServerHandle, ShardedEngine,
+};
+use bbs_shard::{route, ShardedDeployment};
+use bbs_storage::diskbbs::DiskDeployment;
+use bbs_tdb::{IoStats, Itemset, SupportThreshold, Transaction};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SEED: u64 = 0xD15C_0DE5;
+
+fn seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn base(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbs_dyn_{}_{}", std::process::id(), name));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        DiskDeployment::remove_files(&self.0).ok();
+    }
+}
+
+struct CleanupDir(PathBuf);
+impl Drop for CleanupDir {
+    fn drop(&mut self) {
+        ShardedDeployment::remove_files(&self.0).ok();
+    }
+}
+
+fn hasher() -> Arc<dyn ItemHasher> {
+    Arc::new(Md5BloomHasher::new(4))
+}
+
+fn cfg(width: usize) -> ServerConfig {
+    ServerConfig {
+        width,
+        cache_pages: 128,
+        queue_capacity: 32,
+        commit_window: Duration::ZERO,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(base: &Path, cfg: ServerConfig) -> (ServerHandle, String) {
+    let engine = Engine::open(base, cfg).expect("open engine");
+    let handle = serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )
+    .expect("serve");
+    let addr = handle.tcp_addr().expect("tcp addr").to_string();
+    (handle, addr)
+}
+
+fn follower_cfg(primary: &str, width: usize) -> ServerConfig {
+    ServerConfig {
+        follow: Some(primary.to_string()),
+        poll_interval: Duration::from_millis(10),
+        ..cfg(width)
+    }
+}
+
+fn batch(start: u64, n: u64) -> Vec<(u64, Vec<u32>)> {
+    (start..start + n)
+        .map(|i| (i, vec![1, 2 + (i % 3) as u32]))
+        .collect()
+}
+
+/// Exact support of `items` over the surviving transactions.
+fn exact(survivors: &[(u64, Vec<u32>)], items: &[u32]) -> u64 {
+    survivors
+        .iter()
+        .filter(|(_, t)| items.iter().all(|i| t.contains(i)))
+        .count() as u64
+}
+
+/// BBS estimates from an offline index rebuilt over exactly the
+/// survivors, in row order, at the given width — the equivalence oracle
+/// a compacted server must match bit-for-bit.
+fn offline_estimates(
+    survivors: &[(u64, Vec<u32>)],
+    width: usize,
+    queries: &[Vec<u32>],
+) -> Vec<u64> {
+    let mut db = bbs_tdb::TransactionDb::new();
+    for (tid, items) in survivors {
+        db.push(Transaction::new(*tid, Itemset::from_values(items)));
+    }
+    let mut io = IoStats::new();
+    let bbs = bbs_core::Bbs::build(width, hasher(), &db, &mut io);
+    queries
+        .iter()
+        .map(|q| bbs.est_count(&Itemset::from_values(q), &mut io))
+        .collect()
+}
+
+/// Polls `client` until its stats document reports `n` tombstoned rows.
+fn wait_deleted(client: &mut Client, n: u64) {
+    let needle = format!("\"deleted_rows\":{n}");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if client.stats().expect("stats").contains(&needle) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "deletes never replicated");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn wait_rows(client: &mut Client, rows: u64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if client.count(&[1]).expect("count").rows >= rows {
+            return;
+        }
+        assert!(Instant::now() < deadline, "rows never replicated");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn deletes_are_exactly_once_and_survive_restart() {
+    let b = base("del_once");
+    let _g = Cleanup(b.clone());
+    let (handle, addr) = start(&b, cfg(64));
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+
+    let txns = batch(0, 20);
+    c.insert_with_id(1, &txns).expect("insert");
+    assert_eq!(c.count(&[1]).expect("count").support, 20);
+
+    // Delete every TID divisible by 4 (5 rows), with a request ID.
+    let victims: Vec<u64> = (0..20).filter(|t| t % 4 == 0).collect();
+    let first = c.delete_with_id(77, &victims).expect("delete");
+    assert_eq!(first.deleted, 5);
+    assert!(!first.deduped);
+
+    // Counts exclude the tombstoned rows immediately; rows (total ever
+    // committed) is unchanged.
+    let reply = c.count(&[1]).expect("count");
+    assert_eq!(reply.support, 15);
+    assert_eq!(reply.rows, 20);
+
+    // A retry with the same ID answers from the dedup window without
+    // resolving again — same receipt, no double-count.
+    let retry = c.delete_with_id(77, &victims).expect("retry");
+    assert!(retry.deduped, "retry must hit the window");
+    assert_eq!(retry.deleted, 5);
+    assert_eq!(c.count(&[1]).expect("count").support, 15);
+
+    // Deleting an already-dead or unknown TID resolves to zero rows.
+    let nothing = c.delete(&[0, 4, 999]).expect("re-delete");
+    assert_eq!(nothing.deleted, 0);
+
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"deleted_rows\":5"), "{stats}");
+    assert!(stats.contains("\"live_rows\":15"), "{stats}");
+    handle.join();
+
+    // The tombstones and the dedup receipt are durable: a fresh engine
+    // over the same files serves the same counts and still dedups.
+    let (handle, addr) = start(&b, cfg(64));
+    let mut c = Client::connect_tcp(&addr).expect("reconnect");
+    assert_eq!(c.count(&[1]).expect("count").support, 15);
+    let replay = c.delete_with_id(77, &victims).expect("replay");
+    assert!(replay.deduped, "receipt must survive restart");
+    assert_eq!(replay.deleted, 5);
+    handle.join();
+
+    let report = DiskDeployment::verify(&b).expect("fsck");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.deleted_rows, 5);
+}
+
+#[test]
+fn maintain_compacts_folds_and_reports_fpr() {
+    let b = base("maintain");
+    let _g = Cleanup(b.clone());
+    let (handle, addr) = start(&b, cfg(64));
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+
+    let txns = batch(0, 30);
+    c.insert_with_id(1, &txns).expect("insert");
+    let victims: Vec<u64> = (0..30).filter(|t| t % 3 == 0).collect();
+    c.delete_with_id(2, &victims).expect("delete");
+    let survivors: Vec<(u64, Vec<u32>)> = txns
+        .iter()
+        .filter(|(t, _)| t % 3 != 0)
+        .cloned()
+        .collect();
+
+    // Probe is read-only: nothing changes but the gauge.
+    let probe = c.maintain(maintain_action::PROBE_FPR, 16).expect("probe");
+    assert_eq!(probe.action_taken, maintain_action::PROBE_FPR);
+    assert_eq!(probe.width, 64);
+    assert_eq!(probe.live_rows, 20);
+    assert_eq!(probe.deleted_rows, 10);
+    assert!((0.0..=1.0).contains(&probe.fpr), "fpr {}", probe.fpr);
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"last_measured_fpr\":"), "{stats}");
+
+    // Compaction reclaims the tombstones and re-hashes at double width;
+    // live counts must equal an offline rebuild of the survivors,
+    // bit-for-bit (estimates included).
+    let compacted = c
+        .maintain(maintain_action::COMPACT, 128)
+        .expect("compact");
+    assert_eq!(compacted.action_taken, maintain_action::COMPACT);
+    assert_eq!(compacted.width, 128);
+    assert_eq!(compacted.live_rows, 20);
+    assert_eq!(compacted.deleted_rows, 0);
+    let queries: Vec<Vec<u32>> = vec![vec![1], vec![2], vec![3], vec![1, 4], vec![2, 3]];
+    let oracle = offline_estimates(&survivors, 128, &queries);
+    for (q, want) in queries.iter().zip(&oracle) {
+        let got = c.count(q).expect("count").support;
+        assert_eq!(got, *want, "post-compaction estimate diverged on {q:?}");
+        assert!(got >= exact(&survivors, q), "estimate must upper-bound");
+    }
+    assert_eq!(c.count(&[1]).expect("count").rows, 20);
+
+    // Fold halves the width in place; counts stay upper bounds and match
+    // the offline fold (a 64-bit rebuild of the same rows).
+    let folded = c.maintain(maintain_action::FOLD, 0).expect("fold");
+    assert_eq!(folded.action_taken, maintain_action::FOLD);
+    assert_eq!(folded.width, 64);
+    let oracle = offline_estimates(&survivors, 64, &queries);
+    for (q, want) in queries.iter().zip(&oracle) {
+        assert_eq!(
+            c.count(q).expect("count").support,
+            *want,
+            "post-fold estimate diverged on {q:?}"
+        );
+    }
+
+    // Inserts and deletes keep working after both swaps.
+    c.insert_with_id(3, &batch(30, 6)).expect("insert after");
+    assert_eq!(c.count(&[1]).expect("count").rows, 26);
+    c.delete_with_id(4, &[30]).expect("delete after");
+    assert_eq!(c.count(&[1]).expect("count").support, 25);
+
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"width\":64"), "{stats}");
+    assert!(stats.contains("\"maintenance_compactions\":1"), "{stats}");
+    assert!(stats.contains("\"maintenance_folds\":1"), "{stats}");
+    handle.join();
+
+    let report = DiskDeployment::verify(&b).expect("fsck");
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn deletes_replicate_through_a_follower_chain() {
+    let pb = base("chain_p");
+    let mb = base("chain_m");
+    let tb = base("chain_t");
+    let (_gp, _gm, _gt) = (Cleanup(pb.clone()), Cleanup(mb.clone()), Cleanup(tb.clone()));
+
+    let (primary, paddr) = start(&pb, cfg(64));
+    let mut pc = Client::connect_tcp(&paddr).expect("connect primary");
+    pc.insert_with_id(1, &batch(0, 16)).expect("insert");
+    // A delete committed *before* the chain exists rides the bootstrap.
+    pc.delete_with_id(2, &[0, 5]).expect("early delete");
+
+    // Hop 1 follows the primary; hop 2 follows hop 1, serving REPLICATE
+    // off its own re-logged `<base>.log`.
+    let (mid, maddr) = start(&mb, follower_cfg(&paddr, 64));
+    let mut mc = Client::connect_tcp(&maddr).expect("connect mid");
+    wait_rows(&mut mc, 16);
+    wait_deleted(&mut mc, 2);
+
+    let (tail, taddr) = start(&tb, follower_cfg(&maddr, 64));
+    assert!(matches!(
+        tail.engine().role(),
+        Role::Follower { ref primary } if *primary == maddr
+    ));
+    let mut tc = Client::connect_tcp(&taddr).expect("connect tail");
+    wait_rows(&mut tc, 16);
+    wait_deleted(&mut tc, 2);
+
+    // A live delete (and a live insert) propagate across both hops.
+    pc.insert_with_id(3, &batch(16, 4)).expect("insert");
+    pc.delete_with_id(4, &[7, 8, 16]).expect("delete");
+    wait_rows(&mut tc, 20);
+    wait_deleted(&mut mc, 5);
+    wait_deleted(&mut tc, 5);
+
+    // Read parity across the chain, including the mined patterns.
+    for items in [vec![1u32], vec![2], vec![3], vec![1, 4]] {
+        let want = pc.count(&items).expect("count primary").support;
+        assert_eq!(mc.count(&items).expect("count mid").support, want);
+        assert_eq!(tc.count(&items).expect("count tail").support, want);
+    }
+    let pm = pc
+        .mine(Scheme::Dfp, SupportThreshold::Count(3), 2)
+        .expect("mine primary");
+    let tm = tc
+        .mine(Scheme::Dfp, SupportThreshold::Count(3), 2)
+        .expect("mine tail");
+    assert_eq!(pm.patterns, tm.patterns);
+
+    // Deletes are writes: both hops reject them, naming their upstream.
+    match mc.delete_with_id(9, &[1]) {
+        Err(ClientError::NotPrimary(addr)) => assert_eq!(addr, paddr),
+        other => panic!("expected NotPrimary, got {other:?}"),
+    }
+    match tc.delete_with_id(9, &[1]) {
+        Err(ClientError::NotPrimary(addr)) => assert_eq!(addr, maddr),
+        other => panic!("expected NotPrimary, got {other:?}"),
+    }
+    // So are compactions and folds; probes stay serveable everywhere.
+    match mc.maintain(maintain_action::COMPACT, 0) {
+        Err(ClientError::NotPrimary(addr)) => assert_eq!(addr, paddr),
+        other => panic!("expected NotPrimary, got {other:?}"),
+    }
+    let probe = tc.maintain(maintain_action::PROBE_FPR, 8).expect("probe");
+    assert_eq!(probe.deleted_rows, 5);
+
+    tail.join();
+    mid.join();
+    primary.join();
+}
+
+#[test]
+fn follower_resyncs_after_primary_compaction_rewrites_the_log() {
+    let pb = base("resync_p");
+    let fb = base("resync_f");
+    let (_gp, _gf) = (Cleanup(pb.clone()), Cleanup(fb.clone()));
+
+    let (primary, paddr) = start(&pb, cfg(64));
+    let mut pc = Client::connect_tcp(&paddr).expect("connect primary");
+    pc.insert_with_id(1, &batch(0, 12)).expect("insert");
+    pc.delete_with_id(2, &[0, 1, 2, 3]).expect("delete");
+
+    let (follower, faddr) = start(&fb, follower_cfg(&paddr, 64));
+    let mut fc = Client::connect_tcp(&faddr).expect("connect follower");
+    wait_rows(&mut fc, 12);
+    wait_deleted(&mut fc, 4);
+
+    // Compaction restarts the primary's row numbering (12 rows -> 8) and
+    // rewrites its log as one bootstrap entry.  The follower's cursor is
+    // now ahead; the typed resync error must make it wipe and refetch.
+    let compacted = pc.maintain(maintain_action::COMPACT, 0).expect("compact");
+    assert_eq!(compacted.live_rows, 8);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = fc.stats().expect("stats");
+        if stats.contains("\"follower_resyncs\":1")
+            && stats.contains("\"replication_lag_rows\":0")
+            && fc.count(&[1]).expect("count").rows == 8
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "follower never resynced: {stats}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(fc.count(&[1]).expect("count").support, 8);
+
+    // The resynced follower still streams: new commits and deletes land.
+    pc.insert_with_id(3, &batch(12, 3)).expect("insert");
+    pc.delete_with_id(4, &[12]).expect("delete");
+    wait_rows(&mut fc, 11);
+    wait_deleted(&mut fc, 1);
+    assert_eq!(
+        fc.count(&[1]).expect("count").support,
+        pc.count(&[1]).expect("count").support
+    );
+
+    follower.join();
+    primary.join();
+}
+
+#[test]
+fn sharded_deletes_route_by_tid_and_maintenance_fans_out() {
+    let dir = base("shard_dyn");
+    let _g = CleanupDir(dir.clone());
+    ShardedDeployment::create(&dir, 3, 64, hasher(), 64).expect("create sharded");
+    let engine = ShardedEngine::open(&dir, cfg(64)).expect("open sharded");
+    let handle = serve(
+        engine,
+        &Bind {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+        },
+    )
+    .expect("serve");
+    let addr = handle.tcp_addr().expect("addr").to_string();
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+
+    let txns = batch(0, 30);
+    c.insert_with_id(1, &txns).expect("insert");
+
+    // Victims land on every shard; the router must split them by the
+    // same residue inserts used and sum the per-shard tombstone counts.
+    let victims: Vec<u64> = (0..30).filter(|t| t % 4 == 0).collect();
+    let shards_hit: HashSet<usize> = victims.iter().map(|&t| route(t, 3)).collect();
+    assert_eq!(shards_hit.len(), 3, "victims must span all shards");
+    let first = c.delete_with_id(50, &victims).expect("delete");
+    assert_eq!(first.deleted, victims.len() as u64);
+    assert!(!first.deduped);
+
+    let survivors: Vec<(u64, Vec<u32>)> = txns
+        .iter()
+        .filter(|(t, _)| t % 4 != 0)
+        .cloned()
+        .collect();
+    for items in [vec![1u32], vec![2], vec![3], vec![4], vec![2, 3]] {
+        let got = c.count(&items).expect("count").support;
+        assert!(
+            got >= exact(&survivors, &items),
+            "scatter count under-counts {items:?}"
+        );
+    }
+    assert_eq!(c.count(&[1]).expect("count").support, 22);
+
+    // A router-level retry re-scatters the same per-shard partitions;
+    // every shard answers from its window, so the merge reports dedup.
+    let retry = c.delete_with_id(50, &victims).expect("retry");
+    assert!(retry.deduped, "all shards must dedup the retried delete");
+    assert_eq!(retry.deleted, victims.len() as u64);
+    assert_eq!(c.count(&[1]).expect("count").support, 22);
+
+    // Maintenance fans out: the probe aggregates all shards' rows, and a
+    // compaction reclaims every shard's tombstones behind its own swap.
+    let probe = c.maintain(maintain_action::PROBE_FPR, 8).expect("probe");
+    assert_eq!(probe.live_rows, 22);
+    assert_eq!(probe.deleted_rows, 8);
+    let compacted = c.maintain(maintain_action::COMPACT, 0).expect("compact");
+    assert_eq!(compacted.live_rows, 22);
+    assert_eq!(compacted.deleted_rows, 0);
+    assert_eq!(c.count(&[1]).expect("count").support, 22);
+    assert_eq!(c.count(&[1]).expect("count").rows, 22);
+
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"shard_deleted_rows\":[0,0,0]"), "{stats}");
+    assert!(stats.contains("\"deleted_rows\":0"), "{stats}");
+    assert!(stats.contains("\"live_rows\":22"), "{stats}");
+    assert!(stats.contains("\"shard_fpr\":["), "{stats}");
+    handle.join();
+}
+
+/// The acceptance storm: a seeded weblog-churn workload (rotating hot
+/// set, daily session expirations) drives a deliberately under-sized
+/// index until its measured FPR breaches the health threshold; the
+/// server's own maintenance policy (here invoked as `AUTO`, exactly what
+/// the background maintainer runs each tick) must bring the measured FPR
+/// back under the threshold by widening compactions, while counts stay
+/// upper bounds of the surviving truth and the files stay fsck-clean.
+#[test]
+fn weblog_churn_fpr_recovers_after_auto_maintenance() {
+    let b = base("weblog_storm");
+    let _g = Cleanup(b.clone());
+    let seed = seed();
+    eprintln!("weblog storm seed {seed} (override with CHAOS_SEED)");
+
+    // A 16-bit index over a 400-file vocabulary: collisions guaranteed.
+    // The threshold sits well under the sick index's ~0.2 measured FPR
+    // (and well over a healthy one's) so probe variance across seeds
+    // cannot flip either assertion.
+    let fpr_hi = 0.10;
+    let (handle, addr) = start(
+        &b,
+        ServerConfig {
+            fpr_hi,
+            fpr_samples: 48,
+            min_width: 16,
+            ..cfg(16)
+        },
+    );
+    let mut retrying = RetryClient::with_policy(
+        ServerAddr::Tcp(addr.clone()),
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        },
+    );
+
+    let mut weblog = bbs_datagen::WeblogGenerator::new(bbs_datagen::WeblogConfig {
+        files: 400,
+        hot_fraction: 0.1,
+        daily_rotation: 0.1,
+        hot_hit_probability: 0.8,
+        days: 6,
+        sessions_per_day: 120,
+        avg_session_len: 6.0,
+        churn_rate: 0.15,
+        seed,
+    });
+    let mut inserted: Vec<(u64, Vec<u32>)> = Vec::new();
+    let mut dead: HashSet<u64> = HashSet::new();
+    while let Some(day) = weblog.next_day() {
+        if !day.expired_tids.is_empty() {
+            let reply = retrying.delete(&day.expired_tids).expect("delete day");
+            assert_eq!(reply.deleted, day.expired_tids.len() as u64);
+            dead.extend(day.expired_tids.iter().copied());
+        }
+        let txns: Vec<(u64, Vec<u32>)> = day
+            .transactions
+            .iter()
+            .map(|t| (t.tid.0, t.items.items().iter().map(|i| i.0).collect()))
+            .collect();
+        retrying.insert(&txns).expect("insert day");
+        inserted.extend(txns);
+    }
+    let survivors: Vec<(u64, Vec<u32>)> = inserted
+        .iter()
+        .filter(|(t, _)| !dead.contains(t))
+        .cloned()
+        .collect();
+
+    let mut c = Client::connect_tcp(&addr).expect("connect");
+    let sick = c.maintain(maintain_action::PROBE_FPR, 0).expect("probe");
+    assert_eq!(sick.live_rows, survivors.len() as u64);
+    assert_eq!(sick.deleted_rows, dead.len() as u64);
+    assert!(
+        sick.fpr > fpr_hi,
+        "a 16-bit index over 400 files must be sick (fpr {})",
+        sick.fpr
+    );
+
+    // Let the policy heal it: each AUTO tick probes and acts.  Widening
+    // compactions double the width until the measured FPR is healthy.
+    let mut rounds = 0;
+    let healed = loop {
+        let reply = c.maintain(maintain_action::AUTO, 0).expect("auto");
+        rounds += 1;
+        if reply.fpr <= fpr_hi {
+            break reply;
+        }
+        assert_eq!(
+            reply.action_taken,
+            maintain_action::COMPACT,
+            "a sick index must keep compacting wider (round {rounds})"
+        );
+        assert!(rounds < 12, "maintenance never healed the index");
+    };
+    eprintln!(
+        "healed after {rounds} auto round(s): width {}, fpr {:.4}",
+        healed.width, healed.fpr
+    );
+    assert!(healed.width > 16, "healing must have widened the index");
+    assert_eq!(healed.deleted_rows, 0, "compaction reclaims tombstones");
+    assert_eq!(healed.live_rows, survivors.len() as u64);
+
+    // Counts remain sound: every estimate upper-bounds the surviving
+    // truth, totals are exact, and singles of never-deleted hot files
+    // stay queryable.
+    let hot: Vec<u32> = weblog.hot_files().iter().take(4).map(|i| i.0).collect();
+    for file in hot {
+        let got = c.count(&[file]).expect("count").support;
+        assert!(got >= exact(&survivors, &[file]), "under-count on {file}");
+    }
+    let totals = c.count(&[]).expect("count all");
+    assert_eq!(totals.support, survivors.len() as u64);
+    assert_eq!(totals.rows, survivors.len() as u64);
+
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"maintenance_runs\":"), "{stats}");
+    handle.join();
+
+    let report = DiskDeployment::verify(&b).expect("fsck");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.deleted_rows, 0);
+}

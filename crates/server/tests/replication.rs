@@ -306,19 +306,19 @@ fn replicate_endpoint_reports_a_gap_as_a_typed_error() {
     pc.insert_with_id(1, &batch(0, 4)).expect("insert");
 
     // Asking for a row past the committed end is "caught up", not a gap.
-    let caught_up = pc.replicate(4, 64).expect("replicate");
+    let caught_up = pc.replicate(4, 0, 64).expect("replicate");
     assert_eq!(caught_up.rows, 4);
     assert!(caught_up.entries.is_empty());
 
     // Asking mid-entry is unservable: entries are the replication unit.
-    let err = pc.replicate(2, 64).expect_err("mid-entry row");
+    let err = pc.replicate(2, 0, 64).expect_err("mid-entry row");
     assert!(matches!(err, ClientError::Server(_)), "got {err:?}");
 
     // From the start, the entry comes back with its receipts intact.
-    let all = pc.replicate(0, 64).expect("replicate");
+    let all = pc.replicate(0, 0, 64).expect("replicate");
     assert_eq!(all.rows, 4);
     assert_eq!(all.entries.len(), 1);
-    let (first_row, txns, receipts) = &all.entries[0];
+    let (first_row, txns, receipts, _deletes) = &all.entries[0];
     assert_eq!(*first_row, 0);
     assert_eq!(txns.len(), 4);
     assert_eq!(receipts, &vec![(1u64, 0u64, 4u64)]);

@@ -250,7 +250,7 @@ fn router_rejects_follower_mode_and_replication_endpoints() {
     )
     .expect("serve");
     let mut client = Client::connect_tcp(handle.tcp_addr().unwrap().to_string()).expect("connect");
-    let err = client.replicate(0, 16).expect_err("replicate must be typed error");
+    let err = client.replicate(0, 0, 16).expect_err("replicate must be typed error");
     assert!(matches!(err, bbs_server::ClientError::Server(_)));
     let err = client.promote().expect_err("promote must be typed error");
     assert!(matches!(err, bbs_server::ClientError::Server(_)));

@@ -94,6 +94,15 @@ pub(crate) fn latest_commit(bytes: &[u8]) -> Option<Commit> {
     }
 }
 
+/// Writes `c` verbatim — including its explicit `seq` — into the
+/// ping-pong slot that sequence number owns.  Offline maintenance (the
+/// fold path) uses this to stage a fresh commit file whose single slot
+/// carries the successor sequence of the live deployment's commit.
+pub(crate) fn write_explicit<B: StorageBackend>(backend: &mut B, c: Commit) -> io::Result<()> {
+    backend.write_at((c.seq % 2) * SLOT_SIZE, &encode_slot(c))?;
+    backend.sync()
+}
+
 /// The two-slot commit file of one deployment.
 pub(crate) struct CommitFile<B: StorageBackend = FileBackend> {
     backend: B,

@@ -139,6 +139,16 @@ impl<B: StorageBackend> DedupLog<B> {
         self.order.len()
     }
 
+    /// The live window in insertion order (oldest first) — what
+    /// compaction carries into the rewritten deployment so retried
+    /// requests still answer with their original receipts.
+    pub fn entries(&self) -> Vec<(u64, DedupReceipt)> {
+        self.order
+            .iter()
+            .filter_map(|id| self.map.get(id).map(|e| (*id, e.receipt)))
+            .collect()
+    }
+
     /// True when no receipt is remembered.
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()

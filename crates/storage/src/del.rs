@@ -1,0 +1,417 @@
+//! The durable deletion slice: tombstones for the dynamic workload.
+//!
+//! The paper's index is append-only; §3.4's constraint-slice trick is what
+//! makes deletes cheap anyway — a *deletion bit-slice* (one bit per row,
+//! set when the row is tombstoned) is AND-NOTed into every `CountItemSet`,
+//! so dead rows stop counting the instant the delete commits, and the
+//! slice files themselves are rewritten lazily by compaction.
+//!
+//! `<base>.del` is the durable form: an append-only log of checksummed
+//! delete records, replayed into an in-memory bitmap on open.  It is
+//! crash-safe exactly like the dedup window ([`crate::dedup::DedupLog`]):
+//! each record is stamped with the commit sequence it belongs to, written
+//! *after* the data files sync and *before* the commit record, so a record
+//! is durable iff its commit landed, and debris past the last committed
+//! sequence is truncated on open.
+//!
+//! # Record format
+//!
+//! ```text
+//! body_len u32 | body | fnv1a64(body) u64
+//! body := seq u64 | n u32 | n × (row u64)
+//! ```
+//!
+//! Rows are *row numbers*, not TIDs: row numbering is contiguous from 0
+//! and identical between a primary and its followers (that is the
+//! replication invariant), so the log replays byte-for-byte identically on
+//! every replica.  Compaction renumbers rows and therefore resets this
+//! file to empty together with the heap rewrite.
+
+use crate::backend::StorageBackend;
+use crate::pager::fnv1a64;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Hard cap on one record's body, so a corrupt length prefix cannot ask
+/// for an absurd allocation.
+const MAX_BODY: u32 = 64 << 20;
+
+/// An immutable snapshot of the tombstone bitmap, shared with readers.
+///
+/// `words[row / 64] >> (row % 64) & 1` is 1 iff the row is deleted.  Rows
+/// beyond `words.len() * 64` are live (the bitmap only grows as far as the
+/// highest tombstoned row).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeadMask {
+    /// The bitmap, little-endian within each word (bit `row % 64` of
+    /// `words[row / 64]`).
+    pub words: Vec<u64>,
+    /// Number of set bits — the count of tombstoned rows.
+    pub deleted: u64,
+}
+
+impl DeadMask {
+    /// Is `row` tombstoned?
+    pub fn is_dead(&self, row: u64) -> bool {
+        self.words
+            .get((row / 64) as usize)
+            .is_some_and(|w| w >> (row % 64) & 1 == 1)
+    }
+}
+
+fn encode_record(seq: u64, rows: &[u64]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(12 + rows.len() * 8);
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for &row in rows {
+        body.extend_from_slice(&row.to_le_bytes());
+    }
+    let mut buf = Vec::with_capacity(body.len() + 12);
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&body);
+    buf.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+    buf
+}
+
+/// Decodes one record body (already checksum-verified).  `None` on any
+/// structural inconsistency.
+fn decode_body(body: &[u8]) -> Option<(u64, Vec<u64>)> {
+    if body.len() < 12 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(body[0..8].try_into().ok()?);
+    let n = u32::from_le_bytes(body[8..12].try_into().ok()?) as usize;
+    if body.len() != 12 + n * 8 {
+        return None;
+    }
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        rows.push(u64::from_le_bytes(
+            body[12 + i * 8..20 + i * 8].try_into().ok()?,
+        ));
+    }
+    Some((seq, rows))
+}
+
+/// The write side of one deployment's deletion log, plus the replayed
+/// in-memory bitmap.
+pub struct DelLog<B: StorageBackend> {
+    backend: B,
+    /// Append offset: the byte length of the valid prefix.
+    tail_offset: u64,
+    words: Vec<u64>,
+    deleted: u64,
+}
+
+impl<B: StorageBackend> DelLog<B> {
+    /// Opens the log, replaying the longest valid prefix of records
+    /// stamped at or before `committed_seq` into the bitmap and truncating
+    /// everything past it (a torn tail, or the record of a flush whose
+    /// commit never landed).
+    pub fn open(mut backend: B, committed_seq: u64) -> io::Result<Self> {
+        let len = backend.len()?;
+        let mut bytes = vec![0u8; len as usize];
+        backend.read_at(0, &mut bytes)?;
+        let mut log = DelLog {
+            backend,
+            tail_offset: 0,
+            words: Vec::new(),
+            deleted: 0,
+        };
+        let mut at = 0usize;
+        while at + 4 <= bytes.len() {
+            let body_len =
+                u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+            if body_len > MAX_BODY as usize || at + 12 + body_len > bytes.len() {
+                break; // torn tail
+            }
+            let body = &bytes[at + 4..at + 4 + body_len];
+            let digest = u64::from_le_bytes(
+                bytes[at + 4 + body_len..at + 12 + body_len]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            if digest != fnv1a64(body) {
+                break;
+            }
+            let Some((seq, rows)) = decode_body(body) else {
+                break;
+            };
+            if seq > committed_seq {
+                break; // debris of an uncommitted flush
+            }
+            for &row in &rows {
+                log.mark(row);
+            }
+            at += 12 + body_len;
+        }
+        log.tail_offset = at as u64;
+        if log.tail_offset != len {
+            log.backend.set_len(log.tail_offset)?;
+            log.backend.sync()?;
+        }
+        Ok(log)
+    }
+
+    fn mark(&mut self, row: u64) {
+        let word = (row / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (row % 64);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.deleted += 1;
+        }
+    }
+
+    /// Marks rows in the in-memory bitmap only (no I/O) — used by the
+    /// delete commit path, which needs the post-commit bitmap *before*
+    /// the index flush stamps the counts file, while the durable record
+    /// is written later in the flush ordering.  [`DelLog::record_synced`]
+    /// re-marks idempotently.
+    pub(crate) fn mark_rows(&mut self, rows: &[u64]) {
+        for &row in rows {
+            self.mark(row);
+        }
+    }
+
+    /// Number of tombstoned rows.
+    pub fn deleted(&self) -> u64 {
+        self.deleted
+    }
+
+    /// Is `row` tombstoned?
+    pub fn is_dead(&self, row: u64) -> bool {
+        self.words
+            .get((row / 64) as usize)
+            .is_some_and(|w| w >> (row % 64) & 1 == 1)
+    }
+
+    /// An immutable snapshot of the current bitmap, for readers.
+    pub fn mask(&self) -> Arc<DeadMask> {
+        Arc::new(DeadMask {
+            words: self.words.clone(),
+            deleted: self.deleted,
+        })
+    }
+
+    /// Durably appends the delete record of a flush about to commit as
+    /// sequence `seq`, and marks the rows in the bitmap.  Must run after
+    /// the data files are synced and before the commit record is written
+    /// (see the module docs).  Rows already tombstoned are recorded but do
+    /// not double-count.
+    pub fn record_synced(&mut self, seq: u64, rows: &[u64]) -> io::Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let buf = encode_record(seq, rows);
+        self.backend.write_at(self.tail_offset, &buf)?;
+        self.backend.sync()?;
+        self.tail_offset += buf.len() as u64;
+        for &row in rows {
+            self.mark(row);
+        }
+        Ok(())
+    }
+}
+
+/// Replays the committed prefix of a deletion log file into a bitmap,
+/// without shared state — the read-side mirror of [`DelLog::open`], safe
+/// to run concurrently with a writer appending (a torn tail fails its
+/// checksum and ends the scan).  Records stamped past `upto_seq` are
+/// ignored.  A missing file is an empty bitmap, not an error.
+pub fn read_deletions(path: &Path, upto_seq: u64) -> io::Result<DeadMask> {
+    let mut bytes = Vec::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(DeadMask::default()),
+        Err(e) => return Err(e),
+    }
+    let mut mask = DeadMask::default();
+    let mut at = 0usize;
+    while at + 4 <= bytes.len() {
+        let body_len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        if body_len > MAX_BODY as usize || at + 12 + body_len > bytes.len() {
+            break;
+        }
+        let body = &bytes[at + 4..at + 4 + body_len];
+        let digest = u64::from_le_bytes(
+            bytes[at + 4 + body_len..at + 12 + body_len]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        if digest != fnv1a64(body) {
+            break;
+        }
+        let Some((seq, rows)) = decode_body(body) else {
+            break;
+        };
+        if seq > upto_seq {
+            break;
+        }
+        for &row in &rows {
+            let word = (row / 64) as usize;
+            if word >= mask.words.len() {
+                mask.words.resize(word + 1, 0);
+            }
+            let bit = 1u64 << (row % 64);
+            if mask.words[word] & bit == 0 {
+                mask.words[word] |= bit;
+                mask.deleted += 1;
+            }
+        }
+        at += 12 + body_len;
+    }
+    Ok(mask)
+}
+
+/// Read-only integrity scan of raw deletion-log bytes, for `bbs fsck`.
+///
+/// A torn tail and debris stamped past the committed sequence are normal
+/// (open truncates them); the problems reported are the ones open cannot
+/// heal: a corrupt record strictly *inside* the committed stream
+/// (detectable because valid committed records still follow it), or a
+/// committed record tombstoning rows at or past the committed row count.
+pub(crate) fn scan_del_problems(
+    bytes: &[u8],
+    committed_seq: u64,
+    committed_rows: u64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut at = 0usize;
+    let mut pending_corrupt: Option<usize> = None;
+    let mut saw_debris = false;
+    while at + 4 <= bytes.len() {
+        let body_len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        if body_len > MAX_BODY as usize || at + 12 + body_len > bytes.len() {
+            break; // torn tail: healed on open
+        }
+        let body = &bytes[at + 4..at + 4 + body_len];
+        let digest = u64::from_le_bytes(
+            bytes[at + 4 + body_len..at + 12 + body_len]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let decoded = if digest == fnv1a64(body) {
+            decode_body(body)
+        } else {
+            None
+        };
+        let Some((seq, rows)) = decoded else {
+            pending_corrupt.get_or_insert(at);
+            at += 12 + body_len;
+            continue;
+        };
+        if seq > committed_seq {
+            saw_debris = true;
+            at += 12 + body_len;
+            continue;
+        }
+        if let Some(corrupt) = pending_corrupt.take() {
+            problems.push(format!(
+                "deletion log: corrupt record at byte {corrupt} inside the committed stream"
+            ));
+        }
+        if saw_debris {
+            problems.push(format!(
+                "deletion log: committed record at byte {at} follows uncommitted debris"
+            ));
+            saw_debris = false;
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r >= committed_rows) {
+            problems.push(format!(
+                "deletion log: record at byte {at} tombstones row {bad} past committed rows {committed_rows}"
+            ));
+        }
+        at += 12 + body_len;
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let mut mem = MemBackend::new();
+        {
+            let mut log = DelLog::open(&mut mem, 0).expect("open");
+            log.record_synced(1, &[3, 70]).expect("a");
+            log.record_synced(2, &[5]).expect("b");
+            assert_eq!(log.deleted(), 3);
+            assert!(log.is_dead(70) && !log.is_dead(4));
+        }
+        let log = DelLog::open(&mut mem, 2).expect("reopen");
+        assert_eq!(log.deleted(), 3);
+        assert!(log.is_dead(3) && log.is_dead(5) && log.is_dead(70));
+    }
+
+    #[test]
+    fn uncommitted_records_are_debris_on_open() {
+        let mut mem = MemBackend::new();
+        {
+            let mut log = DelLog::open(&mut mem, 0).expect("open");
+            log.record_synced(1, &[1]).expect("a");
+            log.record_synced(2, &[2]).expect("b"); // commit 2 "never landed"
+        }
+        let before = mem.len().expect("len");
+        let log = DelLog::open(&mut mem, 1).expect("reopen");
+        assert_eq!(log.deleted(), 1);
+        assert!(!log.is_dead(2));
+        assert!(mem.len().expect("len") < before, "debris truncated");
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let mut mem = MemBackend::new();
+        {
+            let mut log = DelLog::open(&mut mem, 0).expect("open");
+            log.record_synced(1, &[1]).expect("a");
+            log.record_synced(2, &[2, 3, 4]).expect("b");
+        }
+        let len = mem.len().expect("len");
+        mem.set_len(len - 3).expect("tear");
+        let log = DelLog::open(&mut mem, 2).expect("reopen");
+        assert_eq!(log.deleted(), 1);
+    }
+
+    #[test]
+    fn repeated_rows_count_once() {
+        let mut mem = MemBackend::new();
+        let mut log = DelLog::open(&mut mem, 0).expect("open");
+        log.record_synced(1, &[7]).expect("a");
+        log.record_synced(2, &[7, 8]).expect("b");
+        assert_eq!(log.deleted(), 2);
+    }
+
+    #[test]
+    fn scan_flags_corruption_inside_committed_stream() {
+        let mut mem = MemBackend::new();
+        {
+            let mut log = DelLog::open(&mut mem, 0).expect("open");
+            log.record_synced(1, &[1]).expect("a");
+            log.record_synced(2, &[2]).expect("b");
+        }
+        let len = mem.len().expect("len");
+        let mut bytes = vec![0u8; len as usize];
+        mem.read_at(0, &mut bytes).expect("read");
+        // Flip a bit inside the first record's body.
+        bytes[6] ^= 1;
+        let problems = scan_del_problems(&bytes, 2, 10);
+        assert!(
+            problems.iter().any(|p| p.contains("corrupt record")),
+            "{problems:?}"
+        );
+        // Clean bytes: no problems, and rows past committed are flagged.
+        let mut clean = vec![0u8; len as usize];
+        mem.read_at(0, &mut clean).expect("read");
+        assert!(scan_del_problems(&clean, 2, 10).is_empty());
+        assert!(!scan_del_problems(&clean, 2, 2).is_empty());
+    }
+}

@@ -47,8 +47,10 @@ pub mod bytes;
 pub mod cache;
 mod commit;
 pub mod dedup;
+pub mod del;
 pub mod diskbbs;
 pub mod heapfile;
+pub mod maintain;
 pub mod mine;
 pub mod pager;
 pub mod replog;
@@ -62,11 +64,16 @@ pub use backend::{
 };
 pub use cache::{CacheStats, PageCache};
 pub use dedup::{DedupLog, DedupReceipt};
+pub use del::{read_deletions, DeadMask, DelLog};
 pub use diskbbs::{
     deployment_paths, DeploymentBackends, DeploymentPaths, DiskBbs, DiskCounter, DiskDeployment,
     PageCorruption, VerifyReport, DEFAULT_DEDUP_WINDOW,
 };
 pub use heapfile::HeapFile;
+pub use maintain::{
+    compact_deployment, compact_deployment_hooked, finish_pending_swap, fold_deployment,
+    fold_deployment_hooked, MaintainReport, SwapHook,
+};
 pub use mine::{mine_in_place, DiskMineStats};
 pub use pager::{
     checksum_mismatch, fnv1a64, ChecksumMismatch, PageId, Pager, PagerStats, PAGE_SIZE,

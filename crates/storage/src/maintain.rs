@@ -1,0 +1,599 @@
+//! Offline deployment maintenance: tombstone **compaction** and slice
+//! **folding**, both crash-safe via a staged-files-plus-marker swap.
+//!
+//! # The swap protocol
+//!
+//! Both operations build a complete replacement for some subset of a
+//! deployment's files under a hidden staging base (`.cpt-<name>` next to
+//! the live files), sync everything, and only then write a checksummed
+//! **swap marker** (`.swap-<name>`) listing the extensions to install.
+//! The marker is the commit point:
+//!
+//! * no marker (or a torn one, caught by its checksum) → the swap never
+//!   happened; staging debris is deleted and the old files stay live;
+//! * a valid marker → the swap *has* happened; the renames are replayed
+//!   (each one idempotent — already-moved files are skipped) and the
+//!   marker is removed.
+//!
+//! [`finish_pending_swap`] performs that resolution and runs at the top
+//! of every [`DiskDeployment::open`], so a crash at *any* point leaves a
+//! deployment that reopens to exactly the old or exactly the new state —
+//! the same guarantee the page-level commit protocol gives single flushes,
+//! lifted to whole-file rewrites.
+//!
+//! # Compaction
+//!
+//! [`compact_deployment`] rewrites the deployment with only its live
+//! (non-tombstoned) rows, re-appending them through the normal write path
+//! so every invariant (heap/index row alignment, replication log, counts
+//! file) is rebuilt from first principles.  Rows are *renumbered*: the
+//! dedup window is carried over with each receipt's row range remapped by
+//! rank over the tombstone bitmap, so retried requests still answer
+//! exactly-once; the replication log restarts as a bootstrap stream of
+//! the surviving rows (followers of a compacted primary wipe and resync).
+//!
+//! # Folding
+//!
+//! [`fold_deployment`] halves the slice width `m` without touching the
+//! heap: both hash families position items by `value % m`, so an item
+//! hashed at `p` under width `m` lands at `p % (m/2)` under width `m/2` —
+//! which is exactly bit-OR of slice `j` and slice `j + m/2`.  The folded
+//! file is bit-for-bit identical to re-hashing every transaction at the
+//! halved width, at the cost of a sequential page pass instead of a full
+//! rebuild.  Row numbering, the heap, tombstones, and the replication log
+//! are untouched, so followers are unaffected; only `{slices, commit}`
+//! are swapped, the staged commit being the successor record (`seq + 1`)
+//! vouching for the folded file's boundary digest.
+
+use crate::backend::FileBackend;
+use crate::commit::{self, Commit};
+use crate::dedup::DedupReceipt;
+use crate::del::DeadMask;
+use crate::diskbbs::{deployment_paths, DeploymentPaths, DiskDeployment};
+use crate::pager::{fnv1a64, fnv1a64_extend, PageId, Pager, FNV_OFFSET};
+use crate::slicefile::{self, clear_uncommitted_bits, CHUNK_ROWS};
+use bbs_hash::ItemHasher;
+use bbs_tdb::Transaction;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic prefix of the swap-marker file.
+const MARKER_MAGIC: &[u8; 8] = b"BBSSWAP1";
+
+/// Rows re-appended per staged batch (and per staging commit) during
+/// compaction — the group-commit granularity of the rewrite.
+const COMPACT_BATCH: usize = 4096;
+
+/// Every deployment file extension, in swap order.
+const ALL_EXTS: &[&str] = &[
+    "dat", "idx", "slices", "counts", "dedup", "log", "del", "commit",
+];
+
+/// Observation hook for crash-torture tests: called with a step label
+/// after each durable point of the swap (`"build"`, `"marker"`,
+/// `"rename-<ext>"`, `"unmark"`); returning an error abandons the
+/// operation at that exact point, simulating a crash.
+pub type SwapHook<'a> = &'a mut dyn FnMut(&'static str) -> io::Result<()>;
+
+/// What a maintenance operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintainReport {
+    /// `"compact"` or `"fold"`.
+    pub action: &'static str,
+    /// Slice width of the deployment after the operation.
+    pub width: usize,
+    /// Total rows (live + tombstoned) before.
+    pub rows_before: u64,
+    /// Total rows after (compaction drops tombstones; fold keeps rows).
+    pub rows_after: u64,
+    /// Tombstoned rows reclaimed (zero for fold).
+    pub reclaimed: u64,
+    /// Commit sequence of the new state.
+    pub seq: u64,
+}
+
+fn invalid(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// The hidden base the staged replacement files are built under:
+/// `dir/.cpt-<name>` for a deployment at `dir/<name>`.  A prefix on the
+/// file *name* (not an extra extension) so that [`deployment_paths`] of
+/// the staging base can never collide with a live file.
+pub fn staging_base(base: &Path) -> PathBuf {
+    let name = base
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    base.with_file_name(format!(".cpt-{name}"))
+}
+
+/// The swap-marker path of a deployment: `dir/.swap-<name>`.
+pub fn swap_marker_path(base: &Path) -> PathBuf {
+    let name = base
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    base.with_file_name(format!(".swap-{name}"))
+}
+
+fn path_of(paths: &DeploymentPaths, ext: &str) -> Option<PathBuf> {
+    match ext {
+        "dat" => Some(paths.dat.clone()),
+        "idx" => Some(paths.idx.clone()),
+        "slices" => Some(paths.slices.clone()),
+        "counts" => Some(paths.counts.clone()),
+        "commit" => Some(paths.commit.clone()),
+        "dedup" => Some(paths.dedup.clone()),
+        "log" => Some(paths.log.clone()),
+        "del" => Some(paths.del.clone()),
+        _ => None,
+    }
+}
+
+fn encode_marker(exts: &[&str]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    buf.extend_from_slice(MARKER_MAGIC);
+    buf.extend_from_slice(&(exts.len() as u32).to_le_bytes());
+    for ext in exts {
+        buf.push(ext.len() as u8);
+        buf.extend_from_slice(ext.as_bytes());
+    }
+    let digest = fnv1a64(&buf);
+    buf.extend_from_slice(&digest.to_le_bytes());
+    buf
+}
+
+fn decode_marker(bytes: &[u8]) -> Option<Vec<String>> {
+    if bytes.len() < 20 || &bytes[0..8] != MARKER_MAGIC {
+        return None;
+    }
+    let (body, digest) = bytes.split_at(bytes.len() - 8);
+    if digest != fnv1a64(body).to_le_bytes() {
+        return None;
+    }
+    let n = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")) as usize;
+    let mut exts = Vec::with_capacity(n);
+    let mut at = 12;
+    for _ in 0..n {
+        let len = *body.get(at)? as usize;
+        at += 1;
+        let ext = body.get(at..at + len)?;
+        at += len;
+        exts.push(String::from_utf8(ext.to_vec()).ok()?);
+    }
+    (at == body.len()).then_some(exts)
+}
+
+fn write_marker(path: &Path, exts: &[&str]) -> io::Result<()> {
+    use std::io::Write;
+    let buf = encode_marker(exts);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&buf)?;
+    f.sync_all()
+}
+
+fn remove_staging(base: &Path) {
+    DiskDeployment::remove_files(&staging_base(base)).ok();
+}
+
+/// Resolves any swap a previous process left behind at `base`: rolls a
+/// committed swap (valid marker) forward by replaying its renames, or
+/// cleans up the debris of an uncommitted one.  Idempotent; called at the
+/// top of every [`DiskDeployment::open`].  Returns whether a committed
+/// swap was completed.
+pub fn finish_pending_swap(base: &Path) -> io::Result<bool> {
+    let marker = swap_marker_path(base);
+    let bytes = match std::fs::read(&marker) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            remove_staging(base);
+            return Ok(false);
+        }
+        Err(e) => return Err(e),
+    };
+    match decode_marker(&bytes) {
+        Some(exts) => {
+            let live = deployment_paths(base);
+            let staged = deployment_paths(&staging_base(base));
+            for ext in &exts {
+                let (Some(from), Some(to)) = (path_of(&staged, ext), path_of(&live, ext))
+                else {
+                    return Err(invalid(format!("swap marker names unknown file: {ext:?}")));
+                };
+                // Already-renamed files are gone from staging: skip them,
+                // so replaying after a crash mid-swap is idempotent.
+                match std::fs::rename(&from, &to) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            std::fs::remove_file(&marker)?;
+            remove_staging(base);
+            Ok(true)
+        }
+        None => {
+            // A torn marker never committed: the old files are intact.
+            std::fs::remove_file(&marker)?;
+            remove_staging(base);
+            Ok(false)
+        }
+    }
+}
+
+/// Commits the staged files listed in `exts`: marker (the commit point),
+/// renames, cleanup — with `hook` observing each durable step.
+fn commit_swap(base: &Path, exts: &'static [&'static str], hook: SwapHook) -> io::Result<()> {
+    hook("build")?;
+    write_marker(&swap_marker_path(base), exts)?;
+    hook("marker")?;
+    let live = deployment_paths(base);
+    let staged = deployment_paths(&staging_base(base));
+    for ext in exts {
+        let (from, to) = (
+            path_of(&staged, ext).expect("known ext"),
+            path_of(&live, ext).expect("known ext"),
+        );
+        match std::fs::rename(&from, &to) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        hook(rename_label(ext))?;
+    }
+    std::fs::remove_file(swap_marker_path(base))?;
+    remove_staging(base);
+    hook("unmark")?;
+    Ok(())
+}
+
+fn rename_label(ext: &str) -> &'static str {
+    match ext {
+        "dat" => "rename-dat",
+        "idx" => "rename-idx",
+        "slices" => "rename-slices",
+        "counts" => "rename-counts",
+        "commit" => "rename-commit",
+        "dedup" => "rename-dedup",
+        "log" => "rename-log",
+        "del" => "rename-del",
+        _ => "rename",
+    }
+}
+
+/// Rank structure over the tombstone bitmap: `rank(row)` = dead rows
+/// strictly below `row` — the amount compaction shifts `row` down by.
+struct DeadRank {
+    words: Vec<u64>,
+    cum: Vec<u64>,
+}
+
+impl DeadRank {
+    fn new(mask: &DeadMask) -> Self {
+        let mut cum = Vec::with_capacity(mask.words.len() + 1);
+        let mut total = 0u64;
+        cum.push(0);
+        for &w in &mask.words {
+            total += u64::from(w.count_ones());
+            cum.push(total);
+        }
+        DeadRank {
+            words: mask.words.clone(),
+            cum,
+        }
+    }
+
+    fn rank(&self, row: u64) -> u64 {
+        let wi = (row / 64) as usize;
+        if wi >= self.words.len() {
+            return *self.cum.last().expect("cum is never empty");
+        }
+        let below = self.words[wi] & ((1u64 << (row % 64)) - 1);
+        self.cum[wi] + u64::from(below.count_ones())
+    }
+}
+
+/// Remaps a dedup receipt from pre-compaction to post-compaction row
+/// numbering.  Delete receipts (sentinel `first_row == u64::MAX`) carry
+/// no row range and pass through unchanged.
+fn remap_receipt(rank: &DeadRank, r: DedupReceipt) -> DedupReceipt {
+    if r.first_row == u64::MAX {
+        return r;
+    }
+    let first = r.first_row - rank.rank(r.first_row);
+    let dead_inside = rank.rank(r.first_row + r.appended) - rank.rank(r.first_row);
+    DedupReceipt {
+        first_row: first,
+        appended: r.appended - dead_inside,
+    }
+}
+
+/// Rewrites the deployment at `base` with only its live rows (optionally
+/// at a different slice width), then atomically swaps the rewrite in.
+/// See the module docs for the crash-safety argument.
+///
+/// `width_hint` is the width to open the source at when its slice file
+/// has no header yet (an empty deployment); an on-disk header always
+/// wins.  `target_width` defaults to the source width.
+pub fn compact_deployment(
+    base: &Path,
+    width_hint: usize,
+    hasher: Arc<dyn ItemHasher>,
+    target_width: Option<usize>,
+    cache_pages: usize,
+) -> io::Result<MaintainReport> {
+    compact_deployment_hooked(
+        base,
+        width_hint,
+        hasher,
+        target_width,
+        cache_pages,
+        &mut |_| Ok(()),
+    )
+}
+
+/// [`compact_deployment`] with a [`SwapHook`] observing every durable
+/// step — the crash-torture entry point.
+pub fn compact_deployment_hooked(
+    base: &Path,
+    width_hint: usize,
+    hasher: Arc<dyn ItemHasher>,
+    target_width: Option<usize>,
+    cache_pages: usize,
+    hook: SwapHook,
+) -> io::Result<MaintainReport> {
+    finish_pending_swap(base)?;
+    let paths = deployment_paths(base);
+    let width = slicefile::header_width(&paths.slices)?.unwrap_or(width_hint);
+    let new_width = target_width.unwrap_or(width);
+    if new_width == 0 {
+        return Err(invalid("compact: target width must be positive"));
+    }
+    let staging = staging_base(base);
+    let mut src = DiskDeployment::open(base, width, hasher.clone(), cache_pages)?;
+    let rows_before = src.db.len();
+    let reclaimed = src.deleted_rows();
+    let mask = src.dead_mask();
+    let rank = DeadRank::new(&mask);
+    let receipts: Vec<(u64, DedupReceipt)> = src
+        .dedup_entries()
+        .into_iter()
+        .map(|(req_id, r)| (req_id, remap_receipt(&rank, r)))
+        .collect();
+
+    // Replay every live row through the staged deployment's normal write
+    // path, batch by batch: the heap, index, counts, and replication log
+    // are all rebuilt from first principles, and the staged log doubles
+    // as the bootstrap stream a wiped follower resyncs from.
+    let mut dst = DiskDeployment::open(&staging, new_width, hasher, cache_pages)?;
+    let mut batch: Vec<Transaction> = Vec::with_capacity(COMPACT_BATCH);
+    let mut deferred: Option<io::Error> = None;
+    {
+        let dst = &mut dst;
+        let batch = &mut batch;
+        let deferred = &mut deferred;
+        let mask = &mask;
+        src.db.for_each(|row, txn| {
+            if deferred.is_some() || mask.is_dead(row) {
+                return;
+            }
+            batch.push(txn.clone());
+            if batch.len() >= COMPACT_BATCH {
+                if let Err(e) = dst.append_batch(batch) {
+                    *deferred = Some(e);
+                }
+                batch.clear();
+            }
+        })?;
+    }
+    if let Some(e) = deferred {
+        return Err(e);
+    }
+    if !batch.is_empty() {
+        dst.append_batch(&batch)?;
+    }
+    // One final flush carries the remapped dedup window, so a retried
+    // request from before the compaction still answers exactly-once.
+    dst.flush_with_receipts(&receipts)?;
+    let rows_after = dst.db.len();
+    let seq = dst.committed_seq();
+    drop(src);
+    drop(dst);
+
+    commit_swap(base, ALL_EXTS, hook)?;
+    Ok(MaintainReport {
+        action: "compact",
+        width: new_width,
+        rows_before,
+        rows_after,
+        reclaimed,
+        seq,
+    })
+}
+
+/// Extensions a fold swaps: the folded slice file and the successor
+/// commit record that vouches for it.
+const FOLD_EXTS: &[&str] = &["slices", "commit"];
+
+/// Halves the deployment's slice width by OR-ing each slice `j` with
+/// slice `j + m/2` — bit-for-bit what re-hashing every row at `m/2`
+/// would build (both hash families position by `value % m`) — and swaps
+/// in the folded file plus its successor commit.  Rows, the heap, the
+/// tombstone log, and the replication log are untouched.
+pub fn fold_deployment(
+    base: &Path,
+    hasher: Arc<dyn ItemHasher>,
+    cache_pages: usize,
+) -> io::Result<MaintainReport> {
+    fold_deployment_hooked(base, hasher, cache_pages, &mut |_| Ok(()))
+}
+
+/// [`fold_deployment`] with a [`SwapHook`] observing every durable step.
+pub fn fold_deployment_hooked(
+    base: &Path,
+    hasher: Arc<dyn ItemHasher>,
+    cache_pages: usize,
+    hook: SwapHook,
+) -> io::Result<MaintainReport> {
+    finish_pending_swap(base)?;
+    let paths = deployment_paths(base);
+    let Some(width) = slicefile::header_width(&paths.slices)? else {
+        return Err(invalid("fold: deployment has no slice file to fold"));
+    };
+    if width < 2 || width % 2 != 0 {
+        return Err(invalid(format!("fold requires an even width, got {width}")));
+    }
+    let half = width / 2;
+
+    // A clean reopen-and-flush first: recovery repairs any boundary-page
+    // debris *on disk*, so the page pass below reads exactly the committed
+    // bits, and the flush stamps the commit record the staged successor
+    // record (seq + 1) chains from.
+    let parent = {
+        let mut dep = DiskDeployment::open(base, width, hasher, cache_pages)?;
+        dep.flush()?;
+        dep.last_commit().expect("flush wrote a commit")
+    };
+    let rows = parent.rows;
+    let staging = staging_base(base);
+    let spaths = deployment_paths(&staging);
+
+    let mut src = Pager::new(FileBackend::open(&paths.slices)?)?;
+    let mut dst = Pager::new(FileBackend::open(&spaths.slices)?)?;
+    dst.write_page(PageId(0), &slicefile::encoded_header(half, rows))?;
+    let chunks = (rows as usize).div_ceil(CHUNK_ROWS) as u64;
+    let within = rows % CHUNK_ROWS as u64;
+    let boundary_chunk = (within != 0).then(|| rows / CHUNK_ROWS as u64);
+    // Boundary digest of the folded file, chained in slice order exactly
+    // as recovery recomputes it; zero when the row count is chunk-aligned.
+    let mut slices_digest = if boundary_chunk.is_some() { FNV_OFFSET } else { 0 };
+    for c in 0..chunks {
+        for j in 0..half {
+            let mut lo = src.read_page(PageId(1 + c * width as u64 + j as u64))?;
+            let hi = src.read_page(PageId(1 + c * width as u64 + (j + half) as u64))?;
+            for (l, h) in lo.iter_mut().zip(hi.iter()) {
+                *l |= *h;
+            }
+            if boundary_chunk == Some(c) {
+                clear_uncommitted_bits(&mut lo, within);
+                slices_digest = fnv1a64_extend(slices_digest, &lo[..]);
+            }
+            dst.write_page(PageId(1 + c * half as u64 + j as u64), &lo)?;
+        }
+    }
+    dst.sync()?;
+    drop(src);
+    drop(dst);
+
+    let mut commit_backend = FileBackend::open(&spaths.commit)?;
+    commit::write_explicit(
+        &mut commit_backend,
+        Commit {
+            seq: parent.seq + 1,
+            rows,
+            heap_tail: parent.heap_tail,
+            dat_digest: parent.dat_digest,
+            idx_digest: parent.idx_digest,
+            slices_digest,
+        },
+    )?;
+    drop(commit_backend);
+
+    commit_swap(base, FOLD_EXTS, hook)?;
+    Ok(MaintainReport {
+        action: "fold",
+        width: half,
+        rows_before: rows,
+        rows_after: rows,
+        reclaimed: 0,
+        seq: parent.seq + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_roundtrip_and_torn_rejection() {
+        let exts = &["slices", "commit"];
+        let bytes = encode_marker(exts);
+        assert_eq!(
+            decode_marker(&bytes).as_deref(),
+            Some(&["slices".to_string(), "commit".to_string()][..])
+        );
+        // Any truncation or flip must invalidate the marker.
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_marker(&bytes[..cut]), None, "cut at {cut}");
+        }
+        for i in 0..bytes.len() {
+            let mut torn = bytes.clone();
+            torn[i] ^= 0x40;
+            assert_eq!(decode_marker(&torn), None, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn staging_paths_never_collide_with_live() {
+        let base = Path::new("/tmp/store/bbs");
+        let live = deployment_paths(base);
+        let staged = deployment_paths(&staging_base(base));
+        for ext in ALL_EXTS {
+            let (l, s) = (path_of(&live, ext).unwrap(), path_of(&staged, ext).unwrap());
+            assert_ne!(l, s);
+            assert_eq!(s.parent(), l.parent());
+        }
+        assert_ne!(swap_marker_path(base), staging_base(base));
+    }
+
+    #[test]
+    fn dead_rank_counts_strictly_below() {
+        let mask = DeadMask {
+            words: vec![0b1010, 0, 1],
+            deleted: 3,
+        };
+        let rank = DeadRank::new(&mask);
+        assert_eq!(rank.rank(0), 0);
+        assert_eq!(rank.rank(1), 0);
+        assert_eq!(rank.rank(2), 1);
+        assert_eq!(rank.rank(4), 2);
+        assert_eq!(rank.rank(128), 2);
+        assert_eq!(rank.rank(129), 3);
+        assert_eq!(rank.rank(100_000), 3);
+    }
+
+    #[test]
+    fn receipt_remap_shifts_by_rank_and_keeps_sentinels() {
+        let mask = DeadMask {
+            words: vec![0b0110], // rows 1 and 2 dead
+            deleted: 2,
+        };
+        let rank = DeadRank::new(&mask);
+        // Batch [0, 4): rows 1,2 dead inside → shrinks to [0, 2).
+        let r = remap_receipt(
+            &rank,
+            DedupReceipt {
+                first_row: 0,
+                appended: 4,
+            },
+        );
+        assert_eq!((r.first_row, r.appended), (0, 2));
+        // Batch [3, 5): fully live, shifted down by the 2 dead below.
+        let r = remap_receipt(
+            &rank,
+            DedupReceipt {
+                first_row: 3,
+                appended: 2,
+            },
+        );
+        assert_eq!((r.first_row, r.appended), (1, 2));
+        // Delete sentinel passes through.
+        let s = DedupReceipt {
+            first_row: u64::MAX,
+            appended: 7,
+        };
+        assert_eq!(remap_receipt(&rank, s), s);
+    }
+}

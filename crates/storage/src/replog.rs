@@ -12,10 +12,18 @@
 //!
 //! ```text
 //! body_len u32 | body | fnv1a64(body) u64
-//! body := seq u64 | first_row u64 | n_txns u32 | n_receipts u32
+//! body := seq u64 | first_row u64 | n_txns u32 | n_receipts u32 | n_dels u32
 //!         | n_txns × (tid u64 | n_items u32 | item u32 …)
 //!         | n_receipts × (req_id u64 | offset u64 | len u64)
+//!         | n_dels × (row u64)
 //! ```
+//!
+//! A *delete entry* carries tombstoned row numbers instead of (or beside)
+//! transactions.  Delete-only entries advance no rows (`first_row` is the
+//! tail row at commit time and `end_row == first_row`), so the row cursor
+//! alone cannot address them; followers therefore track a second cursor —
+//! the count of delete-carrying entries they have applied — and
+//! [`read_entries`] serves an entry when it advances *either* cursor.
 //!
 //! Entries are addressed by `first_row`, **not** by commit sequence
 //! number: opening a deployment flushes it once (bumping the sequence
@@ -60,6 +68,8 @@ pub struct ReplEntry {
     /// to the start of the batch — the shape
     /// [`crate::SharedDeployment::commit_with`] accepts.
     pub receipts: Vec<(u64, u64, u64)>,
+    /// Row numbers tombstoned by this commit (empty for insert batches).
+    pub deletes: Vec<u64>,
 }
 
 impl ReplEntry {
@@ -75,6 +85,7 @@ fn encode_entry(seq: u64, entry: &ReplEntry) -> Vec<u8> {
     body.extend_from_slice(&entry.first_row.to_le_bytes());
     body.extend_from_slice(&(entry.txns.len() as u32).to_le_bytes());
     body.extend_from_slice(&(entry.receipts.len() as u32).to_le_bytes());
+    body.extend_from_slice(&(entry.deletes.len() as u32).to_le_bytes());
     for t in &entry.txns {
         body.extend_from_slice(&t.tid.0.to_le_bytes());
         body.extend_from_slice(&(t.items.items().len() as u32).to_le_bytes());
@@ -86,6 +97,9 @@ fn encode_entry(seq: u64, entry: &ReplEntry) -> Vec<u8> {
         body.extend_from_slice(&req_id.to_le_bytes());
         body.extend_from_slice(&offset.to_le_bytes());
         body.extend_from_slice(&len.to_le_bytes());
+    }
+    for &row in &entry.deletes {
+        body.extend_from_slice(&row.to_le_bytes());
     }
     let mut buf = Vec::with_capacity(body.len() + 12);
     buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -112,6 +126,7 @@ fn decode_body(body: &[u8]) -> Option<(u64, ReplEntry)> {
     let first_row = u64_at(body, &mut at)?;
     let n_txns = u32_at(body, &mut at)?;
     let n_receipts = u32_at(body, &mut at)?;
+    let n_dels = u32_at(body, &mut at)?;
     let mut txns = Vec::with_capacity(n_txns.min(1 << 20) as usize);
     for _ in 0..n_txns {
         let tid = u64_at(body, &mut at)?;
@@ -129,6 +144,10 @@ fn decode_body(body: &[u8]) -> Option<(u64, ReplEntry)> {
         let len = u64_at(body, &mut at)?;
         receipts.push((req_id, offset, len));
     }
+    let mut deletes = Vec::with_capacity(n_dels.min(1 << 20) as usize);
+    for _ in 0..n_dels {
+        deletes.push(u64_at(body, &mut at)?);
+    }
     if at != body.len() {
         return None;
     }
@@ -138,6 +157,7 @@ fn decode_body(body: &[u8]) -> Option<(u64, ReplEntry)> {
             first_row,
             txns,
             receipts,
+            deletes,
         },
     ))
 }
@@ -152,6 +172,9 @@ pub struct ReplLog<B: StorageBackend> {
     /// Append offset: the byte length of the valid prefix.
     tail_offset: u64,
     entries: u64,
+    /// Count of delete-carrying entries in the valid prefix — the second
+    /// replication cursor (see the module docs).
+    delete_entries: u64,
 }
 
 impl<B: StorageBackend> ReplLog<B> {
@@ -170,6 +193,7 @@ impl<B: StorageBackend> ReplLog<B> {
             tail_row: 0,
             tail_offset: 0,
             entries: 0,
+            delete_entries: 0,
         };
         let mut at = 0usize;
         let mut first = true;
@@ -199,6 +223,9 @@ impl<B: StorageBackend> ReplLog<B> {
             first = false;
             log.tail_row = entry.end_row();
             log.entries += 1;
+            if !entry.deletes.is_empty() {
+                log.delete_entries += 1;
+            }
             at += 4 + body_len + 8;
         }
         log.tail_offset = at as u64;
@@ -224,6 +251,12 @@ impl<B: StorageBackend> ReplLog<B> {
         self.entries
     }
 
+    /// Delete-carrying entries currently in the log — the value a caught-up
+    /// follower's delete cursor would hold.
+    pub fn delete_entries(&self) -> u64 {
+        self.delete_entries
+    }
+
     /// Durably appends the entry of a flush about to commit as sequence
     /// `seq`.  Must run after the data files are synced and before the
     /// commit record is written (see the module docs).
@@ -237,8 +270,9 @@ impl<B: StorageBackend> ReplLog<B> {
         first_row: u64,
         txns: &[Transaction],
         receipts: &[(u64, u64, u64)],
+        deletes: &[u64],
     ) -> io::Result<()> {
-        if txns.is_empty() {
+        if txns.is_empty() && deletes.is_empty() {
             return Ok(());
         }
         let resetting = (self.entries > 0 && first_row != self.tail_row)
@@ -247,6 +281,7 @@ impl<B: StorageBackend> ReplLog<B> {
             first_row,
             txns: txns.to_vec(),
             receipts: receipts.to_vec(),
+            deletes: deletes.to_vec(),
         };
         let buf = encode_entry(seq, &entry);
         let start = if resetting { 0 } else { self.tail_offset };
@@ -258,10 +293,14 @@ impl<B: StorageBackend> ReplLog<B> {
         if resetting {
             self.start_row = first_row;
             self.entries = 0;
+            self.delete_entries = 0;
         }
         self.tail_offset = start + buf.len() as u64;
         self.tail_row = first_row + txns.len() as u64;
         self.entries += 1;
+        if !deletes.is_empty() {
+            self.delete_entries += 1;
+        }
         Ok(())
     }
 }
@@ -277,6 +316,9 @@ pub struct ReplRead {
     pub start_row: u64,
     /// One-past the last row the log's valid prefix covers.
     pub end_row: u64,
+    /// Count of delete-carrying entries in the log's valid prefix — the
+    /// delete-cursor position of a follower caught up through `end_row`.
+    pub end_dseq: u64,
 }
 
 /// Reads replication entries from `path` starting at `from_row`, without
@@ -293,6 +335,7 @@ pub struct ReplRead {
 pub fn read_entries(
     path: &Path,
     from_row: u64,
+    from_dseq: u64,
     max_entries: usize,
     max_bytes: usize,
     upto_seq: u64,
@@ -301,6 +344,7 @@ pub fn read_entries(
         entries: Vec::new(),
         start_row: 0,
         end_row: 0,
+        end_dseq: 0,
     };
     let mut file = match std::fs::File::open(path) {
         Ok(f) => f,
@@ -335,6 +379,7 @@ pub fn read_entries(
         let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
         let first_row = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
         let n_txns = u32::from_le_bytes(body[16..20].try_into().expect("4 bytes")) as u64;
+        let n_dels = u32::from_le_bytes(body[24..28].try_into().expect("4 bytes"));
         if seq > upto_seq {
             break;
         }
@@ -347,7 +392,13 @@ pub fn read_entries(
         }
         first = false;
         out.end_row = first_row + n_txns;
-        if out.end_row > from_row
+        if n_dels > 0 {
+            out.end_dseq += 1;
+        }
+        // Dual cursor: an entry is news if it advances the follower's row
+        // cursor *or* its delete cursor (delete-only entries advance no
+        // rows, so `end_row` alone would skip them forever).
+        if (out.end_row > from_row || out.end_dseq > from_dseq)
             && out.entries.len() < max_entries
             && budget > 0
         {
@@ -452,9 +503,9 @@ mod tests {
         let mut mem = MemBackend::new();
         {
             let mut log = ReplLog::open(&mut mem, 0, 0).expect("open");
-            log.append_synced(1, 0, &[txn(1, &[1, 2]), txn(2, &[3])], &[(9, 0, 2)])
+            log.append_synced(1, 0, &[txn(1, &[1, 2]), txn(2, &[3])], &[(9, 0, 2)], &[])
                 .expect("append");
-            log.append_synced(2, 2, &[txn(3, &[1])], &[]).expect("append");
+            log.append_synced(2, 2, &[txn(3, &[1])], &[], &[]).expect("append");
             assert_eq!((log.start_row(), log.tail_row(), log.entries()), (0, 3, 2));
         }
         let log = ReplLog::open(&mut mem, 2, 3).expect("reopen");
@@ -466,9 +517,9 @@ mod tests {
         let mut mem = MemBackend::new();
         {
             let mut log = ReplLog::open(&mut mem, 0, 0).expect("open");
-            log.append_synced(1, 0, &[txn(1, &[1])], &[]).expect("a");
+            log.append_synced(1, 0, &[txn(1, &[1])], &[], &[]).expect("a");
             // Stamped for commit 2, but commit 2 "never happened".
-            log.append_synced(2, 1, &[txn(2, &[2])], &[]).expect("b");
+            log.append_synced(2, 1, &[txn(2, &[2])], &[], &[]).expect("b");
         }
         let before = mem.len().expect("len");
         let log = ReplLog::open(&mut mem, 1, 1).expect("reopen at seq 1");
@@ -481,8 +532,8 @@ mod tests {
         let mut mem = MemBackend::new();
         {
             let mut log = ReplLog::open(&mut mem, 0, 0).expect("open");
-            log.append_synced(1, 0, &[txn(1, &[1])], &[]).expect("a");
-            log.append_synced(2, 1, &[txn(2, &[2, 3, 4])], &[]).expect("b");
+            log.append_synced(1, 0, &[txn(1, &[1])], &[], &[]).expect("a");
+            log.append_synced(2, 1, &[txn(2, &[2, 3, 4])], &[], &[]).expect("b");
         }
         let len = mem.len().expect("len");
         mem.set_len(len - 5).expect("tear");
@@ -494,10 +545,10 @@ mod tests {
     fn coverage_gap_resets_the_log() {
         let mut mem = MemBackend::new();
         let mut log = ReplLog::open(&mut mem, 0, 0).expect("open");
-        log.append_synced(1, 0, &[txn(1, &[1])], &[]).expect("a");
+        log.append_synced(1, 0, &[txn(1, &[1])], &[], &[]).expect("a");
         // Rows 1..5 appended through a non-logging path; the next logged
         // batch starts at 5.
-        log.append_synced(3, 5, &[txn(9, &[9])], &[]).expect("reset");
+        log.append_synced(3, 5, &[txn(9, &[9])], &[], &[]).expect("reset");
         assert_eq!((log.start_row(), log.tail_row(), log.entries()), (5, 6, 1));
         let log = ReplLog::open(&mut mem, 3, 6).expect("reopen");
         assert_eq!((log.start_row(), log.tail_row()), (5, 6));
@@ -510,33 +561,33 @@ mod tests {
         {
             let backend = FileBackend::open(&path).expect("create");
             let mut log = ReplLog::open(backend, 0, 0).expect("open");
-            log.append_synced(1, 0, &[txn(0, &[1]), txn(1, &[2])], &[(7, 0, 2)])
+            log.append_synced(1, 0, &[txn(0, &[1]), txn(1, &[2])], &[(7, 0, 2)], &[])
                 .expect("a");
-            log.append_synced(2, 2, &[txn(2, &[3])], &[]).expect("b");
-            log.append_synced(3, 3, &[txn(3, &[4])], &[]).expect("c");
+            log.append_synced(2, 2, &[txn(2, &[3])], &[], &[]).expect("b");
+            log.append_synced(3, 3, &[txn(3, &[4])], &[], &[]).expect("c");
         }
-        let r = read_entries(&path, 0, 64, usize::MAX, 3).expect("read");
+        let r = read_entries(&path, 0, 0, 64, usize::MAX, 3).expect("read");
         assert_eq!((r.start_row, r.end_row), (0, 4));
         assert_eq!(r.entries.len(), 3);
         assert_eq!(r.entries[0].receipts, vec![(7, 0, 2)]);
 
         // From a batch boundary: skip the already-applied prefix.
-        let r = read_entries(&path, 2, 64, usize::MAX, 3).expect("read");
+        let r = read_entries(&path, 2, 0, 64, usize::MAX, 3).expect("read");
         assert_eq!(r.entries.len(), 2);
         assert_eq!(r.entries[0].first_row, 2);
 
         // The seq cap hides entries whose commit has not landed yet.
-        let r = read_entries(&path, 0, 64, usize::MAX, 2).expect("read");
+        let r = read_entries(&path, 0, 0, 64, usize::MAX, 2).expect("read");
         assert_eq!(r.entries.len(), 2);
         assert_eq!(r.end_row, 3);
 
         // Caught up: nothing to send.
-        let r = read_entries(&path, 4, 64, usize::MAX, 3).expect("read");
+        let r = read_entries(&path, 4, 0, 64, usize::MAX, 3).expect("read");
         assert!(r.entries.is_empty());
         assert_eq!(r.end_row, 4);
 
         // Entry cap.
-        let r = read_entries(&path, 0, 1, usize::MAX, 3).expect("read");
+        let r = read_entries(&path, 0, 0, 1, usize::MAX, 3).expect("read");
         assert_eq!(r.entries.len(), 1);
         std::fs::remove_file(&path).ok();
     }
@@ -545,7 +596,7 @@ mod tests {
     fn reader_on_missing_file_is_empty_not_an_error() {
         let path = tmp("missing");
         std::fs::remove_file(&path).ok();
-        let r = read_entries(&path, 0, 64, usize::MAX, u64::MAX).expect("read");
+        let r = read_entries(&path, 0, 0, 64, usize::MAX, u64::MAX).expect("read");
         assert!(r.entries.is_empty());
         assert_eq!((r.start_row, r.end_row), (0, 0));
     }
@@ -557,12 +608,74 @@ mod tests {
         {
             let backend = FileBackend::open(&path).expect("create");
             let mut log = ReplLog::open(backend, 0, 0).expect("open");
-            log.append_synced(1, 0, &[txn(0, &[1]), txn(1, &[2])], &[]).expect("a");
+            log.append_synced(1, 0, &[txn(0, &[1]), txn(1, &[2])], &[], &[]).expect("a");
         }
         // Row 1 is inside the first batch: the first served entry starts
         // at 0, not 1 — the caller sees the mismatch and asks for resync.
-        let r = read_entries(&path, 1, 64, usize::MAX, 1).expect("read");
+        let r = read_entries(&path, 1, 0, 64, usize::MAX, 1).expect("read");
         assert_eq!(r.entries[0].first_row, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delete_entries_roundtrip_and_count() {
+        let mut mem = MemBackend::new();
+        {
+            let mut log = ReplLog::open(&mut mem, 0, 0).expect("open");
+            log.append_synced(1, 0, &[txn(0, &[1]), txn(1, &[2])], &[], &[])
+                .expect("ins");
+            // Delete-only entry: advances no rows.
+            log.append_synced(2, 2, &[], &[(77, 0, 1)], &[0]).expect("del");
+            log.append_synced(3, 2, &[txn(2, &[3])], &[], &[]).expect("ins2");
+            assert_eq!(log.tail_row(), 3);
+            assert_eq!(log.entries(), 3);
+            assert_eq!(log.delete_entries(), 1);
+        }
+        let log = ReplLog::open(&mut mem, 3, 3).expect("reopen");
+        assert_eq!((log.tail_row(), log.entries(), log.delete_entries()), (3, 3, 1));
+    }
+
+    #[test]
+    fn dual_cursor_serves_delete_only_entries() {
+        let path = tmp("dualcursor");
+        std::fs::remove_file(&path).ok();
+        {
+            let backend = FileBackend::open(&path).expect("create");
+            let mut log = ReplLog::open(backend, 0, 0).expect("open");
+            log.append_synced(1, 0, &[txn(0, &[1]), txn(1, &[2])], &[], &[])
+                .expect("ins");
+            log.append_synced(2, 2, &[], &[], &[1]).expect("del1");
+            log.append_synced(3, 2, &[txn(2, &[3])], &[], &[]).expect("ins2");
+            log.append_synced(4, 3, &[], &[], &[0]).expect("del2");
+        }
+        // A follower's (row, dseq) cursor always names a log prefix (it
+        // applies entries in order).  Caught up on rows but behind one
+        // delete — prefix after the second insert, i.e. (3, 1): only the
+        // trailing delete is news.
+        let r = read_entries(&path, 3, 1, 64, usize::MAX, 4).expect("read");
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.entries[0].deletes, vec![0]);
+        assert!(r.entries[0].txns.is_empty());
+        assert_eq!((r.end_row, r.end_dseq), (3, 2));
+
+        // Prefix (2, 1): the second insert and the trailing delete are
+        // served, in log order, and the delete-only entry advances no
+        // rows (its first_row equals the follower's row cursor — the
+        // same first-entry validation as inserts).
+        let r = read_entries(&path, 2, 1, 64, usize::MAX, 4).expect("read");
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].txns.len(), 1);
+        assert_eq!(r.entries[1].deletes, vec![0]);
+        assert_eq!(r.entries[1].first_row, 3);
+
+        // Prefix (2, 0): both deletes and the second insert.
+        let r = read_entries(&path, 2, 0, 64, usize::MAX, 4).expect("read");
+        assert_eq!(r.entries.len(), 3);
+        assert_eq!(r.entries[0].deletes, vec![1]);
+
+        // Fully caught up on both cursors: nothing.
+        let r = read_entries(&path, 3, 2, 64, usize::MAX, 4).expect("read");
+        assert!(r.entries.is_empty());
         std::fs::remove_file(&path).ok();
     }
 }

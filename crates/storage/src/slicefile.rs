@@ -35,6 +35,7 @@
 
 use crate::backend::{FileBackend, StorageBackend};
 use crate::cache::{CacheStats, PageCache};
+use crate::del::DeadMask;
 use crate::pager::{
     fnv1a64_extend, zeroed_page, ChecksumMismatch, PageId, Pager, PagerStats, FNV_OFFSET,
     PAGE_SIZE,
@@ -46,6 +47,36 @@ use std::path::Path;
 use std::sync::{Mutex, MutexGuard};
 
 const MAGIC: u64 = 0x4242_5353_4c49_4345; // "BBSSLICE"
+
+/// Reads the width field of an existing slice file's header page without
+/// opening the file as a deployment (`Ok(None)` = absent, empty, or not a
+/// slice file).  This is how reopen paths adopt the on-disk width after a
+/// fold halved it, instead of failing the width check against a stale
+/// configured value.
+pub fn header_width(path: &Path) -> io::Result<Option<usize>> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut head = [0u8; 16];
+    let off = crate::pager::phys_of(0) * PAGE_SIZE as u64;
+    if f.seek(SeekFrom::Start(off)).is_err() {
+        return Ok(None);
+    }
+    match f.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let magic = u64::from_le_bytes(head[0..8].try_into().expect("8 bytes"));
+    let width = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    if magic != MAGIC || width == 0 || width >= u32::MAX as u64 {
+        return Ok(None);
+    }
+    Ok(Some(width as usize))
+}
 /// Rows per chunk: one page of bits.
 pub const CHUNK_ROWS: usize = PAGE_SIZE * 8;
 /// `u64` words per page.
@@ -239,8 +270,9 @@ impl<B: StorageBackend> ReadState<B> {
         rows: u64,
         slices: &[usize],
         tau: Option<u64>,
+        dead: Option<(&[u64], u64)>,
     ) -> io::Result<u64> {
-        if slices.is_empty() {
+        if slices.is_empty() && dead.is_none() {
             return Ok(rows);
         }
         let chunks = (rows as usize).div_ceil(CHUNK_ROWS) as u64;
@@ -259,6 +291,19 @@ impl<B: StorageBackend> ReadState<B> {
         let mut total = 0u64;
         for c in 0..chunks {
             let mut seeded = false;
+            // Tombstone mask: seed the accumulator with the *live* rows of
+            // this chunk (`!dead`, live beyond the bitmap's tail), so every
+            // slice AND below starts from "alive" instead of "all ones".
+            // AND+popcount is position-invariant, which makes the masked
+            // count equal, bit for bit, to counting a compacted rewrite of
+            // only the surviving rows.
+            if let Some((dead_words, _)) = dead {
+                let lo = (c as usize) * PAGE_WORDS;
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a = !dead_words.get(lo + i).copied().unwrap_or(0);
+                }
+                seeded = true;
+            }
             cold_ids.clear();
             for &s in slices {
                 match hot.pinned.get(&s) {
@@ -347,8 +392,10 @@ impl<B: StorageBackend> ReadState<B> {
         rows: u64,
         prefix: &[usize],
         queries: &[(Vec<usize>, Option<u64>)],
+        dead: Option<(&[u64], u64)>,
     ) -> io::Result<Vec<u64>> {
         let chunks = (rows as usize).div_ceil(CHUNK_ROWS) as u64;
+        let live = rows - dead.map_or(0, |(_, deleted)| deleted);
         let mut totals = vec![0u64; queries.len()];
         let mut done = vec![false; queries.len()];
         let mut active = 0usize;
@@ -357,7 +404,7 @@ impl<B: StorageBackend> ReadState<B> {
         }
         for (i, (slices, _)) in queries.iter().enumerate() {
             if prefix.is_empty() && slices.is_empty() {
-                totals[i] = rows;
+                totals[i] = live;
                 done[i] = true;
             } else if chunks == 0 {
                 done[i] = true;
@@ -541,8 +588,17 @@ impl<B: StorageBackend> ReadState<B> {
                 }};
             }
             // The shared projection: AND the effective prefix (explicit +
-            // hoisted common slices) once per chunk.
+            // hoisted common slices) once per chunk.  The tombstone mask
+            // rides it as an implicit member — seeded first, so the whole
+            // batch pays one masked copy per chunk (the same prefix-hoisting
+            // amortisation the projection itself gets).
             let mut prefix_seeded = false;
+            if let Some((dead_words, _)) = dead {
+                for (i, a) in prefix_acc.iter_mut().enumerate() {
+                    *a = !dead_words.get(lo + i).copied().unwrap_or(0);
+                }
+                prefix_seeded = true;
+            }
             for &s in eff_prefix.iter() {
                 apply!(prefix_acc, prefix_seeded, s);
             }
@@ -681,11 +737,17 @@ fn recover<B: StorageBackend>(
     }
 
     // Rebuild the header from the commit record rather than trusting disk.
+    pager.write_page(PageId(0), &encoded_header(width, rows))
+}
+
+/// Encodes a slice-file header page (magic, width, rows) — shared by
+/// recovery and the offline fold, which stages a new file directly.
+pub(crate) fn encoded_header(width: usize, rows: u64) -> crate::pager::PageBuf {
     let mut header = zeroed_page();
     header[0..8].copy_from_slice(&MAGIC.to_le_bytes());
     header[8..16].copy_from_slice(&(width as u64).to_le_bytes());
     header[16..24].copy_from_slice(&rows.to_le_bytes());
-    pager.write_page(PageId(0), &header)
+    header
 }
 
 impl<B: StorageBackend> SliceFile<B> {
@@ -849,7 +911,28 @@ impl<B: StorageBackend> SliceFile<B> {
     /// upper bound on the exact count when it is `< τ` (counting stops as
     /// soon as even all-ones remaining chunks could not reach `τ`).
     pub fn count_selected_bounded(&self, slices: &[usize], tau: Option<u64>) -> io::Result<u64> {
-        self.state().count_selected(self.width, self.rows, slices, tau)
+        self.state()
+            .count_selected(self.width, self.rows, slices, tau, None)
+    }
+
+    /// [`SliceFile::count_selected_bounded`] restricted to live rows: rows
+    /// set in `dead` are AND-NOTed out of every chunk (§3.4's constraint-
+    /// slice trick, pointed at tombstones).  The result is bit-for-bit what
+    /// counting a compacted rewrite of only the surviving rows would give.
+    pub fn count_selected_bounded_masked(
+        &self,
+        slices: &[usize],
+        tau: Option<u64>,
+        dead: Option<&DeadMask>,
+    ) -> io::Result<u64> {
+        self.state().count_selected(
+            self.width,
+            self.rows,
+            slices,
+            tau,
+            dead.filter(|d| d.deleted > 0)
+                .map(|d| (d.words.as_slice(), d.deleted)),
+        )
     }
 
     /// Shared-scan batched counting: walks each selected slice chunk once
@@ -867,7 +950,26 @@ impl<B: StorageBackend> SliceFile<B> {
         queries: &[(Vec<usize>, Option<u64>)],
     ) -> io::Result<Vec<u64>> {
         self.state()
-            .count_selected_many(self.width, self.rows, &[], queries)
+            .count_selected_many(self.width, self.rows, &[], queries, None)
+    }
+
+    /// [`SliceFile::count_selected_many`] restricted to live rows (see
+    /// [`SliceFile::count_selected_bounded_masked`]).  The mask rides the
+    /// shared-scan prefix accumulator, so the whole batch pays one masked
+    /// seed per chunk.
+    pub fn count_selected_many_masked(
+        &self,
+        queries: &[(Vec<usize>, Option<u64>)],
+        dead: Option<&DeadMask>,
+    ) -> io::Result<Vec<u64>> {
+        self.state().count_selected_many(
+            self.width,
+            self.rows,
+            &[],
+            queries,
+            dead.filter(|d| d.deleted > 0)
+                .map(|d| (d.words.as_slice(), d.deleted)),
+        )
     }
 
     /// [`SliceFile::count_selected_many`] with a shared slice prefix: every
@@ -886,7 +988,25 @@ impl<B: StorageBackend> SliceFile<B> {
         queries: &[(Vec<usize>, Option<u64>)],
     ) -> io::Result<Vec<u64>> {
         self.state()
-            .count_selected_many(self.width, self.rows, prefix, queries)
+            .count_selected_many(self.width, self.rows, prefix, queries, None)
+    }
+
+    /// [`SliceFile::count_selected_many_shared`] restricted to live rows
+    /// (see [`SliceFile::count_selected_bounded_masked`]).
+    pub fn count_selected_many_shared_masked(
+        &self,
+        prefix: &[usize],
+        queries: &[(Vec<usize>, Option<u64>)],
+        dead: Option<&DeadMask>,
+    ) -> io::Result<Vec<u64>> {
+        self.state().count_selected_many(
+            self.width,
+            self.rows,
+            prefix,
+            queries,
+            dead.filter(|d| d.deleted > 0)
+                .map(|d| (d.words.as_slice(), d.deleted)),
+        )
     }
 
     /// Flushes dirty pages and syncs.
@@ -1191,6 +1311,94 @@ mod tests {
             let solo = f.count_selected_bounded(&union, *tau).expect("solo");
             assert_eq!(shared[i], solo, "shared query {i} {slices:?} tau {tau:?}");
         }
+    }
+
+    #[test]
+    fn masked_counts_equal_compacted_rebuild() {
+        let p = path("masked");
+        let _g = Cleanup(p.clone());
+        let p2 = path("masked_rebuilt");
+        let _g2 = Cleanup(p2.clone());
+        let mut f = SliceFile::open(&p, 8, 64).expect("open");
+        // Rows cross a chunk boundary; tombstone a scattered third of them.
+        let n = CHUNK_ROWS + 321;
+        let rows: Vec<Vec<usize>> = (0..n)
+            .map(|i| vec![i % 8, (i * 5 + 1) % 8])
+            .collect();
+        for r in &rows {
+            f.append_row(r).expect("append");
+        }
+        let mut dead = DeadMask::default();
+        for (i, _) in rows.iter().enumerate() {
+            if i % 3 == 0 {
+                let w = i / 64;
+                if dead.words.len() <= w {
+                    dead.words.resize(w + 1, 0);
+                }
+                dead.words[w] |= 1 << (i % 64);
+                dead.deleted += 1;
+            }
+        }
+        // The oracle: a file holding only the surviving rows.
+        let mut g = SliceFile::open(&p2, 8, 64).expect("open rebuilt");
+        for (i, r) in rows.iter().enumerate() {
+            if i % 3 != 0 {
+                g.append_row(r).expect("append");
+            }
+        }
+        let queries: Vec<(Vec<usize>, Option<u64>)> = vec![
+            (vec![], None),
+            (vec![0], None),
+            (vec![0, 1], None),
+            (vec![2, 5, 7], Some(10)),
+            (vec![3], Some(u64::MAX)),
+        ];
+        for (slices, _) in &queries {
+            assert_eq!(
+                f.count_selected_bounded_masked(slices, None, Some(&dead))
+                    .expect("masked"),
+                g.count_selected(slices).expect("rebuilt"),
+                "per-op {slices:?}"
+            );
+        }
+        let masked = f
+            .count_selected_many_masked(&queries, Some(&dead))
+            .expect("masked many");
+        for (i, (slices, tau)) in queries.iter().enumerate() {
+            let solo = f
+                .count_selected_bounded_masked(slices, *tau, Some(&dead))
+                .expect("solo masked");
+            assert_eq!(masked[i], solo, "batched vs per-op {slices:?}");
+        }
+        // Shared-prefix projection with the mask riding the prefix.
+        let shared = f
+            .count_selected_many_shared_masked(&[1, 2], &queries, Some(&dead))
+            .expect("shared masked");
+        for (i, (slices, tau)) in queries.iter().enumerate() {
+            let mut union: Vec<usize> = [1usize, 2].iter().chain(slices).copied().collect();
+            union.sort_unstable();
+            union.dedup();
+            let exact = g.count_selected(&union).expect("rebuilt union");
+            match tau {
+                // No early exit: the masked count must be exact.
+                None => assert_eq!(shared[i], exact, "shared {slices:?}"),
+                // The tau contract: exact at or above the threshold, an
+                // upper bound below it (early exit may stop scanning at a
+                // different chunk than the rebuilt file would).
+                Some(t) => {
+                    assert!(shared[i] >= exact, "shared {slices:?} not a bound");
+                    if shared[i] >= *t {
+                        assert_eq!(shared[i], exact, "shared {slices:?} above tau");
+                    }
+                }
+            }
+        }
+        // No tombstones: the masked paths degrade to the plain ones.
+        assert_eq!(
+            f.count_selected_bounded_masked(&[0], None, Some(&DeadMask::default()))
+                .expect("empty mask"),
+            f.count_selected(&[0]).expect("plain")
+        );
     }
 
     #[test]

@@ -41,10 +41,12 @@
 use crate::backend::{DynBackend, FileBackend, SharedFaultPlan, StorageBackend};
 use crate::cache::CacheStats;
 use crate::dedup::DedupReceipt;
+use crate::del::DeadMask;
 use crate::diskbbs::{
     deployment_paths, DeploymentBackends, DiskBbs, DiskDeployment, DEFAULT_DEDUP_WINDOW,
 };
 use crate::heapfile::HeapFile;
+use crate::maintain::MaintainReport;
 use crate::pager::PagerStats;
 use crate::slicefile::HotStats;
 use bbs_core::Bbs;
@@ -57,9 +59,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Opens one physical backend of the writer deployment: called once per
-/// file (`tag` is `commit`/`dat`/`idx`/`slices`/`counts`/`dedup`/`log`)
-/// at open and again whenever a poisoned writer is healed.  This is how the chaos
-/// tests interpose a [`crate::FaultInjector`] under a live server.
+/// file (`tag` is `commit`/`dat`/`idx`/`slices`/`counts`/`dedup`/`log`/
+/// `del`) at open and again whenever a poisoned writer is healed.  This
+/// is how the chaos tests interpose a [`crate::FaultInjector`] under a
+/// live server.
 pub type BackendFactory =
     Arc<dyn Fn(&'static str, &Path) -> io::Result<DynBackend> + Send + Sync>;
 
@@ -134,10 +137,25 @@ impl Snapshot {
         self.index.actual_singleton_count(item)
     }
 
+    /// Tombstoned rows within this snapshot's prefix.
+    pub fn deleted_rows(&self) -> u64 {
+        self.index.deleted_rows()
+    }
+
+    /// Live (non-tombstoned) rows visible to this snapshot.
+    pub fn live_rows(&self) -> u64 {
+        self.rows - self.deleted_rows()
+    }
+
+    /// Is `row` tombstoned at this epoch?
+    pub fn is_dead(&self, row: u64) -> bool {
+        self.index.dead_mask().is_some_and(|d| d.is_dead(row))
+    }
+
     /// Fetches one transaction by row position (`None` when the row is
-    /// beyond this snapshot's committed prefix).
+    /// beyond this snapshot's committed prefix or tombstoned).
     pub fn probe(&self, row: u64) -> io::Result<Option<Transaction>> {
-        if row >= self.rows {
+        if row >= self.rows || self.is_dead(row) {
             return Ok(None);
         }
         let _fence = self.io.read().unwrap_or_else(|e| e.into_inner());
@@ -147,11 +165,84 @@ impl Snapshot {
     /// Materialises this snapshot in memory: the transaction database and
     /// the BBS index, both clamped to the snapshot's rows — the substrate
     /// for an offline mining run that holds no locks while it mines.
+    ///
+    /// Tombstoned rows are excluded: the result is exactly what an
+    /// offline rebuild from only the surviving transactions would
+    /// produce, bit-for-bit (inserting a survivor sets the same slice
+    /// bits regardless of the dead rows between them being skipped).
     pub fn load(&self) -> io::Result<(TransactionDb, Bbs)> {
         let _fence = self.io.read().unwrap_or_else(|e| e.into_inner());
-        let db = self.heap().load_prefix(self.rows)?;
-        let bbs = self.index.load()?;
+        let Some(dead) = self.index.dead_mask().cloned() else {
+            let db = self.heap().load_prefix(self.rows)?;
+            let bbs = self.index.load()?;
+            return Ok((db, bbs));
+        };
+        let mut db = TransactionDb::new();
+        let mut bbs = Bbs::new(self.index.width(), Arc::clone(self.index.hasher()));
+        let mut stats = bbs_tdb::IoStats::new();
+        self.heap().for_each_prefix(self.rows, |row, txn| {
+            if !dead.is_dead(row) {
+                db.push(txn.clone());
+                bbs.insert(txn, &mut stats);
+            }
+        })?;
         Ok((db, bbs))
+    }
+
+    /// Measures the live false-positive rate of the filter at this epoch:
+    /// `samples` deterministic pseudo-random item pairs (seeded by `seed`)
+    /// are counted through the index (the BBS estimate, an upper bound)
+    /// and exactly (one heap scan over the live rows); the FPR is the
+    /// fraction of non-matching live rows that the filter wrongly passed,
+    /// `Σ(est − exact) / Σ(live − exact)`.  Returns `0.0` when there is
+    /// nothing meaningful to probe.
+    pub fn measure_fpr(&self, samples: usize, seed: u64) -> io::Result<f64> {
+        let vocab = self.index.vocabulary();
+        let live = self.live_rows();
+        if vocab.len() < 2 || live == 0 || samples == 0 {
+            return Ok(0.0);
+        }
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut queries = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let a = vocab[(next() % vocab.len() as u64) as usize];
+            let mut b = vocab[(next() % vocab.len() as u64) as usize];
+            if b == a {
+                b = vocab[(a.0 as usize + 1) % vocab.len()];
+            }
+            queries.push(Itemset::from_values(&[a.0, b.0]));
+        }
+        let estimates = self.count_many(&queries)?;
+        let mut exact = vec![0u64; queries.len()];
+        let dead = self.index.dead_mask().cloned();
+        {
+            let _fence = self.io.read().unwrap_or_else(|e| e.into_inner());
+            self.heap().for_each_prefix(self.rows, |row, txn| {
+                if dead.as_ref().is_none_or(|d| !d.is_dead(row)) {
+                    for (i, q) in queries.iter().enumerate() {
+                        if q.items().iter().all(|&it| txn.items.contains(it)) {
+                            exact[i] += 1;
+                        }
+                    }
+                }
+            })?;
+        }
+        let mut false_pos = 0u64;
+        let mut negatives = 0u64;
+        for (est, ex) in estimates.iter().zip(&exact) {
+            false_pos += est.saturating_sub(*ex);
+            negatives += live - ex;
+        }
+        if negatives == 0 {
+            return Ok(0.0);
+        }
+        Ok(false_pos as f64 / negatives as f64)
     }
 
     /// Page-cache counters of this snapshot's slice reader.
@@ -186,6 +277,10 @@ pub struct WriterProfile {
     pub appended: u64,
     /// Rows durable as of the last commit.
     pub committed_rows: u64,
+    /// Rows tombstoned as of the last commit.
+    pub deleted_rows: u64,
+    /// Delete commits performed.
+    pub deletes: u64,
 }
 
 /// The receipt of one group commit.
@@ -193,6 +288,17 @@ pub struct CommitReceipt {
     /// Row range the batch occupies.
     pub rows: Range<u64>,
     /// Epoch of the snapshot that first shows the batch.
+    pub epoch: u64,
+    /// That snapshot.
+    pub snapshot: Arc<Snapshot>,
+}
+
+/// The receipt of one tombstone commit.
+pub struct DeleteReceipt {
+    /// Rows this commit actually tombstoned (already-dead and unknown
+    /// TIDs are skipped).
+    pub deleted: u64,
+    /// Epoch of the snapshot that first hides them.
     pub epoch: u64,
     /// That snapshot.
     pub snapshot: Arc<Snapshot>,
@@ -216,7 +322,9 @@ pub struct SharedDeployment {
     epoch: AtomicU64,
     profile: Mutex<WriterProfile>,
     base: PathBuf,
-    width: usize,
+    /// Signature width `m` — atomic because a fold halves it while
+    /// readers and the stats path observe it.
+    width: AtomicUsize,
     hasher: Arc<dyn ItemHasher>,
     cache_pages: usize,
     dedup_window: AtomicUsize,
@@ -272,6 +380,10 @@ impl SharedDeployment {
         cache_pages: usize,
         factory: BackendFactory,
     ) -> io::Result<Arc<Self>> {
+        // A fold may have halved the on-disk width since this deployment
+        // was configured: the slice-file header is authoritative.
+        let paths = deployment_paths(base);
+        let width = crate::slicefile::header_width(&paths.slices)?.unwrap_or(width);
         let mut dep = open_writer(
             base,
             width,
@@ -284,8 +396,10 @@ impl SharedDeployment {
         let io = Arc::new(RwLock::new(()));
         let rows = dep.db.len();
         let committed_seq = dep.committed_seq();
+        let dead = dep.dead_mask();
         let mut profile = WriterProfile {
             committed_rows: rows,
+            deleted_rows: dep.deleted_rows(),
             ..WriterProfile::default()
         };
         copy_writer_stats(&dep, &mut profile);
@@ -293,19 +407,20 @@ impl SharedDeployment {
             writer: Mutex::new(Some(dep)),
             factory,
             io: Arc::clone(&io),
-            // Placeholder replaced two lines down; open_snapshot needs the
-            // struct's config fields.
-            current: Mutex::new(Arc::new(Snapshot {
-                epoch: 0,
-                rows,
-                index: DiskBbs::open(base, width, Arc::clone(&hasher), cache_pages)?,
-                heap: Mutex::new(open_heap(base, cache_pages)?),
+            current: Mutex::new(Arc::new(open_snapshot_at(
+                base,
+                width,
+                &hasher,
+                cache_pages,
                 io,
-            })),
+                0,
+                rows,
+                Some(dead),
+            )?)),
             epoch: AtomicU64::new(0),
             profile: Mutex::new(profile),
             base: base.to_path_buf(),
-            width,
+            width: AtomicUsize::new(width),
             hasher,
             cache_pages,
             dedup_window: AtomicUsize::new(DEFAULT_DEDUP_WINDOW),
@@ -313,6 +428,11 @@ impl SharedDeployment {
             committed_seq: AtomicU64::new(committed_seq),
         };
         Ok(Arc::new(shared))
+    }
+
+    /// Current signature width `m` (changes when a fold runs).
+    pub fn width(&self) -> usize {
+        self.width.load(Ordering::Acquire)
     }
 
     /// The latest published snapshot (cheap: one mutex lock + `Arc` clone).
@@ -414,25 +534,17 @@ impl SharedDeployment {
             }
         };
         let epoch = self.epoch.load(Ordering::Acquire) + 1;
-        let snapshot = Arc::new(Snapshot {
-            epoch,
-            rows: rows.end,
-            index: DiskBbs::open(
-                &self.base,
-                self.width,
-                Arc::clone(&self.hasher),
-                self.cache_pages,
-            )?,
-            heap: Mutex::new(open_heap(&self.base, self.cache_pages)?),
-            io: Arc::clone(&self.io),
-        });
+        let dead = guard.as_ref().expect("writer alive").dead_mask();
+        let snapshot = Arc::new(self.open_snapshot(epoch, rows.end, Some(dead))?);
         debug_assert_eq!(snapshot.index.rows(), rows.end);
         {
             let mut p = self.profile.lock().unwrap_or_else(|e| e.into_inner());
-            copy_writer_stats(guard.as_ref().expect("writer alive"), &mut p);
+            let writer = guard.as_ref().expect("writer alive");
+            copy_writer_stats(writer, &mut p);
             p.commits += 1;
             p.appended += txns.len() as u64;
             p.committed_rows = rows.end;
+            p.deleted_rows = writer.deleted_rows();
         }
         let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
         *current = Arc::clone(&snapshot);
@@ -443,6 +555,239 @@ impl SharedDeployment {
             epoch,
             snapshot,
         })
+    }
+
+    /// Tombstones the live rows holding `tids` and durably commits the
+    /// deletion, then publishes the next epoch's snapshot (which masks
+    /// them out of every count, probe and mine).  `req_id != 0` records
+    /// an exactly-once receipt: a retried DELETE is answered from the
+    /// dedup window without re-resolving (see
+    /// [`SharedDeployment::dedup_lookup`] — delete receipts carry the
+    /// sentinel row `u64::MAX` and the deleted count).
+    ///
+    /// Deletes commit synchronously and uncoalesced: they are rare next
+    /// to inserts, and a dedicated commit record keeps recovery identical
+    /// to the insert path.
+    pub fn delete_tids(&self, tids: &[u64], req_id: u64) -> io::Result<DeleteReceipt> {
+        self.delete_with(|writer| {
+            let rows = writer.resolve_tids(tids)?;
+            let receipts = if req_id != 0 {
+                vec![(
+                    req_id,
+                    DedupReceipt {
+                        first_row: u64::MAX,
+                        appended: rows.len() as u64,
+                    },
+                )]
+            } else {
+                Vec::new()
+            };
+            writer.commit_deletes(&rows, &receipts)
+        })
+    }
+
+    /// Row-addressed delete — the follower-apply path: tombstones `rows`
+    /// exactly as a replicated delete entry dictates, recording the
+    /// entry's receipts (pairs of `req_id, deleted-count`) so a promoted
+    /// follower answers retried DELETEs with the original receipts.
+    pub fn delete_rows(
+        &self,
+        rows: &[u64],
+        receipts: &[(u64, u64)],
+    ) -> io::Result<DeleteReceipt> {
+        self.delete_with(|writer| {
+            let entries: Vec<(u64, DedupReceipt)> = receipts
+                .iter()
+                .filter(|&&(req_id, _)| req_id != 0)
+                .map(|&(req_id, n)| {
+                    (
+                        req_id,
+                        DedupReceipt {
+                            first_row: u64::MAX,
+                            appended: n,
+                        },
+                    )
+                })
+                .collect();
+            writer.commit_deletes(rows, &entries)
+        })
+    }
+
+    /// Shared shell of the delete paths: run `op` on the healed writer
+    /// under the I/O fence, poison on failure, then publish the next
+    /// epoch's snapshot with the writer's post-commit tombstone bitmap.
+    fn delete_with(
+        &self,
+        op: impl FnOnce(&mut DiskDeployment<DynBackend>) -> io::Result<u64>,
+    ) -> io::Result<DeleteReceipt> {
+        let mut guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let (deleted, rows_after, dead) = {
+            let _fence = self.io.write().unwrap_or_else(|e| e.into_inner());
+            let writer = self.writer_or_heal(&mut guard)?;
+            match op(writer) {
+                Ok(deleted) => {
+                    let writer = guard.as_ref().expect("writer alive");
+                    self.committed_seq
+                        .store(writer.committed_seq(), Ordering::Release);
+                    (deleted, writer.db.len(), writer.dead_mask())
+                }
+                Err(e) => {
+                    *guard = None;
+                    return Err(e);
+                }
+            }
+        };
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let snapshot = Arc::new(self.open_snapshot(epoch, rows_after, Some(dead))?);
+        {
+            let mut p = self.profile.lock().unwrap_or_else(|e| e.into_inner());
+            let writer = guard.as_ref().expect("writer alive");
+            copy_writer_stats(writer, &mut p);
+            p.deletes += 1;
+            p.deleted_rows = writer.deleted_rows();
+        }
+        let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        *current = Arc::clone(&snapshot);
+        self.epoch.store(epoch, Ordering::Release);
+        drop(current);
+        Ok(DeleteReceipt {
+            deleted,
+            epoch,
+            snapshot,
+        })
+    }
+
+    /// Wipes every backing file and reopens empty — the follower
+    /// wipe-resync path after the primary compacted (its row numbering
+    /// restarted, so row-addressed replication cannot continue).  Readers
+    /// holding old snapshots keep their file handles and stay consistent;
+    /// a fresh (empty) snapshot is published at the next epoch.
+    pub fn reset_files(&self) -> io::Result<()> {
+        let mut guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _fence = self.io.write().unwrap_or_else(|e| e.into_inner());
+            *guard = None;
+            DiskDeployment::remove_files(&self.base)?;
+            let writer = self.writer_or_heal(&mut guard)?;
+            writer.flush()?;
+        }
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let snapshot = Arc::new(self.open_snapshot(epoch, 0, None)?);
+        {
+            let mut p = self.profile.lock().unwrap_or_else(|e| e.into_inner());
+            p.committed_rows = 0;
+            p.deleted_rows = 0;
+        }
+        let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        *current = Arc::clone(&snapshot);
+        self.epoch.store(epoch, Ordering::Release);
+        Ok(())
+    }
+
+    /// Compacts the deployment online: rewrites the files with only the
+    /// live rows (optionally re-hashed at `target_width`) behind the
+    /// crash-safe staged swap of [`crate::maintain`], then reopens the
+    /// writer and publishes the next epoch's snapshot.  Row numbering
+    /// restarts, so followers of this deployment must wipe-resync.
+    ///
+    /// Reads are fenced out for the duration: the swap replaces files by
+    /// rename, and a concurrent per-query reader opening the new files
+    /// under an old snapshot's row clamp would count garbage.  Snapshots
+    /// taken before the call stay pinned to the old file handles and
+    /// must be discarded by the caller once this returns (see the
+    /// engine's stale-pin accounting).
+    pub fn compact(&self, target_width: Option<usize>) -> io::Result<MaintainReport> {
+        self.maintain_with(|base, width, hasher, cache_pages| {
+            crate::maintain::compact_deployment(base, width, hasher, target_width, cache_pages)
+        })
+    }
+
+    /// Halves the slice width online by folding each slice `j` into
+    /// `j + m/2` (bit-for-bit what re-hashing at `m/2` would build),
+    /// behind the same crash-safe swap as [`SharedDeployment::compact`].
+    /// Rows keep their numbers, so followers are unaffected.
+    pub fn fold(&self) -> io::Result<MaintainReport> {
+        self.maintain_with(|base, _width, hasher, cache_pages| {
+            crate::maintain::fold_deployment(base, hasher, cache_pages)
+        })
+    }
+
+    /// Shared shell of the online maintenance paths: flush and close the
+    /// writer (the maintenance functions open the files themselves), run
+    /// `op` under the I/O write fence, adopt the resulting width, reopen
+    /// the writer, and publish the next epoch's snapshot.
+    ///
+    /// On failure the writer is left poisoned exactly like a failed
+    /// commit: the maintenance functions never mutate the live files
+    /// before their atomic swap, so the next write-side call heals by
+    /// reopening the old (or fully-swapped new) state.
+    fn maintain_with(
+        &self,
+        op: impl FnOnce(&Path, usize, Arc<dyn ItemHasher>, usize) -> io::Result<MaintainReport>,
+    ) -> io::Result<MaintainReport> {
+        let mut guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let (report, rows, dead) = {
+            let _fence = self.io.write().unwrap_or_else(|e| e.into_inner());
+            self.writer_or_heal(&mut guard)?.flush()?;
+            *guard = None;
+            let report = op(
+                &self.base,
+                self.width(),
+                Arc::clone(&self.hasher),
+                self.cache_pages,
+            )?;
+            self.width.store(report.width, Ordering::Release);
+            // Reopen directly (not via the heal path): maintenance is
+            // not a poisoning failure and must not inflate that counter.
+            let dep = open_writer(
+                &self.base,
+                report.width,
+                &self.hasher,
+                self.cache_pages,
+                &self.factory,
+                self.dedup_window.load(Ordering::Acquire),
+            )?;
+            *guard = Some(dep);
+            let writer = guard.as_mut().expect("writer alive");
+            self.committed_seq
+                .store(writer.committed_seq(), Ordering::Release);
+            (report, writer.db.len(), writer.dead_mask())
+        };
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let snapshot = Arc::new(self.open_snapshot(epoch, rows, Some(dead))?);
+        {
+            let mut p = self.profile.lock().unwrap_or_else(|e| e.into_inner());
+            let writer = guard.as_ref().expect("writer alive");
+            copy_writer_stats(writer, &mut p);
+            p.committed_rows = rows;
+            p.deleted_rows = writer.deleted_rows();
+        }
+        let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        *current = Arc::clone(&snapshot);
+        self.epoch.store(epoch, Ordering::Release);
+        drop(current);
+        Ok(report)
+    }
+
+    /// Opens a fresh snapshot of the committed on-disk state at `epoch`,
+    /// masking `dead` (pass the writer's current bitmap while holding the
+    /// writer mutex so the mask matches the files).
+    fn open_snapshot(
+        &self,
+        epoch: u64,
+        rows: u64,
+        dead: Option<Arc<DeadMask>>,
+    ) -> io::Result<Snapshot> {
+        open_snapshot_at(
+            &self.base,
+            self.width(),
+            &self.hasher,
+            self.cache_pages,
+            Arc::clone(&self.io),
+            epoch,
+            rows,
+            dead,
+        )
     }
 
     /// The receipt a previous commit recorded for `req_id` (0 = never
@@ -484,6 +829,17 @@ impl SharedDeployment {
         self.writer_heals.load(Ordering::Relaxed)
     }
 
+    /// Count of delete-carrying entries in this deployment's replication
+    /// log — the delete cursor (`dseq`) a caught-up follower of this
+    /// node holds, and the cursor this node (as a follower itself)
+    /// resumes pulling from after a restart.
+    pub fn log_delete_entries(&self) -> io::Result<u64> {
+        let mut guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _fence = self.io.write().unwrap_or_else(|e| e.into_inner());
+        let writer = self.writer_or_heal(&mut guard)?;
+        Ok(writer.log_delete_entries())
+    }
+
     /// Reopens a poisoned writer through the factory.  Caller must hold
     /// the writer lock *and* the I/O write fence (recovery rolls files
     /// back in place, which must not race snapshot reads).
@@ -495,7 +851,7 @@ impl SharedDeployment {
         if guard.is_none() {
             let dep = open_writer(
                 &self.base,
-                self.width,
+                self.width(),
                 &self.hasher,
                 self.cache_pages,
                 &self.factory,
@@ -537,10 +893,33 @@ fn open_writer(
         counts: factory("counts", &paths.counts)?,
         dedup: factory("dedup", &paths.dedup)?,
         log: factory("log", &paths.log)?,
+        del: factory("del", &paths.del)?,
     };
     let mut dep = DiskDeployment::open_with(backends, width, Arc::clone(hasher), cache_pages)?;
     dep.set_dedup_window(dedup_window);
     Ok(dep)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn open_snapshot_at(
+    base: &Path,
+    width: usize,
+    hasher: &Arc<dyn ItemHasher>,
+    cache_pages: usize,
+    io: Arc<RwLock<()>>,
+    epoch: u64,
+    rows: u64,
+    dead: Option<Arc<DeadMask>>,
+) -> io::Result<Snapshot> {
+    let mut index = DiskBbs::open(base, width, Arc::clone(hasher), cache_pages)?;
+    index.set_dead_mask(dead);
+    Ok(Snapshot {
+        epoch,
+        rows,
+        index,
+        heap: Mutex::new(open_heap(base, cache_pages)?),
+        io,
+    })
 }
 
 fn open_heap(base: &Path, cache_pages: usize) -> io::Result<HeapFile> {

@@ -81,6 +81,7 @@ fn run_workload(plan: &SharedFaultPlan, base: &Path, source: &[Transaction]) -> 
         counts: plan.wrap("counts", FileBackend::open(&paths.counts)?),
         dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup)?),
         log: plan.wrap("log", FileBackend::open(&paths.log)?),
+        del: plan.wrap("del", FileBackend::open(&paths.del)?),
     };
     let mut dep = DiskDeployment::open_with(backends, WIDTH, hasher(), CACHE)?;
     for batch in source.chunks(BATCH) {
@@ -281,6 +282,7 @@ fn bit_flip_on_read_surfaces_as_checksum_mismatch_not_data() {
         counts: plan.wrap("counts", FileBackend::open(&paths.counts).expect("open")),
         dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup).expect("open")),
         log: plan.wrap("log", FileBackend::open(&paths.log).expect("open")),
+        del: plan.wrap("del", FileBackend::open(&paths.del).expect("open")),
     };
     let mut dep = DiskDeployment::open_with(backends, WIDTH, hasher(), CACHE).expect("reopen");
 

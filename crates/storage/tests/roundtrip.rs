@@ -131,6 +131,7 @@ proptest! {
                 counts: plan.wrap("counts", FileBackend::open(&paths.counts)?),
                 dedup: plan.wrap("dedup", FileBackend::open(&paths.dedup)?),
                 log: plan.wrap("log", FileBackend::open(&paths.log)?),
+                del: plan.wrap("del", FileBackend::open(&paths.del)?),
             };
             let mut dep = DiskDeployment::open_with(backends, width, hasher(), CACHE)?;
             for t in &db.transactions()[..half] {
